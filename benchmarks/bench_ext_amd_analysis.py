@@ -1,0 +1,30 @@
+"""Extension: the AMD-side analysis the paper defers to its repository."""
+
+from benchmarks.conftest import attach_report, run_once
+from repro.experiments.ext_amd_analysis import (
+    format_amd_analysis,
+    run_amd_analysis,
+)
+from repro.workloads import BENCH
+
+
+def test_amd_analysis(benchmark):
+    result = run_once(
+        benchmark, run_amd_analysis, profile=BENCH, worker_counts=(1, 4),
+        images=64, mapping_runs=10, seed=0,
+    )
+    attach_report(
+        benchmark, "Extension: AMD analysis", format_amd_analysis(result)
+    )
+    # The finer uProf driver resolves more functions per isolation run.
+    assert result.functions_per_run_amd > result.functions_per_run_intel
+    # AMD-only symbol visibility (Table I's AMD-specific rows).
+    assert result.amd_only_symbols & {
+        "sep_upsample", "copy", "process_data_simple_main",
+        "__memset_avx2_unaligned", "precompute_coeffs",
+    }
+    # Same Figure 6 trends under the AMD profiler.
+    fe = result.front_end_bound_series("Loader")
+    dram = result.dram_bound_series("Loader")
+    assert fe[-1] > fe[0]
+    assert dram[-1] < dram[0]

@@ -1,0 +1,22 @@
+"""Figure 2: coarse traces and bottleneck regimes for the three pipelines."""
+
+from benchmarks.conftest import attach_report, run_once
+from repro.experiments.fig2_traces import (
+    GPU_BOUND,
+    PREPROCESSING_BOUND,
+    format_fig2,
+    run_fig2,
+)
+from repro.workloads import BENCH
+
+
+def test_fig2_traces(benchmark):
+    result = run_once(
+        benchmark, run_fig2, profile=BENCH, num_workers=2, n_gpus=1, seed=0
+    )
+    attach_report(benchmark, "Figure 2: traces & regimes", format_fig2(result))
+    assert result.panels["IC"].regime == PREPROCESSING_BOUND
+    assert result.panels["IS"].regime == GPU_BOUND
+    assert result.panels["OD"].regime == GPU_BOUND
+    for panel in result.panels.values():
+        assert panel.chrome_trace["traceEvents"]

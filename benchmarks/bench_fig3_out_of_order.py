@@ -1,0 +1,13 @@
+"""Figure 3: out-of-order arrival causes waits despite ready batches."""
+
+from benchmarks.conftest import attach_report, run_once
+from repro.experiments.fig3_out_of_order import format_fig3, run_fig3
+
+
+def test_fig3_out_of_order(benchmark):
+    result = run_once(benchmark, run_fig3, heavy_size=260, light_size=24)
+    attach_report(benchmark, "Figure 3: out-of-order arrival", format_fig3(result))
+    assert result.batch1_ready_before_requested
+    assert result.out_of_order_count >= 1
+    assert result.delay_batch1_ms > 0.5
+    assert result.consumption_order == [0, 1]

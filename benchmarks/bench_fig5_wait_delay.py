@@ -1,0 +1,24 @@
+"""Figure 5: wait and delay time distributions in the IC pipeline."""
+
+from benchmarks.conftest import attach_report, run_once
+from repro.experiments.fig5_wait_delay import format_fig5, run_fig5
+from repro.workloads import BENCH
+
+
+def test_fig5_wait_delay(benchmark):
+    result = run_once(
+        benchmark,
+        run_fig5,
+        profile=BENCH,
+        batch_size=16,
+        configs=((1, 1), (2, 2), (3, 3), (4, 4)),
+        images=128,
+        seed=0,
+    )
+    attach_report(benchmark, "Figure 5: wait & delay times", format_fig5(result))
+    # 5a: a large fraction of batches wait beyond the GPU-step threshold
+    # (the GPU stalls on preprocessing).
+    assert max(result.wait_fractions().values()) > 0.3
+    # 5b: with multiple dataloaders, delayed batches appear.
+    multi = [frac for (w, _), frac in result.delay_fractions().items() if w > 1]
+    assert max(multi) > 0.0

@@ -1,0 +1,34 @@
+"""Figure 6: LotusTrace + LotusMap hardware analysis over a worker sweep."""
+
+from benchmarks.conftest import attach_report, run_once
+from repro.experiments.fig6_hw_analysis import format_fig6, run_fig6
+from repro.workloads import BENCH
+
+
+def test_fig6_hw_analysis(benchmark):
+    result = run_once(
+        benchmark,
+        run_fig6,
+        profile=BENCH,
+        worker_counts=(1, 2, 4, 8),
+        batch_size=16,
+        n_gpus=4,
+        images=96,
+        mapping_runs=8,
+        seed=0,
+    )
+    attach_report(
+        benchmark, "Figure 6: hardware analysis sweep", format_fig6(result)
+    )
+    e2e = result.e2e_series()
+    assert e2e[2] < e2e[0] * 0.7  # (a) steep drop before diminishing returns
+    cpu = result.total_cpu_series()
+    assert cpu[-1] > cpu[0]  # (b, e) CPU time rises with workers
+    assert result.uops_per_clock_series("Loader")[-1] < \
+        result.uops_per_clock_series("Loader")[0]  # (f)
+    assert result.front_end_bound_series("Loader")[-1] > \
+        result.front_end_bound_series("Loader")[0]  # (g)
+    assert result.dram_bound_series("Loader")[-1] < \
+        result.dram_bound_series("Loader")[0]  # (h)
+    for config in result.configs.values():  # (c, d)
+        assert config.filtered_function_count < config.profile_function_count

@@ -1,0 +1,51 @@
+"""Remote-storage sensitivity: epoch time vs read latency and worker count.
+
+The paper's testbed mounts ImageNet from a remote ZFS zvol over iSCSI, so
+every Loader pays a network round trip. This bench sweeps the simulated
+store's latency and shows the interaction the DataLoader design exists
+for: extra workers hide I/O latency (almost flat epoch time at high
+worker counts) while a single worker pays it serially.
+"""
+
+from benchmarks.conftest import attach_report, run_once
+from repro.datasets.synthetic import SyntheticImageNet
+from repro.workloads import SMOKE, build_ic_pipeline
+
+
+def test_remote_io_sensitivity(benchmark):
+    dataset = SyntheticImageNet(48, seed=0)
+
+    def sweep():
+        rows = []
+        for latency_ms in (0.0, 5.0, 15.0):
+            for workers in (1, 4):
+                bundle = build_ic_pipeline(
+                    dataset=dataset,
+                    profile=SMOKE,
+                    batch_size=8,
+                    num_workers=workers,
+                    seed=1,
+                    remote_latency_s=latency_ms / 1000.0,
+                    remote_bandwidth_mb_s=50.0 if latency_ms else 0.0,
+                )
+                import time
+
+                start = time.monotonic()
+                for _ in bundle.loader:
+                    pass
+                rows.append((latency_ms, workers, time.monotonic() - start))
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    report = "\n".join(
+        f"latency={latency:>5.1f}ms workers={workers} epoch={epoch:.2f}s"
+        for latency, workers, epoch in rows
+    )
+    attach_report(benchmark, "Remote I/O sensitivity", report)
+
+    by_key = {(latency, workers): epoch for latency, workers, epoch in rows}
+    # Serial reads pay latency in full; parallel workers hide most of it.
+    slowdown_serial = by_key[(15.0, 1)] / by_key[(0.0, 1)]
+    slowdown_parallel = by_key[(15.0, 4)] / by_key[(0.0, 4)]
+    assert slowdown_serial > 1.5
+    assert slowdown_parallel < slowdown_serial

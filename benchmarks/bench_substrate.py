@@ -1,0 +1,102 @@
+"""Substrate micro-benchmarks: codec, transforms, and DataLoader throughput.
+
+These are conventional pytest-benchmark measurements (many rounds) that
+track the performance of the pieces the characterization experiments sit
+on, so regressions in the substrate don't silently distort the
+reproduced tables.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.dataloader import DataLoader
+from repro.data.dataset import BlobImageDataset
+from repro.datasets.synthetic import SyntheticImageNet
+from repro.imaging.image import Image
+from repro.imaging.jpeg.codec import decode_sjpg, encode_sjpg
+from repro.transforms import Compose, Normalize, RandomResizedCrop, ToTensor
+from repro.workloads import BENCH
+
+
+@pytest.fixture(scope="module")
+def pixels():
+    rng = np.random.default_rng(50)
+    base = rng.integers(0, 256, size=(28, 28, 3))
+    up = np.kron(base, np.ones((8, 8, 1)))
+    return np.clip(up + rng.normal(0, 8, up.shape), 0, 255).astype(np.uint8)
+
+
+@pytest.fixture(scope="module")
+def blob(pixels):
+    return encode_sjpg(pixels, quality=85)
+
+
+def test_bench_encode(benchmark, pixels):
+    blob = benchmark(encode_sjpg, pixels, 85)
+    assert len(blob) > 1000
+
+
+def test_bench_decode(benchmark, blob, pixels):
+    decoded = benchmark(decode_sjpg, blob)
+    assert decoded.shape == pixels.shape
+
+
+def test_bench_transform_chain(benchmark, blob):
+    pipeline = Compose(
+        [RandomResizedCrop(96, seed=0), ToTensor(), Normalize([0.5] * 3, [0.25] * 3)]
+    )
+
+    def run():
+        return pipeline(Image.open(blob).convert("RGB"))
+
+    tensor = benchmark(run)
+    assert tensor.shape == (3, 96, 96)
+
+
+def test_bench_dataloader_epoch(benchmark):
+    dataset = SyntheticImageNet(48, seed=51)
+    pipeline = Compose([RandomResizedCrop(64, seed=0), ToTensor()])
+    data = BlobImageDataset(dataset.blobs, labels=dataset.labels, transform=pipeline)
+
+    def epoch():
+        loader = DataLoader(data, batch_size=8, num_workers=2, seed=1)
+        return sum(1 for _ in loader)
+
+    batches = benchmark.pedantic(epoch, rounds=3, iterations=1)
+    assert batches == 6
+
+
+def test_bench_tracing_overhead_ratio(benchmark):
+    """LotusTrace's headline: instrumented and uninstrumented epochs cost
+    about the same (paper: <2 % on ImageNet-small)."""
+    import time
+
+    from repro.core.lotustrace import InMemoryTraceLog
+
+    dataset = SyntheticImageNet(48, seed=52)
+
+    def epoch(log):
+        pipeline = Compose(
+            [RandomResizedCrop(64, seed=0), ToTensor()],
+            log_transform_elapsed_time=log,
+        )
+        data = BlobImageDataset(
+            dataset.blobs, labels=dataset.labels, transform=pipeline, log_file=log
+        )
+        loader = DataLoader(data, batch_size=8, num_workers=1, log_file=log, seed=1)
+        for _ in loader:
+            pass
+
+    def measure():
+        start = time.monotonic()
+        epoch(None)
+        plain = time.monotonic() - start
+        start = time.monotonic()
+        epoch(InMemoryTraceLog())
+        traced = time.monotonic() - start
+        return plain, traced
+
+    plain, traced = benchmark.pedantic(measure, rounds=2, iterations=1)
+    overhead_pct = 100.0 * (traced - plain) / plain
+    benchmark.extra_info["overhead_pct"] = overhead_pct
+    assert overhead_pct < 30.0  # near-zero, allowing single-core noise

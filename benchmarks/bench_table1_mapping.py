@@ -1,0 +1,30 @@
+"""Table I: regenerate the Python→C/C++ mapping on both vendor profilers."""
+
+from benchmarks.conftest import attach_report, result_with_retry
+from repro.experiments.table1_mapping import format_table1, run_table1
+
+
+def test_table1_mapping(benchmark):
+    # Intel-specific rows (__libc_calloc) are short-lived symbols whose
+    # capture is probabilistic per run — the exact phenomenon the paper's
+    # repeat-run formula addresses. One retry at a higher run count keeps
+    # the bench robust under machine load.
+    result = result_with_retry(
+        benchmark,
+        run_table1,
+        accept=lambda r: bool(
+            r.intel_specific("Loader") or r.intel_specific("RandomResizedCrop")
+        ),
+        retry_kwargs={"runs": 22, "seed": 1},
+        runs=16,
+        seed=0,
+    )
+    attach_report(benchmark, "Table I: Python -> C/C++ mapping", format_table1(result))
+    # Headline shape: the decode chain belongs to Loader, the resample
+    # kernels to RandomResizedCrop, and each vendor has specific rows.
+    assert "decode_mcu" in result.intel.function_names_for("Loader")
+    assert "ImagingResampleHorizontal_8bpc" in result.intel.function_names_for(
+        "RandomResizedCrop"
+    )
+    assert result.intel_specific("Loader") or result.intel_specific("RandomResizedCrop")
+    assert result.amd_specific("Loader")

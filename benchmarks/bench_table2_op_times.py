@@ -1,0 +1,17 @@
+"""Table II: per-operation elapsed-time statistics for IC, IS, OD."""
+
+from benchmarks.conftest import attach_report, run_once
+from repro.experiments.table2_op_times import format_table2, run_table2
+from repro.workloads import BENCH
+
+
+def test_table2_op_times(benchmark):
+    result = run_once(benchmark, run_table2, profile=BENCH, num_workers=2, seed=0)
+    attach_report(benchmark, "Table II: per-op elapsed times", format_table2(result))
+    ic = {row.op: row for row in result.pipelines["IC"]}
+    # Loader dominates IC; the flip is sub-100us almost always; every
+    # pipeline contains sub-10ms operations (Takeaway 1).
+    assert ic["Loader"].avg_ms > ic["RandomResizedCrop"].avg_ms
+    assert ic["RandomHorizontalFlip"].pct_under_100us > 50
+    for rows in result.pipelines.values():
+        assert any(row.pct_under_10ms > 90 for row in rows)

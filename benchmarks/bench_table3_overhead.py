@@ -1,0 +1,18 @@
+"""Table III: profiler wall-time and storage overheads on the IC epoch."""
+
+from benchmarks.conftest import attach_report, run_once
+from repro.experiments.table3_overhead import format_table3, run_table3
+from repro.workloads import BENCH
+
+
+def test_table3_overhead(benchmark, tmp_path):
+    result = run_once(
+        benchmark, run_table3, profile=BENCH, seed=0, log_dir=str(tmp_path)
+    )
+    attach_report(benchmark, "Table III: profiler overheads", format_table3(result))
+    small = {r.profiler: r for r in result.rows if r.dataset == "imagenet-small"}
+    # Lotus cheapest among the heavyweight tools; austin's storage blows
+    # up; the trace-buffering profiler OOMs on the full dataset.
+    assert small["lotus"].wall_overhead_pct < small["scalene-like"].wall_overhead_pct
+    assert small["austin-like"].log_bytes > 10 * small["lotus"].log_bytes
+    assert result.row("torch-profiler-like", "imagenet-full").oom

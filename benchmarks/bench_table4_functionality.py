@@ -1,0 +1,18 @@
+"""Table IV: profiler functionality matrix (Epoch/Batch/Async/Wait/Delay)."""
+
+from benchmarks.conftest import attach_report, run_once
+from repro.experiments.table4_functionality import format_table4, run_table4
+from repro.workloads import BENCH
+
+
+def test_table4_functionality(benchmark, tmp_path):
+    result = run_once(
+        benchmark, run_table4, profile=BENCH, seed=0, log_dir=str(tmp_path)
+    )
+    attach_report(
+        benchmark, "Table IV: profiler functionality", format_table4(result)
+    )
+    assert all(result.supports("lotus", col) for col in
+               ("Epoch", "Batch", "Async", "Wait", "Delay"))
+    assert result.supports("torch-profiler-like", "Wait")
+    assert not result.supports("py-spy-like", "Batch")

@@ -1,0 +1,44 @@
+"""Automated trace diagnosis + terminal visualization.
+
+Implements the paper's stated future work ("automated log analysis"):
+run an instrumented pipeline, then let the analyzer produce the § V-style
+takeaways — bottleneck regime, hot operation, out-of-order impact, worker
+balance — and render the data flow as an ASCII timeline (the terminal
+twin of the Chrome trace in Figure 2).
+
+Run:  python examples/automated_analysis.py
+"""
+
+from repro.core.lotustrace import InMemoryTraceLog, generate_report
+from repro.viz import render_batch_flows, render_timeline
+from repro.workloads import SMOKE, build_ic_pipeline, build_is_pipeline
+
+
+def analyze(title: str, bundle, sink: InMemoryTraceLog) -> None:
+    bundle.run_epoch()
+    records = sink.records()
+    print(f"\n{'=' * 72}\n{title}\n{'=' * 72}")
+    print(render_timeline(records, width=64))
+    print()
+    print(render_batch_flows(records, limit=8))
+    print("\nautomated findings:")
+    print(generate_report(records).format())
+
+
+def main() -> None:
+    sink = InMemoryTraceLog()
+    analyze(
+        "Image classification (preprocessing-bound)",
+        build_ic_pipeline(profile=SMOKE, num_workers=2, log_file=sink, seed=0),
+        sink,
+    )
+    sink = InMemoryTraceLog()
+    analyze(
+        "Image segmentation (GPU-bound)",
+        build_is_pipeline(profile=SMOKE, num_workers=2, log_file=sink, seed=0),
+        sink,
+    )
+
+
+if __name__ == "__main__":
+    main()

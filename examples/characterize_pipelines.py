@@ -1,0 +1,78 @@
+"""Characterize the three MLPerf-style pipelines (paper § V).
+
+Runs IC / IS / OD with LotusTrace enabled and a virtual-GPU trainer,
+reproducing the paper's bottleneck analysis: which pipeline is
+preprocessing-bound vs GPU-bound, how variable per-batch preprocessing
+time is, and where out-of-order arrivals cost time.
+
+Run:  python examples/characterize_pipelines.py
+"""
+
+from repro.core.lotustrace import InMemoryTraceLog, out_of_order_events
+from repro.experiments.common import run_traced_epoch
+from repro.utils.timeunits import format_ns
+from repro.workloads import (
+    SMOKE,
+    build_ic_pipeline,
+    build_is_pipeline,
+    build_od_pipeline,
+)
+
+
+def characterize(name: str, bundle) -> None:
+    analysis = run_traced_epoch(bundle)
+    report = analysis.epoch_report
+    summary = analysis.preprocess_summary()
+    waits = sorted(analysis.wait_times_ns())
+    delays = sorted(analysis.delay_times_ns())
+    median_wait = waits[len(waits) // 2]
+    median_delay = delays[len(delays) // 2]
+    gpu_step_ns = report.mean_gpu_step_s * 1e9
+
+    regime = (
+        "PREPROCESSING-bound (GPU stalls waiting for batches)"
+        if median_wait > gpu_step_ns
+        else "GPU-bound (batches queue behind the accelerator)"
+    )
+    print(f"\n=== {name} ===")
+    print(f"  batches: {report.n_batches}, epoch: {report.epoch_time_s:.2f}s")
+    print(
+        f"  per-batch preprocessing: avg={format_ns(summary.mean)} "
+        f"p90={format_ns(summary.p90)} (std {summary.std_pct_of_mean:.0f}% of mean)"
+    )
+    print(f"  GPU step: {format_ns(gpu_step_ns)}")
+    print(f"  median wait: {format_ns(median_wait)}, median delay: {format_ns(median_delay)}")
+    print(f"  bottleneck: {regime}")
+    ooo = out_of_order_events(analysis)
+    if ooo:
+        worst = max(ooo, key=lambda event: event.delay_ns)
+        print(
+            f"  out-of-order arrivals: {len(ooo)} "
+            f"(worst delayed batch waited {format_ns(worst.delay_ns)} after ready)"
+        )
+
+
+def main() -> None:
+    profile = SMOKE.scaled(ic_images=48)
+    characterize(
+        "Image Classification (ResNet18-class)",
+        build_ic_pipeline(
+            profile=profile, num_workers=2, n_gpus=1, log_file=InMemoryTraceLog()
+        ),
+    )
+    characterize(
+        "Image Segmentation (U-Net3D-class)",
+        build_is_pipeline(
+            profile=profile, num_workers=2, n_gpus=1, log_file=InMemoryTraceLog()
+        ),
+    )
+    characterize(
+        "Object Detection (Mask-R-CNN-class)",
+        build_od_pipeline(
+            profile=profile, num_workers=2, n_gpus=1, log_file=InMemoryTraceLog()
+        ),
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""LotusMap end to end: map Python operations to C/C++ functions, then
+attribute hardware counters per operation (paper § IV, Figure 6 e-h).
+
+Three steps, exactly the paper's workflow:
+
+1. *Mapping* (one-time, per machine): run each Python operation in
+   isolation under the hardware profiler with ITT gating, repeat runs,
+   filter, and persist ``mapping_funcs.json``.
+2. *Job run*: run the instrumented pipeline with LotusTrace active and the
+   profiler attached to the whole job.
+3. *Attribution*: filter the whole-job profile to preprocessing functions
+   and split each C function's counters across Python operations using
+   LotusTrace elapsed-time weights.
+
+Run:  python examples/hardware_mapping.py
+"""
+
+import os
+import tempfile
+
+from repro.core.lotusmap import Mapping, attribute_counters
+from repro.core.lotustrace import InMemoryTraceLog
+from repro.experiments.common import (
+    build_ic_mapping,
+    run_traced_epoch,
+    scaled_uprof,
+    scaled_vtune,
+)
+from repro.workloads import SMOKE, build_ic_pipeline
+
+
+def main() -> None:
+    workdir = tempfile.mkdtemp(prefix="lotus-mapping-")
+
+    # --- Step 1: the one-time mapping (Intel and AMD flavours) -------------
+    print("building Python -> C/C++ mapping (Intel-flavoured profiler) ...")
+    intel = build_ic_mapping(lambda: scaled_vtune(seed=0), runs=10, seed=0)
+    print("building Python -> C/C++ mapping (AMD-flavoured profiler) ...")
+    amd = build_ic_mapping(lambda: scaled_uprof(seed=1), runs=10, seed=0)
+
+    mapping_path = os.path.join(workdir, "mapping_funcs.json")
+    intel.save(mapping_path)
+    print(f"mapping saved to {mapping_path}\n")
+
+    for op in ("Loader", "RandomResizedCrop"):
+        common = intel.function_names_for(op) & amd.function_names_for(op)
+        print(f"{op}:")
+        for fn in sorted(common):
+            print(f"  {fn}")
+        for fn in sorted(intel.vendor_specific_vs(amd, op)):
+            print(f"  {fn}  *Intel-specific")
+        for fn in sorted(amd.vendor_specific_vs(intel, op)):
+            print(f"  {fn}  *AMD-specific")
+
+    # --- Step 2: profile the actual job -----------------------------------
+    print("\nrunning the IC pipeline under the profiler ...")
+    log = InMemoryTraceLog()
+    bundle = build_ic_pipeline(profile=SMOKE, num_workers=2, log_file=log, seed=3)
+    profiler = scaled_vtune(seed=3)
+    profiler.start()
+    try:
+        analysis = run_traced_epoch(bundle)
+    finally:
+        profile = profiler.stop()
+
+    print(f"whole-job profile: {len(profile)} C/C++ functions")
+    mapping = Mapping.load(mapping_path)
+    filtered = profile.filter(
+        lambda row: mapping.is_preprocessing_function(row.function)
+    )
+    print(f"after LotusMap filtering: {len(filtered)} preprocessing functions")
+
+    # --- Step 3: attribute counters to Python operations -------------------
+    attributed = attribute_counters(filtered, mapping, analysis.op_total_cpu_ns())
+    print("\nper-operation hardware view:")
+    print(f"  {'operation':<22} {'CPU ms':>8} {'uops/clk':>9} {'FE%':>6} {'DRAM%':>6}")
+    for op, counters in sorted(
+        attributed.items(), key=lambda kv: kv[1].cpu_time_ns, reverse=True
+    ):
+        print(
+            f"  {op:<22} {counters.cpu_time_ns / 1e6:>8.2f} "
+            f"{counters.uops_per_clocktick:>9.3f} "
+            f"{counters.front_end_bound_pct:>6.1f} {counters.dram_bound_pct:>6.1f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

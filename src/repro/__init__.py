@@ -1,0 +1,104 @@
+"""Reproduction of *Lotus: Characterization of Machine Learning
+Preprocessing Pipelines via Framework and Hardware Profiling* (IISWC'24).
+
+The package has three layers:
+
+* **Substrates** — everything the paper's tool runs on, rebuilt from
+  scratch: a PyTorch-style data-loading stack (:mod:`repro.data`,
+  :mod:`repro.transforms`, :mod:`repro.tensor`), a mini imaging library
+  with a real JPEG-style codec whose kernels carry C-symbol identities
+  (:mod:`repro.imaging`, :mod:`repro.clib`), simulated hardware profilers
+  (:mod:`repro.hwprof`), virtual GPUs and trainers (:mod:`repro.runtime`),
+  and synthetic MLPerf-like datasets (:mod:`repro.datasets`).
+* **Lotus itself** — :mod:`repro.core.lotustrace` (fine-grained timing
+  instrumentation: per-batch [T1], main-process wait [T2], per-operation
+  [T3]) and :mod:`repro.core.lotusmap` (Python→C/C++ function mapping and
+  hardware-counter attribution).
+* **Evaluation** — comparison profilers (:mod:`repro.profilers`), the
+  paper's workloads (:mod:`repro.workloads`), and one experiment module
+  per table/figure (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import (Compose, DataLoader, ImageFolder,
+                       RandomResizedCrop, RandomHorizontalFlip,
+                       ToTensor, Normalize, analyze_trace, parse_trace_file)
+
+    log_file = "lotustrace.log"
+    transform = Compose(
+        [RandomResizedCrop(224), RandomHorizontalFlip(), ToTensor(),
+         Normalize([0.485, 0.456, 0.406], [0.229, 0.224, 0.225])],
+        log_transform_elapsed_time=log_file,
+    )
+    dataset = ImageFolder("path/to/data", transform=transform, log_file=log_file)
+    loader = DataLoader(dataset, batch_size=128, shuffle=True,
+                        num_workers=4, pin_memory=True, log_file=log_file)
+    for batch, labels in loader:
+        ...
+    analysis = analyze_trace(parse_trace_file(log_file))
+"""
+
+from repro.core.lotusmap import (
+    Mapping,
+    attribute_counters,
+    build_mapping,
+    capture_probability,
+    required_runs,
+)
+from repro.core.lotustrace import (
+    analyze_trace,
+    out_of_order_events,
+    parse_trace_file,
+    per_op_stats,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+from repro.data import BlobImageDataset, DataLoader, Dataset, ImageFolder
+from repro.errors import ReproError
+from repro.hwprof import UProfLikeProfiler, VTuneLikeProfiler
+from repro.imaging import Image
+from repro.runtime import Trainer, VirtualGPU
+from repro.tensor import Tensor, default_collate
+from repro.transforms import (
+    Compose,
+    Normalize,
+    RandomHorizontalFlip,
+    RandomResizedCrop,
+    Resize,
+    ToTensor,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BlobImageDataset",
+    "Compose",
+    "DataLoader",
+    "Dataset",
+    "Image",
+    "ImageFolder",
+    "Mapping",
+    "Normalize",
+    "RandomHorizontalFlip",
+    "RandomResizedCrop",
+    "ReproError",
+    "Resize",
+    "Tensor",
+    "ToTensor",
+    "Trainer",
+    "UProfLikeProfiler",
+    "VTuneLikeProfiler",
+    "VirtualGPU",
+    "analyze_trace",
+    "attribute_counters",
+    "build_mapping",
+    "capture_probability",
+    "default_collate",
+    "out_of_order_events",
+    "parse_trace_file",
+    "per_op_stats",
+    "required_runs",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "__version__",
+]

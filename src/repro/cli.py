@@ -1,0 +1,207 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands mirror the paper's artifact workflow:
+
+* ``generate-dataset`` — materialize a synthetic ImageFolder tree;
+* ``run``             — run an instrumented IC/IS/OD epoch, writing a
+  LotusTrace log;
+* ``analyze``         — per-op stats, automated findings, ASCII timeline,
+  and Chrome-trace export for a trace log;
+* ``map``             — run the LotusMap preparatory step and write
+  ``mapping_funcs.json``;
+* ``attribute``       — split a hardware-profile CSV's counters across
+  Python operations using a mapping plus a trace log.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.utils.timeunits import format_ns
+
+
+def _cmd_generate_dataset(args: argparse.Namespace) -> int:
+    from repro.datasets.synthetic import SyntheticImageNet
+
+    dataset = SyntheticImageNet(
+        args.images, n_classes=args.classes, seed=args.seed
+    )
+    dataset.write_image_folder(args.out)
+    summary = dataset.file_size_summary()
+    print(
+        f"wrote {args.images} images ({args.classes} classes) to {args.out}; "
+        f"file sizes {summary.mean / 1024:.1f} +- {summary.std / 1024:.1f} KiB"
+    )
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.workloads import (
+        BENCH,
+        SMOKE,
+        build_ic_pipeline,
+        build_is_pipeline,
+        build_od_pipeline,
+    )
+
+    profile = BENCH if args.scale == "bench" else SMOKE
+    builders = {
+        "ic": build_ic_pipeline,
+        "is": build_is_pipeline,
+        "od": build_od_pipeline,
+    }
+    builder = builders[args.pipeline]
+    kwargs = dict(
+        profile=profile,
+        num_workers=args.workers,
+        n_gpus=args.gpus,
+        log_file=args.log,
+        seed=args.seed,
+    )
+    bundle = builder(**kwargs)
+    report = bundle.run_epoch()
+    print(
+        f"{bundle.name}: {report.n_batches} batches in "
+        f"{report.epoch_time_s:.2f}s (mean GPU step "
+        f"{report.mean_gpu_step_s * 1e3:.1f} ms); trace -> {args.log}"
+    )
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.core.lotustrace import (
+        analyze_trace,
+        generate_report,
+        parse_trace_file,
+        write_chrome_trace,
+    )
+    from repro.viz import render_batch_flows, render_timeline
+
+    records = parse_trace_file(args.log)
+    analysis = analyze_trace(records)
+    print(f"trace: {args.log} ({len(records)} records, "
+          f"{len(analysis.batches)} batches)\n")
+    print("per-operation elapsed time:")
+    for op in analysis.op_names():
+        summary = analysis.op_summary(op)
+        print(
+            f"  {op:<26} avg={format_ns(summary.mean):>10} "
+            f"p90={format_ns(summary.p90):>10} n={summary.count}"
+        )
+    if args.report:
+        print("\nautomated findings:")
+        print(generate_report(records).format())
+    if args.timeline:
+        print("\ntimeline:")
+        print(render_timeline(records, width=args.width))
+        print("\nbatch flows:")
+        print(render_batch_flows(records))
+    if args.chrome:
+        write_chrome_trace(records, args.chrome, coarse=not args.fine)
+        print(f"\nChrome trace written to {args.chrome}")
+    return 0
+
+
+def _cmd_map(args: argparse.Namespace) -> int:
+    from repro.experiments.common import build_ic_mapping, scaled_uprof, scaled_vtune
+
+    factory = (
+        (lambda: scaled_vtune(seed=args.seed))
+        if args.vendor == "intel"
+        else (lambda: scaled_uprof(seed=args.seed))
+    )
+    mapping = build_ic_mapping(factory, runs=args.runs, seed=args.seed)
+    mapping.save(args.out)
+    print(f"{args.vendor} mapping for {len(mapping)} operations -> {args.out}")
+    for op in mapping.operations():
+        print(f"  {op}: {len(mapping.functions_for(op))} functions")
+    return 0
+
+
+def _cmd_attribute(args: argparse.Namespace) -> int:
+    from repro.core.lotusmap import Mapping, attribute_counters
+    from repro.core.lotustrace import analyze_trace, parse_trace_file
+    from repro.hwprof.report import profile_from_csv
+
+    mapping = Mapping.load(args.mapping)
+    with open(args.profile_csv, "r", encoding="utf-8") as handle:
+        profile = profile_from_csv(handle.read(), vendor=mapping.vendor)
+    analysis = analyze_trace(parse_trace_file(args.log))
+    filtered = profile.filter(
+        lambda row: mapping.is_preprocessing_function(row.function)
+    )
+    attributed = attribute_counters(filtered, mapping, analysis.op_total_cpu_ns())
+    print(f"{'operation':<26} {'CPU ms':>9} {'uops/clk':>9} {'FE%':>6} {'DRAM%':>6}")
+    for op, counters in sorted(
+        attributed.items(), key=lambda kv: kv[1].cpu_time_ns, reverse=True
+    ):
+        print(
+            f"{op:<26} {counters.cpu_time_ns / 1e6:>9.2f} "
+            f"{counters.uops_per_clocktick:>9.3f} "
+            f"{counters.front_end_bound_pct:>6.1f} "
+            f"{counters.dram_bound_pct:>6.1f}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse CLI with all subcommands."""
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate-dataset", help="write a synthetic ImageFolder")
+    gen.add_argument("--out", required=True)
+    gen.add_argument("--images", type=int, default=64)
+    gen.add_argument("--classes", type=int, default=8)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.set_defaults(func=_cmd_generate_dataset)
+
+    run = sub.add_parser("run", help="run an instrumented pipeline epoch")
+    run.add_argument("--pipeline", choices=("ic", "is", "od"), default="ic")
+    run.add_argument("--log", required=True, help="LotusTrace log file to write")
+    run.add_argument("--workers", type=int, default=2)
+    run.add_argument("--gpus", type=int, default=1)
+    run.add_argument("--scale", choices=("smoke", "bench"), default="smoke")
+    run.add_argument("--seed", type=int, default=0)
+    run.set_defaults(func=_cmd_run)
+
+    analyze = sub.add_parser("analyze", help="analyze a LotusTrace log")
+    analyze.add_argument("--log", required=True)
+    analyze.add_argument("--report", action="store_true",
+                         help="include automated findings")
+    analyze.add_argument("--timeline", action="store_true",
+                         help="render an ASCII timeline")
+    analyze.add_argument("--width", type=int, default=80)
+    analyze.add_argument("--chrome", help="write a Chrome trace JSON here")
+    analyze.add_argument("--fine", action="store_true",
+                         help="include per-op spans in the Chrome trace")
+    analyze.set_defaults(func=_cmd_analyze)
+
+    map_cmd = sub.add_parser("map", help="build the Python->C/C++ mapping")
+    map_cmd.add_argument("--vendor", choices=("intel", "amd"), default="intel")
+    map_cmd.add_argument("--out", required=True)
+    map_cmd.add_argument("--runs", type=int, default=12)
+    map_cmd.add_argument("--seed", type=int, default=0)
+    map_cmd.set_defaults(func=_cmd_map)
+
+    attribute = sub.add_parser(
+        "attribute", help="attribute a hardware profile CSV to Python ops"
+    )
+    attribute.add_argument("--mapping", required=True)
+    attribute.add_argument("--profile-csv", required=True)
+    attribute.add_argument("--log", required=True)
+    attribute.set_defaults(func=_cmd_attribute)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

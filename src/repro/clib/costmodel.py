@@ -1,0 +1,164 @@
+"""Microarchitectural cost signatures for native functions.
+
+The simulated PMU cannot read real performance counters, so each native
+function declares a :class:`CostSignature` — the rates at which it would
+retire instructions, occupy pipeline slots, and stall on memory on the
+paper's testbed (a 3.2 GHz Xeon E5-2667). Counter values are then derived
+from *measured* CPU time: ``clockticks = cpu_time * frequency`` and so on.
+
+A :class:`ContentionModel` adjusts the signature for the number of
+concurrently active worker threads, reproducing the Figure 6 trends: with
+more DataLoader workers the front end struggles to supply micro-operations
+to the back end (front-end bound rises, uop supply per cycle falls) while
+per-thread pressure on local-DRAM-serviced loads decreases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+DEFAULT_FREQUENCY_GHZ = 3.2
+
+
+@dataclass(frozen=True)
+class CostSignature:
+    """Per-function microarchitectural behaviour at single-thread baseline.
+
+    Attributes:
+        ipc: retired instructions per clocktick.
+        uops_per_instruction: micro-operations decoded per instruction.
+        front_end_bound: fraction of pipeline slots stalled in the front end.
+        back_end_bound: fraction of pipeline slots stalled in the back end.
+        dram_bound: fraction of clockticks stalled on loads serviced by
+            local DRAM (a sub-component of back-end bound).
+        l1_mpki: L1 data-cache misses per kilo-instruction.
+        llc_mpki: last-level-cache misses per kilo-instruction.
+        branch_mpki: branch mispredictions per kilo-instruction.
+    """
+
+    ipc: float = 1.5
+    uops_per_instruction: float = 1.2
+    front_end_bound: float = 0.15
+    back_end_bound: float = 0.30
+    dram_bound: float = 0.10
+    l1_mpki: float = 10.0
+    llc_mpki: float = 1.0
+    branch_mpki: float = 2.0
+
+    def __post_init__(self) -> None:
+        for name in ("front_end_bound", "back_end_bound", "dram_bound"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.ipc <= 0:
+            raise ValueError(f"ipc must be positive, got {self.ipc}")
+        if self.uops_per_instruction <= 0:
+            raise ValueError(
+                "uops_per_instruction must be positive, got "
+                f"{self.uops_per_instruction}"
+            )
+
+
+# Representative signatures for the kinds of kernels in Table I.
+COMPUTE_BOUND = CostSignature(
+    ipc=2.4,
+    uops_per_instruction=1.1,
+    front_end_bound=0.08,
+    back_end_bound=0.20,
+    dram_bound=0.04,
+    l1_mpki=4.0,
+    llc_mpki=0.3,
+    branch_mpki=1.0,
+)
+MEMORY_BOUND = CostSignature(
+    ipc=0.8,
+    uops_per_instruction=1.3,
+    front_end_bound=0.12,
+    back_end_bound=0.55,
+    dram_bound=0.30,
+    l1_mpki=40.0,
+    llc_mpki=8.0,
+    branch_mpki=0.5,
+)
+BRANCHY = CostSignature(
+    ipc=1.1,
+    uops_per_instruction=1.25,
+    front_end_bound=0.30,
+    back_end_bound=0.25,
+    dram_bound=0.08,
+    l1_mpki=12.0,
+    llc_mpki=1.5,
+    branch_mpki=12.0,
+)
+BALANCED = CostSignature()
+
+
+@dataclass(frozen=True)
+class ContentionModel:
+    """Scales a signature by the number of concurrently active threads.
+
+    ``front_end_sensitivity`` controls how quickly the front-end-bound
+    fraction grows with extra active workers; ``dram_relief`` controls how
+    quickly per-thread DRAM-bound stalls shrink (more workers, each making
+    slower progress, issue memory requests at a lower per-thread rate).
+    ``ipc_degradation`` models shared front-end/port contention lowering
+    per-thread IPC.
+    """
+
+    front_end_sensitivity: float = 0.16
+    dram_relief: float = 0.14
+    ipc_degradation: float = 0.06
+    frequency_ghz: float = DEFAULT_FREQUENCY_GHZ
+
+    def effective(self, signature: CostSignature, active_threads: int) -> CostSignature:
+        """Return the signature adjusted for ``active_threads`` workers."""
+        if active_threads < 1:
+            raise ValueError(
+                f"active_threads must be >= 1, got {active_threads}"
+            )
+        extra = active_threads - 1
+        feb = min(0.90, signature.front_end_bound * (1.0 + self.front_end_sensitivity * extra))
+        dram = signature.dram_bound / (1.0 + self.dram_relief * extra)
+        ipc = signature.ipc / (1.0 + self.ipc_degradation * extra)
+        # Back-end bound shrinks as the front end becomes the limiter.
+        beb = max(0.0, signature.back_end_bound - (feb - signature.front_end_bound))
+        return replace(
+            signature,
+            ipc=ipc,
+            front_end_bound=feb,
+            back_end_bound=beb,
+            dram_bound=dram,
+        )
+
+    def counters_for(
+        self,
+        signature: CostSignature,
+        cpu_time_ns: float,
+        active_threads: int = 1,
+    ) -> dict:
+        """Derive raw counter values for ``cpu_time_ns`` of execution.
+
+        Returns a plain dict so callers (the PMU sampler) can accumulate
+        into :class:`repro.hwprof.counters.CounterSet` without a circular
+        import.
+        """
+        sig = self.effective(signature, active_threads)
+        clockticks = cpu_time_ns * self.frequency_ghz
+        instructions = clockticks * sig.ipc
+        uops_issued = instructions * sig.uops_per_instruction
+        # Slots not lost to front-end stalls deliver uops to the back end.
+        uops_delivered = uops_issued * (1.0 - sig.front_end_bound)
+        kilo_instructions = instructions / 1000.0
+        return {
+            "cpu_time_ns": cpu_time_ns,
+            "clockticks": clockticks,
+            "instructions_retired": instructions,
+            "uops_issued": uops_issued,
+            "uops_delivered": uops_delivered,
+            "front_end_bound_slots": clockticks * sig.front_end_bound,
+            "back_end_bound_slots": clockticks * sig.back_end_bound,
+            "dram_bound_stalls": clockticks * sig.dram_bound,
+            "l1_misses": kilo_instructions * sig.l1_mpki,
+            "llc_misses": kilo_instructions * sig.llc_mpki,
+            "branch_mispredicts": kilo_instructions * sig.branch_mpki,
+        }

@@ -1,0 +1,195 @@
+"""Per-thread native call stacks and precise call-event recording.
+
+Each native-function invocation pushes onto a thread-local stack (so the
+"what C function is this thread executing right now" question has an
+answer, exactly what a sampling PMU driver observes) and, when at least one
+:class:`EventRecorder` is attached and collecting, records a precise
+:class:`CallEvent` on exit.
+
+The simulated hardware profilers in :mod:`repro.hwprof` *replay* these
+events with a virtual sampling clock instead of running a live sampler
+thread. That keeps the paper's sampling pathologies — short functions
+missed with probability ``(1 - f/s)`` per run, skid misattribution across
+operation boundaries — while making experiments deterministic.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+_state = threading.local()
+
+# Number of threads currently executing native code; read at call entry to
+# stamp events with the concurrency level the contention model needs.
+_active_lock = threading.Lock()
+_active_count = 0
+
+_recorders_lock = threading.Lock()
+_recorders: List["EventRecorder"] = []
+_any_recorder = False  # fast-path flag, checked without the lock
+
+
+@dataclass(frozen=True)
+class CallEvent:
+    """One completed native-function call.
+
+    Attributes:
+        thread_id: ``threading.get_ident()`` of the calling thread.
+        function: native function name (e.g. ``decode_mcu``).
+        library: shared library name (e.g. ``libjpeg.so.9``).
+        start_ns: ``time.time_ns()`` at call entry.
+        duration_ns: elapsed nanoseconds.
+        depth: native stack depth at entry (0 = outermost native call).
+        active_threads: threads executing native code when this call began.
+    """
+
+    thread_id: int
+    function: str
+    library: str
+    start_ns: int
+    duration_ns: int
+    depth: int
+    active_threads: int
+
+    @property
+    def end_ns(self) -> int:
+        return self.start_ns + self.duration_ns
+
+    def covers(self, t_ns: int) -> bool:
+        """Whether timestamp ``t_ns`` falls inside this call's span."""
+        return self.start_ns <= t_ns < self.end_ns
+
+
+class EventRecorder:
+    """Collects :class:`CallEvent` records while attached and resumed.
+
+    Collection gating mirrors the ITT / AMDProfileControl model: a recorder
+    is attached (registered globally) but only stores events while
+    ``collecting`` is True; ``resume()`` / ``pause()`` toggle it.
+    """
+
+    def __init__(self, collecting: bool = True) -> None:
+        self._events: List[CallEvent] = []
+        self._lock = threading.Lock()
+        self.collecting = collecting
+        self._attached = False
+
+    # -- lifecycle ---------------------------------------------------------
+    def resume(self) -> None:
+        self.collecting = True
+
+    def pause(self) -> None:
+        self.collecting = False
+
+    @property
+    def attached(self) -> bool:
+        return self._attached
+
+    # -- recording ---------------------------------------------------------
+    def record(self, event: CallEvent) -> None:
+        if not self.collecting:
+            return
+        with self._lock:
+            self._events.append(event)
+
+    def events(self) -> List[CallEvent]:
+        """Snapshot of recorded events, ordered by start time."""
+        with self._lock:
+            return sorted(self._events, key=lambda e: (e.start_ns, e.depth))
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+
+def attach_recorder(recorder: EventRecorder) -> None:
+    """Register ``recorder`` to receive native call events."""
+    global _any_recorder
+    with _recorders_lock:
+        if recorder not in _recorders:
+            _recorders.append(recorder)
+            recorder._attached = True
+        _any_recorder = True
+
+
+def detach_recorder(recorder: EventRecorder) -> None:
+    """Unregister ``recorder``; missing recorders are ignored."""
+    global _any_recorder
+    with _recorders_lock:
+        if recorder in _recorders:
+            _recorders.remove(recorder)
+            recorder._attached = False
+        _any_recorder = bool(_recorders)
+
+
+def _thread_stack() -> List[Tuple[str, str]]:
+    stack = getattr(_state, "stack", None)
+    if stack is None:
+        stack = []
+        _state.stack = stack
+    return stack
+
+
+def current_native_function() -> Optional[Tuple[str, str]]:
+    """(function, library) this thread is executing, or None.
+
+    This is the leaf-frame view a sampling hardware profiler has of a
+    thread: the innermost native function, with no Python frames.
+    """
+    stack = _thread_stack()
+    return stack[-1] if stack else None
+
+
+def active_native_threads() -> int:
+    """Number of threads currently inside native code (min 1)."""
+    return max(1, _active_count)
+
+
+@contextmanager
+def native_span(function: str, library: str) -> Iterator[None]:
+    """Execute the body as native function ``function`` of ``library``.
+
+    Pushes the per-thread native stack, counts toward the concurrency
+    level, and emits a :class:`CallEvent` to attached recorders on exit.
+    The fast path (no recorder attached) is a list push/pop, an int
+    increment, and two ``time.time_ns()`` calls.
+    """
+    global _active_count
+    stack = _thread_stack()
+    depth = len(stack)
+    stack.append((function, library))
+    if depth == 0:
+        with _active_lock:
+            _active_count += 1
+    active = _active_count
+    start = time.time_ns()
+    try:
+        yield
+    finally:
+        duration = time.time_ns() - start
+        stack.pop()
+        if depth == 0:
+            with _active_lock:
+                _active_count -= 1
+        if _any_recorder:
+            event = CallEvent(
+                thread_id=threading.get_ident(),
+                function=function,
+                library=library,
+                start_ns=start,
+                duration_ns=duration,
+                depth=depth,
+                active_threads=active,
+            )
+            with _recorders_lock:
+                recorders = list(_recorders)
+            for recorder in recorders:
+                recorder.record(event)

@@ -1,0 +1,3 @@
+"""Lotus core: LotusTrace (timing analysis) and LotusMap (hardware analysis)."""
+
+__all__ = ["lotusmap", "lotustrace"]

@@ -1,0 +1,51 @@
+"""LotusMap: mapping Python preprocessing operations to C/C++ functions.
+
+The methodology (paper § IV-B) is a one-time preparatory step per Python
+operation:
+
+1. **Isolate** — run the operation in a warmed-up loop under a hardware
+   profiler, with collection gated by the ITT/AMDProfileControl APIs and a
+   sleep gap before the operation so sampling skid cannot pull in the
+   previous operation's functions (:mod:`isolate`).
+2. **Repeat** — short-lived functions are captured with probability
+   ``f/s`` per run; the run count comes from the paper's formula
+   ``C >= 1 - (1 - f/s)^n`` (:func:`~repro.core.lotusmap.isolate.required_runs`).
+3. **Filter** — drop functions that appear too rarely across runs or in
+   runtime-support libraries (:mod:`filtering`).
+4. **Map & split** — store the per-operation function sets
+   (:mod:`mapping`) and, at analysis time, split each shared C function's
+   hardware counters across the Python operations it serves using
+   LotusTrace elapsed-time weights (:mod:`attribution`).
+"""
+
+from repro.core.lotusmap.attribution import (
+    attribute_counters,
+    attribute_counters_affinity,
+    attribute_counters_equal_split,
+)
+from repro.core.lotusmap.filtering import (
+    DEFAULT_EXCLUDED_LIBRARIES,
+    filter_profiles,
+)
+from repro.core.lotusmap.isolate import (
+    IsolationConfig,
+    OperationIsolator,
+    capture_probability,
+    required_runs,
+)
+from repro.core.lotusmap.mapping import MappedFunction, Mapping, build_mapping
+
+__all__ = [
+    "DEFAULT_EXCLUDED_LIBRARIES",
+    "IsolationConfig",
+    "MappedFunction",
+    "Mapping",
+    "OperationIsolator",
+    "attribute_counters",
+    "attribute_counters_affinity",
+    "attribute_counters_equal_split",
+    "build_mapping",
+    "capture_probability",
+    "filter_profiles",
+    "required_runs",
+]

@@ -1,0 +1,68 @@
+"""Filtering sampled functions down to an operation's true function set.
+
+Two filters, mirroring § IV-B:
+
+* *library filter* — drop interpreter/runtime-support symbols that appear
+  under every operation and carry no mapping information;
+* *consistency filter* — a function truly invoked by the operation shows
+  up in a substantial fraction of the runs that sampled anything, whereas
+  skid artifacts and driver noise appear sporadically. Functions present
+  in fewer than ``min_presence`` of runs are dropped (data-dependent
+  branches like RandomBrightnessAugmentation's are why the threshold is a
+  fraction, not "all runs").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+from repro.errors import MappingError
+from repro.hwprof.profile import HardwareProfile
+
+DEFAULT_EXCLUDED_LIBRARIES: FrozenSet[str] = frozenset(
+    {"libpython3.so", "libpthread.so.0", "[unknown]"}
+)
+
+
+def filter_profiles(
+    profiles: Iterable[HardwareProfile],
+    min_presence: float = 0.25,
+    excluded_libraries: FrozenSet[str] = DEFAULT_EXCLUDED_LIBRARIES,
+) -> List[Tuple[str, str]]:
+    """Reduce per-run profiles to a consistent (function, library) set.
+
+    Returns identities ordered by total sample count (desc), so the most
+    characteristic functions of the operation come first.
+    """
+    if not 0.0 <= min_presence <= 1.0:
+        raise MappingError(f"min_presence must be in [0, 1], got {min_presence}")
+    profiles = list(profiles)
+    if not profiles:
+        raise MappingError("no profiles to filter")
+
+    presence: Dict[Tuple[str, str], int] = {}
+    total_samples: Dict[Tuple[str, str], int] = {}
+    informative_runs = 0
+    for profile in profiles:
+        identities: Set[Tuple[str, str]] = set()
+        for row in profile.rows():
+            if row.library in excluded_libraries:
+                continue
+            identity = (row.function, row.library)
+            identities.add(identity)
+            total_samples[identity] = total_samples.get(identity, 0) + row.samples
+        if identities:
+            informative_runs += 1
+        for identity in identities:
+            presence[identity] = presence.get(identity, 0) + 1
+
+    if informative_runs == 0:
+        return []
+    threshold = min_presence * informative_runs
+    kept = [
+        identity
+        for identity, count in presence.items()
+        if count >= threshold
+    ]
+    kept.sort(key=lambda identity: total_samples[identity], reverse=True)
+    return kept

@@ -1,0 +1,124 @@
+"""Operation isolation under a hardware profiler (paper Listing 4).
+
+The harness reproduces the paper's script shape for each operation:
+
+* a warm-up loop runs the full prelude plus the operation several times
+  (cold-start effects must not enter the profile);
+* a ``sleep`` creates a time gap before the operation of interest so that
+  sampling skid cannot attribute the *previous* code's functions to the
+  operation's collection window ("ensure correct bucketing");
+* collection is resumed just before the final iteration's operation and
+  paused right after;
+* the whole script is repeated ``runs`` times so short-lived functions
+  are captured at least once with the desired confidence.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.errors import MappingError
+from repro.hwprof.profile import HardwareProfile
+from repro.hwprof.profiler import HardwareProfiler
+
+
+def capture_probability(f_ns: float, s_ns: float, n_runs: int) -> float:
+    """``C = 1 - (1 - f/s)^n``: probability of sampling a function of span
+    ``f`` at least once over ``n`` runs under sampling interval ``s``."""
+    if not 0 < f_ns <= s_ns:
+        raise MappingError(f"need 0 < f <= s, got f={f_ns}, s={s_ns}")
+    if n_runs < 1:
+        raise MappingError(f"n_runs must be >= 1, got {n_runs}")
+    return 1.0 - (1.0 - f_ns / s_ns) ** n_runs
+
+
+def required_runs(f_ns: float, s_ns: float, confidence: float) -> int:
+    """Smallest ``n`` with ``1 - (1 - f/s)^n >= confidence``.
+
+    The paper's example: f = 660 us under s = 10 ms at C = 75 % needs 20
+    runs.
+    """
+    if not 0 < f_ns <= s_ns:
+        raise MappingError(f"need 0 < f <= s, got f={f_ns}, s={s_ns}")
+    if not 0.0 < confidence < 1.0:
+        raise MappingError(f"confidence must be in (0, 1), got {confidence}")
+    miss = 1.0 - f_ns / s_ns
+    if miss == 0.0:
+        return 1
+    return max(1, math.ceil(math.log(1.0 - confidence) / math.log(miss)))
+
+
+@dataclass(frozen=True)
+class IsolationConfig:
+    """Knobs for the isolation harness.
+
+    Attributes:
+        runs: independent profiling runs to merge (the formula's ``n``).
+        warmup_iterations: prelude+operation executions before the
+            collected one (Listing 4 loops five times, collecting on the
+            last — i.e. four warm-ups).
+        gap_s: sleep before the operation of interest. Must exceed the
+            profiler's skid span for clean bucketing; the ablation bench
+            sets it to 0 to demonstrate the misattribution.
+    """
+
+    runs: int = 20
+    warmup_iterations: int = 4
+    gap_s: float = 0.002
+
+    def __post_init__(self) -> None:
+        if self.runs < 1:
+            raise MappingError(f"runs must be >= 1, got {self.runs}")
+        if self.warmup_iterations < 0:
+            raise MappingError(
+                f"warmup_iterations must be >= 0, got {self.warmup_iterations}"
+            )
+        if self.gap_s < 0:
+            raise MappingError(f"gap_s must be >= 0, got {self.gap_s}")
+
+
+class OperationIsolator:
+    """Profiles one Python operation in isolation, repeatedly."""
+
+    def __init__(
+        self,
+        profiler_factory: Callable[[], HardwareProfiler],
+        config: IsolationConfig = IsolationConfig(),
+    ) -> None:
+        self._profiler_factory = profiler_factory
+        self.config = config
+
+    def profile_operation(
+        self,
+        prelude: Callable[[], Any],
+        operation: Callable[[Any], Any],
+    ) -> List[HardwareProfile]:
+        """Run the Listing 4 script ``runs`` times; one profile per run.
+
+        ``prelude`` produces the operation's input (e.g. open + convert an
+        image); ``operation`` is the Python function being mapped. The
+        prelude runs *inside* the profiled session but outside the
+        collection window — exactly the situation where skid would
+        misattribute prelude functions to the operation without the gap.
+        """
+        profiles: List[HardwareProfile] = []
+        for _ in range(self.config.runs):
+            profiler = self._profiler_factory()
+            profiler.start(paused=True)
+            try:
+                for iteration in range(self.config.warmup_iterations + 1):
+                    value = prelude()
+                    last = iteration == self.config.warmup_iterations
+                    if last and self.config.gap_s > 0:
+                        time.sleep(self.config.gap_s)
+                    if last:
+                        profiler.control.resume()
+                    operation(value)
+                    if last:
+                        profiler.control.pause()
+            finally:
+                profiles.append(profiler.stop())
+        return profiles

@@ -1,0 +1,202 @@
+"""The mapping model: Python operation → C/C++ function set (Table I).
+
+A :class:`Mapping` is produced once per machine/vendor (symbol names and
+visibility differ across CPUs — the reason the paper requires running the
+mapping step on the job's machine) and persisted as JSON, matching the
+artifact's ``mapping_funcs.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple, Union
+
+from repro.core.lotusmap.filtering import filter_profiles
+from repro.core.lotusmap.isolate import IsolationConfig, OperationIsolator
+from repro.errors import MappingError
+
+
+@dataclass(frozen=True)
+class MappedFunction:
+    """One C/C++ function attributed to a Python operation.
+
+    ``weight`` is the fraction of the operation's samples that landed on
+    this function during the mapping phase — the "mix of different C/C++
+    functions in a Python function" the paper suggests using for more
+    sophisticated counter splitting (§ IV-B future work).
+    """
+
+    function: str
+    library: str
+    weight: float = 1.0
+
+    def as_pair(self) -> Tuple[str, str]:
+        return (self.function, self.library)
+
+
+class Mapping:
+    """Per-operation native function sets for one vendor."""
+
+    def __init__(
+        self,
+        vendor: str,
+        ops: Optional[Dict[str, List[MappedFunction]]] = None,
+    ) -> None:
+        self.vendor = vendor
+        self._ops: Dict[str, List[MappedFunction]] = dict(ops or {})
+
+    # -- building --------------------------------------------------------------
+    def add(self, op_name: str, functions: Iterable[tuple]) -> None:
+        """Register an operation's function set.
+
+        Each entry is ``(function, library)`` or
+        ``(function, library, weight)``.
+        """
+        entries = []
+        for item in functions:
+            if len(item) == 2:
+                function, library = item
+                entries.append(MappedFunction(function, library))
+            else:
+                function, library, weight = item
+                entries.append(MappedFunction(function, library, float(weight)))
+        self._ops[op_name] = entries
+
+    def affinity(self, op_name: str, function: str) -> float:
+        """Mapping-phase sample weight of ``function`` within ``op_name``
+        (0.0 when the function is not mapped to the operation)."""
+        if op_name not in self._ops:
+            return 0.0
+        for entry in self._ops[op_name]:
+            if entry.function == function:
+                return entry.weight
+        return 0.0
+
+    # -- queries ------------------------------------------------------------
+    def operations(self) -> List[str]:
+        return sorted(self._ops)
+
+    def functions_for(self, op_name: str) -> List[MappedFunction]:
+        try:
+            return list(self._ops[op_name])
+        except KeyError:
+            raise MappingError(f"no mapping for operation {op_name!r}") from None
+
+    def function_names_for(self, op_name: str) -> Set[str]:
+        return {entry.function for entry in self.functions_for(op_name)}
+
+    def ops_for(self, function: str) -> List[str]:
+        """Python operations a C function serves (can be several —
+        e.g. memmove under Loader, RandomResizedCrop, and ToTensor)."""
+        return sorted(
+            op
+            for op, entries in self._ops.items()
+            if any(entry.function == function for entry in entries)
+        )
+
+    def all_functions(self) -> Set[str]:
+        return {
+            entry.function for entries in self._ops.values() for entry in entries
+        }
+
+    def is_preprocessing_function(self, function: str) -> bool:
+        """Membership test used to filter whole-program profiles (Fig 6c)."""
+        return any(
+            entry.function == function
+            for entries in self._ops.values()
+            for entry in entries
+        )
+
+    def __contains__(self, op_name: str) -> bool:
+        return op_name in self._ops
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    # -- vendor comparison (Table I's Intel/AMD-specific rows) --------------------
+    def vendor_specific_vs(self, other: "Mapping", op_name: str) -> Set[str]:
+        """Functions this vendor maps for ``op_name`` that ``other`` lacks."""
+        mine = self.function_names_for(op_name)
+        theirs = (
+            other.function_names_for(op_name) if op_name in other else set()
+        )
+        return mine - theirs
+
+    # -- persistence (artifact's mapping_funcs.json format) ------------------------
+    def to_json(self) -> str:
+        payload = {
+            "vendor": self.vendor,
+            "operations": {
+                op: [
+                    [entry.function, entry.library, entry.weight]
+                    for entry in entries
+                ]
+                for op, entries in self._ops.items()
+            },
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+    def save(self, path: Union[str, os.PathLike]) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+
+    @classmethod
+    def from_json(cls, text: str) -> "Mapping":
+        try:
+            payload = json.loads(text)
+            vendor = payload["vendor"]
+            operations = payload["operations"]
+        except (json.JSONDecodeError, KeyError, TypeError) as exc:
+            raise MappingError(f"malformed mapping JSON: {exc}") from exc
+        mapping = cls(vendor)
+        for op, entries in operations.items():
+            mapping.add(op, [tuple(entry) for entry in entries])
+        return mapping
+
+    @classmethod
+    def load(cls, path: Union[str, os.PathLike]) -> "Mapping":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())
+
+
+def build_mapping(
+    operations: Dict[str, Tuple[Callable[[], object], Callable[[object], object]]],
+    profiler_factory,
+    config: IsolationConfig = IsolationConfig(),
+    min_presence: float = 0.25,
+) -> Mapping:
+    """Run the full LotusMap preparatory step.
+
+    ``operations`` maps operation names to ``(prelude, operation)``
+    callables (see :class:`~repro.core.lotusmap.isolate.OperationIsolator`).
+    Returns the vendor's :class:`Mapping`, including per-function sample
+    weights (the operation's C-function mix) for affinity-based counter
+    splitting.
+    """
+    if not operations:
+        raise MappingError("no operations to map")
+    isolator = OperationIsolator(profiler_factory, config)
+    probe = profiler_factory()
+    mapping = Mapping(vendor=probe.vendor)
+    for op_name, (prelude, operation) in operations.items():
+        profiles = isolator.profile_operation(prelude, operation)
+        kept = filter_profiles(profiles, min_presence=min_presence)
+        kept_set = set(kept)
+        samples: Dict[Tuple[str, str], int] = {}
+        for profile in profiles:
+            for row in profile.rows():
+                identity = (row.function, row.library)
+                if identity in kept_set:
+                    samples[identity] = samples.get(identity, 0) + row.samples
+        total = sum(samples.values())
+        mapping.add(
+            op_name,
+            [
+                (function, library, samples.get((function, library), 0) / total
+                 if total else 1.0 / max(len(kept), 1))
+                for function, library in kept
+            ],
+        )
+    return mapping

@@ -1,0 +1,216 @@
+"""Analysis over LotusTrace records: wait/delay times, variance, OOO events.
+
+Implements the metrics behind the paper's evaluation:
+
+* **wait time** — how long the main process was idle waiting for a
+  preprocessed batch ([T2]; Figure 5a);
+* **delay time** — how long a batch sat ready before being consumed
+  (arrow length in Figure 2; Figure 5b);
+* per-batch preprocessing time distributions (Figure 4, Table II);
+* out-of-order arrival detection (Figure 3, Takeaway 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.lotustrace.records import (
+    KIND_BATCH_CONSUMED,
+    KIND_BATCH_PREPROCESSED,
+    KIND_BATCH_WAIT,
+    KIND_OP,
+    TraceRecord,
+)
+from repro.errors import TraceError
+from repro.utils.stats import Summary, fraction_below, summarize
+
+
+@dataclass
+class BatchFlow:
+    """The three records describing one batch's journey."""
+
+    batch_id: int
+    preprocessed: Optional[TraceRecord] = None
+    wait: Optional[TraceRecord] = None
+    consumed: Optional[TraceRecord] = None
+
+    @property
+    def preprocess_time_ns(self) -> Optional[int]:
+        """[T1] — worker CPU-side elapsed time for this batch."""
+        return self.preprocessed.duration_ns if self.preprocessed else None
+
+    @property
+    def wait_time_ns(self) -> Optional[int]:
+        """[T2] — main-process wait (1 us marker when out of order)."""
+        return self.wait.duration_ns if self.wait else None
+
+    @property
+    def delay_time_ns(self) -> Optional[int]:
+        """Time between preprocessing finishing and consumption starting.
+
+        Large delays with a GPU busy indicate a GPU bottleneck; large
+        delays with the main process busy pinning other batches indicate
+        the out-of-order effect of § V-C2.
+        """
+        if self.preprocessed is None or self.consumed is None:
+            return None
+        return max(0, self.consumed.start_ns - self.preprocessed.end_ns)
+
+    @property
+    def arrived_out_of_order(self) -> bool:
+        return bool(self.wait and self.wait.out_of_order)
+
+
+@dataclass
+class TraceAnalysis:
+    """Aggregated view over one trace."""
+
+    batches: Dict[int, BatchFlow]
+    op_durations: Dict[str, List[int]]
+    op_batch_ids: Dict[str, List[int]] = field(default_factory=dict)
+
+    # -- per-batch series ------------------------------------------------------
+    def preprocess_times_ns(self) -> List[int]:
+        return [
+            flow.preprocess_time_ns
+            for flow in self._ordered()
+            if flow.preprocess_time_ns is not None
+        ]
+
+    def wait_times_ns(self) -> List[int]:
+        return [
+            flow.wait_time_ns
+            for flow in self._ordered()
+            if flow.wait_time_ns is not None
+        ]
+
+    def delay_times_ns(self) -> List[int]:
+        return [
+            flow.delay_time_ns
+            for flow in self._ordered()
+            if flow.delay_time_ns is not None
+        ]
+
+    def _ordered(self) -> List[BatchFlow]:
+        return [self.batches[k] for k in sorted(self.batches)]
+
+    # -- aggregates ----------------------------------------------------------
+    def preprocess_summary(self) -> Summary:
+        return summarize(self.preprocess_times_ns())
+
+    def total_preprocess_cpu_ns(self) -> int:
+        """Total worker CPU-seconds spent preprocessing (Figure 6b input)."""
+        return sum(self.preprocess_times_ns())
+
+    def fraction_waits_over(self, threshold_ns: int) -> float:
+        """Fraction of batches whose main-process wait exceeded threshold."""
+        waits = self.wait_times_ns()
+        if not waits:
+            raise TraceError("trace has no wait records")
+        return 1.0 - fraction_below(waits, threshold_ns + 1)
+
+    def fraction_delays_over(self, threshold_ns: int) -> float:
+        """Fraction of batches delayed more than threshold after ready."""
+        delays = self.delay_times_ns()
+        if not delays:
+            raise TraceError("trace has no complete batch flows")
+        return 1.0 - fraction_below(delays, threshold_ns + 1)
+
+    def op_summary(self, name: str) -> Summary:
+        try:
+            durations = self.op_durations[name]
+        except KeyError:
+            raise TraceError(f"no op records for {name!r}") from None
+        return summarize(durations)
+
+    def op_names(self) -> List[str]:
+        return sorted(self.op_durations)
+
+    def op_total_cpu_ns(self) -> Dict[str, int]:
+        """Total CPU time per operation across the trace (Figure 6b/6e)."""
+        return {name: sum(values) for name, values in self.op_durations.items()}
+
+
+def analyze_trace(records: Iterable[TraceRecord]) -> TraceAnalysis:
+    """Build a :class:`TraceAnalysis` from raw records.
+
+    Op records are associated to batches by time containment within a
+    ``batch_preprocessed`` span on the same worker (op records do not
+    carry a batch id — the worker does not know it inside
+    ``Compose.__call__``).
+    """
+    batches: Dict[int, BatchFlow] = {}
+    op_records: List[TraceRecord] = []
+    fetch_spans: Dict[int, List[TraceRecord]] = {}
+
+    for record in records:
+        if record.kind == KIND_OP:
+            op_records.append(record)
+            continue
+        flow = batches.setdefault(record.batch_id, BatchFlow(record.batch_id))
+        if record.kind == KIND_BATCH_PREPROCESSED:
+            flow.preprocessed = record
+            fetch_spans.setdefault(record.worker_id, []).append(record)
+        elif record.kind == KIND_BATCH_WAIT:
+            flow.wait = record
+        elif record.kind == KIND_BATCH_CONSUMED:
+            flow.consumed = record
+
+    for spans in fetch_spans.values():
+        spans.sort(key=lambda r: r.start_ns)
+
+    op_durations: Dict[str, List[int]] = {}
+    op_batch_ids: Dict[str, List[int]] = {}
+    for record in op_records:
+        op_durations.setdefault(record.name, []).append(record.duration_ns)
+        op_batch_ids.setdefault(record.name, []).append(
+            _containing_batch(record, fetch_spans.get(record.worker_id, ()))
+        )
+    return TraceAnalysis(
+        batches=batches, op_durations=op_durations, op_batch_ids=op_batch_ids
+    )
+
+
+def _containing_batch(op: TraceRecord, spans: Iterable[TraceRecord]) -> int:
+    for span in spans:
+        if span.start_ns <= op.start_ns and op.end_ns <= span.end_ns + 1:
+            return span.batch_id
+    return -1
+
+
+@dataclass(frozen=True)
+class OutOfOrderEvent:
+    """A batch that was ready before the main process asked for it."""
+
+    batch_id: int
+    ready_ns: int
+    requested_ns: int
+    delay_ns: int
+
+
+def out_of_order_events(analysis: TraceAnalysis) -> List[OutOfOrderEvent]:
+    """Batches whose wait record carries the out-of-order marker."""
+    events = []
+    for flow in analysis._ordered():
+        if not flow.arrived_out_of_order:
+            continue
+        ready = flow.preprocessed.end_ns if flow.preprocessed else 0
+        requested = flow.wait.start_ns if flow.wait else 0
+        events.append(
+            OutOfOrderEvent(
+                batch_id=flow.batch_id,
+                ready_ns=ready,
+                requested_ns=requested,
+                delay_ns=flow.delay_time_ns or 0,
+            )
+        )
+    return events
+
+
+def per_op_stats(records: Iterable[TraceRecord]) -> Dict[str, Summary]:
+    """Per-operation elapsed-time summaries (Table II rows)."""
+    return {
+        name: summarize(durations)
+        for name, durations in analyze_trace(records).op_durations.items()
+    }

@@ -1,0 +1,249 @@
+"""Automated trace analysis — the paper's stated future work.
+
+The conclusion of the paper lists "automated log analysis" as a planned
+extension. This module implements it: given a LotusTrace log, produce a
+structured diagnosis with the same reasoning the paper applies manually
+in § V — bottleneck regime, out-of-order impact, per-operation ranking,
+worker utilization balance, and provisioning hints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.lotustrace.analysis import (
+    TraceAnalysis,
+    analyze_trace,
+    out_of_order_events,
+)
+from repro.core.lotustrace.records import (
+    KIND_BATCH_PREPROCESSED,
+    TraceRecord,
+)
+from repro.errors import TraceError
+from repro.utils.timeunits import format_ns
+
+SEVERITY_INFO = "info"
+SEVERITY_NOTICE = "notice"
+SEVERITY_WARNING = "warning"
+
+REGIME_PREPROCESSING = "preprocessing-bound"
+REGIME_CONSUMER = "consumer-bound"
+REGIME_BALANCED = "balanced"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One automated observation about the trace."""
+
+    severity: str
+    category: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity}] {self.category}: {self.message}"
+
+
+@dataclass
+class TraceReport:
+    """Structured diagnosis of one preprocessing trace."""
+
+    regime: str
+    n_batches: int
+    findings: List[Finding] = field(default_factory=list)
+    op_ranking: List[str] = field(default_factory=list)
+    worker_busy_fraction: Dict[int, float] = field(default_factory=dict)
+
+    def warnings(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == SEVERITY_WARNING]
+
+    def format(self) -> str:
+        lines = [
+            f"batches analyzed: {self.n_batches}",
+            f"regime: {self.regime}",
+            "operation ranking (by total CPU time): " + ", ".join(self.op_ranking),
+        ]
+        if self.worker_busy_fraction:
+            busy = ", ".join(
+                f"w{worker}={fraction:.0%}"
+                for worker, fraction in sorted(self.worker_busy_fraction.items())
+            )
+            lines.append(f"worker busy fractions: {busy}")
+        lines.extend(str(finding) for finding in self.findings)
+        return "\n".join(lines)
+
+
+def _regime(analysis: TraceAnalysis) -> str:
+    """Classify using median wait vs median delay.
+
+    Long waits mean the consumer starves on preprocessing; long delays
+    mean preprocessed batches queue behind the consumer (GPU in the
+    paper's setting).
+    """
+    waits = analysis.wait_times_ns()
+    delays = analysis.delay_times_ns()
+    if not waits or not delays:
+        return REGIME_BALANCED
+    waits_sorted = sorted(waits)
+    delays_sorted = sorted(delays)
+    median_wait = waits_sorted[len(waits_sorted) // 2]
+    median_delay = delays_sorted[len(delays_sorted) // 2]
+    if median_wait > 2 * median_delay:
+        return REGIME_PREPROCESSING
+    if median_delay > 2 * median_wait:
+        return REGIME_CONSUMER
+    return REGIME_BALANCED
+
+
+def _worker_busy_fractions(
+    records: Iterable[TraceRecord],
+) -> Dict[int, float]:
+    """Fraction of the trace span each worker spent inside fetch."""
+    fetches: Dict[int, int] = {}
+    t_min: Optional[int] = None
+    t_max: Optional[int] = None
+    for record in records:
+        if record.kind != KIND_BATCH_PREPROCESSED or record.worker_id < 0:
+            continue
+        fetches[record.worker_id] = (
+            fetches.get(record.worker_id, 0) + record.duration_ns
+        )
+        t_min = record.start_ns if t_min is None else min(t_min, record.start_ns)
+        t_max = record.end_ns if t_max is None else max(t_max, record.end_ns)
+    if t_min is None or t_max is None or t_max <= t_min:
+        return {}
+    span = t_max - t_min
+    return {worker: busy / span for worker, busy in fetches.items()}
+
+
+def generate_report(
+    records: Iterable[TraceRecord],
+    wait_threshold_ns: Optional[int] = None,
+    variance_warning_pct: float = 25.0,
+) -> TraceReport:
+    """Diagnose a trace and return a :class:`TraceReport`.
+
+    Args:
+        records: parsed LotusTrace records.
+        wait_threshold_ns: waits above this are flagged; default is 2x
+            the median batch preprocessing time.
+        variance_warning_pct: std-as-%-of-mean above which per-batch time
+            variability is flagged (provisioning hazard, Takeaway 3).
+    """
+    records = list(records)
+    analysis = analyze_trace(records)
+    if not analysis.batches:
+        raise TraceError("trace contains no batch records")
+
+    findings: List[Finding] = []
+    regime = _regime(analysis)
+    if regime == REGIME_PREPROCESSING:
+        findings.append(
+            Finding(
+                SEVERITY_WARNING,
+                "bottleneck",
+                "the consumer waits on preprocessing for most batches; "
+                "consider more DataLoader workers, offline preprocessing, "
+                "or caching decoded inputs",
+            )
+        )
+    elif regime == REGIME_CONSUMER:
+        findings.append(
+            Finding(
+                SEVERITY_INFO,
+                "bottleneck",
+                "preprocessed batches queue behind the consumer (GPU-bound "
+                "training); preprocessing capacity could be reduced",
+            )
+        )
+
+    # Per-batch variance (Takeaway 3).
+    summary = analysis.preprocess_summary()
+    if summary.std_pct_of_mean > variance_warning_pct:
+        findings.append(
+            Finding(
+                SEVERITY_WARNING,
+                "variance",
+                f"per-batch preprocessing time is highly variable "
+                f"(std = {summary.std_pct_of_mean:.0f}% of mean, IQR = "
+                f"{format_ns(summary.iqr)}); static resource provisioning "
+                f"will under- or over-shoot",
+            )
+        )
+
+    # Out-of-order arrivals (Takeaway 4).
+    ooo = out_of_order_events(analysis)
+    if ooo:
+        worst = max(ooo, key=lambda event: event.delay_ns)
+        fraction = len(ooo) / len(analysis.batches)
+        severity = SEVERITY_WARNING if fraction > 0.25 else SEVERITY_NOTICE
+        findings.append(
+            Finding(
+                severity,
+                "out-of-order",
+                f"{len(ooo)}/{len(analysis.batches)} batches arrived out of "
+                f"order (worst sat ready for {format_ns(worst.delay_ns)}); "
+                f"the shared data queue serializes consumption behind the "
+                f"slowest outstanding batch",
+            )
+        )
+
+    # Dominant operation.
+    totals = analysis.op_total_cpu_ns()
+    ranking = sorted(totals, key=totals.get, reverse=True)
+    if ranking:
+        top = ranking[0]
+        total_cpu = sum(totals.values())
+        share = totals[top] / total_cpu if total_cpu else 0.0
+        if share > 0.5:
+            findings.append(
+                Finding(
+                    SEVERITY_NOTICE,
+                    "hot-operation",
+                    f"{top} accounts for {share:.0%} of preprocessing CPU "
+                    f"time; it is the optimization target",
+                )
+            )
+
+    # Worker balance.
+    busy = _worker_busy_fractions(records)
+    if len(busy) > 1:
+        values = list(busy.values())
+        spread = max(values) - min(values)
+        if spread > 0.3:
+            findings.append(
+                Finding(
+                    SEVERITY_NOTICE,
+                    "worker-imbalance",
+                    f"worker busy fractions differ by {spread:.0%}; input "
+                    f"size skew or index assignment is uneven "
+                    f"(cf. SpeedyLoader-style load balancing)",
+                )
+            )
+
+    # Long waits.
+    threshold = (
+        wait_threshold_ns
+        if wait_threshold_ns is not None
+        else int(2 * summary.median)
+    )
+    if threshold > 0 and analysis.wait_times_ns():
+        frac_long = analysis.fraction_waits_over(threshold)
+        if frac_long > 0.25:
+            findings.append(
+                Finding(
+                    SEVERITY_NOTICE,
+                    "long-waits",
+                    f"{frac_long:.0%} of batches kept the consumer waiting "
+                    f"longer than {format_ns(threshold)}",
+                )
+            )
+
+    return TraceReport(
+        regime=regime,
+        n_batches=len(analysis.batches),
+        findings=findings,
+        op_ranking=ranking,
+        worker_busy_fraction=busy,
+    )

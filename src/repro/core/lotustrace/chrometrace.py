@@ -1,0 +1,147 @@
+"""Chrome Trace Viewer export and profiler-trace augmentation.
+
+LotusTrace can emit a standalone trace file or augment an existing
+(PyTorch-profiler-style) trace, both loadable at ``chrome://tracing``.
+Augmented events use *negative* synthetic ids so they never collide with
+the host profiler's positive integer ids (paper § III-C).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from itertools import count
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.core.lotustrace.records import (
+    KIND_BATCH_CONSUMED,
+    KIND_BATCH_PREPROCESSED,
+    TraceRecord,
+)
+from repro.core.lotustrace.spans import Span, build_spans
+from repro.errors import TraceError
+
+#: Trace-viewer process id used for LotusTrace tracks.
+TRACE_PID = "lotus"
+
+_TRACK_ORDER_MAIN = 0
+
+
+def _tid_for_track(track: str) -> int:
+    """Stable integer thread ids: main=0, worker N = N+1."""
+    if track == "main":
+        return _TRACK_ORDER_MAIN
+    try:
+        return int(track.split(":", 1)[1]) + 1
+    except (IndexError, ValueError):
+        raise TraceError(f"unrecognized track: {track!r}") from None
+
+
+def _span_event(span: Span, synthetic_id: int) -> Dict:
+    return {
+        "ph": "X",
+        "name": span.name,
+        "cat": "lotustrace",
+        "pid": TRACE_PID,
+        "tid": _tid_for_track(span.track),
+        "ts": span.start_ns / 1000.0,  # trace viewer uses microseconds
+        "dur": max(span.duration_ns / 1000.0, 0.001),
+        "id": synthetic_id,
+        "args": {"batch_id": span.batch_id, "out_of_order": span.out_of_order},
+    }
+
+
+def _flow_events(
+    spans: List[Span], ids: "count[int]"
+) -> List[Dict]:
+    """Arrows from SBatchPreprocessed_idx to SBatchConsumed_idx.
+
+    The arrow's length in the viewer is the batch's *delay time*.
+    """
+    produced: Dict[int, Span] = {}
+    consumed: Dict[int, Span] = {}
+    for span in spans:
+        if span.kind == KIND_BATCH_PREPROCESSED:
+            produced[span.batch_id] = span
+        elif span.kind == KIND_BATCH_CONSUMED:
+            consumed[span.batch_id] = span
+    events = []
+    for batch_id in sorted(produced.keys() & consumed.keys()):
+        src, dst = produced[batch_id], consumed[batch_id]
+        flow_id = next(ids)
+        common = {"cat": "lotustrace-flow", "name": f"batch_{batch_id}", "pid": TRACE_PID}
+        events.append(
+            {
+                **common,
+                "ph": "s",
+                "id": flow_id,
+                "tid": _tid_for_track(src.track),
+                "ts": src.end_ns / 1000.0,
+            }
+        )
+        events.append(
+            {
+                **common,
+                "ph": "f",
+                "bp": "e",
+                "id": flow_id,
+                "tid": _tid_for_track(dst.track),
+                "ts": dst.start_ns / 1000.0,
+            }
+        )
+    return events
+
+
+def to_chrome_trace(
+    records: Iterable[TraceRecord],
+    coarse: bool = False,
+    start_id: int = -1,
+) -> Dict:
+    """Build a Chrome Trace Viewer JSON object from trace records.
+
+    ``coarse=True`` emits batch-level spans only (Figure 2's granularity);
+    otherwise per-op spans are included. All event ids are negative,
+    counting down from ``start_id``.
+    """
+    if start_id >= 0:
+        raise TraceError("LotusTrace synthetic ids must be negative")
+    ids = count(start_id, -1)
+    spans = build_spans(records, include_ops=not coarse)
+    events = [_span_event(span, next(ids)) for span in spans]
+    events.extend(_flow_events(spans, ids))
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    records: Iterable[TraceRecord],
+    path: Union[str, os.PathLike],
+    coarse: bool = False,
+) -> None:
+    """Write a standalone trace file loadable in ``chrome://tracing``."""
+    payload = to_chrome_trace(records, coarse=coarse)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+
+
+def augment_profiler_trace(
+    profiler_trace: Dict,
+    records: Iterable[TraceRecord],
+    coarse: bool = False,
+) -> Dict:
+    """Merge LotusTrace events into an existing profiler trace.
+
+    LotusTrace ids start below the most negative id already present (and
+    below zero), so the host profiler's positive ids are never shadowed.
+    """
+    if "traceEvents" not in profiler_trace:
+        raise TraceError("profiler trace has no traceEvents list")
+    existing = profiler_trace["traceEvents"]
+    lowest = min(
+        (e.get("id", 0) for e in existing if isinstance(e.get("id", 0), int)),
+        default=0,
+    )
+    start_id = min(lowest, 0) - 1
+    lotus = to_chrome_trace(records, coarse=coarse, start_id=start_id)
+    merged = dict(profiler_trace)
+    merged["traceEvents"] = list(existing) + lotus["traceEvents"]
+    return merged

@@ -1,0 +1,53 @@
+"""Worker identity context.
+
+``Compose.__call__`` runs inside DataLoader workers but has no handle on
+the worker — the dataset object is shared between the main process and all
+workers, which is why the paper must call ``psutil.Process().pid`` at log
+time rather than caching an id on the dataset (§ III-B2). Here the worker
+loop registers its identity in a thread-local (process-global for
+process-backed workers) that instrumentation reads at log time.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.core.lotustrace.records import MAIN_PROCESS_WORKER_ID
+
+_context = threading.local()
+# For process-backed workers the whole process is one worker; the worker
+# bootstrap sets this module-global in the child.
+_process_worker_id = MAIN_PROCESS_WORKER_ID
+
+
+def current_worker_id() -> int:
+    """The DataLoader worker id of the calling context (main = -1)."""
+    worker_id = getattr(_context, "worker_id", None)
+    if worker_id is not None:
+        return worker_id
+    return _process_worker_id
+
+
+def current_pid() -> int:
+    """OS process id of the calling context."""
+    return os.getpid()
+
+
+def set_process_worker_id(worker_id: int) -> None:
+    """Mark this whole process as DataLoader worker ``worker_id``."""
+    global _process_worker_id
+    _process_worker_id = worker_id
+
+
+@contextmanager
+def worker_identity(worker_id: int) -> Iterator[None]:
+    """Scope the calling thread as DataLoader worker ``worker_id``."""
+    previous = getattr(_context, "worker_id", None)
+    _context.worker_id = worker_id
+    try:
+        yield
+    finally:
+        _context.worker_id = previous

@@ -1,0 +1,128 @@
+"""LotusTrace log writing and parsing.
+
+The writer is deliberately minimal: formatting one CSV line and appending
+it to a line-buffered file. It keeps no tracer state in memory and does no
+additional computation — the property that gives LotusTrace its ~zero
+wall-time overhead (paper § III-B, Table III).
+
+Worker processes and the main process may share one log file: each opens
+it in append mode and writes whole lines, which POSIX appends atomically
+for short writes.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Iterable, List, Optional, Union
+
+from repro.core.lotustrace.records import TraceRecord
+from repro.errors import TraceError
+
+PathLike = Union[str, os.PathLike]
+
+
+class LotusLogWriter:
+    """Appends :class:`TraceRecord` lines to a log file.
+
+    Thread-safe; safe to share between thread-backed DataLoader workers.
+    Process-backed workers should each construct their own writer for the
+    same path (append mode keeps lines intact).
+    """
+
+    def __init__(self, path: PathLike) -> None:
+        self._path = os.fspath(path)
+        self._lock = threading.Lock()
+        self._handle = open(self._path, "a", buffering=1, encoding="utf-8")
+        self._closed = False
+
+    @property
+    def path(self) -> str:
+        return self._path
+
+    def write(self, record: TraceRecord) -> None:
+        if self._closed:
+            raise TraceError(f"writer for {self._path} is closed")
+        line = record.to_line() + "\n"
+        with self._lock:
+            self._handle.write(line)
+
+    def flush(self) -> None:
+        with self._lock:
+            if not self._closed:
+                self._handle.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._closed:
+                self._handle.close()
+                self._closed = True
+
+    def __enter__(self) -> "LotusLogWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class InMemoryTraceLog:
+    """Writer-compatible sink that keeps records in a list (for tests)."""
+
+    def __init__(self) -> None:
+        self._records: List[TraceRecord] = []
+        self._lock = threading.Lock()
+
+    @property
+    def path(self) -> str:
+        return "<memory>"
+
+    def write(self, record: TraceRecord) -> None:
+        with self._lock:
+            self._records.append(record)
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+    def records(self) -> List[TraceRecord]:
+        with self._lock:
+            return list(self._records)
+
+    def __enter__(self) -> "InMemoryTraceLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+
+TraceSink = Union[LotusLogWriter, InMemoryTraceLog]
+
+
+def open_trace_log(target: Union[PathLike, TraceSink, None]) -> Optional[TraceSink]:
+    """Normalize a user-supplied log target to a writer.
+
+    Accepts a path (opens a :class:`LotusLogWriter`), an existing sink
+    (returned unchanged), or None (tracing disabled).
+    """
+    if target is None:
+        return None
+    if isinstance(target, (LotusLogWriter, InMemoryTraceLog)):
+        return target
+    return LotusLogWriter(target)
+
+
+def parse_trace_lines(lines: Iterable[str]) -> List[TraceRecord]:
+    """Parse trace lines; blank lines are skipped, bad lines raise."""
+    records = []
+    for line in lines:
+        if line.strip():
+            records.append(TraceRecord.from_line(line))
+    return records
+
+
+def parse_trace_file(path: PathLike) -> List[TraceRecord]:
+    """Read and parse a LotusTrace log file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_trace_lines(handle)

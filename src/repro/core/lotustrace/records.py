@@ -1,0 +1,100 @@
+"""LotusTrace record model.
+
+Each record is one instrumentation event: a per-image transform ([T3]), a
+per-batch preprocessing span ([T1]), a main-process wait ([T2]), or a
+batch consumption marker. Records are written as single CSV lines so the
+per-log overhead stays at two timestamps plus one formatted write.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import TraceError
+from repro.utils.timeunits import NS_PER_US
+
+KIND_OP = "op"
+KIND_BATCH_PREPROCESSED = "batch_preprocessed"
+KIND_BATCH_WAIT = "batch_wait"
+KIND_BATCH_CONSUMED = "batch_consumed"
+
+_KINDS = frozenset(
+    (KIND_OP, KIND_BATCH_PREPROCESSED, KIND_BATCH_WAIT, KIND_BATCH_CONSUMED)
+)
+
+#: ``worker_id`` used for records emitted by the main process.
+MAIN_PROCESS_WORKER_ID = -1
+
+#: Out-of-order batches were already cached when the main process asked for
+#: them; the paper marks their wait records with a 1 us duration.
+OOO_MARKER_DURATION_NS = 1 * NS_PER_US
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One LotusTrace event.
+
+    Attributes:
+        kind: one of the ``KIND_*`` constants.
+        name: transform class name for op records, span label otherwise.
+        batch_id: batch index, or -1 for op records not tied to a batch
+            (association is recovered from time containment in analysis).
+        worker_id: DataLoader worker index, or MAIN_PROCESS_WORKER_ID.
+        pid: OS process id of the emitting process.
+        start_ns: event start, ``time.time_ns()``.
+        duration_ns: elapsed nanoseconds.
+        out_of_order: for wait records, whether the batch arrived before
+            it was requested (duration is then the 1 us marker).
+    """
+
+    kind: str
+    name: str
+    batch_id: int
+    worker_id: int
+    pid: int
+    start_ns: int
+    duration_ns: int
+    out_of_order: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise TraceError(f"unknown record kind: {self.kind!r}")
+        if self.duration_ns < 0:
+            raise TraceError(f"negative duration: {self.duration_ns}")
+
+    @property
+    def end_ns(self) -> int:
+        return self.start_ns + self.duration_ns
+
+    def to_line(self) -> str:
+        """Serialize to one CSV line (no trailing newline)."""
+        return (
+            f"{self.kind},{self.name},{self.batch_id},{self.worker_id},"
+            f"{self.pid},{self.start_ns},{self.duration_ns},"
+            f"{int(self.out_of_order)}"
+        )
+
+    @classmethod
+    def from_line(cls, line: str) -> "TraceRecord":
+        """Parse a line produced by :meth:`to_line`.
+
+        Raises :class:`TraceError` on malformed input.
+        """
+        parts = line.rstrip("\n").split(",")
+        if len(parts) != 8:
+            raise TraceError(f"malformed trace line ({len(parts)} fields): {line!r}")
+        kind, name, batch_id, worker_id, pid, start_ns, duration_ns, ooo = parts
+        try:
+            return cls(
+                kind=kind,
+                name=name,
+                batch_id=int(batch_id),
+                worker_id=int(worker_id),
+                pid=int(pid),
+                start_ns=int(start_ns),
+                duration_ns=int(duration_ns),
+                out_of_order=bool(int(ooo)),
+            )
+        except ValueError as exc:
+            raise TraceError(f"malformed trace line: {line!r}") from exc

@@ -1,0 +1,91 @@
+"""Span reconstruction from LotusTrace records.
+
+A trace has three batch-level span families (paper § III-C):
+
+* ``SBatchPreprocessed_idx`` — preprocessing of batch ``idx`` on a worker;
+* ``SBatchWait_idx`` — the main process waiting for batch ``idx``;
+* ``SBatchConsumed_idx`` — the main process consuming batch ``idx``;
+
+plus per-operation ``S<TransformName>`` spans at the finer granularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from repro.core.lotustrace.records import (
+    KIND_BATCH_CONSUMED,
+    KIND_BATCH_PREPROCESSED,
+    KIND_BATCH_WAIT,
+    KIND_OP,
+    MAIN_PROCESS_WORKER_ID,
+    TraceRecord,
+)
+from repro.errors import TraceError
+
+_KIND_PREFIX = {
+    KIND_BATCH_PREPROCESSED: "SBatchPreprocessed",
+    KIND_BATCH_WAIT: "SBatchWait",
+    KIND_BATCH_CONSUMED: "SBatchConsumed",
+}
+
+
+def span_name(record: TraceRecord) -> str:
+    """The paper's span label for ``record``."""
+    if record.kind == KIND_OP:
+        return f"S{record.name}"
+    try:
+        prefix = _KIND_PREFIX[record.kind]
+    except KeyError:
+        raise TraceError(f"record kind has no span name: {record.kind!r}") from None
+    return f"{prefix}_{record.batch_id}"
+
+
+@dataclass(frozen=True)
+class Span:
+    """A visualizable span on a process track."""
+
+    name: str
+    track: str
+    batch_id: int
+    start_ns: int
+    duration_ns: int
+    kind: str
+    out_of_order: bool = False
+
+    @property
+    def end_ns(self) -> int:
+        return self.start_ns + self.duration_ns
+
+
+def _track(record: TraceRecord) -> str:
+    if record.worker_id == MAIN_PROCESS_WORKER_ID:
+        return "main"
+    return f"worker:{record.worker_id}"
+
+
+def build_spans(
+    records: Iterable[TraceRecord], include_ops: bool = True
+) -> List[Span]:
+    """Convert records to spans, coarse (batch) or fine (batch + op).
+
+    ``include_ops=False`` gives the paper's "coarse" visualization level;
+    True adds the per-operation spans.
+    """
+    spans = []
+    for record in sorted(records, key=lambda r: r.start_ns):
+        if record.kind == KIND_OP and not include_ops:
+            continue
+        spans.append(
+            Span(
+                name=span_name(record),
+                track=_track(record),
+                batch_id=record.batch_id,
+                start_ns=record.start_ns,
+                duration_ns=record.duration_ns,
+                kind=record.kind,
+                out_of_order=record.out_of_order,
+            )
+        )
+    return spans

@@ -1,0 +1,56 @@
+"""Data loading substrate (the "torch.utils.data" layer).
+
+Reimplements the PyTorch DataLoader machinery the paper instruments, with
+the same internal structure: a ``worker_loop`` driving dataset *fetchers*,
+one index queue per worker, a single shared data queue, startup
+prefetching governed by ``prefetch_factor``, out-of-order arrival caching
+with pinning in the main process, and round-robin index replenishment to
+the worker that produced the consumed batch (§ II-B).
+
+LotusTrace hooks live at exactly the points the paper identifies:
+
+* the worker loop wraps the fetcher's common ``fetch`` method ([T1]) —
+  rather than subclassing per-fetcher;
+* the main process wraps ``_next_data`` ([T2]), marking out-of-order
+  batches with a 1 us wait.
+"""
+
+from repro.data.dataloader import DataLoader
+from repro.data.dataset import (
+    BlobImageDataset,
+    Dataset,
+    ImageFolder,
+    IterableDataset,
+    TensorDataset,
+    pil_loader,
+)
+from repro.data.fetcher import (
+    _IterableDatasetFetcher,
+    _MapDatasetFetcher,
+    create_fetcher,
+)
+from repro.data.sampler import BatchSampler, RandomSampler, SequentialSampler
+from repro.data.worker_info import (
+    ShardedIterableDataset,
+    WorkerInfo,
+    get_worker_info,
+)
+
+__all__ = [
+    "BatchSampler",
+    "BlobImageDataset",
+    "DataLoader",
+    "Dataset",
+    "ImageFolder",
+    "IterableDataset",
+    "RandomSampler",
+    "SequentialSampler",
+    "ShardedIterableDataset",
+    "TensorDataset",
+    "WorkerInfo",
+    "get_worker_info",
+    "_IterableDatasetFetcher",
+    "_MapDatasetFetcher",
+    "create_fetcher",
+    "pil_loader",
+]

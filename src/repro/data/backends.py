@@ -1,0 +1,103 @@
+"""Worker execution backends: threads or forked processes.
+
+The paper's DataLoader forks worker *processes*, communicating through
+``multiprocessing.Queue`` (shared memory); this repo defaults to thread
+workers — identical queueing structure, visible to the in-process
+simulated PMU — and offers a fork-based process backend for fidelity
+(each worker is a real OS process with its own pid, and LotusTrace logs
+must go to a file the children can append to).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_module
+import threading
+from typing import Any, Callable, Optional
+
+from repro.errors import DataLoaderError
+
+THREAD_BACKEND = "thread"
+PROCESS_BACKEND = "process"
+BACKENDS = (THREAD_BACKEND, PROCESS_BACKEND)
+
+
+class ThreadWorkerBackend:
+    """Workers as daemon threads in the current process."""
+
+    name = THREAD_BACKEND
+    is_process = False
+
+    def make_queue(self) -> queue_module.Queue:
+        return queue_module.Queue()
+
+    def start_worker(
+        self, target: Callable, args: tuple, kwargs: dict, name: str
+    ) -> threading.Thread:
+        thread = threading.Thread(
+            target=target, args=args, kwargs=kwargs, name=name, daemon=True
+        )
+        thread.start()
+        return thread
+
+    def is_alive(self, handle: threading.Thread) -> bool:
+        return handle.is_alive()
+
+    def join(self, handle: threading.Thread, timeout: float) -> None:
+        handle.join(timeout=timeout)
+
+    def terminate(self, handle: threading.Thread) -> None:
+        pass  # daemon threads die with the process
+
+
+class ProcessWorkerBackend:
+    """Workers as forked child processes (the paper's architecture).
+
+    Fork keeps the dataset/transform objects without pickling (the child
+    inherits the parent's memory image), exactly like PyTorch's default
+    start method on Linux.
+    """
+
+    name = PROCESS_BACKEND
+    is_process = True
+
+    def __init__(self) -> None:
+        try:
+            self._ctx = multiprocessing.get_context("fork")
+        except ValueError as exc:  # platform without fork
+            raise DataLoaderError(
+                "process worker backend requires fork support"
+            ) from exc
+
+    def make_queue(self):
+        return self._ctx.Queue()
+
+    def start_worker(self, target: Callable, args: tuple, kwargs: dict, name: str):
+        process = self._ctx.Process(
+            target=target, args=args, kwargs=kwargs, name=name, daemon=True
+        )
+        process.start()
+        return process
+
+    def is_alive(self, handle) -> bool:
+        return handle.is_alive()
+
+    def join(self, handle, timeout: float) -> None:
+        handle.join(timeout=timeout)
+        if handle.is_alive():
+            handle.terminate()
+
+    def terminate(self, handle) -> None:
+        if handle.is_alive():
+            handle.terminate()
+
+
+def create_backend(name: str):
+    """Instantiate the backend named ``name`` ("thread" or "process")."""
+    if name == THREAD_BACKEND:
+        return ThreadWorkerBackend()
+    if name == PROCESS_BACKEND:
+        return ProcessWorkerBackend()
+    raise DataLoaderError(
+        f"unknown worker backend {name!r}; choose from {BACKENDS}"
+    )

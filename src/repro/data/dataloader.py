@@ -1,0 +1,555 @@
+"""The DataLoader: asynchronous batch production with worker processes.
+
+Replicates the structure the paper instruments (§ II-B):
+
+* the main process coordinates; each worker owns an *index queue* (main →
+  worker) and all workers share one *data queue* (worker → main);
+* at startup the main process prefetches ``prefetch_factor`` batches of
+  indices into every worker's queue; afterwards, consuming a batch sends
+  exactly one new index batch to the worker that produced it;
+* batches can arrive on the shared data queue out of order; the main
+  process pins them to CPU memory, caches them, and keeps polling until
+  the *desired* batch id is at hand — the source of the wait/delay
+  pathologies of § V-C2.
+
+LotusTrace's [T2] hook wraps ``_next_data``: a ``batch_wait`` record per
+batch, with the 1 us out-of-order marker for batches already cached when
+requested; a ``batch_consumed`` record marks when the main process takes
+the batch.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue as queue_module
+import threading
+import time
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.core.lotustrace.context import current_pid
+from repro.core.lotustrace.logfile import PathLike, TraceSink, open_trace_log
+from repro.core.lotustrace.records import (
+    KIND_BATCH_CONSUMED,
+    KIND_BATCH_PREPROCESSED,
+    KIND_BATCH_WAIT,
+    MAIN_PROCESS_WORKER_ID,
+    OOO_MARKER_DURATION_NS,
+    TraceRecord,
+)
+from repro.core.lotustrace.logfile import InMemoryTraceLog, LotusLogWriter
+from repro.data.backends import THREAD_BACKEND, create_backend
+from repro.data.dataset import IterableDataset
+from repro.data.fetcher import create_fetcher
+from repro.data.sampler import (
+    BatchSampler,
+    InfiniteBatchSampler,
+    RandomSampler,
+    SequentialSampler,
+)
+from repro.data.worker import (
+    SHUTDOWN_SENTINEL,
+    IterableStreamEnd,
+    WorkerFailure,
+    worker_loop,
+)
+from repro.errors import DataLoaderError, WorkerCrashError
+from repro.tensor.collate import default_collate
+from repro.tensor.tensor import Tensor
+
+DEFAULT_WORKER_JOIN_TIMEOUT_S = 5.0
+
+#: Op-record name for batch collation (Table II's C(k) column).
+COLLATION_OP_NAME = "Collation"
+
+
+class _InstrumentedCollate:
+    """Wraps a collate function with a [T3]-style op record per batch.
+
+    Collation is the per-batch merge step (Table II reports it as C(k));
+    it runs inside the worker's ``fetch``, so the record lands on the
+    worker's track like any transform.
+    """
+
+    def __init__(self, collate_fn: Callable, sink: "TraceSink") -> None:
+        self._collate_fn = collate_fn
+        self._sink = sink
+
+    def __call__(self, samples):
+        import time as _time
+
+        from repro.core.lotustrace.context import current_pid, current_worker_id
+        from repro.core.lotustrace.records import KIND_OP
+
+        start = _time.time_ns()
+        batch = self._collate_fn(samples)
+        duration = _time.time_ns() - start
+        self._sink.write(
+            TraceRecord(
+                kind=KIND_OP,
+                name=COLLATION_OP_NAME,
+                batch_id=-1,
+                worker_id=current_worker_id(),
+                pid=current_pid(),
+                start_ns=start,
+                duration_ns=duration,
+            )
+        )
+        return batch
+
+
+def _pin_structure(data: Any) -> Any:
+    """Recursively pin tensors in a collated batch."""
+    if isinstance(data, Tensor):
+        return data.pin_memory()
+    if isinstance(data, tuple):
+        return tuple(_pin_structure(item) for item in data)
+    if isinstance(data, list):
+        return [_pin_structure(item) for item in data]
+    if isinstance(data, dict):
+        return {key: _pin_structure(value) for key, value in data.items()}
+    return data
+
+
+class DataLoader:
+    """Batched, optionally multi-worker, optionally traced data loading.
+
+    Args:
+        dataset: map-style dataset (``__getitem__``/``__len__``).
+        batch_size: samples per batch.
+        shuffle: draw a fresh seeded permutation each epoch.
+        num_workers: 0 = load synchronously in the calling thread;
+            otherwise this many worker threads run :func:`worker_loop`.
+        collate_fn: merges a list of samples into a batch.
+        pin_memory: pin produced batches to (simulated) page-locked
+            memory in the main process.
+        drop_last: drop a trailing partial batch.
+        prefetch_factor: index batches queued per worker at startup.
+        log_file: LotusTrace log target (path or sink). Enables [T1]
+            (worker side) and [T2] (main side) records.
+        seed: shuffling seed.
+        worker_timeout_s: how long ``_next_data`` waits on the data queue
+            before checking worker liveness.
+    """
+
+    def __init__(
+        self,
+        dataset: Any,
+        batch_size: int = 1,
+        shuffle: bool = False,
+        num_workers: int = 0,
+        collate_fn: Callable = default_collate,
+        pin_memory: bool = False,
+        drop_last: bool = False,
+        prefetch_factor: int = 2,
+        log_file: Union[PathLike, TraceSink, None] = None,
+        seed: Optional[int] = None,
+        worker_timeout_s: float = 60.0,
+        worker_backend: str = THREAD_BACKEND,
+        persistent_workers: bool = False,
+    ) -> None:
+        if num_workers < 0:
+            raise DataLoaderError(f"num_workers must be >= 0, got {num_workers}")
+        if prefetch_factor < 1:
+            raise DataLoaderError(
+                f"prefetch_factor must be >= 1, got {prefetch_factor}"
+            )
+        if persistent_workers:
+            if num_workers == 0:
+                raise DataLoaderError(
+                    "persistent_workers requires num_workers > 0"
+                )
+            if isinstance(dataset, IterableDataset):
+                raise DataLoaderError(
+                    "persistent_workers is not supported for iterable "
+                    "datasets (each worker's stream is consumed once)"
+                )
+        self.persistent_workers = persistent_workers
+        self._pool: Optional["_WorkerPool"] = None
+        self.worker_backend = worker_backend
+        create_backend(worker_backend)  # validate the name eagerly
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.num_workers = num_workers
+        self._log_target = log_file
+        self._sink: Optional[TraceSink] = open_trace_log(log_file)
+        if self._sink is not None:
+            collate_fn = _InstrumentedCollate(collate_fn, self._sink)
+        self.collate_fn = collate_fn
+        self.pin_memory = pin_memory
+        self.drop_last = drop_last
+        self.prefetch_factor = prefetch_factor
+        self.seed = seed
+        self.worker_timeout_s = worker_timeout_s
+        if isinstance(dataset, IterableDataset):
+            # Streams have no indices: tasks carry only a count, and the
+            # epoch ends on stream exhaustion, not sampler exhaustion.
+            if shuffle:
+                raise DataLoaderError(
+                    "shuffle is not supported for iterable datasets; "
+                    "shuffle inside the stream instead"
+                )
+            self.batch_sampler: Any = InfiniteBatchSampler(batch_size)
+        else:
+            sampler = (
+                RandomSampler(dataset, seed=seed)
+                if shuffle
+                else SequentialSampler(dataset)
+            )
+            self.batch_sampler = BatchSampler(sampler, batch_size, drop_last)
+
+    def __len__(self) -> int:
+        if isinstance(self.batch_sampler, InfiniteBatchSampler):
+            raise TypeError(
+                "DataLoader over an iterable dataset has no length"
+            )
+        return len(self.batch_sampler)
+
+    def __iter__(self) -> Iterator[Any]:
+        if self.num_workers == 0:
+            return _SingleProcessIter(self)
+        if not self.persistent_workers:
+            return _MultiWorkerIter(self)
+        if self._pool is None or self._pool.dirty or self._pool.closed:
+            self._pool = _WorkerPool(self)
+        return _MultiWorkerIter(self, pool=self._pool)
+
+    def close(self) -> None:
+        """Shut down a persistent worker pool, if one is alive."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    @property
+    def log_sink(self) -> Optional[TraceSink]:
+        return self._sink
+
+
+class _SingleProcessIter:
+    """num_workers=0: fetch inline in the consuming thread."""
+
+    def __init__(self, loader: DataLoader) -> None:
+        self._loader = loader
+        self._fetcher = create_fetcher(loader.dataset, loader.collate_fn)
+        self._batches = iter(loader.batch_sampler)
+        self._batch_id = 0
+        self._pid = current_pid()
+
+    def __iter__(self) -> "_SingleProcessIter":
+        return self
+
+    def __next__(self) -> Any:
+        indices = next(self._batches)  # StopIteration ends the epoch
+        loader = self._loader
+        start = time.time_ns()
+        data = self._fetcher.fetch(indices)
+        duration = time.time_ns() - start
+        if loader._sink is not None:
+            loader._sink.write(
+                TraceRecord(
+                    kind=KIND_BATCH_PREPROCESSED,
+                    name="fetch",
+                    batch_id=self._batch_id,
+                    worker_id=MAIN_PROCESS_WORKER_ID,
+                    pid=self._pid,
+                    start_ns=start,
+                    duration_ns=duration,
+                )
+            )
+        if loader.pin_memory:
+            data = _pin_structure(data)
+        if loader._sink is not None:
+            consumed_at = time.time_ns()
+            loader._sink.write(
+                TraceRecord(
+                    kind=KIND_BATCH_CONSUMED,
+                    name="consume",
+                    batch_id=self._batch_id,
+                    worker_id=MAIN_PROCESS_WORKER_ID,
+                    pid=self._pid,
+                    start_ns=consumed_at,
+                    duration_ns=max(0, consumed_at - start - duration),
+                )
+            )
+        self._batch_id += 1
+        return data
+
+
+
+class _WorkerPool:
+    """Backend, queues, and worker handles, reusable across epochs.
+
+    With ``persistent_workers`` the DataLoader keeps one pool alive and
+    hands it to each epoch's iterator, avoiding per-epoch worker startup
+    (PyTorch's option of the same name). A pool abandoned mid-epoch is
+    marked dirty and replaced, since its queues may hold stale payloads.
+    """
+
+    def __init__(self, loader: "DataLoader") -> None:
+        self.backend = create_backend(loader.worker_backend)
+        self.num_workers = loader.num_workers
+        self.index_queues = [
+            self.backend.make_queue() for _ in range(loader.num_workers)
+        ]
+        self.data_queue = self.backend.make_queue()
+        self.dirty = False
+        self._closed = False
+        worker_log = self._worker_log_target(loader)
+        self.workers = [
+            self.backend.start_worker(
+                worker_loop,
+                args=(
+                    worker_id,
+                    loader.dataset,
+                    self.index_queues[worker_id],
+                    self.data_queue,
+                    loader.collate_fn,
+                ),
+                kwargs={
+                    "log_target": worker_log,
+                    "is_process_worker": self.backend.is_process,
+                    "num_workers": loader.num_workers,
+                },
+                name=f"repro-dataloader-worker-{worker_id}",
+            )
+            for worker_id in range(loader.num_workers)
+        ]
+
+    def _worker_log_target(self, loader: "DataLoader"):
+        """What workers log to: the shared sink for threads, the file
+        *path* for processes (each child reopens it in append mode --
+        in-memory sinks cannot cross the fork)."""
+        sink = loader._sink
+        if sink is None:
+            return None
+        if not self.backend.is_process:
+            return sink
+        if isinstance(sink, LotusLogWriter):
+            return sink.path
+        raise DataLoaderError(
+            "process-backed workers need a file-based LotusTrace log; "
+            "in-memory sinks are invisible across the fork"
+        )
+
+    def shutdown(self) -> None:
+        """Send sentinels and join every worker (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for index_queue in self.index_queues:
+            index_queue.put(SHUTDOWN_SENTINEL)
+        for handle in self.workers:
+            self.backend.join(handle, timeout=DEFAULT_WORKER_JOIN_TIMEOUT_S)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+
+class _MultiWorkerIter:
+    """Multi-worker iterator with index/data queues and OOO caching."""
+
+    def __init__(
+        self, loader: DataLoader, pool: Optional[_WorkerPool] = None
+    ) -> None:
+        self._loader = loader
+        self._pid = current_pid()
+        self._sink = loader._sink
+        self._owns_pool = pool is None
+        self._pool = pool if pool is not None else _WorkerPool(loader)
+        self._backend = self._pool.backend
+        self._index_queues = self._pool.index_queues
+        self._data_queue = self._pool.data_queue
+        self._workers = self._pool.workers
+        self._batches = iter(loader.batch_sampler)
+        self._send_idx = 0  # next batch id to dispatch
+        self._rcvd_idx = 0  # next batch id to yield
+        # batch_id -> (worker_id,) while outstanding, (worker_id, data)
+        # once arrived ahead of need.
+        self._task_info: Dict[int, Tuple] = {}
+        self._worker_cycle = itertools.cycle(range(loader.num_workers))
+        self._exhausted_workers: set = set()
+        self._shutdown = False
+        # Startup prefetch: prefetch_factor index batches per worker.
+        for _ in range(loader.prefetch_factor):
+            for worker_id in range(loader.num_workers):
+                self._try_put_index(worker_id)
+
+    # -- index dispatch --------------------------------------------------------
+    def _try_put_index(self, worker_id: Optional[int] = None) -> bool:
+        if len(self._exhausted_workers) >= self._loader.num_workers:
+            return False
+        if worker_id is None or worker_id in self._exhausted_workers:
+            worker_id = None
+            for _ in range(self._loader.num_workers):
+                candidate = next(self._worker_cycle)
+                if candidate not in self._exhausted_workers:
+                    worker_id = candidate
+                    break
+            if worker_id is None:
+                return False
+        try:
+            indices = next(self._batches)
+        except StopIteration:
+            return False
+        self._task_info[self._send_idx] = (worker_id,)
+        self._index_queues[worker_id].put((self._send_idx, indices))
+        self._send_idx += 1
+        return True
+
+    # -- data receipt ------------------------------------------------------------
+    def _get_data(self) -> Tuple[int, Any]:
+        """Blocking data-queue read with worker liveness checks."""
+        deadline = time.monotonic() + self._loader.worker_timeout_s
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                self._shutdown_workers()
+                raise DataLoaderError(
+                    f"timed out after {self._loader.worker_timeout_s}s waiting "
+                    f"for batch {self._rcvd_idx}"
+                )
+            try:
+                return self._data_queue.get(timeout=min(0.1, max(remaining, 0.01)))
+            except queue_module.Empty:
+                for worker_id, handle in enumerate(self._workers):
+                    if not self._backend.is_alive(handle) and not self._shutdown:
+                        outstanding = any(
+                            len(info) == 1 and info[0] == worker_id
+                            for info in self._task_info.values()
+                        )
+                        if outstanding:
+                            self._shutdown_workers()
+                            raise WorkerCrashError(worker_id, "worker died")
+
+    def _next_data(self) -> Tuple[int, Any, int]:
+        """Return (worker_id, data, wait_record_written) for _rcvd_idx.
+
+        This is the paper's [T2] site: the wait is the blocking
+        ``_get_data`` loop; batches already cached get the 1 us marker.
+        """
+        rcvd = self._rcvd_idx
+        info = self._task_info.get(rcvd)
+        if info is None:
+            raise DataLoaderError(f"batch {rcvd} was never dispatched")
+        start_wait = time.time_ns()
+        if len(info) == 2:
+            # Arrived earlier while the main process waited on another
+            # batch: no waiting now — emit the out-of-order marker.
+            self._emit_wait(rcvd, start_wait, OOO_MARKER_DURATION_NS, True)
+            worker_id, data = info
+            del self._task_info[rcvd]
+            return worker_id, data
+        while True:
+            batch_id, payload = self._get_data()
+            if isinstance(payload, WorkerFailure):
+                self._shutdown_workers()
+                raise WorkerCrashError(payload.worker_id, payload.describe())
+            if isinstance(payload, IterableStreamEnd):
+                # This worker's iterable shard is exhausted; stop feeding
+                # it and skip the unfillable batch id when its turn comes.
+                self._exhausted_workers.add(payload.worker_id)
+                if batch_id == rcvd:
+                    self._emit_wait(
+                        rcvd, start_wait, time.time_ns() - start_wait, False
+                    )
+                    self._task_info.pop(batch_id, None)
+                    return payload.worker_id, payload
+                self._task_info[batch_id] = (payload.worker_id, payload)
+                continue
+            if batch_id == rcvd:
+                end_wait = time.time_ns()
+                self._emit_wait(rcvd, start_wait, end_wait - start_wait, False)
+                worker_id = self._task_info.pop(batch_id)[0]
+                return worker_id, payload
+            # Out-of-order arrival: pin it now (occupying the main
+            # process) and cache it for its turn.
+            if self._loader.pin_memory:
+                payload = _pin_structure(payload)
+            worker_id = self._task_info[batch_id][0]
+            self._task_info[batch_id] = (worker_id, payload)
+
+    def _emit_wait(
+        self, batch_id: int, start_ns: int, duration_ns: int, out_of_order: bool
+    ) -> None:
+        if self._sink is None:
+            return
+        self._sink.write(
+            TraceRecord(
+                kind=KIND_BATCH_WAIT,
+                name="wait",
+                batch_id=batch_id,
+                worker_id=MAIN_PROCESS_WORKER_ID,
+                pid=self._pid,
+                start_ns=start_ns,
+                duration_ns=max(duration_ns, 0),
+                out_of_order=out_of_order,
+            )
+        )
+
+    # -- iteration -------------------------------------------------------------
+    def __iter__(self) -> "_MultiWorkerIter":
+        return self
+
+    def __next__(self) -> Any:
+        while True:
+            if self._rcvd_idx >= self._send_idx:
+                self._shutdown_workers()
+                raise StopIteration
+            worker_id, data = self._next_data()
+            if isinstance(data, IterableStreamEnd):
+                # Unfillable batch id: skip it without yielding.
+                self._rcvd_idx += 1
+                continue
+            break
+        consumed_start = time.time_ns()
+        if self._loader.pin_memory:
+            data = _pin_structure(data)
+        # Replenish the producing worker (paper § II-B: after the initial
+        # prefetch, the main process sends one index batch to the worker
+        # that produced the consumed batch).
+        self._try_put_index(worker_id)
+        if self._sink is not None:
+            self._sink.write(
+                TraceRecord(
+                    kind=KIND_BATCH_CONSUMED,
+                    name="consume",
+                    batch_id=self._rcvd_idx,
+                    worker_id=MAIN_PROCESS_WORKER_ID,
+                    pid=self._pid,
+                    start_ns=consumed_start,
+                    duration_ns=max(0, time.time_ns() - consumed_start),
+                )
+            )
+        self._rcvd_idx += 1
+        return data
+
+    # -- shutdown ------------------------------------------------------------
+    def _shutdown_workers(self) -> None:
+        if self._shutdown:
+            return
+        self._shutdown = True
+        if self._owns_pool:
+            self._pool.shutdown()
+            return
+        # Borrowed (persistent) pool: leave it running after a clean
+        # epoch; an abandoned epoch leaves payloads in flight, so the
+        # pool must be retired.
+        if self._rcvd_idx < self._send_idx:
+            self._pool.dirty = True
+            self._pool.shutdown()
+
+    def close(self) -> None:
+        """Stop workers without finishing the epoch."""
+        self._shutdown_workers()
+
+    def __del__(self) -> None:
+        try:
+            self._shutdown_workers()
+        except Exception:
+            pass

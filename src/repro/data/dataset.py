@@ -1,0 +1,183 @@
+"""Datasets: map-style, iterable, folder-of-images, and blob-backed.
+
+``ImageFolder`` takes the same ``log_file`` parameter as the paper's
+instrumented torchvision build (Listing 1): when set, each image load
+(open + decode/convert — the *Loader* operation) is logged as a [T3] op
+record named ``Loader``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.core.lotustrace.context import current_pid, current_worker_id
+from repro.core.lotustrace.logfile import PathLike, TraceSink, open_trace_log
+from repro.core.lotustrace.records import KIND_OP, TraceRecord
+from repro.errors import DataLoaderError
+from repro.imaging.image import Image
+
+LOADER_OP_NAME = "Loader"
+
+
+class Dataset:
+    """Map-style dataset: index in, sample out."""
+
+    def __getitem__(self, index: int) -> Any:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+
+class IterableDataset:
+    """Stream-style dataset consumed via iteration."""
+
+    def __iter__(self) -> Iterator[Any]:
+        raise NotImplementedError
+
+
+class TensorDataset(Dataset):
+    """Dataset over pre-materialized aligned sequences."""
+
+    def __init__(self, *columns: Sequence[Any]) -> None:
+        if not columns:
+            raise DataLoaderError("TensorDataset needs at least one column")
+        length = len(columns[0])
+        if any(len(col) != length for col in columns):
+            raise DataLoaderError("TensorDataset columns have unequal lengths")
+        self._columns = columns
+
+    def __getitem__(self, index: int) -> Tuple[Any, ...]:
+        return tuple(col[index] for col in self._columns)
+
+    def __len__(self) -> int:
+        return len(self._columns[0])
+
+
+def pil_loader(source: Union[str, bytes, os.PathLike]) -> Image:
+    """Default image loader: open + convert('RGB'), PIL-style.
+
+    The decode cost lives here, which is why the paper reports it as the
+    Loader preprocessing operation.
+    """
+    return Image.open(source).convert("RGB")
+
+
+class _LoaderLogging:
+    """Mixin handling the instrumented Loader timing."""
+
+    def _init_loader_log(
+        self, log_file: Union[PathLike, TraceSink, None]
+    ) -> None:
+        self._sink: Optional[TraceSink] = open_trace_log(log_file)
+
+    def _timed_load(self, load: Callable[[], Any]) -> Any:
+        sink = self._sink
+        if sink is None:
+            return load()
+        start = time.time_ns()
+        sample = load()
+        duration = time.time_ns() - start
+        sink.write(
+            TraceRecord(
+                kind=KIND_OP,
+                name=LOADER_OP_NAME,
+                batch_id=-1,
+                worker_id=current_worker_id(),
+                pid=current_pid(),
+                start_ns=start,
+                duration_ns=duration,
+            )
+        )
+        return sample
+
+
+class ImageFolder(_LoaderLogging, Dataset):
+    """Directory-of-class-subdirectories dataset (torchvision layout).
+
+    ``root/<class_name>/<image>.sjpg`` files become ``(image, label)``
+    samples, where the image has been loaded by ``loader`` and transformed
+    by ``transform`` if given.
+    """
+
+    def __init__(
+        self,
+        root: PathLike,
+        transform: Optional[Callable] = None,
+        loader: Callable = pil_loader,
+        log_file: Union[PathLike, TraceSink, None] = None,
+        extensions: Tuple[str, ...] = (".sjpg",),
+    ) -> None:
+        self.root = os.fspath(root)
+        self.transform = transform
+        self.loader = loader
+        self._init_loader_log(log_file)
+        self.classes = sorted(
+            entry
+            for entry in os.listdir(self.root)
+            if os.path.isdir(os.path.join(self.root, entry))
+        )
+        if not self.classes:
+            raise DataLoaderError(f"no class directories under {self.root}")
+        self.class_to_idx = {name: i for i, name in enumerate(self.classes)}
+        self.samples: List[Tuple[str, int]] = []
+        for name in self.classes:
+            class_dir = os.path.join(self.root, name)
+            for filename in sorted(os.listdir(class_dir)):
+                if filename.lower().endswith(extensions):
+                    self.samples.append(
+                        (os.path.join(class_dir, filename), self.class_to_idx[name])
+                    )
+        if not self.samples:
+            raise DataLoaderError(f"no images with {extensions} under {self.root}")
+
+    def __getitem__(self, index: int) -> Tuple[Any, int]:
+        path, label = self.samples[index]
+        image = self._timed_load(lambda: self.loader(path))
+        if self.transform is not None:
+            image = self.transform(image)
+        return image, label
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+
+class BlobImageDataset(_LoaderLogging, Dataset):
+    """Dataset over in-memory encoded image blobs.
+
+    Functionally an ImageFolder without the filesystem — used by the
+    benchmark harness so experiments are not bottlenecked on disk setup.
+    """
+
+    def __init__(
+        self,
+        blobs: Sequence[bytes],
+        labels: Optional[Sequence[int]] = None,
+        transform: Optional[Callable] = None,
+        loader: Callable = pil_loader,
+        log_file: Union[PathLike, TraceSink, None] = None,
+    ) -> None:
+        if labels is not None and len(labels) != len(blobs):
+            raise DataLoaderError(
+                f"labels length {len(labels)} != blobs length {len(blobs)}"
+            )
+        # Keep the sequence as given: it may be a SimulatedRemoteStore
+        # whose per-item reads carry I/O cost (listing it would pay that
+        # cost eagerly, and silently drop the store's accounting).
+        self._blobs = blobs
+        self._labels = list(labels) if labels is not None else [0] * len(self._blobs)
+        self.transform = transform
+        self.loader = loader
+        self._init_loader_log(log_file)
+
+    def __getitem__(self, index: int) -> Tuple[Any, int]:
+        blob = self._blobs[index]
+        image = self._timed_load(lambda: self.loader(blob))
+        if self.transform is not None:
+            image = self.transform(image)
+        return image, self._labels[index]
+
+    def __len__(self) -> int:
+        return len(self._blobs)

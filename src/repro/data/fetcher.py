@@ -1,0 +1,64 @@
+"""Dataset fetchers: turn a batch of indices into a collated batch.
+
+LotusTrace's [T1] instrumentation wraps the common ``fetch`` method from
+the *worker loop* instead of subclassing or overriding specific fetcher
+classes — the paper's rationale being that targeting ``fetch`` works for
+any fetcher (``_MapDatasetFetcher`` or ``_IterableDatasetFetcher``)
+without class-specific modifications (§ III-B1).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, List, Optional, Sequence
+
+from repro.data.dataset import Dataset, IterableDataset
+from repro.errors import DataLoaderError
+
+
+class _BaseDatasetFetcher:
+    def __init__(self, dataset: Any, collate_fn: Callable) -> None:
+        self.dataset = dataset
+        self.collate_fn = collate_fn
+
+    def fetch(self, indices: Sequence[int]) -> Any:
+        raise NotImplementedError
+
+
+class _MapDatasetFetcher(_BaseDatasetFetcher):
+    """Fetcher for map-style datasets: index each sample, then collate."""
+
+    def fetch(self, indices: Sequence[int]) -> Any:
+        samples = [self.dataset[index] for index in indices]
+        return self.collate_fn(samples)
+
+
+class _IterableDatasetFetcher(_BaseDatasetFetcher):
+    """Fetcher for iterable datasets: pull ``len(indices)`` items."""
+
+    def __init__(self, dataset: Any, collate_fn: Callable) -> None:
+        super().__init__(dataset, collate_fn)
+        self._iterator: Optional[Iterator[Any]] = None
+
+    def fetch(self, indices: Sequence[int]) -> Any:
+        if self._iterator is None:
+            self._iterator = iter(self.dataset)
+        samples: List[Any] = []
+        for _ in indices:
+            try:
+                samples.append(next(self._iterator))
+            except StopIteration:
+                break
+        if not samples:
+            raise StopIteration
+        return self.collate_fn(samples)
+
+
+def create_fetcher(dataset: Any, collate_fn: Callable) -> _BaseDatasetFetcher:
+    """Pick the fetcher class matching the dataset style."""
+    if isinstance(dataset, IterableDataset):
+        return _IterableDatasetFetcher(dataset, collate_fn)
+    if hasattr(dataset, "__getitem__"):
+        return _MapDatasetFetcher(dataset, collate_fn)
+    raise DataLoaderError(
+        f"dataset {type(dataset)!r} is neither map-style nor iterable"
+    )

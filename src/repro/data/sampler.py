@@ -1,0 +1,85 @@
+"""Index samplers: sequential, shuffled, and batching."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sized
+
+import numpy as np
+
+from repro.errors import DataLoaderError
+from repro.utils.rng import derive_rng
+
+
+class SequentialSampler:
+    """Yields ``0..len(dataset)-1`` in order."""
+
+    def __init__(self, data_source: Sized) -> None:
+        self.data_source = data_source
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(len(self.data_source)))
+
+    def __len__(self) -> int:
+        return len(self.data_source)
+
+
+class RandomSampler:
+    """Yields a seeded permutation of indices (fresh draw per epoch)."""
+
+    def __init__(self, data_source: Sized, seed: Optional[int] = None) -> None:
+        self.data_source = data_source
+        self._rng = derive_rng(seed, "RandomSampler")
+
+    def __iter__(self) -> Iterator[int]:
+        order = self._rng.permutation(len(self.data_source))
+        return iter(int(i) for i in order)
+
+    def __len__(self) -> int:
+        return len(self.data_source)
+
+
+class InfiniteBatchSampler:
+    """Endless dummy index batches, for iterable datasets.
+
+    Iterable datasets produce data by streaming, not indexing, so batch
+    tasks carry only the requested *count*. The epoch ends when every
+    worker's stream signals exhaustion — not when a sampler runs dry —
+    hence an unbounded task supply (PyTorch structures this the same
+    way).
+    """
+
+    def __init__(self, batch_size: int) -> None:
+        if batch_size <= 0:
+            raise DataLoaderError(f"batch_size must be positive, got {batch_size}")
+        self.batch_size = batch_size
+
+    def __iter__(self) -> Iterator[List[int]]:
+        while True:
+            yield [0] * self.batch_size
+
+
+class BatchSampler:
+    """Groups a sampler's indices into lists of ``batch_size``."""
+
+    def __init__(self, sampler, batch_size: int, drop_last: bool = False) -> None:
+        if batch_size <= 0:
+            raise DataLoaderError(f"batch_size must be positive, got {batch_size}")
+        self.sampler = sampler
+        self.batch_size = batch_size
+        self.drop_last = drop_last
+
+    def __iter__(self) -> Iterator[List[int]]:
+        batch: List[int] = []
+        for index in self.sampler:
+            batch.append(index)
+            if len(batch) == self.batch_size:
+                yield batch
+                batch = []
+        if batch and not self.drop_last:
+            yield batch
+
+    def __len__(self) -> int:
+        n = len(self.sampler)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size

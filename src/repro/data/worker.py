@@ -1,0 +1,129 @@
+"""The DataLoader worker loop.
+
+The main process forks/starts workers that each run :func:`worker_loop`:
+create a dataset fetcher once, then repeatedly take ``(batch_id,
+indices)`` tasks from this worker's index queue, fetch-and-collate, and
+put ``(batch_id, data)`` on the shared data queue.
+
+LotusTrace's [T1] hook lives here: the ``fetch`` call is wrapped with two
+timestamps and one ``batch_preprocessed`` record — the paper's chosen
+instrumentation point because every fetcher class shares ``fetch``.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Union
+
+from repro.core.lotustrace.context import (
+    current_pid,
+    set_process_worker_id,
+    worker_identity,
+)
+from repro.core.lotustrace.logfile import PathLike, TraceSink, open_trace_log
+from repro.core.lotustrace.records import KIND_BATCH_PREPROCESSED, TraceRecord
+from repro.data.fetcher import create_fetcher
+from repro.data.worker_info import WorkerInfo, worker_info_scope
+
+#: Sentinel placed on an index queue to stop its worker.
+SHUTDOWN_SENTINEL = None
+
+
+@dataclass
+class WorkerFailure:
+    """Exception surrogate shipped from a worker to the main process."""
+
+    worker_id: int
+    batch_id: int
+    exc_type: str
+    message: str
+    traceback_text: str
+
+    def describe(self) -> str:
+        return f"{self.exc_type}: {self.message}\n{self.traceback_text}"
+
+
+@dataclass(frozen=True)
+class IterableStreamEnd:
+    """Signal that a worker's iterable-dataset shard is exhausted.
+
+    Mirrors PyTorch's ``_IterableDatasetStopIteration``: the main process
+    stops dispatching to this worker and skips the batch id that could
+    not be filled.
+    """
+
+    worker_id: int
+    batch_id: int
+
+
+def worker_loop(
+    worker_id: int,
+    dataset: Any,
+    index_queue: Any,
+    data_queue: Any,
+    collate_fn: Callable,
+    log_target: Union[PathLike, TraceSink, None] = None,
+    is_process_worker: bool = False,
+    num_workers: int = 1,
+) -> None:
+    """Run one DataLoader worker until a shutdown sentinel arrives.
+
+    ``log_target`` may be a path (required for process-backed workers,
+    which must reopen the log file in the child) or a shared sink for
+    thread-backed workers. ``num_workers`` is exposed to dataset code via
+    :func:`~repro.data.worker_info.get_worker_info` so iterable datasets
+    can shard their streams.
+    """
+    if is_process_worker:
+        set_process_worker_id(worker_id)
+    sink: Optional[TraceSink] = open_trace_log(log_target)
+    with worker_identity(worker_id), worker_info_scope(
+        WorkerInfo(worker_id=worker_id, num_workers=num_workers)
+    ):
+        fetcher = create_fetcher(dataset, collate_fn)
+        pid = current_pid()
+        while True:
+            task = index_queue.get()
+            if task is SHUTDOWN_SENTINEL:
+                break
+            batch_id, indices = task
+            start = time.time_ns()
+            try:
+                data = fetcher.fetch(indices)
+            except StopIteration:
+                # Iterable shard exhausted; tell the main process and
+                # keep serving (only the shutdown sentinel ends the loop).
+                data_queue.put((batch_id, IterableStreamEnd(worker_id, batch_id)))
+                continue
+            except Exception as exc:  # ship to main process, keep serving
+                data_queue.put(
+                    (
+                        batch_id,
+                        WorkerFailure(
+                            worker_id=worker_id,
+                            batch_id=batch_id,
+                            exc_type=type(exc).__name__,
+                            message=str(exc),
+                            traceback_text=traceback.format_exc(),
+                        ),
+                    )
+                )
+                continue
+            duration = time.time_ns() - start
+            if sink is not None:
+                sink.write(
+                    TraceRecord(
+                        kind=KIND_BATCH_PREPROCESSED,
+                        name="fetch",
+                        batch_id=batch_id,
+                        worker_id=worker_id,
+                        pid=pid,
+                        start_ns=start,
+                        duration_ns=duration,
+                    )
+                )
+            data_queue.put((batch_id, data))
+    if sink is not None and is_process_worker:
+        sink.close()

@@ -1,0 +1,77 @@
+"""Worker introspection for iterable datasets (torch's ``get_worker_info``).
+
+With map-style datasets the main process shards work by sending index
+batches; an :class:`~repro.data.dataset.IterableDataset` instead streams,
+so each worker would replay the *whole* stream and duplicate every
+sample. PyTorch solves this by exposing the worker's identity inside the
+dataset's ``__iter__`` via ``torch.utils.data.get_worker_info()``; this
+module provides the same mechanism, plus a ready-made
+:class:`ShardedIterableDataset` that strides its underlying sequence by
+worker id.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Iterator, Optional, Sequence
+
+from repro.data.dataset import IterableDataset
+from repro.errors import DataLoaderError
+
+_state = threading.local()
+
+
+@dataclass(frozen=True)
+class WorkerInfo:
+    """Identity of the DataLoader worker executing the current code."""
+
+    worker_id: int
+    num_workers: int
+    seed: int = 0
+
+
+def get_worker_info() -> Optional[WorkerInfo]:
+    """The current worker's :class:`WorkerInfo`, or None in the main
+    process (mirrors ``torch.utils.data.get_worker_info``)."""
+    return getattr(_state, "info", None)
+
+
+@contextmanager
+def worker_info_scope(info: WorkerInfo) -> Iterator[None]:
+    """Used by the worker loop to expose identity to dataset code."""
+    previous = getattr(_state, "info", None)
+    _state.info = info
+    try:
+        yield
+    finally:
+        _state.info = previous
+
+
+class ShardedIterableDataset(IterableDataset):
+    """Iterable dataset that strides a sequence across workers.
+
+    Worker ``w`` of ``n`` yields items ``w, w+n, w+2n, ...`` — together
+    the workers partition the sequence exactly once. In the main process
+    (no worker info) it yields everything.
+    """
+
+    def __init__(self, items: Sequence[Any]) -> None:
+        self._items = items
+
+    def __iter__(self) -> Iterator[Any]:
+        info = get_worker_info()
+        if info is None:
+            start, step = 0, 1
+        else:
+            if info.num_workers < 1:
+                raise DataLoaderError(
+                    f"invalid num_workers in worker info: {info.num_workers}"
+                )
+            start, step = info.worker_id, info.num_workers
+        for index in range(start, len(self._items), step):
+            yield self._items[index]
+
+    def __len__(self) -> int:
+        return len(self._items)

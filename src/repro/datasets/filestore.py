@@ -1,0 +1,59 @@
+"""Blob storage with optional simulated remote-I/O latency.
+
+The paper's testbed mounts the dataset from a remote ZFS zvol over iSCSI;
+reads therefore pay a network round trip plus bandwidth-proportional
+transfer time. :class:`SimulatedRemoteStore` wraps an in-memory blob list
+with that cost model so experiments can reproduce I/O-sensitive behaviour
+without real remote storage.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+from repro.errors import ReproError
+
+
+class SimulatedRemoteStore:
+    """Sequence of blobs whose reads cost latency + size/bandwidth.
+
+    Args:
+        blobs: the stored payloads.
+        base_latency_s: per-read round-trip latency.
+        bandwidth_mb_s: transfer bandwidth in MB/s (0 = infinite).
+    """
+
+    def __init__(
+        self,
+        blobs: Sequence[bytes],
+        base_latency_s: float = 0.0005,
+        bandwidth_mb_s: float = 400.0,
+    ) -> None:
+        if base_latency_s < 0:
+            raise ReproError(f"latency must be >= 0, got {base_latency_s}")
+        if bandwidth_mb_s < 0:
+            raise ReproError(f"bandwidth must be >= 0, got {bandwidth_mb_s}")
+        self._blobs = list(blobs)
+        self.base_latency_s = base_latency_s
+        self.bandwidth_mb_s = bandwidth_mb_s
+        self._reads = 0
+        self._bytes_read = 0
+
+    def __len__(self) -> int:
+        return len(self._blobs)
+
+    def __getitem__(self, index: int) -> bytes:
+        blob = self._blobs[index]
+        delay = self.base_latency_s
+        if self.bandwidth_mb_s > 0:
+            delay += (len(blob) / 1e6) / self.bandwidth_mb_s
+        if delay > 0:
+            time.sleep(delay)
+        self._reads += 1
+        self._bytes_read += len(blob)
+        return blob
+
+    @property
+    def stats(self) -> dict:
+        return {"reads": self._reads, "bytes_read": self._bytes_read}

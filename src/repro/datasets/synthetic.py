@@ -1,0 +1,260 @@
+"""Synthetic dataset generators.
+
+Each generator draws reproducible content from a seed and produces real
+encoded payloads, so downstream preprocessing does genuine decode work
+whose cost varies with content size — the property driving the paper's
+per-batch variance results (Figure 4).
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.lotustrace.context import current_pid, current_worker_id
+from repro.core.lotustrace.logfile import PathLike, TraceSink, open_trace_log
+from repro.core.lotustrace.records import KIND_OP, TraceRecord
+from repro.data.dataset import Dataset
+from repro.errors import ReproError
+from repro.imaging.jpeg.codec import encode_sjpg
+from repro.utils.rng import SeedLike, derive_rng
+from repro.utils.stats import Summary, summarize
+
+
+def _smooth_image(rng: np.random.Generator, height: int, width: int) -> np.ndarray:
+    """Natural-image-like content: low-frequency structure plus texture.
+
+    Pure noise defeats transform coding; pure flat fields compress to
+    nothing. A blocky low-resolution base upsampled with noise yields
+    SJPG payloads whose size tracks image dimensions the way photographs
+    do.
+    """
+    base_h = max(2, height // 16)
+    base_w = max(2, width // 16)
+    base = rng.integers(0, 256, size=(base_h, base_w, 3)).astype(np.float32)
+    reps_h = -(-height // base_h)
+    reps_w = -(-width // base_w)
+    upsampled = np.kron(base, np.ones((reps_h, reps_w, 1), dtype=np.float32))
+    upsampled = upsampled[:height, :width]
+    texture = rng.normal(0.0, 12.0, size=(height, width, 3)).astype(np.float32)
+    return np.clip(upsampled + texture, 0, 255).astype(np.uint8)
+
+
+@dataclass(frozen=True)
+class SizeDistribution:
+    """Log-normal image side-length distribution.
+
+    Calibrated so the resulting file sizes have a coefficient of
+    variation near ImageNet's (mean 111 KB, std 133 KB → CV ≈ 1.2).
+    """
+
+    median_side: int = 128
+    sigma: float = 0.45
+    min_side: int = 48
+    max_side: int = 512
+
+    def draw(self, rng: np.random.Generator) -> Tuple[int, int]:
+        height = int(np.clip(
+            rng.lognormal(np.log(self.median_side), self.sigma),
+            self.min_side,
+            self.max_side,
+        ))
+        aspect = rng.uniform(0.7, 1.4)
+        width = int(np.clip(height * aspect, self.min_side, self.max_side))
+        return height, width
+
+
+class SyntheticImageNet:
+    """Labeled SJPG image blobs with heterogeneous sizes."""
+
+    def __init__(
+        self,
+        n_images: int,
+        n_classes: int = 10,
+        sizes: SizeDistribution = SizeDistribution(),
+        quality_range: Tuple[int, int] = (55, 95),
+        seed: SeedLike = 0,
+    ) -> None:
+        if n_images < 1:
+            raise ReproError(f"need at least one image, got {n_images}")
+        if n_classes < 1:
+            raise ReproError(f"need at least one class, got {n_classes}")
+        lo, hi = quality_range
+        if not 1 <= lo <= hi <= 100:
+            raise ReproError(f"invalid quality range: {quality_range}")
+        self.n_classes = n_classes
+        self.blobs: List[bytes] = []
+        self.labels: List[int] = []
+        rng = derive_rng(seed, "SyntheticImageNet")
+        for index in range(n_images):
+            image_rng = derive_rng(rng, "image", index)
+            height, width = sizes.draw(image_rng)
+            quality = int(image_rng.integers(lo, hi + 1))
+            pixels = _smooth_image(image_rng, height, width)
+            self.blobs.append(encode_sjpg(pixels, quality=quality))
+            self.labels.append(int(image_rng.integers(0, n_classes)))
+
+    def __len__(self) -> int:
+        return len(self.blobs)
+
+    def file_size_summary(self) -> Summary:
+        """Blob size distribution (compare against ImageNet's 111±133 KB)."""
+        return summarize([len(blob) for blob in self.blobs])
+
+    def write_image_folder(self, root: PathLike) -> str:
+        """Materialize as an ImageFolder-layout directory tree."""
+        root = os.fspath(root)
+        for index, (blob, label) in enumerate(zip(self.blobs, self.labels)):
+            class_dir = os.path.join(root, f"class_{label:03d}")
+            os.makedirs(class_dir, exist_ok=True)
+            with open(os.path.join(class_dir, f"img_{index:06d}.sjpg"), "wb") as f:
+                f.write(blob)
+        return root
+
+
+class SyntheticKits19:
+    """Volumetric (image, label) cases with heterogeneous depths.
+
+    KiTS19 CT cases differ wildly in voxel count, which is why the IS
+    pipeline's Loader and RandBalancedCrop times vary so much (Table II).
+    Volumes are stored as serialized ``.npy`` pairs so loading does real
+    deserialization work.
+    """
+
+    def __init__(
+        self,
+        n_cases: int,
+        base_shape: Tuple[int, int, int] = (32, 64, 64),
+        depth_jitter: float = 0.6,
+        foreground_fraction: float = 0.02,
+        seed: SeedLike = 0,
+    ) -> None:
+        if n_cases < 1:
+            raise ReproError(f"need at least one case, got {n_cases}")
+        self.case_blobs: List[Tuple[bytes, bytes]] = []
+        rng = derive_rng(seed, "SyntheticKits19")
+        d0, h0, w0 = base_shape
+        for index in range(n_cases):
+            case_rng = derive_rng(rng, "case", index)
+            depth = max(8, int(d0 * case_rng.lognormal(0.0, depth_jitter)))
+            image = case_rng.normal(0.0, 1.0, size=(1, depth, h0, w0)).astype(np.float32)
+            label = np.zeros((1, depth, h0, w0), dtype=np.uint8)
+            n_fg = max(1, int(foreground_fraction * depth * h0 * w0))
+            flat = case_rng.choice(depth * h0 * w0, size=n_fg, replace=False)
+            label.reshape(-1)[flat] = 1
+            self.case_blobs.append((_to_npy(image), _to_npy(label)))
+
+    def __len__(self) -> int:
+        return len(self.case_blobs)
+
+    def voxel_counts(self) -> List[int]:
+        return [
+            np.load(io.BytesIO(image_blob)).size
+            for image_blob, _ in self.case_blobs
+        ]
+
+
+class SyntheticCoco:
+    """Detection samples: SJPG images plus bounding-box targets."""
+
+    def __init__(
+        self,
+        n_images: int,
+        sizes: SizeDistribution = SizeDistribution(median_side=160, sigma=0.35),
+        max_boxes: int = 8,
+        quality_range: Tuple[int, int] = (55, 95),
+        seed: SeedLike = 0,
+    ) -> None:
+        if n_images < 1:
+            raise ReproError(f"need at least one image, got {n_images}")
+        self.blobs: List[bytes] = []
+        self.targets: List[dict] = []
+        rng = derive_rng(seed, "SyntheticCoco")
+        lo, hi = quality_range
+        for index in range(n_images):
+            image_rng = derive_rng(rng, "image", index)
+            height, width = sizes.draw(image_rng)
+            pixels = _smooth_image(image_rng, height, width)
+            self.blobs.append(
+                encode_sjpg(pixels, quality=int(image_rng.integers(lo, hi + 1)))
+            )
+            n_boxes = int(image_rng.integers(1, max_boxes + 1))
+            x1 = image_rng.uniform(0, width * 0.8, size=n_boxes)
+            y1 = image_rng.uniform(0, height * 0.8, size=n_boxes)
+            x2 = np.minimum(x1 + image_rng.uniform(4, width * 0.5, size=n_boxes), width)
+            y2 = np.minimum(y1 + image_rng.uniform(4, height * 0.5, size=n_boxes), height)
+            self.targets.append(
+                {
+                    "boxes": np.stack([x1, y1, x2, y2], axis=1),
+                    "labels": image_rng.integers(0, 80, size=n_boxes),
+                    "image_id": index,
+                }
+            )
+
+    def __len__(self) -> int:
+        return len(self.blobs)
+
+
+def _to_npy(array: np.ndarray) -> bytes:
+    buffer = io.BytesIO()
+    np.save(buffer, array)
+    return buffer.getvalue()
+
+
+def numpy_volume_loader(pair: Tuple[bytes, bytes]) -> Tuple[np.ndarray, np.ndarray]:
+    """Deserialize an (image, label) ``.npy`` blob pair."""
+    image_blob, label_blob = pair
+    return np.load(io.BytesIO(image_blob)), np.load(io.BytesIO(label_blob))
+
+
+class VolumePairDataset(Dataset):
+    """IS-style dataset over serialized volume pairs.
+
+    ``log_file`` makes the deserialization step appear as a ``Loader``
+    [T3] op record, mirroring the instrumented MLPerf IS pipeline.
+    """
+
+    def __init__(
+        self,
+        cases: Union[SyntheticKits19, Sequence[Tuple[bytes, bytes]]],
+        transform: Optional[Callable] = None,
+        loader: Callable = numpy_volume_loader,
+        log_file: Union[PathLike, TraceSink, None] = None,
+    ) -> None:
+        self._cases = (
+            cases.case_blobs if isinstance(cases, SyntheticKits19) else list(cases)
+        )
+        self.transform = transform
+        self.loader = loader
+        self._sink: Optional[TraceSink] = open_trace_log(log_file)
+
+    def __getitem__(self, index: int):
+        pair = self._cases[index]
+        if self._sink is None:
+            sample = self.loader(pair)
+        else:
+            start = time.time_ns()
+            sample = self.loader(pair)
+            duration = time.time_ns() - start
+            self._sink.write(
+                TraceRecord(
+                    kind=KIND_OP,
+                    name="Loader",
+                    batch_id=-1,
+                    worker_id=current_worker_id(),
+                    pid=current_pid(),
+                    start_ns=start,
+                    duration_ns=duration,
+                )
+            )
+        if self.transform is not None:
+            sample = self.transform(sample)
+        return sample
+
+    def __len__(self) -> int:
+        return len(self._cases)

@@ -1,0 +1,61 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without masking unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ImageError(ReproError):
+    """Raised for invalid image data or unsupported image operations."""
+
+
+class CodecError(ImageError):
+    """Raised when encoding or decoding an image blob fails."""
+
+
+class DataLoaderError(ReproError):
+    """Raised for invalid DataLoader configuration or broken workers."""
+
+
+class WorkerCrashError(DataLoaderError):
+    """Raised in the main process when a DataLoader worker died."""
+
+    def __init__(self, worker_id: int, cause: str) -> None:
+        super().__init__(f"DataLoader worker {worker_id} crashed: {cause}")
+        self.worker_id = worker_id
+        self.cause = cause
+
+
+class TraceError(ReproError):
+    """Raised for malformed LotusTrace logs or inconsistent span data."""
+
+
+class MappingError(ReproError):
+    """Raised when LotusMap cannot produce or apply a mapping."""
+
+
+class ProfilerError(ReproError):
+    """Raised for invalid profiler state transitions or configuration."""
+
+
+class ProfilerMemoryError(ProfilerError):
+    """Raised when a buffering profiler exceeds its in-memory budget.
+
+    Models the OOM failure of trace-buffering profilers (the PyTorch
+    profiler buffers all events in memory until program completion, which
+    the paper reports OOMs on the full ImageNet dataset).
+    """
+
+    def __init__(self, used_bytes: int, budget_bytes: int) -> None:
+        super().__init__(
+            f"profiler event buffer exceeded budget: {used_bytes} bytes "
+            f"used, {budget_bytes} bytes allowed"
+        )
+        self.used_bytes = used_bytes
+        self.budget_bytes = budget_bytes

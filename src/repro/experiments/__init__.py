@@ -1,0 +1,32 @@
+"""Experiment harness: one module per paper table/figure.
+
+Each module exposes a ``run_*`` function returning a structured result
+plus a ``format_*`` renderer that prints the same rows/series the paper
+reports. The benchmark suite (``benchmarks/``) drives these; tests assert
+the qualitative shape (who wins, directions of trends, crossovers) since
+the substrate is a simulator, not the authors' testbed.
+
+| Experiment | Paper artifact | Module |
+|---|---|---|
+| Python→C mapping        | Table I   | :mod:`table1_mapping` |
+| Per-op elapsed times    | Table II  | :mod:`table2_op_times` |
+| Profiler overheads      | Table III | :mod:`table3_overhead` |
+| Profiler functionality  | Table IV  | :mod:`table4_functionality` |
+| Coarse traces/regimes   | Figure 2  | :mod:`fig2_traces` |
+| Out-of-order arrival    | Figure 3  | :mod:`fig3_out_of_order` |
+| Preprocessing variance  | Figure 4  | :mod:`fig4_variance` |
+| Wait/delay distribution | Figure 5  | :mod:`fig5_wait_delay` |
+| Hardware analysis sweep | Figure 6  | :mod:`fig6_hw_analysis` |
+"""
+
+__all__ = [
+    "fig2_traces",
+    "fig3_out_of_order",
+    "fig4_variance",
+    "fig5_wait_delay",
+    "fig6_hw_analysis",
+    "table1_mapping",
+    "table2_op_times",
+    "table3_overhead",
+    "table4_functionality",
+]

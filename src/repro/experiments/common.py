@@ -1,0 +1,139 @@
+"""Shared experiment helpers: IC operation factories for LotusMap, scaled
+profiler construction, and pipeline-run utilities."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.lotustrace import InMemoryTraceLog, TraceAnalysis, analyze_trace
+from repro.core.lotusmap import IsolationConfig, Mapping, build_mapping
+from repro.datasets.synthetic import SyntheticImageNet
+from repro.hwprof.profiler import (
+    HardwareProfiler,
+    UProfLikeProfiler,
+    VTuneLikeProfiler,
+)
+from repro.imaging.image import Image
+from repro.tensor.collate import default_collate
+from repro.transforms import (
+    Normalize,
+    RandomHorizontalFlip,
+    RandomResizedCrop,
+    ToTensor,
+)
+from repro.workloads.pipelines import IMAGENET_MEAN, IMAGENET_STD
+
+#: Scaled sampling intervals for experiments: keep the Intel:AMD 10:1
+#: ratio from the paper while finishing in seconds.
+SCALED_INTEL_INTERVAL_NS = 250_000
+SCALED_AMD_INTERVAL_NS = 25_000
+
+
+def scaled_vtune(seed: int = 0, **kwargs) -> VTuneLikeProfiler:
+    """Intel-flavoured profiler at the experiment-scaled interval."""
+    kwargs.setdefault("sampling_interval_ns", SCALED_INTEL_INTERVAL_NS)
+    return VTuneLikeProfiler(seed=seed, **kwargs)
+
+
+def scaled_uprof(seed: int = 0, **kwargs) -> UProfLikeProfiler:
+    """AMD-flavoured profiler at the experiment-scaled interval."""
+    kwargs.setdefault("sampling_interval_ns", SCALED_AMD_INTERVAL_NS)
+    return UProfLikeProfiler(seed=seed, **kwargs)
+
+
+def ic_operation_factories(
+    crop: int = 96,
+    image_side: int = 320,
+    large_side: int = 448,
+    seed: int = 0,
+) -> Dict[str, Tuple[Callable[[], object], Callable[[object], object]]]:
+    """(prelude, operation) pairs for the IC pipeline's Python operations.
+
+    Used by the LotusMap isolation harness: the prelude reconstructs the
+    operation's input each iteration (the per-run warm-up loop of
+    Listing 4), the operation is the Python function being mapped.
+
+    Short-lived operations (flip, ToTensor, Normalize) run on a *larger*
+    input, per the paper's § IV-B: "If the Python operation is
+    short-lived, then the operation can be run with a larger input in
+    isolation" — otherwise their spans stay far below the sampling
+    interval and the required run counts explode.
+    """
+    from repro.imaging.jpeg.codec import encode_sjpg
+
+    def make_pixels(side: int) -> np.ndarray:
+        rng = np.random.default_rng(seed)
+        base = rng.integers(0, 256, size=(side // 8, side // 8, 3))
+        pixels = np.kron(base, np.ones((8, 8, 1))).astype(np.uint8)
+        return np.clip(
+            pixels + rng.normal(0, 10, size=pixels.shape), 0, 255
+        ).astype(np.uint8)
+
+    pixels = make_pixels(image_side)
+    blob_hi = encode_sjpg(pixels, quality=85)
+    blob_lo = encode_sjpg(pixels, quality=60)
+
+    rrc = RandomResizedCrop(crop, seed=seed)
+    rhf = RandomHorizontalFlip(p=1.0, seed=seed)
+    to_tensor = ToTensor()
+    normalize = Normalize(IMAGENET_MEAN, IMAGENET_STD)
+    blobs = [blob_hi, blob_lo]
+    state = {"i": 0}
+
+    def open_next() -> Image:
+        # Alternate encode qualities so both decoder branches (fused
+        # 16x16 IDCT vs separate upsample) are exercised — the
+        # "inconsistent functions" capture problem.
+        state["i"] += 1
+        return Image.open(blobs[state["i"] % len(blobs)])
+
+    decoded = Image.open(blob_hi).convert("RGB")
+    large = Image(make_pixels(large_side))
+    large_tensor = to_tensor(large)
+
+    return {
+        "Loader": (open_next, lambda im: im.convert("RGB")),
+        "RandomResizedCrop": (lambda: decoded, rrc),
+        "RandomHorizontalFlip": (lambda: large, rhf),
+        "ToTensor": (lambda: large, to_tensor),
+        "Normalize": (lambda: large_tensor, normalize),
+        "Collation": (
+            lambda: [large_tensor for _ in range(8)],
+            default_collate,
+        ),
+    }
+
+
+def build_ic_mapping(
+    profiler_factory: Callable[[], HardwareProfiler],
+    runs: int = 12,
+    gap_s: float = 0.002,
+    seed: int = 0,
+    min_presence: float = 0.15,
+) -> Mapping:
+    """LotusMap preparatory step for the IC pipeline's operations.
+
+    ``min_presence`` is lower than the library default because short
+    allocator symbols (``__libc_calloc`` spans well under the Intel
+    sampling interval) appear in only a modest fraction of runs even when
+    genuinely invoked every time.
+    """
+    return build_mapping(
+        ic_operation_factories(seed=seed),
+        profiler_factory,
+        config=IsolationConfig(runs=runs, warmup_iterations=1, gap_s=gap_s),
+        min_presence=min_presence,
+    )
+
+
+def run_traced_epoch(bundle, max_batches: Optional[int] = None) -> TraceAnalysis:
+    """Run one epoch of a PipelineBundle and analyze its in-memory trace."""
+    report = bundle.run_epoch(max_batches=max_batches)
+    sink = bundle.log_target
+    if not isinstance(sink, InMemoryTraceLog):
+        raise ValueError("run_traced_epoch needs an InMemoryTraceLog bundle")
+    analysis = analyze_trace(sink.records())
+    analysis.epoch_report = report  # type: ignore[attr-defined]
+    return analysis

@@ -1,0 +1,136 @@
+"""Figure 2: coarse traces and bottleneck regimes for IC, IS, OD.
+
+For each pipeline the experiment produces a Chrome-trace visualization
+(coarse granularity) plus the metrics the paper reads off the figure:
+median wait time, median delay time, and GPU step time. The regime
+classification follows § V-B: preprocessing-bound pipelines show waits
+exceeding GPU step time with short delays; GPU-bound pipelines show long
+delays (batches queue behind the accelerator) with short waits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.lotustrace import InMemoryTraceLog, to_chrome_trace
+from repro.experiments.common import run_traced_epoch
+from repro.utils.stats import percentile
+from repro.utils.timeunits import ns_to_ms
+from repro.workloads import (
+    SMOKE,
+    ScaleProfile,
+    build_ic_pipeline,
+    build_is_pipeline,
+    build_od_pipeline,
+)
+
+PREPROCESSING_BOUND = "preprocessing-bound"
+GPU_BOUND = "gpu-bound"
+
+
+@dataclass
+class PipelineTrace:
+    """One Figure 2 panel."""
+
+    pipeline: str
+    median_wait_ms: float
+    median_delay_ms: float
+    max_delay_ms: float
+    gpu_step_ms: float
+    n_batches: int
+    out_of_order_batches: int
+    chrome_trace: Dict
+
+    @property
+    def regime(self) -> str:
+        """Bottleneck classification per § V-B.
+
+        Preprocessing-bound: the main process waits for batches longer
+        than one GPU step takes — the GPU stalls on preprocessing (the
+        paper's Figure 5a argument). Otherwise batches are ready before
+        the GPU can take them and queue behind it: GPU-bound.
+        """
+        if self.median_wait_ms > self.gpu_step_ms:
+            return PREPROCESSING_BOUND
+        return GPU_BOUND
+
+
+@dataclass
+class Fig2Result:
+    panels: Dict[str, PipelineTrace] = field(default_factory=dict)
+
+
+def _panel(name: str, bundle, coarse: bool = True) -> PipelineTrace:
+    sink = bundle.log_target
+    analysis = run_traced_epoch(bundle)
+    report = analysis.epoch_report
+    waits = analysis.wait_times_ns() or [0]
+    delays = analysis.delay_times_ns() or [0]
+    ooo = sum(1 for flow in analysis.batches.values() if flow.arrived_out_of_order)
+    return PipelineTrace(
+        pipeline=name,
+        median_wait_ms=ns_to_ms(percentile(waits, 50)),
+        median_delay_ms=ns_to_ms(percentile(delays, 50)),
+        max_delay_ms=ns_to_ms(max(delays)),
+        gpu_step_ms=report.mean_gpu_step_s * 1000.0,
+        n_batches=report.n_batches,
+        out_of_order_batches=ooo,
+        chrome_trace=to_chrome_trace(sink.records(), coarse=coarse),
+    )
+
+
+def run_fig2(
+    profile: ScaleProfile = SMOKE,
+    num_workers: int = 2,
+    n_gpus: int = 1,
+    seed: int = 0,
+) -> Fig2Result:
+    """Run the three pipelines and build their Figure 2 panels."""
+    result = Fig2Result()
+    result.panels["IC"] = _panel(
+        "IC",
+        build_ic_pipeline(
+            profile=profile,
+            num_workers=num_workers,
+            n_gpus=n_gpus,
+            log_file=InMemoryTraceLog(),
+            seed=seed,
+        ),
+    )
+    result.panels["IS"] = _panel(
+        "IS",
+        build_is_pipeline(
+            profile=profile,
+            num_workers=num_workers,
+            n_gpus=n_gpus,
+            log_file=InMemoryTraceLog(),
+            seed=seed,
+        ),
+    )
+    result.panels["OD"] = _panel(
+        "OD",
+        build_od_pipeline(
+            profile=profile,
+            num_workers=num_workers,
+            n_gpus=n_gpus,
+            log_file=InMemoryTraceLog(),
+            seed=seed,
+        ),
+    )
+    return result
+
+
+def format_fig2(result: Fig2Result) -> str:
+    """Render the per-pipeline wait/delay/regime table."""
+    lines = [
+        f"{'Pipeline':<10} {'Wait(med)':>10} {'Delay(med)':>11} "
+        f"{'GPU step':>9} {'OOO':>4}  Regime"
+    ]
+    for panel in result.panels.values():
+        lines.append(
+            f"{panel.pipeline:<10} {panel.median_wait_ms:>9.1f}ms "
+            f"{panel.median_delay_ms:>10.1f}ms {panel.gpu_step_ms:>8.1f}ms "
+            f"{panel.out_of_order_batches:>4}  {panel.regime}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,115 @@
+"""Figure 4: per-batch preprocessing time has high variance.
+
+Sweeps the IC pipeline over batch sizes and GPU/worker counts (workers =
+GPUs, as in the paper) and summarizes per-batch preprocessing time. The
+paper's findings, asserted as shapes:
+
+* the standard deviation is a meaningful fraction of the mean
+  (5.48–10.73 % on the testbed; wider here since runs are shorter);
+* the IQR grows substantially from the smallest to the largest batch
+  size (up to 6.9x for 128 → 1024).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.core.lotustrace import InMemoryTraceLog
+from repro.datasets.synthetic import SyntheticImageNet
+from repro.experiments.common import run_traced_epoch
+from repro.utils.stats import Summary
+from repro.workloads import SMOKE, ScaleProfile, build_ic_pipeline
+
+#: Scaled stand-ins for the paper's b ∈ {128, 256, 512, 1024}.
+DEFAULT_BATCH_SIZES = (4, 8, 16, 32)
+DEFAULT_GPU_COUNTS = (1, 2)
+
+ConfigKey = Tuple[int, int]  # (batch_size, n_gpus)
+
+
+@dataclass
+class Fig4Result:
+    summaries: Dict[ConfigKey, Summary] = field(default_factory=dict)
+    batch_sizes: Tuple[int, ...] = DEFAULT_BATCH_SIZES
+    gpu_counts: Tuple[int, ...] = DEFAULT_GPU_COUNTS
+
+    def std_pct_range(self) -> Tuple[float, float]:
+        values = [s.std_pct_of_mean for s in self.summaries.values()]
+        return (min(values), max(values))
+
+    def iqr_ratio(self, n_gpus: int) -> float:
+        """IQR(largest batch) / IQR(smallest batch) for one GPU count."""
+        small = self.summaries[(self.batch_sizes[0], n_gpus)].iqr
+        large = self.summaries[(self.batch_sizes[-1], n_gpus)].iqr
+        if small <= 0:
+            return float("inf")
+        return large / small
+
+
+def _trimmed(values, k: float = 1.5):
+    """Drop values outside the Tukey fences (the artifact's
+    ``--remove_outliers`` flag on preprocessing_time_stats.py)."""
+    from repro.utils.stats import percentile
+
+    if len(values) < 4:
+        return list(values)
+    q1 = percentile(values, 25.0)
+    q3 = percentile(values, 75.0)
+    spread = q3 - q1
+    low, high = q1 - k * spread, q3 + k * spread
+    kept = [v for v in values if low <= v <= high]
+    return kept or list(values)
+
+
+def run_fig4(
+    profile: ScaleProfile = SMOKE,
+    batch_sizes: Tuple[int, ...] = DEFAULT_BATCH_SIZES,
+    gpu_counts: Tuple[int, ...] = DEFAULT_GPU_COUNTS,
+    images_per_config: int = 96,
+    remove_outliers: bool = True,
+    seed: int = 0,
+) -> Fig4Result:
+    """Sweep batch sizes x GPU counts; summarize per-batch times."""
+    from repro.utils.stats import summarize
+
+    dataset = SyntheticImageNet(images_per_config, seed=seed)
+    result = Fig4Result(batch_sizes=batch_sizes, gpu_counts=gpu_counts)
+    for n_gpus in gpu_counts:
+        for batch_size in batch_sizes:
+            log = InMemoryTraceLog()
+            bundle = build_ic_pipeline(
+                dataset=dataset,
+                profile=profile,
+                batch_size=batch_size,
+                num_workers=n_gpus,  # paper: workers set equal to GPUs
+                n_gpus=n_gpus,
+                log_file=log,
+                seed=seed + batch_size + n_gpus,
+            )
+            analysis = run_traced_epoch(bundle)
+            times = analysis.preprocess_times_ns()
+            if remove_outliers:
+                times = _trimmed(times)
+            result.summaries[(batch_size, n_gpus)] = summarize(times)
+    return result
+
+
+def format_fig4(result: Fig4Result) -> str:
+    """Render the per-config variance table and IQR ratios."""
+    lines = [
+        f"{'batch':>6} {'gpus':>5} {'mean ms':>9} {'std%':>6} {'IQR ms':>8} "
+        f"{'P90 ms':>8}"
+    ]
+    for (batch_size, n_gpus), summary in sorted(result.summaries.items()):
+        lines.append(
+            f"{batch_size:>6} {n_gpus:>5} {summary.mean / 1e6:>9.2f} "
+            f"{summary.std_pct_of_mean:>6.1f} {summary.iqr / 1e6:>8.2f} "
+            f"{summary.p90 / 1e6:>8.2f}"
+        )
+    for n_gpus in result.gpu_counts:
+        lines.append(
+            f"IQR({result.batch_sizes[-1]})/IQR({result.batch_sizes[0]}) at "
+            f"{n_gpus} gpu(s): {result.iqr_ratio(n_gpus):.2f}x"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,176 @@
+"""Figure 6: combining LotusTrace and LotusMap for hardware analysis.
+
+The case study: fixed batch size, 4 virtual GPUs, sweep the DataLoader
+worker count. For each configuration the IC pipeline runs with LotusTrace
+active *and* the VTune-like profiler attached for the whole job, then:
+
+* (a) end-to-end epoch time — drops steeply with extra workers before
+  diminishing returns set in;
+* (b, e) total CPU time per Python operation (LotusTrace) — rises with
+  worker count even as E2E time falls (Takeaway 5);
+* (c, d) the whole-job profile contains many C functions; the LotusMap
+  mapping filters it to the preprocessing-relevant ones;
+* (f) micro-operation supply to the back end per clocktick — falls as
+  workers contend for the front end;
+* (g) front-end bound fraction — rises with workers;
+* (h) stalls on loads serviced by local DRAM — fall per § V-D.
+
+Counters are attributed from C functions to Python operations with
+LotusTrace elapsed-time weights (§ IV-B metric splitting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.lotusmap import Mapping, attribute_counters
+from repro.core.lotustrace import InMemoryTraceLog
+from repro.datasets.synthetic import SyntheticImageNet
+from repro.experiments.common import build_ic_mapping, run_traced_epoch, scaled_vtune
+from repro.hwprof.counters import CounterSet
+from repro.hwprof.profile import HardwareProfile
+from repro.workloads import SMOKE, ScaleProfile, build_ic_pipeline
+
+#: Scaled stand-ins for the paper's 8..28-step-4 sweep on a 32-core node.
+DEFAULT_WORKER_COUNTS = (1, 2, 4, 8)
+
+
+@dataclass
+class Fig6Config:
+    """One sweep point's outputs."""
+
+    workers: int
+    e2e_s: float
+    op_cpu_ns: Dict[str, int]
+    profile_function_count: int
+    filtered_function_count: int
+    op_counters: Dict[str, CounterSet]
+    profile: HardwareProfile
+
+
+@dataclass
+class Fig6Result:
+    mapping: Mapping
+    configs: Dict[int, Fig6Config] = field(default_factory=dict)
+
+    # -- trend accessors (one per paper panel) ----------------------------------
+    def worker_counts(self) -> List[int]:
+        return sorted(self.configs)
+
+    def e2e_series(self) -> List[float]:
+        """(a) E2E epoch time by worker count."""
+        return [self.configs[w].e2e_s for w in self.worker_counts()]
+
+    def total_cpu_series(self) -> List[float]:
+        """(b) total preprocessing CPU seconds by worker count."""
+        return [
+            sum(self.configs[w].op_cpu_ns.values()) / 1e9
+            for w in self.worker_counts()
+        ]
+
+    def op_cpu_series(self, op: str) -> List[float]:
+        """(e) one operation's CPU seconds by worker count."""
+        return [
+            self.configs[w].op_cpu_ns.get(op, 0) / 1e9 for w in self.worker_counts()
+        ]
+
+    def uops_per_clock_series(self, op: str) -> List[float]:
+        """(f) uop supply to the back end per clocktick."""
+        return [
+            self.configs[w].op_counters[op].uops_per_clocktick
+            for w in self.worker_counts()
+        ]
+
+    def front_end_bound_series(self, op: str) -> List[float]:
+        """(g) front-end bound percentage."""
+        return [
+            self.configs[w].op_counters[op].front_end_bound_pct
+            for w in self.worker_counts()
+        ]
+
+    def dram_bound_series(self, op: str) -> List[float]:
+        """(h) local-DRAM-bound stall percentage."""
+        return [
+            self.configs[w].op_counters[op].dram_bound_pct
+            for w in self.worker_counts()
+        ]
+
+    def mapped_ops(self) -> List[str]:
+        return self.mapping.operations()
+
+
+def run_fig6(
+    profile: ScaleProfile = SMOKE,
+    worker_counts: Sequence[int] = DEFAULT_WORKER_COUNTS,
+    batch_size: int = 8,
+    n_gpus: int = 4,
+    images: int = 64,
+    remote_latency_s: float = 0.012,
+    mapping: Optional[Mapping] = None,
+    mapping_runs: int = 10,
+    seed: int = 0,
+) -> Fig6Result:
+    """Run the worker sweep with LotusTrace + profiler attached."""
+    if mapping is None:
+        mapping = build_ic_mapping(
+            lambda: scaled_vtune(seed=seed), runs=mapping_runs, seed=seed
+        )
+    dataset = SyntheticImageNet(images, seed=seed)
+    result = Fig6Result(mapping=mapping)
+    for workers in worker_counts:
+        log = InMemoryTraceLog()
+        bundle = build_ic_pipeline(
+            dataset=dataset,
+            profile=profile,
+            batch_size=batch_size,
+            num_workers=workers,
+            n_gpus=n_gpus,
+            log_file=log,
+            seed=seed + workers,
+            remote_latency_s=remote_latency_s,
+            remote_bandwidth_mb_s=10.0,
+        )
+        profiler = scaled_vtune(seed=seed + 100 + workers)
+        profiler.start()
+        try:
+            analysis = run_traced_epoch(bundle)
+        finally:
+            hw_profile = profiler.stop()
+        op_cpu = analysis.op_total_cpu_ns()
+        filtered = hw_profile.filter(
+            lambda row: mapping.is_preprocessing_function(row.function)
+        )
+        result.configs[workers] = Fig6Config(
+            workers=workers,
+            e2e_s=analysis.epoch_report.epoch_time_s,
+            op_cpu_ns=op_cpu,
+            profile_function_count=len(hw_profile),
+            filtered_function_count=len(filtered),
+            op_counters=attribute_counters(filtered, mapping, op_cpu),
+            profile=hw_profile,
+        )
+    return result
+
+
+def format_fig6(result: Fig6Result, op: str = "Loader") -> str:
+    """Render the eight Figure 6 panel series."""
+    workers = result.worker_counts()
+    lines = [
+        "Figure 6 series (IC, workers swept):",
+        f"  workers:            {workers}",
+        f"  (a) E2E s:          {[round(v, 2) for v in result.e2e_series()]}",
+        f"  (b) CPU s (total):  {[round(v, 2) for v in result.total_cpu_series()]}",
+        f"  (c) profile fns:    "
+        f"{[result.configs[w].profile_function_count for w in workers]}",
+        f"  (d) mapped fns:     "
+        f"{[result.configs[w].filtered_function_count for w in workers]}",
+        f"  (e) {op} CPU s:     {[round(v, 3) for v in result.op_cpu_series(op)]}",
+        f"  (f) uops/clk:       "
+        f"{[round(v, 3) for v in result.uops_per_clock_series(op)]}",
+        f"  (g) FE bound %:     "
+        f"{[round(v, 2) for v in result.front_end_bound_series(op)]}",
+        f"  (h) DRAM bound %:   "
+        f"{[round(v, 2) for v in result.dram_bound_series(op)]}",
+    ]
+    return "\n".join(lines)

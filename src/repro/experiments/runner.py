@@ -1,0 +1,66 @@
+"""Run every experiment and render a combined report.
+
+Used by ``examples/full_characterization.py`` and handy for eyeballing
+all reproduced tables/figures at once::
+
+    python -m repro.experiments.runner [--fast]
+"""
+
+from __future__ import annotations
+
+import argparse
+import tempfile
+from typing import Callable, Dict
+
+from repro.experiments.fig2_traces import format_fig2, run_fig2
+from repro.experiments.fig3_out_of_order import format_fig3, run_fig3
+from repro.experiments.fig4_variance import format_fig4, run_fig4
+from repro.experiments.fig5_wait_delay import format_fig5, run_fig5
+from repro.experiments.fig6_hw_analysis import format_fig6, run_fig6
+from repro.experiments.table1_mapping import format_table1, run_table1
+from repro.experiments.table2_op_times import format_table2, run_table2
+from repro.experiments.table3_overhead import format_table3, run_table3
+from repro.experiments.table4_functionality import format_table4, run_table4
+from repro.workloads import BENCH, SMOKE
+
+
+def run_all(fast: bool = True) -> str:
+    """Run every table/figure experiment; returns the combined report."""
+    profile = SMOKE if fast else BENCH
+    sections = []
+
+    def add(title: str, body: str) -> None:
+        sections.append(f"=== {title} ===\n{body}\n")
+
+    add("Table I: Python -> C/C++ mapping", format_table1(run_table1(runs=8)))
+    add("Table II: per-op elapsed times", format_table2(run_table2(profile=profile)))
+    with tempfile.TemporaryDirectory() as tmp:
+        add(
+            "Table III: profiler overheads",
+            format_table3(run_table3(profile=profile, log_dir=tmp)),
+        )
+    with tempfile.TemporaryDirectory() as tmp:
+        add(
+            "Table IV: profiler functionality",
+            format_table4(run_table4(profile=profile, log_dir=tmp)),
+        )
+    add("Figure 2: traces & regimes", format_fig2(run_fig2(profile=profile)))
+    add("Figure 3: out-of-order arrival", format_fig3(run_fig3()))
+    add("Figure 4: preprocessing variance", format_fig4(run_fig4(profile=profile)))
+    add("Figure 5: wait & delay times", format_fig5(run_fig5(profile=profile)))
+    add("Figure 6: hardware analysis sweep", format_fig6(run_fig6(profile=profile)))
+    return "\n".join(sections)
+
+
+def main() -> None:
+    """Command-line entry point."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--fast", action="store_true", help="use the smoke-scale profile"
+    )
+    args = parser.parse_args()
+    print(run_all(fast=args.fast))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Table I: Python operation → C/C++ function mapping, Intel and AMD.
+
+Runs the full LotusMap preparatory step against both vendor profilers and
+reports, per operation, the common functions plus each vendor's specific
+rows — the structure of the paper's Table I.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set
+
+from repro.core.lotusmap.mapping import Mapping
+from repro.experiments.common import build_ic_mapping, scaled_uprof, scaled_vtune
+
+
+@dataclass
+class Table1Result:
+    intel: Mapping
+    amd: Mapping
+
+    def common_functions(self, op: str) -> Set[str]:
+        if op not in self.intel or op not in self.amd:
+            return set()
+        return self.intel.function_names_for(op) & self.amd.function_names_for(op)
+
+    def intel_specific(self, op: str) -> Set[str]:
+        return self.intel.vendor_specific_vs(self.amd, op)
+
+    def amd_specific(self, op: str) -> Set[str]:
+        return self.amd.vendor_specific_vs(self.intel, op)
+
+
+def run_table1(runs: int = 12, seed: int = 0) -> Table1Result:
+    """Build the IC mapping under both vendor profilers."""
+    intel = build_ic_mapping(lambda: scaled_vtune(seed=seed), runs=runs, seed=seed)
+    amd = build_ic_mapping(lambda: scaled_uprof(seed=seed + 1), runs=runs, seed=seed)
+    return Table1Result(intel=intel, amd=amd)
+
+
+def format_table1(result: Table1Result, ops: List[str] = None) -> str:
+    """Render in the paper's Transformation / Function / Library layout."""
+    ops = ops or ["Loader", "RandomResizedCrop"]
+    lines = [f"{'Transformation':<28} {'Function':<40} {'Library'}"]
+    for op in ops:
+        first = True
+        rows: List = []
+        for entry in result.intel.functions_for(op):
+            if entry.function in result.common_functions(op):
+                rows.append((entry.function, entry.library, ""))
+        for entry in result.intel.functions_for(op):
+            if entry.function in result.intel_specific(op):
+                rows.append((entry.function, entry.library, "*Intel-specific"))
+        for entry in result.amd.functions_for(op):
+            if entry.function in result.amd_specific(op):
+                rows.append((entry.function, entry.library, "*AMD-specific"))
+        for function, library, tag in rows:
+            label = op if first else (tag or "")
+            if not first and tag:
+                label = tag
+            lines.append(f"{label:<28} {function:<40} {library}")
+            first = False
+    return "\n".join(lines)

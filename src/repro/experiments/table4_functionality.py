@@ -1,0 +1,68 @@
+"""Table IV: which preprocessing metrics each profiler can produce.
+
+Each profiler observes the same IC epoch; its Table IV row is derived
+from the metrics genuinely extractable from its own output (not from its
+claims).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+from repro.datasets.synthetic import SyntheticImageNet
+from repro.experiments.table3_overhead import run_ic_epoch_under
+from repro.profilers import (
+    AustinLike,
+    BaselineProfiler,
+    LotusTraceProfiler,
+    PySpyLike,
+    ScaleneLike,
+    TorchProfilerLike,
+    evaluate_functionality,
+)
+from repro.profilers.functionality import (
+    FUNCTIONALITY_COLUMNS,
+    FunctionalityResult,
+    format_functionality_table,
+)
+from repro.workloads import SMOKE, ScaleProfile
+
+
+@dataclass
+class Table4Result:
+    rows: List[FunctionalityResult] = field(default_factory=list)
+
+    def supports(self, profiler: str, column: str) -> bool:
+        for row in self.rows:
+            if row.profiler == profiler:
+                return row.supports[column]
+        raise KeyError(f"no functionality row for {profiler!r}")
+
+
+def run_table4(
+    profile: ScaleProfile = SMOKE,
+    seed: int = 0,
+    log_dir: str = ".",
+) -> Table4Result:
+    """Run the IC epoch under every profiler; derive Table IV rows."""
+    dataset = SyntheticImageNet(profile.ic_images, seed=seed)
+    factories: Dict[str, Callable[[], BaselineProfiler]] = {
+        "lotus": lambda: LotusTraceProfiler(os.path.join(log_dir, "lotus_t4.trace")),
+        "scalene-like": ScaleneLike,
+        "py-spy-like": PySpyLike,
+        "austin-like": lambda: AustinLike(os.path.join(log_dir, "austin_t4.log")),
+        "torch-profiler-like": TorchProfilerLike,
+    }
+    result = Table4Result()
+    for factory in factories.values():
+        profiler = factory()
+        run_ic_epoch_under(profiler, dataset, profile, num_workers=2, seed=seed)
+        result.rows.append(evaluate_functionality(profiler))
+    return result
+
+
+def format_table4(result: Table4Result) -> str:
+    """Render Table IV."""
+    return format_functionality_table(result.rows)

@@ -1,0 +1,55 @@
+"""Simulated hardware profilers (the "Intel VTune / AMD uProf" substrate).
+
+A :class:`~repro.hwprof.profiler.HardwareProfiler` attaches an event
+recorder to the native layer, then *replays* the recorded call events with
+a virtual sampling clock at the vendor's interval (10 ms for the VTune-like
+profiler, 1 ms for the uProf-like one). The replay keeps the pathologies
+the paper's LotusMap methodology works around:
+
+* functions shorter than the sampling interval are captured only with
+  probability ``f/s`` per run (§ IV-B's repeat-run formula is exact here);
+* samples can *skid*: the driver may report the function that was running
+  slightly earlier, misattributing work across operation boundaries
+  unless a sleep gap separates them;
+* samples taken outside native code land on interpreter symbols
+  (``_PyEval_EvalFrameDefault`` etc.), producing the hundreds of
+  irrelevant functions a whole-program profile contains;
+* vendor-specific symbol visibility and naming follow Table I.
+
+Counters are derived from each kernel's cost signature and a contention
+model over the number of concurrently active workers, reproducing the
+front-end-bound / DRAM-bound trends of Figure 6.
+"""
+
+from repro.hwprof.control import (
+    AMDProfileControl,
+    CollectionControl,
+    CollectionWindows,
+    ITT,
+)
+from repro.hwprof.counters import COUNTER_NAMES, CounterSet
+from repro.hwprof.profile import FunctionProfile, HardwareProfile
+from repro.hwprof.profiler import (
+    HardwareProfiler,
+    UProfLikeProfiler,
+    VTuneLikeProfiler,
+)
+from repro.hwprof.sampling import LeafSegment, Sample, build_leaf_segments, replay_samples
+
+__all__ = [
+    "AMDProfileControl",
+    "COUNTER_NAMES",
+    "CollectionControl",
+    "CollectionWindows",
+    "CounterSet",
+    "FunctionProfile",
+    "HardwareProfile",
+    "HardwareProfiler",
+    "ITT",
+    "LeafSegment",
+    "Sample",
+    "UProfLikeProfiler",
+    "VTuneLikeProfiler",
+    "build_leaf_segments",
+    "replay_samples",
+]

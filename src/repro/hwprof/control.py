@@ -1,0 +1,117 @@
+"""Collection-control APIs: ITT (Intel) and AMDProfileControl (AMD).
+
+These mirror the Python bindings the paper uses to isolate individual
+Python functions under a hardware profiler (Listing 4):
+
+* Intel ITT: ``itt.resume()`` / ``itt.pause()`` / ``itt.detach()``;
+* AMDProfileControl: ``amd.resume(core)`` / ``amd.pause(core)`` — the
+  binding takes a core argument, as the paper's ``amd.resume(1)`` shows.
+
+The driver keeps sampling the whole program; resume/pause define
+*collection windows* and only samples inside a window enter the profile.
+This is what makes bucketing behave like the real drivers: a sample taken
+just inside a window can still *skid* to a function that ran before it,
+unless a sleep gap separates the window from earlier work (§ IV-B).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Tuple
+
+from repro.errors import ProfilerError
+
+
+class CollectionWindows:
+    """Timestamped resume/pause windows for one profiling session."""
+
+    def __init__(self) -> None:
+        self._windows: List[Tuple[int, int]] = []
+        self._open_since: Optional[int] = None
+        self._frozen = False
+
+    def resume(self) -> None:
+        if self._frozen:
+            raise ProfilerError("collection control used after detach()")
+        if self._open_since is None:
+            self._open_since = time.time_ns()
+
+    def pause(self) -> None:
+        if self._frozen:
+            raise ProfilerError("collection control used after detach()")
+        if self._open_since is not None:
+            self._windows.append((self._open_since, time.time_ns()))
+            self._open_since = None
+
+    def freeze(self) -> None:
+        """Close any open window and reject further control calls."""
+        if self._open_since is not None:
+            self._windows.append((self._open_since, time.time_ns()))
+            self._open_since = None
+        self._frozen = True
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
+
+    @property
+    def collecting(self) -> bool:
+        return self._open_since is not None
+
+    def windows(self) -> List[Tuple[int, int]]:
+        result = list(self._windows)
+        if self._open_since is not None:
+            result.append((self._open_since, time.time_ns()))
+        return result
+
+    def ever_controlled(self) -> bool:
+        """Whether resume() was ever called (else: profile everything)."""
+        return bool(self._windows) or self._open_since is not None
+
+    def contains(self, t_ns: int) -> bool:
+        return any(start <= t_ns < end for start, end in self.windows())
+
+
+class CollectionControl:
+    """Base class for the vendor control APIs."""
+
+    def __init__(self, windows: CollectionWindows) -> None:
+        self._windows = windows
+
+    @property
+    def collecting(self) -> bool:
+        return self._windows.collecting
+
+    @property
+    def detached(self) -> bool:
+        return self._windows.frozen
+
+
+class ITT(CollectionControl):
+    """Intel Instrumentation and Tracing Technology control."""
+
+    def resume(self) -> None:
+        self._windows.resume()
+
+    def pause(self) -> None:
+        self._windows.pause()
+
+    def detach(self) -> None:
+        """Stop collection permanently for this session."""
+        self._windows.freeze()
+
+
+class AMDProfileControl(CollectionControl):
+    """AMD uProf profile-control binding (pybind11-style, per-core arg)."""
+
+    def _check_core(self, core: int) -> None:
+        if core < 0:
+            raise ProfilerError(f"core must be >= 0, got {core}")
+
+    def resume(self, core: int = 0) -> None:
+        self._check_core(core)
+        self._windows.resume()
+
+    def pause(self, core: int = 0) -> None:
+        self._check_core(core)
+        self._windows.pause()

@@ -1,0 +1,106 @@
+"""Hardware counter value sets.
+
+The counter vocabulary matches what the paper reads from VTune's
+Microarchitecture Exploration view: CPU time, clockticks, instructions,
+micro-operation supply, top-down bound fractions, and cache/branch miss
+events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+COUNTER_NAMES = (
+    "cpu_time_ns",
+    "clockticks",
+    "instructions_retired",
+    "uops_issued",
+    "uops_delivered",
+    "front_end_bound_slots",
+    "back_end_bound_slots",
+    "dram_bound_stalls",
+    "l1_misses",
+    "llc_misses",
+    "branch_mispredicts",
+)
+
+
+@dataclass
+class CounterSet:
+    """Accumulated raw counter values."""
+
+    cpu_time_ns: float = 0.0
+    clockticks: float = 0.0
+    instructions_retired: float = 0.0
+    uops_issued: float = 0.0
+    uops_delivered: float = 0.0
+    front_end_bound_slots: float = 0.0
+    back_end_bound_slots: float = 0.0
+    dram_bound_stalls: float = 0.0
+    l1_misses: float = 0.0
+    llc_misses: float = 0.0
+    branch_mispredicts: float = 0.0
+
+    def add(self, values: dict) -> None:
+        """Accumulate a raw counter dict (from the cost model)."""
+        for name, value in values.items():
+            setattr(self, name, getattr(self, name) + value)
+
+    def merge(self, other: "CounterSet") -> None:
+        for field in fields(self):
+            setattr(
+                self,
+                field.name,
+                getattr(self, field.name) + getattr(other, field.name),
+            )
+
+    def scaled(self, factor: float) -> "CounterSet":
+        """Return a copy with every counter multiplied by ``factor``.
+
+        Used by LotusMap's metric splitting: a shared C function's
+        counters are divided across Python operations by elapsed-time
+        weights (§ IV-B).
+        """
+        result = CounterSet()
+        for field in fields(self):
+            setattr(result, field.name, getattr(self, field.name) * factor)
+        return result
+
+    # -- derived metrics (VTune-style percentages) ------------------------------
+    @property
+    def ipc(self) -> float:
+        return self.instructions_retired / self.clockticks if self.clockticks else 0.0
+
+    @property
+    def front_end_bound_pct(self) -> float:
+        """Front-end bound as % of pipeline slots (top-down level 1)."""
+        return (
+            100.0 * self.front_end_bound_slots / self.clockticks
+            if self.clockticks
+            else 0.0
+        )
+
+    @property
+    def back_end_bound_pct(self) -> float:
+        return (
+            100.0 * self.back_end_bound_slots / self.clockticks
+            if self.clockticks
+            else 0.0
+        )
+
+    @property
+    def dram_bound_pct(self) -> float:
+        """Stalls on loads serviced by local DRAM, % of clockticks."""
+        return (
+            100.0 * self.dram_bound_stalls / self.clockticks
+            if self.clockticks
+            else 0.0
+        )
+
+    @property
+    def uops_per_clocktick(self) -> float:
+        """Micro-operation supply to the back end per cycle (Figure 6f)."""
+        return self.uops_delivered / self.clockticks if self.clockticks else 0.0
+
+    def as_dict(self) -> dict:
+        return {name: getattr(self, name) for name in COUNTER_NAMES}

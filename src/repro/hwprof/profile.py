@@ -1,0 +1,144 @@
+"""Hardware profiles: per-function accumulated counters.
+
+A profile is what VTune's "Microarchitecture Exploration" grouping by
+Function / Module shows: one row per (function, library) with CPU time and
+counter values. Vendor symbol visibility and naming are applied here —
+samples whose leaf symbol the vendor cannot resolve are attributed to the
+nearest resolvable ancestor frame, or to ``[unknown]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.clib.costmodel import ContentionModel
+from repro.clib.registry import NativeRegistry, default_registry
+from repro.errors import ProfilerError
+from repro.hwprof.counters import CounterSet
+from repro.hwprof.sampling import Sample
+
+UNKNOWN_IDENTITY = ("[unknown]", "[unknown]")
+
+
+@dataclass
+class FunctionProfile:
+    """One profile row."""
+
+    function: str
+    library: str
+    samples: int = 0
+    counters: CounterSet = field(default_factory=CounterSet)
+
+    @property
+    def cpu_time_ns(self) -> float:
+        return self.counters.cpu_time_ns
+
+
+class HardwareProfile:
+    """Per-function counter accumulation for one collection run."""
+
+    def __init__(self, vendor: str, sampling_interval_ns: int) -> None:
+        self.vendor = vendor
+        self.sampling_interval_ns = sampling_interval_ns
+        self._rows: Dict[Tuple[str, str], FunctionProfile] = {}
+        self.total_samples = 0
+
+    # -- construction ------------------------------------------------------------
+    def add_sample(
+        self,
+        sample: Sample,
+        registry: NativeRegistry,
+        contention: ContentionModel,
+    ) -> None:
+        """Attribute one sample's worth of counters to a profile row."""
+        identity, canonical = self._resolve(sample, registry)
+        row = self._rows.get(identity)
+        if row is None:
+            row = FunctionProfile(function=identity[0], library=identity[1])
+            self._rows[identity] = row
+        row.samples += 1
+        signature = registry.lookup_signature(canonical)
+        active = sample.segment.active_threads if sample.segment else 1
+        row.counters.add(
+            contention.counters_for(
+                signature, float(sample.interval_ns), active_threads=active
+            )
+        )
+        self.total_samples += 1
+
+    def _resolve(
+        self, sample: Sample, registry: NativeRegistry
+    ) -> Tuple[Tuple[str, str], str]:
+        """(reported identity, canonical name) for a sample under this vendor."""
+        if sample.segment is None:
+            assert sample.interpreter_symbol is not None
+            return sample.interpreter_symbol, sample.interpreter_symbol[0]
+        for function, library in reversed(sample.segment.stack):
+            if function in registry:
+                native = registry.get(function)
+                if native.visible_to(self.vendor):
+                    return native.reported_identity(self.vendor), function
+            else:
+                # Unregistered symbol: visible everywhere under its own name.
+                return (function, library), function
+        return UNKNOWN_IDENTITY, UNKNOWN_IDENTITY[0]
+
+    # -- queries --------------------------------------------------------------
+    def rows(self) -> List[FunctionProfile]:
+        """All rows, busiest (by CPU time) first."""
+        return sorted(
+            self._rows.values(), key=lambda row: row.cpu_time_ns, reverse=True
+        )
+
+    def functions(self) -> List[str]:
+        return [row.function for row in self.rows()]
+
+    def get(self, function: str) -> Optional[FunctionProfile]:
+        for row in self._rows.values():
+            if row.function == function:
+                return row
+        return None
+
+    def filter(self, predicate: Callable[[FunctionProfile], bool]) -> "HardwareProfile":
+        """New profile keeping rows that satisfy ``predicate``.
+
+        This is what LotusMap's mapping enables: filtering the hundreds of
+        whole-program functions down to the preprocessing-relevant ones
+        (Figure 6c/d).
+        """
+        result = HardwareProfile(self.vendor, self.sampling_interval_ns)
+        for identity, row in self._rows.items():
+            if predicate(row):
+                kept = FunctionProfile(
+                    function=row.function, library=row.library, samples=row.samples
+                )
+                kept.counters.merge(row.counters)
+                result._rows[identity] = kept
+                result.total_samples += row.samples
+        return result
+
+    def merged(self, other: "HardwareProfile") -> "HardwareProfile":
+        if other.vendor != self.vendor:
+            raise ProfilerError(
+                f"cannot merge {other.vendor} profile into {self.vendor}"
+            )
+        result = HardwareProfile(self.vendor, self.sampling_interval_ns)
+        for source in (self, other):
+            for identity, row in source._rows.items():
+                target = result._rows.setdefault(
+                    identity, FunctionProfile(function=row.function, library=row.library)
+                )
+                target.samples += row.samples
+                target.counters.merge(row.counters)
+                result.total_samples += row.samples
+        return result
+
+    def total_cpu_time_ns(self) -> float:
+        return sum(row.cpu_time_ns for row in self._rows.values())
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __contains__(self, function: str) -> bool:
+        return any(row.function == function for row in self._rows.values())

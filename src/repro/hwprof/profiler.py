@@ -1,0 +1,168 @@
+"""Vendor hardware profilers built on event recording + sampling replay."""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.clib.costmodel import ContentionModel
+from repro.clib.events import EventRecorder, attach_recorder, detach_recorder
+from repro.clib.registry import NativeRegistry, default_registry
+from repro.errors import ProfilerError
+from repro.hwprof.control import AMDProfileControl, CollectionWindows, ITT
+from repro.hwprof.profile import HardwareProfile
+from repro.hwprof.sampling import replay_samples
+from repro.utils.rng import SeedLike, derive_rng
+from repro.utils.timeunits import ms_to_ns, us_to_ns
+
+#: Driver sampling intervals from the paper (§ IV-B): VTune user-mode
+#: sampling is limited to 10 ms; uProf to 1 ms.
+INTEL_SAMPLING_INTERVAL_NS = ms_to_ns(10)
+AMD_SAMPLING_INTERVAL_NS = ms_to_ns(1)
+
+#: Default skid: samples may report state from up to ~200 us earlier.
+DEFAULT_SKID_NS = us_to_ns(200)
+DEFAULT_SKID_PROBABILITY = 0.15
+
+
+class HardwareProfiler:
+    """Samples native execution and derives hardware counters.
+
+    Usage::
+
+        profiler = VTuneLikeProfiler(seed=0)
+        profiler.start(paused=True)   # attach driver, collection gated off
+        profiler.itt.resume()         # open the collection window
+        run_workload()
+        profiler.itt.pause()
+        profile = profiler.stop()     # detach and build the profile
+    """
+
+    def __init__(
+        self,
+        vendor: str,
+        sampling_interval_ns: int,
+        seed: SeedLike = None,
+        contention: Optional[ContentionModel] = None,
+        registry: Optional[NativeRegistry] = None,
+        skid_ns: int = DEFAULT_SKID_NS,
+        skid_probability: float = DEFAULT_SKID_PROBABILITY,
+    ) -> None:
+        if sampling_interval_ns <= 0:
+            raise ProfilerError(
+                f"sampling interval must be positive, got {sampling_interval_ns}"
+            )
+        self.vendor = vendor
+        self.sampling_interval_ns = sampling_interval_ns
+        self.contention = contention if contention is not None else ContentionModel()
+        self.registry = registry if registry is not None else default_registry
+        self.skid_ns = skid_ns
+        self.skid_probability = skid_probability
+        self._rng = derive_rng(seed, "HardwareProfiler", vendor)
+        self._recorder: Optional[EventRecorder] = None
+        self._windows: Optional[CollectionWindows] = None
+        self._control: Optional[Union[ITT, AMDProfileControl]] = None
+
+    # -- lifecycle -------------------------------------------------------------
+    def start(self, paused: bool = False) -> None:
+        """Attach the sampling driver.
+
+        The driver samples the whole program from here on; with
+        ``paused=True`` no collection window is open until the control
+        API resumes it (the Listing 4 pattern). Without any control
+        calls, the entire session is one window.
+        """
+        if self._recorder is not None:
+            raise ProfilerError("profiler already started")
+        self._recorder = EventRecorder(collecting=True)
+        self._windows = CollectionWindows()
+        if not paused:
+            self._windows.resume()
+        self._control = self._make_control(self._windows)
+        attach_recorder(self._recorder)
+
+    def stop(self) -> HardwareProfile:
+        """Detach the driver and build the profile from recorded events."""
+        recorder = self._require_recorder()
+        assert self._windows is not None
+        detach_recorder(recorder)
+        self._windows.freeze()
+        profile = self._build_profile(recorder, self._windows)
+        self._recorder = None
+        self._windows = None
+        self._control = None
+        return profile
+
+    def _require_recorder(self) -> EventRecorder:
+        if self._recorder is None:
+            raise ProfilerError("profiler not started")
+        return self._recorder
+
+    def _make_control(self, windows: CollectionWindows):
+        raise NotImplementedError
+
+    # -- control APIs -----------------------------------------------------------
+    @property
+    def control(self):
+        if self._control is None:
+            raise ProfilerError("profiler not started")
+        return self._control
+
+    # -- profile construction ------------------------------------------------
+    def _build_profile(
+        self, recorder: EventRecorder, windows: CollectionWindows
+    ) -> HardwareProfile:
+        samples = replay_samples(
+            recorder.events(),
+            interval_ns=self.sampling_interval_ns,
+            rng=self._rng,
+            skid_ns=self.skid_ns,
+            skid_probability=self.skid_probability,
+        )
+        profile = HardwareProfile(self.vendor, self.sampling_interval_ns)
+        gated = windows.ever_controlled()
+        for sample in samples:
+            if gated and not windows.contains(sample.t_ns):
+                continue
+            profile.add_sample(sample, self.registry, self.contention)
+        return profile
+
+    def profile_callable(self, func, *args, **kwargs) -> HardwareProfile:
+        """Convenience: profile one call end to end."""
+        self.start()
+        try:
+            func(*args, **kwargs)
+        finally:
+            profile = self.stop()
+        return profile
+
+
+class VTuneLikeProfiler(HardwareProfiler):
+    """Intel-flavoured profiler: 10 ms sampling, ITT control."""
+
+    def __init__(self, seed: SeedLike = None, **kwargs) -> None:
+        kwargs.setdefault("sampling_interval_ns", INTEL_SAMPLING_INTERVAL_NS)
+        super().__init__(vendor="intel", seed=seed, **kwargs)
+
+    def _make_control(self, windows: CollectionWindows) -> ITT:
+        return ITT(windows)
+
+    @property
+    def itt(self) -> ITT:
+        return self.control
+
+
+class UProfLikeProfiler(HardwareProfiler):
+    """AMD-flavoured profiler: 1 ms sampling, AMDProfileControl."""
+
+    def __init__(self, seed: SeedLike = None, **kwargs) -> None:
+        kwargs.setdefault("sampling_interval_ns", AMD_SAMPLING_INTERVAL_NS)
+        super().__init__(vendor="amd", seed=seed, **kwargs)
+
+    def _make_control(self, windows: CollectionWindows) -> AMDProfileControl:
+        return AMDProfileControl(windows)
+
+    @property
+    def amdprofilecontrol(self) -> AMDProfileControl:
+        return self.control

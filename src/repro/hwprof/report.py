@@ -1,0 +1,111 @@
+"""Profile reporting: VTune-CSV-style export and text tables.
+
+The paper's artifact workflow exports the Microarchitecture Exploration
+view ("grouping by Source Function / Function / Call Stack") to CSV and
+feeds it to the analysis notebooks; :func:`profile_to_csv` /
+:func:`profile_from_csv` reproduce that interchange format.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import os
+from typing import List, Union
+
+from repro.errors import ProfilerError
+from repro.hwprof.counters import COUNTER_NAMES, CounterSet
+from repro.hwprof.profile import FunctionProfile, HardwareProfile
+
+CSV_FIELDS = ("function", "module", "samples") + COUNTER_NAMES
+
+
+def profile_to_csv(profile: HardwareProfile) -> str:
+    """Render a profile as a CSV string (one row per function)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(CSV_FIELDS)
+    for row in profile.rows():
+        writer.writerow(
+            [row.function, row.library, row.samples]
+            + [getattr(row.counters, name) for name in COUNTER_NAMES]
+        )
+    return buffer.getvalue()
+
+
+def write_profile_csv(profile: HardwareProfile, path: Union[str, os.PathLike]) -> None:
+    """Write :func:`profile_to_csv` output to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(profile_to_csv(profile))
+
+
+def profile_from_csv(
+    text: str, vendor: str = "intel", sampling_interval_ns: int = 1
+) -> HardwareProfile:
+    """Rebuild a profile from :func:`profile_to_csv` output."""
+    reader = csv.reader(io.StringIO(text))
+    try:
+        header = next(reader)
+    except StopIteration:
+        raise ProfilerError("empty profile CSV") from None
+    if tuple(header) != CSV_FIELDS:
+        raise ProfilerError(f"unexpected CSV header: {header}")
+    profile = HardwareProfile(vendor, sampling_interval_ns)
+    for record in reader:
+        if not record:
+            continue
+        function, module, samples = record[0], record[1], int(record[2])
+        counters = CounterSet()
+        counters.add(dict(zip(COUNTER_NAMES, map(float, record[3:]))))
+        row = FunctionProfile(
+            function=function, library=module, samples=samples, counters=counters
+        )
+        profile._rows[(function, module)] = row
+        profile.total_samples += samples
+    return profile
+
+
+def aggregate_by_library(profile: HardwareProfile) -> dict:
+    """Per-shared-library counter totals (VTune's "Module" grouping).
+
+    Returns ``{library: CounterSet}`` ordered by CPU time descending —
+    the quick view of whether time goes to libjpeg, Pillow, libc, or the
+    interpreter.
+    """
+    totals: dict = {}
+    for row in profile.rows():
+        counters = totals.setdefault(row.library, CounterSet())
+        counters.merge(row.counters)
+    return dict(
+        sorted(totals.items(), key=lambda kv: kv[1].cpu_time_ns, reverse=True)
+    )
+
+
+def format_library_table(profile: HardwareProfile) -> str:
+    """Render the per-library aggregation."""
+    totals = aggregate_by_library(profile)
+    grand = sum(c.cpu_time_ns for c in totals.values()) or 1.0
+    lines = [f"{'Module':<44} {'CPU ms':>9} {'share':>7} {'IPC':>5}"]
+    for library, counters in totals.items():
+        lines.append(
+            f"{library:<44.44} {counters.cpu_time_ns / 1e6:>9.2f} "
+            f"{100 * counters.cpu_time_ns / grand:>6.1f}% {counters.ipc:>5.2f}"
+        )
+    return "\n".join(lines)
+
+
+def format_profile_table(profile: HardwareProfile, top: int = 20) -> str:
+    """Human-readable top-N table (CPU time, IPC, bound percentages)."""
+    lines = [
+        f"{'Function':<40} {'Module':<28} {'CPU ms':>9} {'IPC':>5} "
+        f"{'FE%':>6} {'BE%':>6} {'DRAM%':>6}"
+    ]
+    for row in profile.rows()[:top]:
+        c = row.counters
+        lines.append(
+            f"{row.function:<40.40} {row.library:<28.28} "
+            f"{c.cpu_time_ns / 1e6:>9.2f} {c.ipc:>5.2f} "
+            f"{c.front_end_bound_pct:>6.1f} {c.back_end_bound_pct:>6.1f} "
+            f"{c.dram_bound_pct:>6.1f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,239 @@
+"""Virtual sampling-clock replay over recorded native call events.
+
+Recorded events form properly nested per-thread call trees. The replay:
+
+1. flattens each thread's tree into *leaf segments* — maximal intervals
+   during which one specific native function was the innermost frame,
+   carrying the full native stack for vendor-visibility walks;
+2. lays sample points every ``interval_ns`` (with a seeded random phase,
+   one sampling clock per thread — hardware PMUs interrupt per core);
+3. resolves each sample point to the covering leaf segment, applying an
+   optional *skid*: with some probability the driver reports the function
+   that was running ``skid_ns`` earlier, which misattributes samples
+   taken just after an operation boundary — unless a sleep gap separates
+   the operations (LotusMap's bucketing trick, § IV-B).
+
+Sample points with no covering native segment attribute to interpreter
+symbols, mimicking the non-preprocessing functions a whole-program
+profile contains.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.clib.events import CallEvent
+from repro.errors import ProfilerError
+
+#: Symbols reported for samples landing outside native code.
+INTERPRETER_SYMBOLS = (
+    ("_PyEval_EvalFrameDefault", "libpython3.so"),
+    ("gc_collect_main", "libpython3.so"),
+    ("PyObject_Malloc", "libpython3.so"),
+    ("pthread_cond_timedwait", "libpthread.so.0"),
+    ("take_gil", "libpython3.so"),
+)
+
+
+@dataclass(frozen=True)
+class LeafSegment:
+    """An interval where one native function was the innermost frame."""
+
+    thread_id: int
+    start_ns: int
+    end_ns: int
+    stack: Tuple[Tuple[str, str], ...]  # (function, library), root..leaf
+    active_threads: int
+
+    @property
+    def function(self) -> str:
+        return self.stack[-1][0]
+
+    @property
+    def library(self) -> str:
+        return self.stack[-1][1]
+
+    @property
+    def duration_ns(self) -> int:
+        return self.end_ns - self.start_ns
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One virtual PMU sample."""
+
+    t_ns: int
+    thread_id: int
+    segment: Optional[LeafSegment]  # None = outside native code
+    interpreter_symbol: Optional[Tuple[str, str]]
+    skidded: bool
+    interval_ns: int
+
+    @property
+    def identity(self) -> Tuple[str, str]:
+        if self.segment is not None:
+            return self.segment.stack[-1]
+        assert self.interpreter_symbol is not None
+        return self.interpreter_symbol
+
+
+def build_leaf_segments(events: Sequence[CallEvent]) -> Dict[int, List[LeafSegment]]:
+    """Per-thread leaf segments from (possibly interleaved) call events.
+
+    Events within a thread obey stack discipline; each event's *self time*
+    (its span minus its direct children's spans) becomes one or more leaf
+    segments carrying the stack from outermost call to this frame.
+    """
+    by_thread: Dict[int, List[CallEvent]] = {}
+    for event in events:
+        by_thread.setdefault(event.thread_id, []).append(event)
+
+    segments: Dict[int, List[LeafSegment]] = {}
+    for thread_id, thread_events in by_thread.items():
+        thread_events.sort(key=lambda e: (e.start_ns, e.depth))
+        stack: List[Tuple[CallEvent, Tuple[Tuple[str, str], ...]]] = []
+        out: List[LeafSegment] = []
+        # children grouped per parent event (id-keyed)
+        children: Dict[int, List[CallEvent]] = {}
+        roots: List[CallEvent] = []
+        for event in thread_events:
+            while stack and event.start_ns >= stack[-1][0].end_ns:
+                stack.pop()
+            if stack and event.depth == stack[-1][0].depth + 1:
+                children.setdefault(id(stack[-1][0]), []).append(event)
+                parent_stack = stack[-1][1]
+            elif event.depth == 0:
+                roots.append(event)
+                parent_stack = ()
+            else:
+                # Depth mismatch (e.g. recording started mid-call): treat
+                # as a root with a truncated stack.
+                roots.append(event)
+                parent_stack = ()
+            stack.append(
+                (event, parent_stack + ((event.function, event.library),))
+            )
+        _emit_self_segments(thread_id, roots, children, out)
+        out.sort(key=lambda segment: segment.start_ns)
+        segments[thread_id] = out
+    return segments
+
+
+def _emit_self_segments(
+    thread_id: int,
+    events: List[CallEvent],
+    children: Dict[int, List[CallEvent]],
+    out: List[LeafSegment],
+    parent_stack: Tuple[Tuple[str, str], ...] = (),
+) -> None:
+    for event in events:
+        stack = parent_stack + ((event.function, event.library),)
+        kids = children.get(id(event), [])
+        cursor = event.start_ns
+        for kid in kids:
+            if kid.start_ns > cursor:
+                out.append(
+                    LeafSegment(
+                        thread_id=thread_id,
+                        start_ns=cursor,
+                        end_ns=kid.start_ns,
+                        stack=stack,
+                        active_threads=event.active_threads,
+                    )
+                )
+            cursor = max(cursor, kid.end_ns)
+        if event.end_ns > cursor:
+            out.append(
+                LeafSegment(
+                    thread_id=thread_id,
+                    start_ns=cursor,
+                    end_ns=event.end_ns,
+                    stack=stack,
+                    active_threads=event.active_threads,
+                )
+            )
+        _emit_self_segments(thread_id, kids, children, out, stack)
+
+
+def _segment_at(
+    segments: List[LeafSegment], starts: List[int], t_ns: int
+) -> Optional[LeafSegment]:
+    index = bisect.bisect_right(starts, t_ns) - 1
+    if index < 0:
+        return None
+    segment = segments[index]
+    if segment.start_ns <= t_ns < segment.end_ns:
+        return segment
+    return None
+
+
+def replay_samples(
+    events: Sequence[CallEvent],
+    interval_ns: int,
+    rng: np.random.Generator,
+    skid_ns: int = 0,
+    skid_probability: float = 0.0,
+    thread_activity_pad_ns: int = 0,
+) -> List[Sample]:
+    """Sample the recorded timeline every ``interval_ns`` per thread.
+
+    ``skid_ns``/``skid_probability`` control stale attribution; a sample
+    affected by skid resolves against the timeline ``skid_ns`` earlier
+    (only when something was running then — otherwise the driver reports
+    the current frame correctly).
+    """
+    if interval_ns <= 0:
+        raise ProfilerError(f"interval_ns must be positive, got {interval_ns}")
+    if not 0.0 <= skid_probability <= 1.0:
+        raise ProfilerError(
+            f"skid_probability must be in [0, 1], got {skid_probability}"
+        )
+    per_thread = build_leaf_segments(events)
+    samples: List[Sample] = []
+    for thread_id, segments in per_thread.items():
+        if not segments:
+            continue
+        starts = [segment.start_ns for segment in segments]
+        t_begin = segments[0].start_ns - thread_activity_pad_ns
+        t_end = segments[-1].end_ns + thread_activity_pad_ns
+        phase = int(rng.integers(0, interval_ns))
+        t = t_begin + phase
+        while t < t_end:
+            skidded = False
+            lookup = t
+            if skid_probability > 0 and rng.random() < skid_probability:
+                earlier = _segment_at(segments, starts, t - skid_ns)
+                if earlier is not None:
+                    lookup = t - skid_ns
+                    skidded = True
+            segment = _segment_at(segments, starts, lookup)
+            if segment is None:
+                symbol_index = int(rng.integers(0, len(INTERPRETER_SYMBOLS)))
+                samples.append(
+                    Sample(
+                        t_ns=t,
+                        thread_id=thread_id,
+                        segment=None,
+                        interpreter_symbol=INTERPRETER_SYMBOLS[symbol_index],
+                        skidded=False,
+                        interval_ns=interval_ns,
+                    )
+                )
+            else:
+                samples.append(
+                    Sample(
+                        t_ns=t,
+                        thread_id=thread_id,
+                        segment=segment,
+                        interpreter_symbol=None,
+                        skidded=skidded,
+                        interval_ns=interval_ns,
+                    )
+                )
+            t += interval_ns
+    samples.sort(key=lambda sample: sample.t_ns)
+    return samples

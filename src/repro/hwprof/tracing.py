@@ -1,0 +1,66 @@
+"""Native-call-event export to Chrome Trace Viewer.
+
+Recorded :class:`~repro.clib.events.CallEvent` spans render as a
+flamegraph-style timeline (one track per thread, nesting preserved by
+chrome's stacking of overlapping X events). Combined with LotusTrace's
+augmentation — whose synthetic ids are negative precisely so they can
+coexist with other tools' positive ids — this produces a single view of
+Python-level preprocessing spans over the C/C++ work that implements
+them.
+"""
+
+from __future__ import annotations
+
+from itertools import count
+from typing import Dict, Iterable, List, Sequence
+
+from repro.clib.events import CallEvent
+from repro.core.lotustrace.chrometrace import augment_profiler_trace
+from repro.core.lotustrace.records import TraceRecord
+
+NATIVE_TRACE_PID = "native"
+
+
+def events_to_chrome(events: Sequence[CallEvent]) -> Dict:
+    """Build a Chrome-trace JSON object from native call events.
+
+    Event ids are positive (this is a "hardware profiler" style trace;
+    LotusTrace's negative ids merge cleanly on top).
+    """
+    thread_ids: Dict[int, int] = {}
+    trace_events: List[Dict] = []
+    ids = count(1)
+    for event in sorted(events, key=lambda e: (e.start_ns, e.depth)):
+        tid = thread_ids.setdefault(event.thread_id, len(thread_ids))
+        trace_events.append(
+            {
+                "ph": "X",
+                "name": event.function,
+                "cat": "native",
+                "pid": NATIVE_TRACE_PID,
+                "tid": tid,
+                "ts": event.start_ns / 1000.0,
+                "dur": max(event.duration_ns / 1000.0, 0.001),
+                "id": next(ids),
+                "args": {
+                    "module": event.library,
+                    "depth": event.depth,
+                    "active_threads": event.active_threads,
+                },
+            }
+        )
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def combined_trace(
+    events: Sequence[CallEvent],
+    records: Iterable[TraceRecord],
+    coarse: bool = False,
+) -> Dict:
+    """One trace with native spans plus LotusTrace spans/arrows.
+
+    This is the visual counterpart of LotusMap's attribution: the
+    Python-operation spans sit directly above the C/C++ spans whose
+    counters they receive.
+    """
+    return augment_profiler_trace(events_to_chrome(events), records, coarse=coarse)

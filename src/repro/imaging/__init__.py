@@ -1,0 +1,25 @@
+"""Mini imaging library (the "Pillow + libjpeg" substrate).
+
+Implements a real — if simplified — JPEG-style codec and the raster
+kernels preprocessing transforms need (resampling, flipping, cropping,
+packing). Every compute kernel is registered with :mod:`repro.clib` under
+the C symbol a hardware profiler would report (``decode_mcu``,
+``jpeg_idct_islow``, ``ImagingResampleHorizontal_8bpc``, …), recreating the
+Python→C attribution gap that LotusMap closes.
+
+The codec performs genuine, input-size-dependent CPU work (blockwise DCT,
+quantization, entropy coding, 4:2:0 chroma subsampling), so decode time
+varies with image content and dimensions exactly as the paper observes for
+ImageNet JPEGs (§ V-C).
+"""
+
+from repro.imaging.image import FLIP_LEFT_RIGHT, Image
+from repro.imaging.jpeg.codec import decode_sjpg, encode_sjpg, peek_header
+
+__all__ = [
+    "FLIP_LEFT_RIGHT",
+    "Image",
+    "decode_sjpg",
+    "encode_sjpg",
+    "peek_header",
+]

@@ -1,0 +1,5 @@
+"""Simplified JPEG ("SJPG") codec: DCT, quantization, entropy coding, 4:2:0."""
+
+from repro.imaging.jpeg.codec import decode_sjpg, encode_sjpg, peek_header
+
+__all__ = ["decode_sjpg", "encode_sjpg", "peek_header"]

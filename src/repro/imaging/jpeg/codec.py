@@ -1,0 +1,217 @@
+"""SJPG container encode/decode drivers.
+
+File layout (little endian)::
+
+    magic   4s   b"SJPG"
+    version u8   (currently 1)
+    flags   u8   bit0: 4:2:0 chroma subsampling
+    quality u8   1..100
+    mode    u8   0 = fused chroma IDCT, 1 = separate upsample
+    width   u32  true image width
+    height  u32  true image height
+    3 x plane:
+        padded_h u16, padded_w u16, payload_len u32, payload bytes
+
+The decode driver is registered as ``decompress_onepass`` and, on machines
+where the symbol resolves (AMD per Table I), wrapped by
+``process_data_simple_main`` — so hardware profiles of the Loader
+operation contain the same symbol set as the paper's Table I.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.clib.costmodel import BALANCED
+from repro.clib.registry import LIBJPEG, native
+from repro.errors import CodecError
+from repro.imaging.jpeg import color, dct, entropy
+from repro.imaging.jpeg.tables import (
+    BLOCK,
+    CHROMA_QUANT_BASE,
+    LUMA_QUANT_BASE,
+    quant_table,
+)
+from repro.imaging import kernels
+
+MAGIC = b"SJPG"
+VERSION = 1
+FLAG_SUBSAMPLED = 0x01
+MODE_FUSED_IDCT = 0
+MODE_SEPARATE_UPSAMPLE = 1
+# Encode quality at or above this threshold selects the fused 16x16 chroma
+# IDCT; below it, decode takes the separate idct + sep_upsample path. The
+# branch depends on per-image data, which is exactly the "inconsistent
+# C/C++ functions" capture problem LotusMap handles (§ IV-B).
+FUSED_QUALITY_THRESHOLD = 70
+
+_HEADER = struct.Struct("<4sBBBBII")
+_PLANE_HEADER = struct.Struct("<HHI")
+
+
+@dataclass(frozen=True)
+class SjpgHeader:
+    """Parsed container header (cheap to read; no pixel decode)."""
+
+    width: int
+    height: int
+    quality: int
+    subsampled: bool
+    mode: int
+
+    @property
+    def size(self) -> "tuple[int, int]":
+        return (self.width, self.height)
+
+
+def _pad_plane(plane: np.ndarray, multiple: int) -> np.ndarray:
+    h, w = plane.shape
+    ph = (h + multiple - 1) // multiple * multiple
+    pw = (w + multiple - 1) // multiple * multiple
+    if (ph, pw) == (h, w):
+        return plane
+    return np.pad(plane, ((0, ph - h), (0, pw - w)), mode="edge")
+
+
+def _encode_plane(plane: np.ndarray, table: np.ndarray) -> bytes:
+    blocks = dct.plane_to_blocks(plane)
+    coeffs = dct.forward_dct(blocks)
+    quantized = dct.quantize_blocks(coeffs, table)
+    payload = entropy.encode_mcu_huff(quantized)
+    ph, pw = plane.shape
+    return _PLANE_HEADER.pack(ph, pw, len(payload)) + payload
+
+
+def encode_sjpg(rgb: np.ndarray, quality: int = 85, subsample: bool = True) -> bytes:
+    """Encode an (H, W, 3) uint8 RGB array to SJPG bytes."""
+    if rgb.ndim != 3 or rgb.shape[2] != 3:
+        raise CodecError(f"expected (H, W, 3) RGB array, got shape {rgb.shape}")
+    if rgb.dtype != np.uint8:
+        raise CodecError(f"expected uint8 pixels, got {rgb.dtype}")
+    height, width = rgb.shape[:2]
+    if height < BLOCK or width < BLOCK:
+        raise CodecError(f"image too small to encode: {width}x{height}")
+    luma_table = quant_table(LUMA_QUANT_BASE, quality)
+    chroma_table = quant_table(CHROMA_QUANT_BASE, quality)
+
+    ycc = color.rgb_ycc_convert(rgb)
+    mode = MODE_FUSED_IDCT if quality >= FUSED_QUALITY_THRESHOLD else MODE_SEPARATE_UPSAMPLE
+    flags = FLAG_SUBSAMPLED if subsample else 0
+    header = _HEADER.pack(MAGIC, VERSION, flags, quality, mode, width, height)
+
+    parts = [header]
+    luma = _pad_plane(ycc[..., 0], 16 if subsample else BLOCK)
+    parts.append(_encode_plane(luma, luma_table))
+    for channel in (1, 2):
+        chroma = _pad_plane(ycc[..., channel], 16 if subsample else BLOCK)
+        if subsample:
+            chroma = color.h2v2_downsample(chroma)
+        parts.append(_encode_plane(chroma, chroma_table))
+    return b"".join(parts)
+
+
+def peek_header(blob: bytes) -> SjpgHeader:
+    """Parse the container header without decoding pixels.
+
+    This is what ``Image.open`` does — PIL-style lazy loading, where the
+    expensive decode happens later in ``convert`` (the paper's Loader op).
+    """
+    if len(blob) < _HEADER.size:
+        raise CodecError("blob too short for SJPG header")
+    magic, version, flags, quality, mode, width, height = _HEADER.unpack_from(blob, 0)
+    if magic != MAGIC:
+        raise CodecError(f"bad magic: {magic!r}")
+    if version != VERSION:
+        raise CodecError(f"unsupported SJPG version: {version}")
+    return SjpgHeader(
+        width=width,
+        height=height,
+        quality=quality,
+        subsampled=bool(flags & FLAG_SUBSAMPLED),
+        mode=mode,
+    )
+
+
+def _decode_plane_payload(
+    blob: bytes, offset: int
+) -> "tuple[np.ndarray, tuple[int, int], int]":
+    if offset + _PLANE_HEADER.size > len(blob):
+        raise CodecError("truncated SJPG plane header")
+    ph, pw, payload_len = _PLANE_HEADER.unpack_from(blob, offset)
+    offset += _PLANE_HEADER.size
+    if offset + payload_len > len(blob):
+        raise CodecError("truncated SJPG plane payload")
+    if ph == 0 or pw == 0 or ph % BLOCK or pw % BLOCK:
+        raise CodecError(f"corrupt SJPG plane dimensions: {ph}x{pw}")
+    payload = blob[offset : offset + payload_len]
+    n_blocks = (ph // BLOCK) * (pw // BLOCK)
+    quantized = entropy.decode_mcu(payload, n_blocks)
+    return quantized, (ph, pw), offset + payload_len
+
+
+@native(
+    "decompress_onepass",
+    library=LIBJPEG,
+    signature=BALANCED,
+)
+def decompress_onepass(blob: bytes) -> np.ndarray:
+    """Full decode of an SJPG blob to an (H, W, 3) uint8 RGB array."""
+    header = peek_header(blob)
+    luma_table = quant_table(LUMA_QUANT_BASE, header.quality)
+    chroma_table = quant_table(CHROMA_QUANT_BASE, header.quality)
+    offset = _HEADER.size
+
+    # Working-buffer allocation: the float32 YCC buffer through calloc
+    # (an Intel-resolved symbol), the uint8 output through memset (whose
+    # symbol name differs per vendor).
+    kernels.libc_calloc((header.height, header.width, 3), dtype=np.float32)
+    kernels.memset_zero((header.height, header.width, 3), dtype=np.uint8)
+
+    planes = []
+    for channel in range(3):
+        quantized, (ph, pw), offset = _decode_plane_payload(blob, offset)
+        coeffs = dct.dequantize_blocks(
+            quantized, luma_table if channel == 0 else chroma_table
+        )
+        is_chroma = channel > 0
+        if is_chroma and header.subsampled:
+            if header.mode == MODE_FUSED_IDCT:
+                spatial = dct.jpeg_idct_16x16(coeffs)
+                plane = dct.blocks_to_plane(spatial, ph * 2, pw * 2)
+            else:
+                spatial = dct.jpeg_idct_islow(coeffs)
+                plane = dct.blocks_to_plane(spatial, ph, pw)
+                plane = color.sep_upsample(plane)
+        else:
+            spatial = dct.jpeg_idct_islow(coeffs)
+            plane = dct.blocks_to_plane(spatial, ph, pw)
+        # Crop the padded plane to true size (bulk memcpy).
+        plane = kernels.memcpy_copy(plane[: header.height, : header.width])
+        if plane.shape != (header.height, header.width):
+            raise CodecError(
+                f"corrupt SJPG: plane {channel} decodes to {plane.shape}, "
+                f"header says {(header.height, header.width)}"
+            )
+        planes.append(plane.astype(np.float32))
+
+    ycc = np.stack(planes, axis=-1)
+    return color.ycc_rgb_convert(ycc)
+
+
+@native(
+    "process_data_simple_main",
+    library=LIBJPEG,
+    signature=BALANCED,
+    vendors=("amd",),
+)
+def process_data_simple_main(blob: bytes) -> np.ndarray:
+    """Decode driver wrapper (symbol resolved only by AMD uProf)."""
+    return decompress_onepass(blob)
+
+
+def decode_sjpg(blob: bytes) -> np.ndarray:
+    """Decode SJPG bytes to an (H, W, 3) uint8 RGB array."""
+    return process_data_simple_main(blob)

@@ -1,0 +1,126 @@
+"""Entropy coding kernels (libjpeg ``jchuff.c`` / ``jdhuff.c`` analogues).
+
+The SJPG entropy format is a byte-aligned run-length code rather than a
+true Huffman bitstream, but the decode loop has the same shape as
+``decode_mcu``: a per-block loop with data-dependent branching, refilling
+its input buffer via ``jpeg_fill_bit_buffer`` every few MCUs. This makes
+``decode_mcu`` the most CPU-hungry, branchy symbol in the decode profile —
+matching its role in the paper (§ V-D notes it is the most time-consuming
+function).
+
+Block layout (little endian)::
+
+    u8  nnz        -- number of non-zero AC coefficients
+    i16 dc_delta   -- DC difference from the previous block
+    nnz x (u8 zigzag_index, i16 value)
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.clib.costmodel import BRANCHY, MEMORY_BOUND
+from repro.clib.registry import LIBJPEG, native
+from repro.imaging.jpeg.tables import BLOCK, UNZIGZAG, ZIGZAG
+from repro.errors import CodecError
+
+_AC_DTYPE = np.dtype([("idx", "u1"), ("val", "<i2")])
+_BLOCK_HEADER = struct.Struct("<Bh")
+# decode_mcu refills its input buffer after this many MCUs, mirroring
+# libjpeg's periodic calls into jpeg_fill_bit_buffer.
+_REFILL_PERIOD = 16
+
+
+@native(
+    "encode_mcu_huff",
+    library=LIBJPEG,
+    signature=BRANCHY,
+)
+def encode_mcu_huff(quant_blocks: np.ndarray) -> bytes:
+    """Entropy-encode quantized (n, 8, 8) int16 blocks to bytes."""
+    if quant_blocks.ndim != 3 or quant_blocks.shape[1:] != (BLOCK, BLOCK):
+        raise CodecError(f"expected (n, 8, 8) blocks, got {quant_blocks.shape}")
+    chunks: List[bytes] = []
+    prev_dc = 0
+    flat_blocks = quant_blocks.reshape(len(quant_blocks), BLOCK * BLOCK)
+    zigzagged = flat_blocks[:, ZIGZAG]
+    for zz in zigzagged:
+        dc = int(zz[0])
+        ac = zz[1:]
+        nonzero = np.nonzero(ac)[0]
+        if len(nonzero) > 255:
+            raise CodecError("too many AC coefficients in block")
+        record = np.empty(len(nonzero), dtype=_AC_DTYPE)
+        record["idx"] = nonzero.astype(np.uint8)
+        record["val"] = ac[nonzero]
+        chunks.append(_BLOCK_HEADER.pack(len(nonzero), dc - prev_dc))
+        chunks.append(record.tobytes())
+        prev_dc = dc
+    return b"".join(chunks)
+
+
+@native(
+    "jpeg_fill_bit_buffer",
+    library=LIBJPEG,
+    signature=MEMORY_BOUND,
+)
+def jpeg_fill_bit_buffer(payload: bytes, offset: int, size: int) -> bytes:
+    """Refill the decoder's working buffer from the compressed stream."""
+    return payload[offset : offset + size]
+
+
+@native(
+    "decode_mcu",
+    library=LIBJPEG,
+    signature=BRANCHY,
+)
+def decode_mcu(payload: bytes, n_blocks: int) -> np.ndarray:
+    """Entropy-decode ``n_blocks`` blocks; returns (n, 8, 8) int16.
+
+    Raises :class:`CodecError` on truncated or corrupt payloads.
+    """
+    out = np.zeros((n_blocks, BLOCK * BLOCK), dtype=np.int16)
+    offset = 0
+    prev_dc = 0
+    window = b""
+    window_base = 0
+    for block_index in range(n_blocks):
+        if block_index % _REFILL_PERIOD == 0:
+            # Refill a working window large enough for the next period of
+            # worst-case blocks (header + 63 AC records each).
+            window_base = offset
+            worst = _REFILL_PERIOD * (_BLOCK_HEADER.size + 63 * _AC_DTYPE.itemsize)
+            window = jpeg_fill_bit_buffer(payload, window_base, worst)
+        local = offset - window_base
+        if local + _BLOCK_HEADER.size > len(window):
+            raise CodecError("truncated SJPG payload (block header)")
+        nnz, dc_delta = _BLOCK_HEADER.unpack_from(window, local)
+        local += _BLOCK_HEADER.size
+        ac_bytes = nnz * _AC_DTYPE.itemsize
+        if local + ac_bytes > len(window):
+            raise CodecError("truncated SJPG payload (AC records)")
+        zz = np.zeros(BLOCK * BLOCK, dtype=np.int16)
+        prev_dc += dc_delta
+        zz[0] = prev_dc
+        if nnz:
+            records = np.frombuffer(window, dtype=_AC_DTYPE, count=nnz, offset=local)
+            indices = records["idx"].astype(np.int64) + 1
+            if indices.max() >= BLOCK * BLOCK:
+                raise CodecError("corrupt SJPG payload (AC index out of range)")
+            zz[indices] = records["val"]
+        out[block_index] = zz[UNZIGZAG]
+        offset = window_base + local + ac_bytes
+    return out.reshape(n_blocks, BLOCK, BLOCK)
+
+
+def encoded_length(quant_blocks: np.ndarray) -> int:
+    """Byte length :func:`encode_mcu_huff` would produce (without encoding)."""
+    flat = quant_blocks.reshape(len(quant_blocks), BLOCK * BLOCK)
+    ac_nonzeros = np.count_nonzero(flat[:, ZIGZAG][:, 1:], axis=1)
+    return int(
+        len(quant_blocks) * _BLOCK_HEADER.size
+        + ac_nonzeros.sum() * _AC_DTYPE.itemsize
+    )

@@ -1,0 +1,67 @@
+"""Quantization tables and zig-zag ordering for the SJPG codec.
+
+The luminance/chrominance base tables are the canonical JPEG Annex K
+tables; quality scaling follows the libjpeg convention.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+BLOCK = 8
+
+# JPEG Annex K base quantization tables.
+LUMA_QUANT_BASE = np.array(
+    [
+        [16, 11, 10, 16, 24, 40, 51, 61],
+        [12, 12, 14, 19, 26, 58, 60, 55],
+        [14, 13, 16, 24, 40, 57, 69, 56],
+        [14, 17, 22, 29, 51, 87, 80, 62],
+        [18, 22, 37, 56, 68, 109, 103, 77],
+        [24, 35, 55, 64, 81, 104, 113, 92],
+        [49, 64, 78, 87, 103, 121, 120, 101],
+        [72, 92, 95, 98, 112, 100, 103, 99],
+    ],
+    dtype=np.float64,
+)
+
+CHROMA_QUANT_BASE = np.array(
+    [
+        [17, 18, 24, 47, 99, 99, 99, 99],
+        [18, 21, 26, 66, 99, 99, 99, 99],
+        [24, 26, 56, 99, 99, 99, 99, 99],
+        [47, 66, 99, 99, 99, 99, 99, 99],
+        [99, 99, 99, 99, 99, 99, 99, 99],
+        [99, 99, 99, 99, 99, 99, 99, 99],
+        [99, 99, 99, 99, 99, 99, 99, 99],
+        [99, 99, 99, 99, 99, 99, 99, 99],
+    ],
+    dtype=np.float64,
+)
+
+
+def quant_table(base: np.ndarray, quality: int) -> np.ndarray:
+    """Scale a base table for ``quality`` (1..100), libjpeg-style."""
+    if not 1 <= quality <= 100:
+        raise ValueError(f"quality must be in [1, 100], got {quality}")
+    if quality < 50:
+        scale = 5000.0 / quality
+    else:
+        scale = 200.0 - 2.0 * quality
+    table = np.floor((base * scale + 50.0) / 100.0)
+    return np.clip(table, 1.0, 255.0)
+
+
+def _zigzag_order() -> np.ndarray:
+    """Indices that linearize an 8x8 block in zig-zag scan order."""
+    order = sorted(
+        ((r, c) for r in range(BLOCK) for c in range(BLOCK)),
+        key=lambda rc: (rc[0] + rc[1], rc[1] if (rc[0] + rc[1]) % 2 else rc[0]),
+    )
+    flat = np.array([r * BLOCK + c for r, c in order], dtype=np.int64)
+    return flat
+
+
+ZIGZAG = _zigzag_order()
+# Inverse permutation: natural position of each zig-zag index.
+UNZIGZAG = np.argsort(ZIGZAG)

@@ -1,0 +1,220 @@
+"""Raster and memory kernels (the "Pillow `_imaging` + libc" layer).
+
+Resampling, flipping, packing, and the memory-movement primitives that
+show up in hardware profiles of preprocessing runs. Symbol names and
+per-vendor visibility follow the paper's Table I: for example
+``__libc_calloc`` is resolved only by Intel VTune, ``precompute_coeffs``
+and Pillow's ``copy`` only by AMD uProf, and the libc memset resolves to
+different symbols on each machine.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.clib.costmodel import BALANCED, COMPUTE_BOUND, MEMORY_BOUND, CostSignature
+from repro.clib.registry import LIBC, PILLOW, native
+from repro.errors import ImageError
+
+
+@native(
+    "__memcpy_avx_unaligned_erms",
+    library=LIBC,
+    signature=MEMORY_BOUND,
+)
+def memcpy_copy(array: np.ndarray) -> np.ndarray:
+    """Bulk copy (the workhorse libc memcpy variant on both vendors)."""
+    return np.copy(array)
+
+
+@native(
+    "__memmove_avx_unaligned_erms",
+    library=LIBC,
+    signature=MEMORY_BOUND,
+    vendors=("intel",),
+)
+def memmove_gather(array: np.ndarray, rows: np.ndarray) -> np.ndarray:
+    """Row gather used by the vertical resample pass (Intel-resolved)."""
+    return np.ascontiguousarray(array[rows])
+
+
+@native(
+    "__memset_avx2_unaligned_erms",
+    library=LIBC,
+    signature=MEMORY_BOUND,
+    aliases={"amd": ("__memset_avx2_unaligned", "libc-2.31.so")},
+)
+def memset_zero(shape: Tuple[int, ...], dtype=np.uint8) -> np.ndarray:
+    """Zero-fill allocation; reported under vendor-specific memset symbols.
+
+    Uses empty+fill rather than ``np.zeros`` so the pages are actually
+    written (zeros returns calloc-backed lazy pages, which would make the
+    kernel's span unrealistically short).
+    """
+    out = np.empty(shape, dtype=dtype)
+    out.fill(0)
+    return out
+
+
+@native(
+    "__libc_calloc",
+    library=LIBC,
+    signature=MEMORY_BOUND,
+    vendors=("intel",),
+)
+def libc_calloc(shape: Tuple[int, ...], dtype=np.float32) -> np.ndarray:
+    """Zeroed array allocation (symbol resolved only by Intel VTune)."""
+    out = np.empty(shape, dtype=dtype)
+    out.fill(0)
+    return out
+
+
+@native(
+    "_int_free",
+    library=LIBC,
+    signature=CostSignature(
+        ipc=1.0,
+        uops_per_instruction=1.2,
+        front_end_bound=0.25,
+        back_end_bound=0.30,
+        dram_bound=0.05,
+        l1_mpki=20.0,
+        llc_mpki=3.0,
+        branch_mpki=8.0,
+    ),
+    vendors=("intel",),
+)
+def int_free(buffer: np.ndarray) -> None:
+    """Release a temporary buffer (allocator bookkeeping, Intel-resolved)."""
+    del buffer
+
+
+@native(
+    "copy",
+    library=PILLOW,
+    signature=MEMORY_BOUND,
+    vendors=("amd",),
+)
+def pillow_copy(array: np.ndarray) -> np.ndarray:
+    """Pillow's internal image copy (symbol resolved only by AMD uProf)."""
+    return np.copy(array)
+
+
+@native(
+    "ImagingUnpackRGB",
+    library=PILLOW,
+    signature=MEMORY_BOUND,
+)
+def imaging_unpack_rgb(planes: Tuple[np.ndarray, np.ndarray, np.ndarray]) -> np.ndarray:
+    """Pack three (H, W) planes into interleaved (H, W, 3) uint8."""
+    r, g, b = planes
+    if not (r.shape == g.shape == b.shape):
+        raise ImageError(
+            f"plane shapes differ: {r.shape}, {g.shape}, {b.shape}"
+        )
+    out = np.empty(r.shape + (3,), dtype=np.uint8)
+    out[..., 0] = r
+    out[..., 1] = g
+    out[..., 2] = b
+    return out
+
+
+@native(
+    "precompute_coeffs",
+    library=PILLOW,
+    signature=COMPUTE_BOUND,
+    vendors=("amd",),
+)
+def precompute_coeffs(
+    in_size: int, out_size: int, support: float = 1.0
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Triangle-filter resampling windows (Pillow's coefficient pass).
+
+    Returns ``(bounds, weights)`` where ``bounds[i]`` is the first source
+    index contributing to output pixel ``i`` and ``weights[i]`` the filter
+    weights over a fixed-width window.
+    """
+    if in_size <= 0 or out_size <= 0:
+        raise ImageError(f"invalid resample sizes: {in_size} -> {out_size}")
+    scale = in_size / out_size
+    filterscale = max(scale, 1.0)
+    radius = support * filterscale
+    window = int(np.ceil(radius)) * 2 + 1
+    centers = (np.arange(out_size) + 0.5) * scale
+    first = np.clip(np.floor(centers - radius).astype(np.int64), 0, max(in_size - window, 0))
+    offsets = np.arange(window)[None, :]
+    positions = first[:, None] + offsets
+    distance = np.abs(positions + 0.5 - centers[:, None]) / filterscale
+    weights = np.clip(1.0 - distance, 0.0, None)
+    valid = positions < in_size
+    weights = weights * valid
+    norm = weights.sum(axis=1, keepdims=True)
+    norm[norm == 0.0] = 1.0
+    return first, (weights / norm).astype(np.float64)
+
+
+@native(
+    "ImagingResampleHorizontal_8bpc",
+    library=PILLOW,
+    signature=COMPUTE_BOUND,
+)
+def imaging_resample_horizontal(
+    array: np.ndarray, bounds: np.ndarray, weights: np.ndarray
+) -> np.ndarray:
+    """Horizontal resampling pass over (H, W[, C]) uint8/float arrays."""
+    window = weights.shape[1]
+    offsets = np.arange(window)[None, :]
+    cols = np.minimum(bounds[:, None] + offsets, array.shape[1] - 1)
+    gathered = array[:, cols]  # (H, out_w, window[, C])
+    if array.ndim == 3:
+        result = np.einsum("hwkc,wk->hwc", gathered, weights, optimize=True)
+    else:
+        result = np.einsum("hwk, wk -> hw", gathered, weights, optimize=True)
+    return result
+
+
+@native(
+    "ImagingResampleVertical_8bpc",
+    library=PILLOW,
+    signature=COMPUTE_BOUND,
+)
+def imaging_resample_vertical(
+    array: np.ndarray, bounds: np.ndarray, weights: np.ndarray
+) -> np.ndarray:
+    """Vertical resampling pass over (H, W[, C]) arrays."""
+    window = weights.shape[1]
+    offsets = np.arange(window)[None, :]
+    rows = np.minimum(bounds[:, None] + offsets, array.shape[0] - 1)
+    gathered = array[rows]  # (out_h, window, W[, C])
+    if array.ndim == 3:
+        result = np.einsum("hkwc, hk -> hwc", gathered, weights, optimize=True)
+    else:
+        result = np.einsum("hkw, hk -> hw", gathered, weights, optimize=True)
+    return result
+
+
+@native(
+    "ImagingFlipLeftRight",
+    library=PILLOW,
+    signature=MEMORY_BOUND,
+)
+def imaging_flip_left_right(array: np.ndarray) -> np.ndarray:
+    """Horizontal mirror returning a contiguous copy."""
+    return np.ascontiguousarray(array[:, ::-1])
+
+
+@native(
+    "ImagingCrop",
+    library=PILLOW,
+    signature=MEMORY_BOUND,
+)
+def imaging_crop(array: np.ndarray, top: int, left: int, height: int, width: int) -> np.ndarray:
+    """Copy-out a (height, width) region with bounds checking."""
+    if top < 0 or left < 0 or top + height > array.shape[0] or left + width > array.shape[1]:
+        raise ImageError(
+            f"crop box ({top},{left},{height},{width}) outside image "
+            f"{array.shape[:2]}"
+        )
+    return np.ascontiguousarray(array[top : top + height, left : left + width])

@@ -1,0 +1,48 @@
+"""Baseline profiler reimplementations (paper § VI comparison set).
+
+Each class reimplements the *methodology* of one comparison profiler with
+the same structural strengths and blind spots:
+
+* :class:`ScaleneLike` — line-granularity CPU sampling plus allocation
+  tracking (tracemalloc), putting real work on the critical path;
+* :class:`PySpyLike` — 10 ms Python stack sampling, raw samples kept for
+  a final dump;
+* :class:`AustinLike` — 100 us stack sampling with one log line per
+  sample per thread (the storage blow-up of Table III);
+* :class:`TorchProfilerLike` — trace-based: buffers every main-process
+  event in memory until completion (the OOM failure mode) and cannot see
+  DataLoader worker execution.
+
+The :mod:`overhead` harness measures wall-time and log-storage overhead
+against an unprofiled baseline (Table III); :mod:`functionality` checks
+which preprocessing metrics each profiler can actually produce from its
+own output (Table IV).
+"""
+
+from repro.profilers.austin_like import AustinLike
+from repro.profilers.base import BaselineProfiler, ProfilerCapabilities
+from repro.profilers.functionality import (
+    FUNCTIONALITY_COLUMNS,
+    FunctionalityResult,
+    evaluate_functionality,
+)
+from repro.profilers.lotus_adapter import LotusTraceProfiler
+from repro.profilers.overhead import OverheadResult, measure_overhead
+from repro.profilers.pyspy_like import PySpyLike
+from repro.profilers.scalene_like import ScaleneLike
+from repro.profilers.torchprof_like import TorchProfilerLike
+
+__all__ = [
+    "AustinLike",
+    "BaselineProfiler",
+    "FUNCTIONALITY_COLUMNS",
+    "FunctionalityResult",
+    "LotusTraceProfiler",
+    "OverheadResult",
+    "ProfilerCapabilities",
+    "PySpyLike",
+    "ScaleneLike",
+    "TorchProfilerLike",
+    "evaluate_functionality",
+    "measure_overhead",
+]

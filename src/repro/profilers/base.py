@@ -1,0 +1,79 @@
+"""Common interface for comparison profilers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+
+@dataclass(frozen=True)
+class ProfilerCapabilities:
+    """Which preprocessing metrics a profiler's output can yield (Table IV).
+
+    Attributes:
+        epoch: overall / per-operation elapsed time across an epoch.
+        batch: per-batch preprocessing elapsed time.
+        async_flow: main↔worker asynchronous data-flow reconstruction.
+        wait: main-process per-batch wait time.
+        delay: batch consumption delay time.
+    """
+
+    epoch: bool = False
+    batch: bool = False
+    async_flow: bool = False
+    wait: bool = False
+    delay: bool = False
+
+    def as_row(self) -> Dict[str, bool]:
+        return {
+            "Epoch": self.epoch,
+            "Batch": self.batch,
+            "Async": self.async_flow,
+            "Wait": self.wait,
+            "Delay": self.delay,
+        }
+
+
+class BaselineProfiler:
+    """Lifecycle + reporting interface shared by all comparison profilers.
+
+    Usage::
+
+        profiler = PySpyLike()
+        profiler.start()
+        run_workload()
+        profiler.stop()
+        profiler.write_log(path)   # storage overhead measured on this
+        metrics = profiler.extract_metrics()
+    """
+
+    name: str = "baseline"
+
+    def start(self) -> None:
+        raise NotImplementedError
+
+    def stop(self) -> None:
+        raise NotImplementedError
+
+    def write_log(self, path: str) -> int:
+        """Persist the profiler's output; returns bytes written."""
+        raise NotImplementedError
+
+    def capabilities(self) -> ProfilerCapabilities:
+        raise NotImplementedError
+
+    def extract_metrics(self) -> Dict[str, Any]:
+        """Metrics computable from this profiler's own output.
+
+        Keys present only when the profiler can genuinely produce them —
+        the functionality harness (Table IV) checks key presence, not
+        claimed capabilities.
+        """
+        raise NotImplementedError
+
+    def __enter__(self) -> "BaselineProfiler":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

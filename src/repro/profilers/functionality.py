@@ -1,0 +1,63 @@
+"""Profiler functionality comparison (Table IV).
+
+A profiler is credited with a capability only if its *output* yields the
+metric: the harness inspects ``extract_metrics()`` keys rather than
+trusting ``capabilities()``, then cross-checks the two agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.errors import ProfilerError
+from repro.profilers.base import BaselineProfiler
+
+FUNCTIONALITY_COLUMNS = ("Epoch", "Batch", "Async", "Wait", "Delay")
+
+#: extract_metrics() keys that evidence each Table IV column.
+_EVIDENCE_KEYS = {
+    "Epoch": ("epoch_preprocessing_time_s",),
+    "Batch": ("batch_times_s",),
+    "Async": ("async_flow_batches",),
+    "Wait": ("wait_times_s",),
+    "Delay": ("delay_times_s",),
+}
+
+
+@dataclass(frozen=True)
+class FunctionalityResult:
+    """One Table IV row."""
+
+    profiler: str
+    supports: Dict[str, bool]
+
+    def as_row(self) -> str:
+        cells = " ".join(
+            f"{'Y' if self.supports[col] else 'N':>5}" for col in FUNCTIONALITY_COLUMNS
+        )
+        return f"{self.profiler:<22} {cells}"
+
+
+def evaluate_functionality(profiler: BaselineProfiler) -> FunctionalityResult:
+    """Derive a profiler's Table IV row from its actual output."""
+    metrics = profiler.extract_metrics()
+    supports = {}
+    for column in FUNCTIONALITY_COLUMNS:
+        keys = _EVIDENCE_KEYS[column]
+        present = any(key in metrics and metrics[key] for key in keys)
+        supports[column] = present
+    claimed = profiler.capabilities().as_row()
+    for column in FUNCTIONALITY_COLUMNS:
+        if supports[column] and not claimed[column]:
+            raise ProfilerError(
+                f"{profiler.name} produced {column} evidence but does not "
+                f"claim the capability"
+            )
+    return FunctionalityResult(profiler=profiler.name, supports=supports)
+
+
+def format_functionality_table(results: Sequence[FunctionalityResult]) -> str:
+    """Render Table IV."""
+    header = f"{'Profiler':<22} " + " ".join(f"{col:>5}" for col in FUNCTIONALITY_COLUMNS)
+    return "\n".join([header] + [result.as_row() for result in results])

@@ -1,0 +1,70 @@
+"""Lotus (LotusTrace) exposed through the comparison-profiler interface.
+
+Unlike the samplers, LotusTrace is in-band instrumentation: "starting" it
+means wiring a log file into the pipeline's Compose / dataset / DataLoader
+(the ≤25-line code change of § VI-C). The workload harness checks for
+this adapter and passes :attr:`log_path` through.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, Optional
+
+from repro.core.lotustrace.analysis import TraceAnalysis, analyze_trace
+from repro.core.lotustrace.logfile import parse_trace_file
+from repro.profilers.base import BaselineProfiler, ProfilerCapabilities
+from repro.utils.timeunits import ns_to_s
+
+
+class LotusTraceProfiler(BaselineProfiler):
+    """LotusTrace with Table III/IV-compatible reporting."""
+
+    name = "lotus"
+
+    def __init__(self, log_path: str) -> None:
+        self.log_path = log_path
+        self._analysis: Optional[TraceAnalysis] = None
+
+    def start(self) -> None:
+        # Instrumentation is in the pipeline itself; nothing to attach.
+        if os.path.exists(self.log_path):
+            os.remove(self.log_path)
+
+    def stop(self) -> None:
+        if os.path.exists(self.log_path):
+            self._analysis = analyze_trace(parse_trace_file(self.log_path))
+
+    def write_log(self, path: str) -> int:
+        """The trace log is written live by the pipeline; report its size."""
+        source = self.log_path if os.path.exists(self.log_path) else path
+        if path != self.log_path and os.path.exists(self.log_path):
+            with open(self.log_path, "rb") as src, open(path, "wb") as dst:
+                dst.write(src.read())
+        return os.path.getsize(source)
+
+    def capabilities(self) -> ProfilerCapabilities:
+        return ProfilerCapabilities(
+            epoch=True, batch=True, async_flow=True, wait=True, delay=True
+        )
+
+    @property
+    def analysis(self) -> TraceAnalysis:
+        if self._analysis is None:
+            raise RuntimeError("stop() must run before reading the analysis")
+        return self._analysis
+
+    def extract_metrics(self) -> Dict[str, Any]:
+        analysis = self.analysis
+        metrics: Dict[str, Any] = {
+            "epoch_preprocessing_time_s": ns_to_s(analysis.total_preprocess_cpu_ns()),
+            "per_op_time_s": {
+                name: ns_to_s(total)
+                for name, total in analysis.op_total_cpu_ns().items()
+            },
+            "batch_times_s": [ns_to_s(t) for t in analysis.preprocess_times_ns()],
+            "wait_times_s": [ns_to_s(t) for t in analysis.wait_times_ns()],
+            "delay_times_s": [ns_to_s(t) for t in analysis.delay_times_ns()],
+            "async_flow_batches": sorted(analysis.batches),
+        }
+        return metrics

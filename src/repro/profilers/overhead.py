@@ -1,0 +1,84 @@
+"""Profiler overhead measurement (Table III).
+
+Runs the same workload once unprofiled and once under each profiler;
+reports wall-time overhead (percent over baseline) and log storage bytes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.profilers.base import BaselineProfiler
+
+
+@dataclass(frozen=True)
+class OverheadResult:
+    """One Table III row."""
+
+    profiler: str
+    baseline_wall_s: float
+    profiled_wall_s: float
+    log_bytes: int
+
+    @property
+    def wall_overhead_pct(self) -> float:
+        if self.baseline_wall_s <= 0:
+            return 0.0
+        return 100.0 * (self.profiled_wall_s - self.baseline_wall_s) / self.baseline_wall_s
+
+
+WorkloadFn = Callable[[Optional[BaselineProfiler]], None]
+
+
+def _time_run(workload: WorkloadFn, profiler: Optional[BaselineProfiler]) -> float:
+    start = time.monotonic()
+    workload(profiler)
+    return time.monotonic() - start
+
+
+def measure_overhead(
+    workload: WorkloadFn,
+    profiler_factories: Dict[str, Callable[[], BaselineProfiler]],
+    log_dir: str,
+    baseline_repeats: int = 1,
+) -> List[OverheadResult]:
+    """Measure each profiler's overhead on ``workload``.
+
+    ``workload(profiler_or_none)`` must run one epoch, wiring the profiler
+    in if given (starting/stopping it around the run). The baseline run
+    passes ``None``.
+    """
+    import os
+
+    baseline_times = [
+        _time_run(workload, None) for _ in range(max(1, baseline_repeats))
+    ]
+    baseline = min(baseline_times)
+    results = []
+    for name, factory in profiler_factories.items():
+        profiler = factory()
+        profiled = _time_run(workload, profiler)
+        log_path = os.path.join(log_dir, f"{name.replace('/', '_')}.log")
+        log_bytes = profiler.write_log(log_path)
+        results.append(
+            OverheadResult(
+                profiler=profiler.name,
+                baseline_wall_s=baseline,
+                profiled_wall_s=profiled,
+                log_bytes=log_bytes,
+            )
+        )
+    return results
+
+
+def format_overhead_table(results: Sequence[OverheadResult]) -> str:
+    """Render Table III."""
+    lines = [f"{'Profiler':<22} {'Wall time':>10} {'Log storage':>14}"]
+    for result in results:
+        lines.append(
+            f"{result.profiler:<22} {result.wall_overhead_pct:>9.1f}% "
+            f"{result.log_bytes / 1e6:>12.2f}MB"
+        )
+    return "\n".join(lines)

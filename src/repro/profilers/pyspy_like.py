@@ -1,0 +1,102 @@
+"""py-spy-style sampling profiler: 10 ms stacks, raw-sample dump.
+
+Low overhead (a sampler thread only) but: the default 10 ms rate is too
+coarse for sub-10 ms operations; there are no batch boundaries in the
+output; and transform frames are labeled ``__call__`` rather than their
+operation names (paper § IV-A, § VI-B).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import Counter
+from typing import Any, Dict, List, Tuple
+
+from repro.profilers.base import BaselineProfiler, ProfilerCapabilities
+from repro.profilers.sampling import FrameSampler, StackSample
+
+DEFAULT_INTERVAL_S = 0.010
+
+#: Frame names counted as preprocessing work when estimating per-epoch
+#: preprocessing time from samples (fetch/collate/dataset/transform code).
+PREPROCESSING_FRAME_NAMES = frozenset(
+    {"fetch", "__call__", "__getitem__", "_timed_load", "worker_loop"}
+)
+
+
+class PySpyLike(BaselineProfiler):
+    """Keeps every raw sample for a speedscope-style dump at the end."""
+
+    name = "py-spy-like"
+
+    def __init__(self, interval_s: float = DEFAULT_INTERVAL_S) -> None:
+        self._samples: List[StackSample] = []
+        self._lock = threading.Lock()
+        self._sampler = FrameSampler(interval_s, self._record)
+        self._started_ns = 0
+        self._stopped_ns = 0
+
+    def _record(self, sample: StackSample) -> None:
+        with self._lock:
+            self._samples.append(sample)
+
+    def start(self) -> None:
+        self._started_ns = time.time_ns()
+        self._sampler.start()
+
+    def stop(self) -> None:
+        self._sampler.stop()
+        self._stopped_ns = time.time_ns()
+
+    # -- output -----------------------------------------------------------
+    def samples(self) -> List[StackSample]:
+        with self._lock:
+            return list(self._samples)
+
+    def write_log(self, path: str) -> int:
+        """Raw per-sample dump (why py-spy logs are large, Table III)."""
+        payload = [
+            {
+                "t_ns": sample.t_ns,
+                "thread": sample.thread_id,
+                "frames": [list(frame) for frame in sample.frames],
+            }
+            for sample in self.samples()
+        ]
+        text = json.dumps(payload)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        return len(text.encode("utf-8"))
+
+    def capabilities(self) -> ProfilerCapabilities:
+        return ProfilerCapabilities(epoch=True)
+
+    def function_times_s(self) -> Dict[str, float]:
+        """Leaf-frame inclusive time estimate: samples x interval."""
+        counts: Counter = Counter(sample.leaf[0] for sample in self.samples())
+        return {
+            name: count * self._sampler.interval_s for name, count in counts.items()
+        }
+
+    def preprocessing_time_s(self) -> float:
+        """Per-epoch preprocessing time estimate from sampled stacks.
+
+        Counts samples whose stack passes through preprocessing code —
+        the paper reports py-spy gets per-epoch time within 1 % of
+        LotusTrace, but cannot go finer than this.
+        """
+        interval = self._sampler.interval_s
+        hits = sum(
+            1
+            for sample in self.samples()
+            if any(frame[0] in PREPROCESSING_FRAME_NAMES for frame in sample.frames)
+        )
+        return hits * interval
+
+    def extract_metrics(self) -> Dict[str, Any]:
+        return {
+            "epoch_preprocessing_time_s": self.preprocessing_time_s(),
+            "function_times_s": self.function_times_s(),
+        }

@@ -1,0 +1,87 @@
+"""Shared Python stack sampler for the sampling-based baseline profilers.
+
+A daemon thread wakes every ``interval_s`` and snapshots
+``sys._current_frames()``. Each snapshot yields one stack per thread —
+frames identified by ``(function name, filename, lineno)``. This is the
+same view external samplers like py-spy and austin reconstruct, and it
+exhibits the paper's labeling problem verbatim: transform execution shows
+up as ``__call__``, not ``RandomResizedCrop``.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+FrameId = Tuple[str, str, int]  # (co_name, filename, lineno)
+
+
+@dataclass(frozen=True)
+class StackSample:
+    """One thread's stack at one sample instant (leaf first)."""
+
+    t_ns: int
+    thread_id: int
+    frames: Tuple[FrameId, ...]
+
+    @property
+    def leaf(self) -> FrameId:
+        return self.frames[0]
+
+
+class FrameSampler:
+    """Daemon-thread sampler invoking a callback per stack sample."""
+
+    def __init__(
+        self,
+        interval_s: float,
+        on_sample: Callable[[StackSample], None],
+        max_depth: int = 64,
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError(f"interval_s must be positive, got {interval_s}")
+        self.interval_s = interval_s
+        self._on_sample = on_sample
+        self._max_depth = max_depth
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self.samples_taken = 0
+
+    def start(self) -> None:
+        if self._thread is not None:
+            raise RuntimeError("sampler already started")
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-frame-sampler", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+        self._thread = None
+
+    def _run(self) -> None:
+        own_id = threading.get_ident()
+        while not self._stop.is_set():
+            t_ns = time.time_ns()
+            for thread_id, frame in sys._current_frames().items():
+                if thread_id == own_id:
+                    continue
+                frames: List[FrameId] = []
+                cursor = frame
+                while cursor is not None and len(frames) < self._max_depth:
+                    code = cursor.f_code
+                    frames.append((code.co_name, code.co_filename, cursor.f_lineno))
+                    cursor = cursor.f_back
+                if frames:
+                    self._on_sample(
+                        StackSample(t_ns=t_ns, thread_id=thread_id, frames=tuple(frames))
+                    )
+                    self.samples_taken += 1
+            time.sleep(self.interval_s)

@@ -1,0 +1,90 @@
+"""Scalene-style profiler: line-granularity CPU sampling + memory tracking.
+
+Scalene attributes CPU and memory to individual source lines. The memory
+side requires intercepting allocations, which puts the profiler on the
+critical path of allocation-heavy workloads — here via ``tracemalloc``,
+whose per-allocation bookkeeping creates genuine (not simulated) wall-time
+overhead, reproducing the ~96 % slowdown of Table III.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import tracemalloc
+from collections import Counter
+from typing import Any, Dict, Tuple
+
+from repro.profilers.base import BaselineProfiler, ProfilerCapabilities
+from repro.profilers.sampling import FrameSampler, StackSample
+
+DEFAULT_INTERVAL_S = 0.010
+#: Stack depth tracemalloc records per allocation. Line-level attribution
+#: needs the allocating frame only; deeper capture multiplies the
+#: per-allocation cost.
+TRACEMALLOC_FRAMES = 1
+
+
+class ScaleneLike(BaselineProfiler):
+    """Line-level CPU sampling plus allocation tracking."""
+
+    name = "scalene-like"
+
+    def __init__(self, interval_s: float = DEFAULT_INTERVAL_S) -> None:
+        self._line_counts: Counter = Counter()  # (filename, lineno) -> samples
+        self._lock = threading.Lock()
+        self._sampler = FrameSampler(interval_s, self._record)
+        self._memory_peak = 0
+        self._tracemalloc_was_tracing = False
+
+    def _record(self, sample: StackSample) -> None:
+        name, filename, lineno = sample.leaf
+        with self._lock:
+            self._line_counts[(filename, lineno)] += 1
+
+    def start(self) -> None:
+        self._tracemalloc_was_tracing = tracemalloc.is_tracing()
+        if not self._tracemalloc_was_tracing:
+            tracemalloc.start(TRACEMALLOC_FRAMES)
+        self._sampler.start()
+
+    def stop(self) -> None:
+        self._sampler.stop()
+        if tracemalloc.is_tracing():
+            self._memory_peak = tracemalloc.get_traced_memory()[1]
+            if not self._tracemalloc_was_tracing:
+                tracemalloc.stop()
+
+    def write_log(self, path: str) -> int:
+        """Per-line aggregate (small — Scalene's 2.5 MB in Table III)."""
+        with self._lock:
+            payload = {
+                "lines": [
+                    {
+                        "file": filename,
+                        "line": lineno,
+                        "cpu_samples": count,
+                        "cpu_time_s": count * self._sampler.interval_s,
+                    }
+                    for (filename, lineno), count in self._line_counts.most_common()
+                ],
+                "memory_peak_bytes": self._memory_peak,
+            }
+        text = json.dumps(payload)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        return len(text.encode("utf-8"))
+
+    def capabilities(self) -> ProfilerCapabilities:
+        # Line-level attribution cannot reconstruct per-epoch preprocessing
+        # decomposition, batch boundaries, or the async flow (Table IV).
+        return ProfilerCapabilities()
+
+    def extract_metrics(self) -> Dict[str, Any]:
+        with self._lock:
+            top_lines = self._line_counts.most_common(20)
+        return {
+            "top_lines": top_lines,
+            "memory_peak_bytes": self._memory_peak,
+        }

@@ -1,0 +1,30 @@
+"""Training runtime substrate: virtual GPUs, model cost profiles, trainer.
+
+The paper's experiments run on 4 NVIDIA V100s; here GPUs are *virtual
+devices* whose kernels take a duration given by a model cost profile. The
+:class:`Trainer` replicates the DataParallel main-process loop: wait for a
+preprocessed batch, split it across GPUs, schedule kernels asynchronously,
+and synchronize the previous step before consuming the next batch — the
+queueing structure that produces the preprocessing-bound vs GPU-bound
+regimes of Figure 2.
+"""
+
+from repro.runtime.device import GpuJob, VirtualGPU
+from repro.runtime.model import (
+    GeneralizedRCNNLike,
+    ModelProfile,
+    ResNet18Like,
+    UNet3DLike,
+)
+from repro.runtime.trainer import EpochReport, Trainer
+
+__all__ = [
+    "EpochReport",
+    "GeneralizedRCNNLike",
+    "GpuJob",
+    "ModelProfile",
+    "ResNet18Like",
+    "Trainer",
+    "UNet3DLike",
+    "VirtualGPU",
+]

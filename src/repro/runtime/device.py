@@ -1,0 +1,116 @@
+"""Virtual GPU devices.
+
+A :class:`VirtualGPU` is a serialized kernel queue modeled as a
+``busy_until`` wall-clock horizon: submitting work extends the horizon,
+synchronizing sleeps until it passes. This reproduces the asynchronous
+schedule-then-wait behaviour of real CUDA streams (kernels are enqueued
+instantly; the host blocks only at synchronization points) without
+spending CPU on simulation threads.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class GpuJob:
+    """A scheduled kernel: completes when wall clock passes ``ready_at``."""
+
+    device_id: int
+    submitted_at: float
+    ready_at: float
+    duration_s: float
+
+    @property
+    def done(self) -> bool:
+        return time.monotonic() >= self.ready_at
+
+    def wait(self) -> None:
+        remaining = self.ready_at - time.monotonic()
+        if remaining > 0:
+            time.sleep(remaining)
+
+
+class VirtualGPU:
+    """A device with a serialized kernel queue and utilization accounting."""
+
+    def __init__(self, device_id: int, name: str = "V100-sim") -> None:
+        if device_id < 0:
+            raise ReproError(f"device_id must be >= 0, got {device_id}")
+        self.device_id = device_id
+        self.name = name
+        self._lock = threading.Lock()
+        self._busy_until = time.monotonic()
+        self._busy_total_s = 0.0
+        self._created_at = time.monotonic()
+        self._jobs_submitted = 0
+
+    @property
+    def device(self) -> str:
+        return f"gpu:{self.device_id}"
+
+    def submit(self, duration_s: float) -> GpuJob:
+        """Enqueue a kernel that runs for ``duration_s`` device-seconds.
+
+        Returns immediately (asynchronous scheduling); the job completes
+        ``duration_s`` after all previously enqueued work.
+        """
+        if duration_s < 0:
+            raise ReproError(f"kernel duration must be >= 0, got {duration_s}")
+        now = time.monotonic()
+        with self._lock:
+            start = max(now, self._busy_until)
+            self._busy_until = start + duration_s
+            self._busy_total_s += duration_s
+            self._jobs_submitted += 1
+            return GpuJob(
+                device_id=self.device_id,
+                submitted_at=now,
+                ready_at=self._busy_until,
+                duration_s=duration_s,
+            )
+
+    def synchronize(self) -> None:
+        """Block until every enqueued kernel has completed."""
+        with self._lock:
+            horizon = self._busy_until
+        remaining = horizon - time.monotonic()
+        if remaining > 0:
+            time.sleep(remaining)
+
+    @property
+    def busy(self) -> bool:
+        with self._lock:
+            return time.monotonic() < self._busy_until
+
+    def utilization(self) -> float:
+        """Fraction of this device's lifetime spent executing kernels."""
+        with self._lock:
+            elapsed = time.monotonic() - self._created_at
+            if elapsed <= 0:
+                return 0.0
+            return min(1.0, self._busy_total_s / elapsed)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "device": self.device,
+                "jobs_submitted": self._jobs_submitted,
+                "busy_total_s": self._busy_total_s,
+            }
+
+    def __repr__(self) -> str:
+        return f"VirtualGPU(id={self.device_id}, name={self.name!r})"
+
+
+def make_gpus(count: int, name: str = "V100-sim") -> List[VirtualGPU]:
+    """Create ``count`` virtual GPUs."""
+    if count < 1:
+        raise ReproError(f"need at least one GPU, got {count}")
+    return [VirtualGPU(device_id, name=name) for device_id in range(count)]

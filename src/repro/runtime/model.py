@@ -1,0 +1,61 @@
+"""Model cost profiles.
+
+A :class:`ModelProfile` answers one question: how long does one training
+step (forward + backward) of ``n`` samples take on one virtual GPU? The
+three presets correspond to the paper's workloads, scaled so experiments
+finish in seconds while preserving the preprocessing-vs-GPU balance each
+pipeline exhibits (IC preprocessing-bound; IS/OD GPU-bound, § V-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class ModelProfile:
+    """Affine step-time model: ``base_s + per_sample_s * n``.
+
+    Attributes:
+        name: model label for reports.
+        base_s: fixed kernel-launch/optimizer overhead per step.
+        per_sample_s: marginal device time per sample.
+    """
+
+    name: str
+    base_s: float
+    per_sample_s: float
+
+    def __post_init__(self) -> None:
+        if self.base_s < 0 or self.per_sample_s < 0:
+            raise ReproError(
+                f"model times must be >= 0: base={self.base_s}, "
+                f"per_sample={self.per_sample_s}"
+            )
+
+    def step_time_s(self, n_samples: int) -> float:
+        """Device seconds for a step over ``n_samples`` on one GPU."""
+        if n_samples < 0:
+            raise ReproError(f"n_samples must be >= 0, got {n_samples}")
+        if n_samples == 0:
+            return 0.0
+        return self.base_s + self.per_sample_s * n_samples
+
+
+def ResNet18Like(scale: float = 1.0) -> ModelProfile:
+    """Light CNN: GPU step far cheaper than online JPEG preprocessing."""
+    return ModelProfile("ResNet18-sim", base_s=0.002 * scale, per_sample_s=0.00015 * scale)
+
+
+def UNet3DLike(scale: float = 1.0) -> ModelProfile:
+    """Heavy volumetric model: GPU step dominates (paper: 750 ms/batch)."""
+    return ModelProfile("UNet3D-sim", base_s=0.010 * scale, per_sample_s=0.0350 * scale)
+
+
+def GeneralizedRCNNLike(scale: float = 1.0) -> ModelProfile:
+    """Detection model: GPU step dominates (paper: 250 ms/batch)."""
+    return ModelProfile(
+        "GeneralizedRCNN-sim", base_s=0.008 * scale, per_sample_s=0.0120 * scale
+    )

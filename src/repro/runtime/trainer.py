@@ -1,0 +1,139 @@
+"""The DataParallel-style training loop.
+
+Main-process behaviour per § II-B of the paper: synchronize the previous
+step's GPU kernels, fetch the next preprocessed batch from the DataLoader
+(this is where [T2] wait time accrues), split it across GPUs, and schedule
+the forward/backward kernels asynchronously.
+
+With this ordering, the *delay time* of a batch (ready → consumed) is
+governed by GPU step time when the model is the bottleneck, and stays
+small when preprocessing is the bottleneck — Figure 2's two regimes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.runtime.device import GpuJob, VirtualGPU
+from repro.runtime.model import ModelProfile
+from repro.tensor.tensor import Tensor
+
+
+def _batch_size_of(batch: Any) -> int:
+    """Leading dimension of the first tensor found in the batch."""
+    if isinstance(batch, Tensor):
+        return batch.shape[0] if batch.ndim else 1
+    if isinstance(batch, (tuple, list)) and batch:
+        return _batch_size_of(batch[0])
+    if isinstance(batch, dict) and batch:
+        return _batch_size_of(next(iter(batch.values())))
+    raise ReproError(f"cannot infer batch size from {type(batch)!r}")
+
+
+@dataclass
+class EpochReport:
+    """Timing results for one training epoch."""
+
+    n_batches: int
+    epoch_time_s: float
+    gpu_step_times_s: List[float] = field(default_factory=list)
+    gpu_utilization: List[float] = field(default_factory=list)
+
+    @property
+    def max_gpu_step_s(self) -> float:
+        return max(self.gpu_step_times_s) if self.gpu_step_times_s else 0.0
+
+    @property
+    def mean_gpu_step_s(self) -> float:
+        if not self.gpu_step_times_s:
+            return 0.0
+        return sum(self.gpu_step_times_s) / len(self.gpu_step_times_s)
+
+
+class Trainer:
+    """Drives a DataLoader through virtual-GPU training steps."""
+
+    def __init__(
+        self,
+        gpus: Sequence[VirtualGPU],
+        model: ModelProfile,
+    ) -> None:
+        if not gpus:
+            raise ReproError("Trainer needs at least one GPU")
+        self.gpus = list(gpus)
+        self.model = model
+
+    def _split_sizes(self, batch_size: int) -> List[int]:
+        """DataParallel split: near-equal chunks, one per GPU."""
+        g = len(self.gpus)
+        base, extra = divmod(batch_size, g)
+        return [base + (1 if i < extra else 0) for i in range(g)]
+
+    def train_epoch(
+        self,
+        loader: Any,
+        max_batches: Optional[int] = None,
+    ) -> EpochReport:
+        """Run one epoch; returns timing results.
+
+        ``max_batches`` truncates the epoch (used by scaled benchmarks).
+        """
+        epoch_start = time.monotonic()
+        pending: List[GpuJob] = []
+        step_times: List[float] = []
+        n_batches = 0
+        iterator = iter(loader)
+        while True:
+            if max_batches is not None and n_batches >= max_batches:
+                if hasattr(iterator, "close"):
+                    iterator.close()
+                break
+            # Synchronize the previous step before consuming a new batch:
+            # the main process is "occupied with the GPUs" while ready
+            # batches sit in the data queue (delay time).
+            for job in pending:
+                job.wait()
+            pending = []
+            try:
+                batch = next(iterator)
+            except StopIteration:
+                break
+            batch_size = _batch_size_of(batch)
+            step = 0.0
+            for gpu, chunk in zip(self.gpus, self._split_sizes(batch_size)):
+                if chunk == 0:
+                    continue
+                duration = self.model.step_time_s(chunk)
+                pending.append(gpu.submit(duration))
+                step = max(step, duration)
+            step_times.append(step)
+            n_batches += 1
+        for job in pending:
+            job.wait()
+        return EpochReport(
+            n_batches=n_batches,
+            epoch_time_s=time.monotonic() - epoch_start,
+            gpu_step_times_s=step_times,
+            gpu_utilization=[gpu.utilization() for gpu in self.gpus],
+        )
+
+    def fit(
+        self,
+        loader: Any,
+        epochs: int,
+        max_batches: Optional[int] = None,
+    ) -> List[EpochReport]:
+        """Run ``epochs`` training epochs; returns one report per epoch.
+
+        Pairs naturally with ``persistent_workers=True`` loaders, whose
+        worker pool survives across the epoch boundary.
+        """
+        if epochs < 1:
+            raise ReproError(f"epochs must be >= 1, got {epochs}")
+        return [
+            self.train_epoch(loader, max_batches=max_batches)
+            for _ in range(epochs)
+        ]

@@ -1,0 +1,12 @@
+"""Minimal tensor abstraction (the "torch.Tensor" substrate).
+
+Just enough of a tensor for preprocessing pipelines: numpy-backed storage,
+elementwise arithmetic, ``pin_memory`` (a real copy through the libc
+memcpy kernel, as PyTorch's pinned-memory staging is), device placement
+tags for the virtual GPUs, and ``default_collate``.
+"""
+
+from repro.tensor.collate import default_collate
+from repro.tensor.tensor import Tensor, from_numpy, stack
+
+__all__ = ["Tensor", "default_collate", "from_numpy", "stack"]

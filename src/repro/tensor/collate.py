@@ -1,0 +1,46 @@
+"""Batch collation (the ``default_collate`` the DataLoader fetcher uses)."""
+
+from __future__ import annotations
+
+from typing import Any, List, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.tensor.tensor import Tensor, stack
+
+
+def default_collate(samples: Sequence[Any]) -> Any:
+    """Collate a list of samples into a batch, torch-style.
+
+    * Tensors are stacked along a new leading dimension.
+    * Numpy arrays are wrapped as tensors and stacked.
+    * Numbers become a 1-D tensor.
+    * Tuples/lists are collated per position; dicts per key.
+
+    Raises :class:`ReproError` for empty or heterogeneous input.
+    """
+    if not samples:
+        raise ReproError("default_collate() of empty sample list")
+    first = samples[0]
+    if isinstance(first, (str, bytes)):
+        # Strings/bytes stay as a plain list (torch semantics).
+        return list(samples)
+    if isinstance(first, Tensor):
+        return stack(samples)
+    if isinstance(first, np.ndarray):
+        return stack([Tensor(np.asarray(s)) for s in samples])
+    if isinstance(first, (int, float, np.integer, np.floating)):
+        return Tensor(np.asarray(samples))
+    if isinstance(first, Mapping):
+        keys = set(first)
+        if any(set(s) != keys for s in samples):
+            raise ReproError("dict samples with mismatched keys")
+        return {key: default_collate([s[key] for s in samples]) for key in keys}
+    if isinstance(first, (tuple, list)):
+        length = len(first)
+        if any(len(s) != length for s in samples):
+            raise ReproError("sequence samples with mismatched lengths")
+        collated = [default_collate([s[i] for s in samples]) for i in range(length)]
+        return tuple(collated) if isinstance(first, tuple) else collated
+    raise ReproError(f"cannot collate samples of type {type(first)!r}")

@@ -1,0 +1,152 @@
+"""Numpy-backed tensor with pinning and device tags."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Union
+
+import numpy as np
+
+from repro.clib.costmodel import MEMORY_BOUND
+from repro.clib.registry import LIBTENSOR, native
+from repro.errors import ReproError
+from repro.imaging import kernels
+
+CPU_DEVICE = "cpu"
+
+
+@native(
+    "at::native::copy_",
+    library=LIBTENSOR,
+    signature=MEMORY_BOUND,
+)
+def _tensor_copy(array: np.ndarray) -> np.ndarray:
+    """ATen copy kernel: contiguous copy of the backing storage."""
+    return np.ascontiguousarray(array)
+
+
+@native(
+    "at::native::stack",
+    library=LIBTENSOR,
+    signature=MEMORY_BOUND,
+)
+def _tensor_stack(arrays: Sequence[np.ndarray]) -> np.ndarray:
+    """ATen stack kernel used by default_collate."""
+    return np.stack(arrays, axis=0)
+
+
+class Tensor:
+    """A device-tagged, optionally pinned, numpy-backed tensor."""
+
+    __slots__ = ("_data", "device", "pinned")
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        device: str = CPU_DEVICE,
+        pinned: bool = False,
+    ) -> None:
+        if not isinstance(data, np.ndarray):
+            raise ReproError(f"Tensor requires an ndarray, got {type(data)!r}")
+        self._data = data
+        self.device = device
+        self.pinned = pinned
+
+    # -- views ---------------------------------------------------------------
+    @property
+    def shape(self) -> tuple:
+        return self._data.shape
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self._data.dtype
+
+    @property
+    def ndim(self) -> int:
+        return self._data.ndim
+
+    @property
+    def nbytes(self) -> int:
+        return self._data.nbytes
+
+    def numpy(self) -> np.ndarray:
+        if self.device != CPU_DEVICE:
+            raise ReproError(f"cannot view numpy data of tensor on {self.device}")
+        return self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    # -- movement --------------------------------------------------------------
+    def pin_memory(self) -> "Tensor":
+        """Copy into page-locked staging memory (a real bulk copy).
+
+        The main process pins out-of-order batches while polling the data
+        queue (§ V-C2); the copy cost is why pinning occupies the single
+        main-process thread.
+        """
+        if self.pinned:
+            return self
+        return Tensor(kernels.memcpy_copy(self._data), device=self.device, pinned=True)
+
+    def to(self, device: str) -> "Tensor":
+        """Retag onto ``device`` (transfer cost modeled by the VirtualGPU)."""
+        if device == self.device:
+            return self
+        return Tensor(self._data, device=device, pinned=self.pinned)
+
+    def contiguous(self) -> "Tensor":
+        return Tensor(_tensor_copy(self._data), device=self.device, pinned=self.pinned)
+
+    def astype(self, dtype) -> "Tensor":
+        return Tensor(self._data.astype(dtype), device=self.device, pinned=self.pinned)
+
+    # -- arithmetic (numpy broadcasting semantics) ------------------------------
+    def _coerce(self, other: Union["Tensor", float, int, np.ndarray]) -> np.ndarray:
+        if isinstance(other, Tensor):
+            return other._data
+        return np.asarray(other)
+
+    def __add__(self, other) -> "Tensor":
+        return Tensor(self._data + self._coerce(other), device=self.device)
+
+    def __sub__(self, other) -> "Tensor":
+        return Tensor(self._data - self._coerce(other), device=self.device)
+
+    def __mul__(self, other) -> "Tensor":
+        return Tensor(self._data * self._coerce(other), device=self.device)
+
+    def __truediv__(self, other) -> "Tensor":
+        return Tensor(self._data / self._coerce(other), device=self.device)
+
+    def __eq__(self, other) -> bool:  # identity-style equality for hashing use
+        return self is other
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    def allclose(self, other: "Tensor", **kwargs) -> bool:
+        return np.allclose(self._data, other._data, **kwargs)
+
+    def __repr__(self) -> str:
+        flags = []
+        if self.pinned:
+            flags.append("pinned")
+        suffix = f", {' '.join(flags)}" if flags else ""
+        return (
+            f"Tensor(shape={self.shape}, dtype={self.dtype}, "
+            f"device={self.device!r}{suffix})"
+        )
+
+
+def from_numpy(array: np.ndarray) -> Tensor:
+    """Wrap ``array`` without copying."""
+    return Tensor(array)
+
+
+def stack(tensors: Iterable[Tensor]) -> Tensor:
+    """Stack CPU tensors along a new leading dimension (collation)."""
+    items: List[Tensor] = list(tensors)
+    if not items:
+        raise ReproError("stack() of empty tensor sequence")
+    arrays = [t.numpy() for t in items]
+    return Tensor(_tensor_stack(arrays))

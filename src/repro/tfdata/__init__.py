@@ -1,0 +1,15 @@
+"""A tf.data-style declarative pipeline (framework generality).
+
+The paper notes its methodology "also applies to other preprocessing
+frameworks that allow declaratively specified preprocessing pipelines",
+citing tf.data. This package provides a minimal tf.data-like API —
+``from_source(...).map(fn).shuffle(k).batch(n).prefetch(m)`` — with a
+background-thread prefetch executor, plus a LotusTrace adapter that
+instruments the declared stages the same way the DataLoader integration
+does: per-op records for ``map`` functions, per-batch production records
+at ``batch``, and consumer wait records at ``prefetch``.
+"""
+
+from repro.tfdata.pipeline import TfDataset, from_source
+
+__all__ = ["TfDataset", "from_source"]

@@ -1,0 +1,317 @@
+"""Declarative dataset pipeline with a threaded prefetch executor."""
+
+from __future__ import annotations
+
+import queue as queue_module
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Iterator, List, Optional, Union
+
+from repro.core.lotustrace.context import current_pid
+from repro.core.lotustrace.logfile import PathLike, TraceSink, open_trace_log
+from repro.core.lotustrace.records import (
+    KIND_BATCH_PREPROCESSED,
+    KIND_BATCH_WAIT,
+    KIND_OP,
+    MAIN_PROCESS_WORKER_ID,
+    TraceRecord,
+)
+from repro.errors import DataLoaderError
+from repro.tensor.collate import default_collate
+from repro.utils.rng import derive_rng
+
+_PREFETCH_WORKER_ID = 0
+_END_OF_STREAM = object()
+
+
+@dataclass(frozen=True)
+class _Stage:
+    kind: str  # "map" | "shuffle" | "batch" | "prefetch"
+    fn: Optional[Callable] = None
+    name: Optional[str] = None
+    size: int = 0
+    seed: Optional[int] = None
+    drop_remainder: bool = False
+
+
+class TfDataset:
+    """An immutable pipeline description; iteration executes it.
+
+    Mirrors tf.data's chaining API::
+
+        ds = (from_source(blobs)
+              .map(decode, name="Loader")
+              .map(augment)
+              .shuffle(64, seed=0)
+              .batch(32)
+              .prefetch(2))
+        for batch in ds: ...
+    """
+
+    def __init__(
+        self,
+        source: Iterable[Any],
+        stages: Optional[List[_Stage]] = None,
+        log_target: Union[PathLike, TraceSink, None] = None,
+    ) -> None:
+        self._source = source
+        self._stages: List[_Stage] = list(stages or [])
+        self._log_target = log_target
+
+    # -- declarative builders (each returns a new pipeline) ---------------------
+    def _extend(self, stage: _Stage) -> "TfDataset":
+        return TfDataset(self._source, self._stages + [stage], self._log_target)
+
+    def map(self, fn: Callable, name: Optional[str] = None) -> "TfDataset":
+        """Apply ``fn`` per element. ``name`` labels the op in traces
+        (defaults to the callable's name — classes keep their class name,
+        the LotusTrace convention)."""
+        if not callable(fn):
+            raise DataLoaderError(f"map() needs a callable, got {fn!r}")
+        label = name
+        if label is None:
+            # Functions/lambdas carry __name__; transform instances are
+            # labeled by their class name (the LotusTrace convention).
+            label = getattr(fn, "__name__", None) or type(fn).__name__
+        return self._extend(_Stage(kind="map", fn=fn, name=label))
+
+    def filter(self, predicate: Callable, name: Optional[str] = None) -> "TfDataset":
+        """Keep elements where ``predicate`` is truthy (tf.data.filter).
+
+        The predicate runs inside the pipeline, so with instrumentation
+        its cost appears as an op record like any map stage.
+        """
+        if not callable(predicate):
+            raise DataLoaderError(f"filter() needs a callable, got {predicate!r}")
+        label = name
+        if label is None:
+            label = getattr(predicate, "__name__", None) or type(predicate).__name__
+        return self._extend(_Stage(kind="filter", fn=predicate, name=label))
+
+    def repeat(self, count: int) -> "TfDataset":
+        """Replay the upstream ``count`` times (tf.data.repeat).
+
+        The source must be re-iterable (a sequence, not a one-shot
+        generator) for counts above one.
+        """
+        if count < 1:
+            raise DataLoaderError(f"repeat count must be >= 1, got {count}")
+        return self._extend(_Stage(kind="repeat", size=count))
+
+    def take(self, count: int) -> "TfDataset":
+        """Truncate the stream after ``count`` elements (tf.data.take)."""
+        if count < 0:
+            raise DataLoaderError(f"take count must be >= 0, got {count}")
+        return self._extend(_Stage(kind="take", size=count))
+
+    def shuffle(self, buffer_size: int, seed: Optional[int] = None) -> "TfDataset":
+        """Buffered shuffle, tf.data semantics: keep a window of
+        ``buffer_size`` elements and emit a uniformly random one."""
+        if buffer_size < 1:
+            raise DataLoaderError(f"buffer_size must be >= 1, got {buffer_size}")
+        return self._extend(_Stage(kind="shuffle", size=buffer_size, seed=seed))
+
+    def batch(self, batch_size: int, drop_remainder: bool = False) -> "TfDataset":
+        if batch_size < 1:
+            raise DataLoaderError(f"batch_size must be >= 1, got {batch_size}")
+        return self._extend(
+            _Stage(kind="batch", size=batch_size, drop_remainder=drop_remainder)
+        )
+
+    def prefetch(self, buffer_size: int) -> "TfDataset":
+        """Produce elements on a background thread into a bounded buffer
+        (tf.data's AUTOTUNE-style decoupling, fixed size here)."""
+        if buffer_size < 1:
+            raise DataLoaderError(f"buffer_size must be >= 1, got {buffer_size}")
+        return self._extend(_Stage(kind="prefetch", size=buffer_size))
+
+    def instrument(self, log_file: Union[PathLike, TraceSink, None]) -> "TfDataset":
+        """Return the same pipeline with LotusTrace logging attached."""
+        return TfDataset(self._source, self._stages, log_file)
+
+    # -- execution ------------------------------------------------------------
+    def __iter__(self) -> Iterator[Any]:
+        sink = open_trace_log(self._log_target)
+        batch_counter = {"next_id": 0}
+        return self._build(len(self._stages), sink, batch_counter)
+
+    def _build(self, upto: int, sink, batch_counter) -> Iterator[Any]:
+        """Executor for the first ``upto`` stages (recursive so that
+        ``repeat`` can re-instantiate its upstream per repetition)."""
+        if upto == 0:
+            return iter(self._source)
+        stage = self._stages[upto - 1]
+        if stage.kind == "repeat":
+            def replay() -> Iterator[Any]:
+                for _ in range(stage.size):
+                    yield from self._build(upto - 1, sink, batch_counter)
+            return replay()
+        upstream = self._build(upto - 1, sink, batch_counter)
+        if stage.kind == "map":
+            return self._run_map(upstream, stage, sink)
+        if stage.kind == "filter":
+            return self._run_filter(upstream, stage, sink)
+        if stage.kind == "take":
+            return self._run_take(upstream, stage)
+        if stage.kind == "shuffle":
+            return self._run_shuffle(upstream, stage)
+        if stage.kind == "batch":
+            return self._run_batch(upstream, stage, sink, batch_counter)
+        if stage.kind == "prefetch":
+            return self._run_prefetch(upstream, stage, sink)
+        raise DataLoaderError(f"unknown stage kind: {stage.kind!r}")
+
+    def _run_filter(self, upstream, stage: _Stage, sink) -> Iterator[Any]:
+        predicate, name = stage.fn, stage.name
+        if sink is None:
+            for item in upstream:
+                if predicate(item):
+                    yield item
+            return
+        pid = current_pid()
+        for item in upstream:
+            start = time.time_ns()
+            keep = predicate(item)
+            duration = time.time_ns() - start
+            sink.write(
+                TraceRecord(
+                    kind=KIND_OP, name=name, batch_id=-1,
+                    worker_id=_PREFETCH_WORKER_ID, pid=pid,
+                    start_ns=start, duration_ns=duration,
+                )
+            )
+            if keep:
+                yield item
+
+    def _run_take(self, upstream, stage: _Stage) -> Iterator[Any]:
+        remaining = stage.size
+        if remaining == 0:
+            return
+        for item in upstream:
+            yield item
+            remaining -= 1
+            if remaining == 0:
+                return
+
+    def _run_map(self, upstream, stage: _Stage, sink) -> Iterator[Any]:
+        fn, name = stage.fn, stage.name
+        if sink is None:
+            for item in upstream:
+                yield fn(item)
+            return
+        pid = current_pid()
+        for item in upstream:
+            start = time.time_ns()
+            value = fn(item)
+            duration = time.time_ns() - start
+            sink.write(
+                TraceRecord(
+                    kind=KIND_OP, name=name, batch_id=-1,
+                    worker_id=_PREFETCH_WORKER_ID, pid=pid,
+                    start_ns=start, duration_ns=duration,
+                )
+            )
+            yield value
+
+    def _run_shuffle(self, upstream, stage: _Stage) -> Iterator[Any]:
+        rng = derive_rng(stage.seed, "TfDataset.shuffle")
+        buffer: List[Any] = []
+        for item in upstream:
+            buffer.append(item)
+            if len(buffer) >= stage.size:
+                index = int(rng.integers(0, len(buffer)))
+                buffer[index], buffer[-1] = buffer[-1], buffer[index]
+                yield buffer.pop()
+        rng.shuffle(buffer)
+        yield from buffer
+
+    def _run_batch(self, upstream, stage: _Stage, sink, counter) -> Iterator[Any]:
+        pid = current_pid()
+        while True:
+            start = time.time_ns()
+            chunk: List[Any] = []
+            for item in upstream:
+                chunk.append(item)
+                if len(chunk) == stage.size:
+                    break
+            if not chunk or (stage.drop_remainder and len(chunk) < stage.size):
+                return
+            batch = default_collate(chunk)
+            if sink is not None:
+                sink.write(
+                    TraceRecord(
+                        kind=KIND_BATCH_PREPROCESSED, name="fetch",
+                        batch_id=counter["next_id"],
+                        worker_id=_PREFETCH_WORKER_ID, pid=pid,
+                        start_ns=start, duration_ns=time.time_ns() - start,
+                    )
+                )
+            counter["next_id"] += 1
+            yield batch
+            if len(chunk) < stage.size:
+                return
+
+    def _run_prefetch(self, upstream, stage: _Stage, sink) -> Iterator[Any]:
+        buffer: queue_module.Queue = queue_module.Queue(maxsize=stage.size)
+        abandoned = threading.Event()
+
+        def producer() -> None:
+            try:
+                for item in upstream:
+                    # put with a polled timeout so an abandoned consumer
+                    # (generator closed mid-epoch) releases this thread
+                    # instead of leaking it blocked on a full buffer.
+                    while not abandoned.is_set():
+                        try:
+                            buffer.put(item, timeout=0.1)
+                            break
+                        except queue_module.Full:
+                            continue
+                    if abandoned.is_set():
+                        return
+            finally:
+                # The end marker must reach the consumer even when the
+                # buffer is momentarily full — poll like the items do.
+                while not abandoned.is_set():
+                    try:
+                        buffer.put(_END_OF_STREAM, timeout=0.1)
+                        break
+                    except queue_module.Full:
+                        continue
+        thread = threading.Thread(
+            target=producer, name="repro-tfdata-prefetch", daemon=True
+        )
+        thread.start()
+        pid = current_pid()
+        batch_id = 0
+        try:
+            while True:
+                start = time.time_ns()
+                item = buffer.get()
+                if item is _END_OF_STREAM:
+                    return
+                if sink is not None:
+                    sink.write(
+                        TraceRecord(
+                            kind=KIND_BATCH_WAIT, name="wait", batch_id=batch_id,
+                            worker_id=MAIN_PROCESS_WORKER_ID, pid=pid,
+                            start_ns=start, duration_ns=time.time_ns() - start,
+                        )
+                    )
+                batch_id += 1
+                yield item
+        finally:
+            abandoned.set()
+
+    def __repr__(self) -> str:
+        chain = " -> ".join(
+            stage.name if stage.kind == "map" else stage.kind
+            for stage in self._stages
+        )
+        return f"TfDataset(source -> {chain})" if chain else "TfDataset(source)"
+
+
+def from_source(items: Iterable[Any]) -> TfDataset:
+    """Pipeline root over any iterable (list, generator factory, ...)."""
+    return TfDataset(items)

@@ -1,0 +1,24 @@
+"""Artifact-workflow tools.
+
+Faithful equivalents of the analysis scripts in the paper's artifact
+(REPLICATE.md workflow), taking the same inputs and flags:
+
+* :mod:`preprocessing_time_stats` — per-batch statistics with the
+  artifact's ``--remove_outliers`` flag (Figure 4's numbers);
+* :mod:`delay_and_wait_stats` — wait/delay distributions with
+  ``--sort_criteria`` (Figure 5's numbers);
+* :mod:`visualization_augmenter` — standalone or profiler-augmented
+  Chrome-trace generation with ``--coarse`` (Figure 2's trace files);
+* :mod:`hw_event_analyzer` — joins a mapping JSON with uarch CSV exports
+  into per-C-function and per-Python-op counter tables (Figure 6 c-h).
+
+Each module exposes a ``main(argv)`` so it can run as
+``python -m repro.tools.<name> ...``.
+"""
+
+__all__ = [
+    "delay_and_wait_stats",
+    "hw_event_analyzer",
+    "preprocessing_time_stats",
+    "visualization_augmenter",
+]

@@ -1,0 +1,114 @@
+"""Wait/delay distributions (artifact: delay_and_wait_time_stats_and_plot.py).
+
+Reads a LotusTrace log and reports per-batch main-process wait times and
+batch delay times: distribution summaries, the fraction exceeding a
+threshold, and the per-batch listing ordered by ``--sort_criteria``
+(``duration`` or ``batch``), matching the artifact script's flags.
+
+Usage::
+
+    python -m repro.tools.delay_and_wait_stats \
+        --data_dir lotustrace_result/b512_gpu4 \
+        --sort_criteria duration \
+        --threshold_ms 500 \
+        --output_file delay_and_wait_time_stats.log
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.lotustrace.analysis import TraceAnalysis, analyze_trace
+from repro.core.lotustrace.logfile import parse_trace_file
+from repro.errors import TraceError
+from repro.utils.stats import summarize
+from repro.utils.timeunits import ms_to_ns, ns_to_ms
+
+SORT_BY_DURATION = "duration"
+SORT_BY_BATCH = "batch"
+
+
+def batch_rows(
+    analysis: TraceAnalysis, sort_criteria: str = SORT_BY_DURATION
+) -> List[Tuple[int, float, float, bool]]:
+    """(batch_id, wait_ms, delay_ms, out_of_order) rows, sorted."""
+    rows = []
+    for batch_id in sorted(analysis.batches):
+        flow = analysis.batches[batch_id]
+        rows.append(
+            (
+                batch_id,
+                ns_to_ms(flow.wait_time_ns or 0),
+                ns_to_ms(flow.delay_time_ns or 0),
+                flow.arrived_out_of_order,
+            )
+        )
+    if sort_criteria == SORT_BY_DURATION:
+        rows.sort(key=lambda row: row[1] + row[2], reverse=True)
+    elif sort_criteria != SORT_BY_BATCH:
+        raise TraceError(f"unknown sort criteria: {sort_criteria!r}")
+    return rows
+
+
+def format_report(
+    analysis: TraceAnalysis,
+    threshold_ms: float,
+    sort_criteria: str = SORT_BY_DURATION,
+    limit: int = 30,
+) -> str:
+    """Render the wait/delay report for one analyzed trace."""
+    waits = analysis.wait_times_ns()
+    delays = analysis.delay_times_ns()
+    if not waits or not delays:
+        raise TraceError("trace lacks wait or delay data")
+    threshold_ns = ms_to_ns(threshold_ms)
+    wait_summary = summarize(waits)
+    delay_summary = summarize(delays)
+    lines = [
+        f"batches: {len(analysis.batches)}",
+        f"wait  : mean={ns_to_ms(wait_summary.mean):.2f}ms "
+        f"p90={ns_to_ms(wait_summary.p90):.2f}ms "
+        f">{threshold_ms:.0f}ms for "
+        f"{100 * analysis.fraction_waits_over(threshold_ns):.1f}% of batches",
+        f"delay : mean={ns_to_ms(delay_summary.mean):.2f}ms "
+        f"p90={ns_to_ms(delay_summary.p90):.2f}ms "
+        f">{threshold_ms:.0f}ms for "
+        f"{100 * analysis.fraction_delays_over(threshold_ns):.1f}% of batches",
+        "",
+        f"{'batch':>6} {'wait ms':>9} {'delay ms':>9} {'ooo':>4}",
+    ]
+    for batch_id, wait_ms, delay_ms, ooo in batch_rows(analysis, sort_criteria)[:limit]:
+        lines.append(
+            f"{batch_id:>6} {wait_ms:>9.2f} {delay_ms:>9.2f} "
+            f"{'yes' if ooo else '':>4}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Script entry point."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--data_dir", required=True, help="LotusTrace log file")
+    parser.add_argument(
+        "--sort_criteria", choices=(SORT_BY_DURATION, SORT_BY_BATCH),
+        default=SORT_BY_DURATION,
+    )
+    parser.add_argument("--threshold_ms", type=float, default=500.0)
+    parser.add_argument("--output_file")
+    args = parser.parse_args(argv)
+
+    analysis = analyze_trace(parse_trace_file(args.data_dir))
+    report = format_report(
+        analysis, threshold_ms=args.threshold_ms, sort_criteria=args.sort_criteria
+    )
+    print(report)
+    if args.output_file:
+        with open(args.output_file, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

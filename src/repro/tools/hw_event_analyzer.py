@@ -1,0 +1,149 @@
+"""Hardware-event analysis (artifact: hw_event_analyzer.py).
+
+Joins a LotusMap ``mapping_funcs.json`` with one or more
+microarchitecture-exploration CSV exports (one per configuration, as the
+artifact collects from the VTune GUI), then:
+
+* writes a combined CSV of the preprocessing-relevant C/C++ function
+  events across configurations (artifact's ``--combined_hw_events``);
+* with ``--lotustrace_log``, attributes counters to Python operations via
+  elapsed-time weights and prints the per-op table (Figure 6 e-h inputs).
+
+Usage::
+
+    python -m repro.tools.hw_event_analyzer \
+        --mapping_file mapping_funcs.json \
+        --uarch_dir uarch_csvs/ \
+        --combined_hw_events combined_lotustrace_uarch.csv \
+        --lotustrace_log lotustrace.log
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import io
+import os
+import sys
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.lotusmap.attribution import attribute_counters
+from repro.core.lotusmap.mapping import Mapping
+from repro.core.lotustrace.analysis import analyze_trace
+from repro.core.lotustrace.logfile import parse_trace_file
+from repro.errors import ProfilerError
+from repro.hwprof.counters import COUNTER_NAMES
+from repro.hwprof.profile import HardwareProfile
+from repro.hwprof.report import profile_from_csv
+
+
+def load_profiles(uarch_dir: str, vendor: str) -> Dict[str, HardwareProfile]:
+    """One profile per CSV in ``uarch_dir`` (or a single CSV file)."""
+    paths: List[str]
+    if os.path.isfile(uarch_dir):
+        paths = [uarch_dir]
+    elif os.path.isdir(uarch_dir):
+        paths = sorted(
+            os.path.join(uarch_dir, name)
+            for name in os.listdir(uarch_dir)
+            if name.endswith(".csv")
+        )
+    else:
+        paths = []
+    if not paths:
+        raise ProfilerError(f"no uarch CSV files at {uarch_dir}")
+    profiles = {}
+    for path in paths:
+        with open(path, "r", encoding="utf-8") as handle:
+            profiles[os.path.splitext(os.path.basename(path))[0]] = (
+                profile_from_csv(handle.read(), vendor=vendor)
+            )
+    return profiles
+
+
+def combined_rows(
+    profiles: Dict[str, HardwareProfile], mapping: Mapping
+) -> List[List]:
+    """Preprocessing-function rows across configurations."""
+    rows = []
+    for config, profile in profiles.items():
+        for row in profile.rows():
+            if not mapping.is_preprocessing_function(row.function):
+                continue
+            rows.append(
+                [config, row.function, row.library, row.samples]
+                + [getattr(row.counters, name) for name in COUNTER_NAMES]
+            )
+    return rows
+
+
+def write_combined_csv(rows: List[List], path: str) -> None:
+    """Write the cross-configuration combined events CSV."""
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            ["config", "function", "module", "samples"] + list(COUNTER_NAMES)
+        )
+        writer.writerows(rows)
+
+
+def per_op_table(
+    profile: HardwareProfile, mapping: Mapping, lotustrace_log: str
+) -> str:
+    """Attribute one profile to Python ops and render the table."""
+    analysis = analyze_trace(parse_trace_file(lotustrace_log))
+    filtered = profile.filter(
+        lambda row: mapping.is_preprocessing_function(row.function)
+    )
+    attributed = attribute_counters(filtered, mapping, analysis.op_total_cpu_ns())
+    lines = [
+        f"{'operation':<26} {'CPU ms':>9} {'uops/clk':>9} {'FE%':>6} "
+        f"{'BE%':>6} {'DRAM%':>6}"
+    ]
+    for op, counters in sorted(
+        attributed.items(), key=lambda kv: kv[1].cpu_time_ns, reverse=True
+    ):
+        lines.append(
+            f"{op:<26} {counters.cpu_time_ns / 1e6:>9.2f} "
+            f"{counters.uops_per_clocktick:>9.3f} "
+            f"{counters.front_end_bound_pct:>6.1f} "
+            f"{counters.back_end_bound_pct:>6.1f} "
+            f"{counters.dram_bound_pct:>6.1f}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Script entry point."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--mapping_file", required=True)
+    parser.add_argument(
+        "--uarch_dir", required=True,
+        help="directory of uarch CSV exports (or one CSV file)",
+    )
+    parser.add_argument("--combined_hw_events", required=True,
+                        help="output CSV path")
+    parser.add_argument(
+        "--lotustrace_log",
+        help="when given, also print the per-Python-op attribution table "
+             "for each configuration",
+    )
+    args = parser.parse_args(argv)
+
+    mapping = Mapping.load(args.mapping_file)
+    profiles = load_profiles(args.uarch_dir, vendor=mapping.vendor)
+    rows = combined_rows(profiles, mapping)
+    write_combined_csv(rows, args.combined_hw_events)
+    print(
+        f"{len(rows)} preprocessing-function rows across "
+        f"{len(profiles)} configuration(s) -> {args.combined_hw_events}"
+    )
+    if args.lotustrace_log:
+        for config, profile in profiles.items():
+            print(f"\n[{config}]")
+            print(per_op_table(profile, mapping, args.lotustrace_log))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

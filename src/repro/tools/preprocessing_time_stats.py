@@ -1,0 +1,114 @@
+"""Per-batch preprocessing statistics (artifact: preprocessing_time_stats.py).
+
+Reads one or more LotusTrace logs and writes a statistics report: count,
+mean, std (and as % of mean), quartiles, IQR, and P90 of per-batch
+preprocessing time, optionally after Tukey outlier removal (the
+artifact's ``--remove_outliers``).
+
+Usage::
+
+    python -m repro.tools.preprocessing_time_stats \
+        --data_dir lotustrace_result/b512_gpu4 \
+        --remove_outliers \
+        --output_file preprocessing_time_stats.log
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional, Sequence
+
+from repro.core.lotustrace.analysis import analyze_trace
+from repro.core.lotustrace.logfile import parse_trace_file
+from repro.errors import TraceError
+from repro.utils.stats import Summary, percentile, summarize
+from repro.utils.timeunits import ns_to_ms
+
+
+def tukey_trim(values: Sequence[float], k: float = 1.5) -> List[float]:
+    """Drop values outside ``[Q1 - k*IQR, Q3 + k*IQR]``."""
+    if len(values) < 4:
+        return list(values)
+    q1 = percentile(values, 25.0)
+    q3 = percentile(values, 75.0)
+    spread = q3 - q1
+    low, high = q1 - k * spread, q3 + k * spread
+    kept = [v for v in values if low <= v <= high]
+    return kept or list(values)
+
+
+def trace_files_in(path: str) -> List[str]:
+    """A single log file, or every ``*.log``/``*.trace`` in a directory."""
+    if os.path.isfile(path):
+        return [path]
+    if os.path.isdir(path):
+        found = sorted(
+            os.path.join(path, name)
+            for name in os.listdir(path)
+            if name.endswith((".log", ".trace"))
+        )
+        if found:
+            return found
+    raise TraceError(f"no trace files at {path}")
+
+
+def compute_stats(
+    trace_path: str, remove_outliers: bool = False
+) -> Summary:
+    """Per-batch preprocessing-time summary for one trace log."""
+    analysis = analyze_trace(parse_trace_file(trace_path))
+    times = [float(t) for t in analysis.preprocess_times_ns()]
+    if not times:
+        raise TraceError(f"{trace_path} has no batch_preprocessed records")
+    if remove_outliers:
+        times = tukey_trim(times)
+    return summarize(times)
+
+
+def format_stats(name: str, summary: Summary) -> str:
+    """Render one trace log summary section."""
+    return "\n".join(
+        [
+            f"== {name} ==",
+            f"batches:      {summary.count}",
+            f"mean:         {ns_to_ms(summary.mean):.3f} ms",
+            f"std:          {ns_to_ms(summary.std):.3f} ms "
+            f"({summary.std_pct_of_mean:.2f}% of mean)",
+            f"min/p25/med:  {ns_to_ms(summary.minimum):.3f} / "
+            f"{ns_to_ms(summary.p25):.3f} / {ns_to_ms(summary.median):.3f} ms",
+            f"p75/p90/max:  {ns_to_ms(summary.p75):.3f} / "
+            f"{ns_to_ms(summary.p90):.3f} / {ns_to_ms(summary.maximum):.3f} ms",
+            f"IQR:          {ns_to_ms(summary.iqr):.3f} ms",
+        ]
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Script entry point."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--data_dir", required=True,
+        help="a LotusTrace log file or a directory of them",
+    )
+    parser.add_argument("--remove_outliers", action="store_true")
+    parser.add_argument(
+        "--output_file", help="write the report here as well as stdout"
+    )
+    args = parser.parse_args(argv)
+
+    sections = []
+    for trace_path in trace_files_in(args.data_dir):
+        summary = compute_stats(trace_path, remove_outliers=args.remove_outliers)
+        sections.append(format_stats(os.path.basename(trace_path), summary))
+    report = "\n\n".join(sections)
+    print(report)
+    if args.output_file:
+        with open(args.output_file, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,86 @@
+"""Chrome-trace generation (artifact: visualization_augmenter.py).
+
+Converts a LotusTrace log to a Chrome Trace Viewer file, either
+standalone or merged into an existing profiler trace (with negative
+synthetic ids), matching the artifact's flags::
+
+    python -m repro.tools.visualization_augmenter \
+        --coarse \
+        --lotustrace_trace_dir lotustrace_result/b512_gpu4 \
+        --output_lotustrace_viz_file viz_file.lotustrace
+
+    # augmenting a (PyTorch-)profiler trace instead:
+    python -m repro.tools.visualization_augmenter \
+        --lotustrace_trace_dir trace.log \
+        --profiler_trace torch_trace.json \
+        --output_lotustrace_viz_file combined.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional, Sequence
+
+from repro.core.lotustrace.chrometrace import (
+    augment_profiler_trace,
+    to_chrome_trace,
+)
+from repro.core.lotustrace.logfile import parse_trace_file
+from repro.core.lotustrace.records import TraceRecord
+from repro.errors import TraceError
+
+
+def collect_records(path: str, prefix: Optional[str] = None) -> List[TraceRecord]:
+    """Records from a log file, or from every matching log in a directory."""
+    if os.path.isfile(path):
+        return parse_trace_file(path)
+    if os.path.isdir(path):
+        records: List[TraceRecord] = []
+        for name in sorted(os.listdir(path)):
+            if prefix and not name.startswith(prefix):
+                continue
+            if name.endswith((".log", ".trace")):
+                records.extend(parse_trace_file(os.path.join(path, name)))
+        if records:
+            return records
+    raise TraceError(f"no trace records found at {path}")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Script entry point."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--lotustrace_trace_dir", required=True)
+    parser.add_argument(
+        "--custom_log_prefix", default=None,
+        help="only read directory entries starting with this prefix",
+    )
+    parser.add_argument("--coarse", action="store_true",
+                        help="batch-level spans only")
+    parser.add_argument(
+        "--profiler_trace",
+        help="existing Chrome-trace JSON to augment instead of standalone",
+    )
+    parser.add_argument("--output_lotustrace_viz_file", required=True)
+    args = parser.parse_args(argv)
+
+    records = collect_records(args.lotustrace_trace_dir, args.custom_log_prefix)
+    if args.profiler_trace:
+        with open(args.profiler_trace, "r", encoding="utf-8") as handle:
+            host = json.load(handle)
+        payload = augment_profiler_trace(host, records, coarse=args.coarse)
+    else:
+        payload = to_chrome_trace(records, coarse=args.coarse)
+    with open(args.output_lotustrace_viz_file, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+    print(
+        f"wrote {len(payload['traceEvents'])} events to "
+        f"{args.output_lotustrace_viz_file}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,60 @@
+"""Declarative preprocessing transforms (the "torchvision.transforms" layer).
+
+Pipelines are declared by chaining operations in a :class:`Compose`, whose
+``__call__`` is LotusTrace's [T3] instrumentation point. Three families
+match the paper's MLPerf workloads: vision (image classification),
+volumetric (image segmentation), and detection (object detection).
+"""
+
+from repro.transforms.base import RandomTransform, Transform
+from repro.transforms.compose import Compose
+from repro.transforms.detection import (
+    DetectionCompose,
+    DetNormalize,
+    DetRandomHorizontalFlip,
+    DetResize,
+    DetToTensor,
+)
+from repro.transforms.vision import (
+    CenterCrop,
+    Grayscale,
+    Lambda,
+    Normalize,
+    Pad,
+    RandomHorizontalFlip,
+    RandomResizedCrop,
+    Resize,
+    ToTensor,
+)
+from repro.transforms.volumetric import (
+    Cast,
+    GaussianNoise,
+    RandBalancedCrop,
+    RandomBrightnessAugmentation,
+    RandomFlip,
+)
+
+__all__ = [
+    "Cast",
+    "CenterCrop",
+    "Compose",
+    "Grayscale",
+    "Lambda",
+    "Pad",
+    "DetNormalize",
+    "DetRandomHorizontalFlip",
+    "DetResize",
+    "DetToTensor",
+    "DetectionCompose",
+    "GaussianNoise",
+    "Normalize",
+    "RandBalancedCrop",
+    "RandomBrightnessAugmentation",
+    "RandomFlip",
+    "RandomHorizontalFlip",
+    "RandomResizedCrop",
+    "RandomTransform",
+    "Resize",
+    "ToTensor",
+    "Transform",
+]

@@ -1,0 +1,50 @@
+"""Transform protocol and seeded-randomness base class."""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.utils.rng import derive_rng
+
+
+class Transform:
+    """A preprocessing operation applied per sample via ``__call__``.
+
+    LotusTrace identifies operations by ``type(t).__name__`` (exactly what
+    the paper's Listing 3 logs), so subclasses should keep meaningful
+    class names.
+    """
+
+    def __call__(self, sample: Any) -> Any:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class RandomTransform(Transform):
+    """Transform with per-thread seeded randomness.
+
+    Transform instances are shared across DataLoader workers; numpy
+    Generators are not thread-safe, so each worker thread derives its own
+    stream from the instance seed and its thread identity.
+    """
+
+    def __init__(self, seed: Optional[int] = None) -> None:
+        self._seed = seed
+        self._local = threading.local()
+
+    def _rng(self) -> np.random.Generator:
+        rng = getattr(self._local, "rng", None)
+        if rng is None:
+            rng = derive_rng(self._seed, type(self).__name__, threading.get_ident())
+            self._local.rng = rng
+        return rng
+
+    def reseed(self, seed: Optional[int]) -> None:
+        """Reset the seed; existing per-thread streams are discarded."""
+        self._seed = seed
+        self._local = threading.local()

@@ -1,0 +1,100 @@
+"""Detection transforms for the object detection pipeline (paper § V-A OD).
+
+Samples are ``(image, target)`` pairs where ``target`` is a dict with a
+``boxes`` array of (N, 4) ``[x1, y1, x2, y2]`` coordinates. Geometry
+transforms keep boxes consistent with pixels. The pipeline mirrors IC but
+uses Resize instead of RandomResizedCrop (paper § V-A).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.imaging.image import FLIP_LEFT_RIGHT, Image
+from repro.tensor.tensor import Tensor
+from repro.transforms.base import RandomTransform, Transform
+from repro.transforms.compose import Compose
+from repro.transforms.vision import Normalize, SizeLike, ToTensor, _as_size
+
+DetSample = Tuple[Image, Dict[str, Any]]
+
+
+def _check_target(target: Dict[str, Any]) -> np.ndarray:
+    boxes = np.asarray(target.get("boxes", np.zeros((0, 4))), dtype=np.float64)
+    if boxes.ndim != 2 or boxes.shape[1] != 4:
+        raise ReproError(f"boxes must be (N, 4), got {boxes.shape}")
+    return boxes
+
+
+class DetResize(Transform):
+    """Resize image to ``size`` and rescale box coordinates to match."""
+
+    def __init__(self, size: SizeLike) -> None:
+        self.size = _as_size(size)
+
+    def __call__(self, sample: DetSample) -> DetSample:
+        image, target = sample
+        boxes = _check_target(target)
+        old_w, old_h = image.size
+        new_w, new_h = self.size
+        resized = image.resize(self.size)
+        scaled = boxes * np.array(
+            [new_w / old_w, new_h / old_h, new_w / old_w, new_h / old_h]
+        )
+        new_target = dict(target)
+        new_target["boxes"] = scaled
+        return resized, new_target
+
+    def __repr__(self) -> str:
+        return f"DetResize(size={self.size})"
+
+
+class DetRandomHorizontalFlip(RandomTransform):
+    """Mirror image and boxes with probability ``p``."""
+
+    def __init__(self, p: float = 0.5, seed: Optional[int] = None) -> None:
+        super().__init__(seed)
+        self.p = p
+
+    def __call__(self, sample: DetSample) -> DetSample:
+        image, target = sample
+        if self._rng().random() >= self.p:
+            return image, target
+        boxes = _check_target(target)
+        width = image.size[0]
+        flipped = image.transpose(FLIP_LEFT_RIGHT)
+        mirrored = boxes.copy()
+        mirrored[:, 0] = width - boxes[:, 2]
+        mirrored[:, 2] = width - boxes[:, 0]
+        new_target = dict(target)
+        new_target["boxes"] = mirrored
+        return flipped, new_target
+
+
+class DetToTensor(Transform):
+    """Convert the image to a tensor, keeping the target dict."""
+
+    def __init__(self) -> None:
+        self._inner = ToTensor()
+
+    def __call__(self, sample: DetSample) -> Tuple[Tensor, Dict[str, Any]]:
+        image, target = sample
+        return self._inner(image), target
+
+
+class DetNormalize(Transform):
+    """Normalize the image tensor, keeping the target dict."""
+
+    def __init__(self, mean, std) -> None:
+        self._inner = Normalize(mean, std)
+
+    def __call__(self, sample) -> Tuple[Tensor, Dict[str, Any]]:
+        tensor, target = sample
+        return self._inner(tensor), target
+
+
+class DetectionCompose(Compose):
+    """Compose alias so detection pipelines read naturally in traces."""

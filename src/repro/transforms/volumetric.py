@@ -1,0 +1,233 @@
+"""Volumetric transforms for the image segmentation pipeline (paper § V-A IS).
+
+Samples are ``(image, label)`` pairs of numpy volumes shaped (C, D, H, W)
+and (1, D, H, W), matching the MLPerf U-Net3D reference preprocessing:
+RandBalancedCrop, RandomFlip, Cast, RandomBrightnessAugmentation,
+GaussianNoise. The heavy numpy work runs inside registered native spans
+under the symbols perf would show for numpy's C core.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.clib.costmodel import BRANCHY, COMPUTE_BOUND, MEMORY_BOUND
+from repro.clib.registry import LIBNUMPYCORE, native
+from repro.errors import ReproError
+from repro.transforms.base import RandomTransform, Transform
+
+VolumePair = Tuple[np.ndarray, np.ndarray]
+
+
+@native(
+    "PyArray_NewCopy",
+    library=LIBNUMPYCORE,
+    signature=MEMORY_BOUND,
+)
+def _array_copy(array: np.ndarray) -> np.ndarray:
+    return np.ascontiguousarray(array)
+
+
+@native(
+    "PyArray_CastToType",
+    library=LIBNUMPYCORE,
+    signature=MEMORY_BOUND,
+)
+def _array_cast(array: np.ndarray, dtype) -> np.ndarray:
+    return array.astype(dtype)
+
+
+@native(
+    "random_standard_normal_fill",
+    library=LIBNUMPYCORE,
+    signature=COMPUTE_BOUND,
+)
+def _gaussian_fill(rng: np.random.Generator, shape, scale: float) -> np.ndarray:
+    return rng.normal(0.0, scale, size=shape).astype(np.float32)
+
+
+@native(
+    "FLOAT_multiply",
+    library=LIBNUMPYCORE,
+    signature=MEMORY_BOUND,
+)
+def _float_multiply(array: np.ndarray, factor: float) -> np.ndarray:
+    return array * np.float32(factor)
+
+
+@native(
+    "BOOL_nonzero",
+    library=LIBNUMPYCORE,
+    signature=BRANCHY,
+)
+def _label_nonzero(label: np.ndarray) -> np.ndarray:
+    return np.argwhere(label > 0)
+
+
+def _check_pair(sample: VolumePair) -> VolumePair:
+    image, label = sample
+    if image.ndim != 4 or label.ndim != 4:
+        raise ReproError(
+            f"expected (C, D, H, W) volumes, got {image.shape} / {label.shape}"
+        )
+    if image.shape[1:] != label.shape[1:]:
+        raise ReproError(
+            f"image/label spatial mismatch: {image.shape[1:]} vs {label.shape[1:]}"
+        )
+    return image, label
+
+
+class RandBalancedCrop(RandomTransform):
+    """Foreground-aware random crop (MLPerf's ``rand_balanced_crop``).
+
+    With probability ``oversampling`` the crop window is centered on a
+    randomly chosen foreground voxel (requiring a full foreground scan —
+    the source of this op's large time variance, Table II); otherwise the
+    window is uniform over the volume.
+    """
+
+    def __init__(
+        self,
+        patch_size: Sequence[int] = (128, 128, 128),
+        oversampling: float = 0.4,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__(seed)
+        if len(patch_size) != 3:
+            raise ReproError(f"patch_size must have 3 dims, got {patch_size}")
+        if not 0.0 <= oversampling <= 1.0:
+            raise ReproError(f"oversampling must be in [0, 1], got {oversampling}")
+        self.patch_size = tuple(int(p) for p in patch_size)
+        self.oversampling = oversampling
+
+    def _window(self, center: int, size: int, limit: int) -> Tuple[int, int]:
+        low = max(0, min(center - size // 2, limit - size))
+        return low, low + size
+
+    def _pad_to_patch(self, volume: np.ndarray) -> np.ndarray:
+        """Edge-pad axes shorter than the patch (MLPerf pads small cases
+        so every crop has the full patch shape and batches collate)."""
+        pads = [(0, 0)]
+        needs_pad = False
+        for axis in range(3):
+            short = self.patch_size[axis] - volume.shape[axis + 1]
+            pads.append((0, max(0, short)))
+            needs_pad = needs_pad or short > 0
+        return np.pad(volume, pads, mode="edge") if needs_pad else volume
+
+    def __call__(self, sample: VolumePair) -> VolumePair:
+        image, label = _check_pair(sample)
+        image = self._pad_to_patch(image)
+        label = self._pad_to_patch(label)
+        dims = image.shape[1:]
+        patch = tuple(min(p, d) for p, d in zip(self.patch_size, dims))
+        rng = self._rng()
+        if rng.random() < self.oversampling:
+            foreground = _label_nonzero(label[0])
+            if len(foreground):
+                voxel = foreground[int(rng.integers(0, len(foreground)))]
+                bounds = [
+                    self._window(int(voxel[axis]), patch[axis], dims[axis])
+                    for axis in range(3)
+                ]
+            else:
+                bounds = self._uniform_bounds(rng, patch, dims)
+        else:
+            bounds = self._uniform_bounds(rng, patch, dims)
+        (d0, d1), (h0, h1), (w0, w1) = bounds
+        return (
+            _array_copy(image[:, d0:d1, h0:h1, w0:w1]),
+            _array_copy(label[:, d0:d1, h0:h1, w0:w1]),
+        )
+
+    def _uniform_bounds(self, rng, patch, dims):
+        return [
+            (start := int(rng.integers(0, dims[axis] - patch[axis] + 1)),
+             start + patch[axis])
+            for axis in range(3)
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"RandBalancedCrop(patch_size={self.patch_size}, "
+            f"oversampling={self.oversampling})"
+        )
+
+
+class RandomFlip(RandomTransform):
+    """Reverse the volume along each spatial axis with probability ``p``."""
+
+    def __init__(self, p: float = 1.0 / 3.0, seed: Optional[int] = None) -> None:
+        super().__init__(seed)
+        self.p = p
+
+    def __call__(self, sample: VolumePair) -> VolumePair:
+        image, label = _check_pair(sample)
+        rng = self._rng()
+        for axis in (1, 2, 3):
+            if rng.random() < self.p:
+                image = np.flip(image, axis=axis)
+                label = np.flip(label, axis=axis)
+        return _array_copy(image), _array_copy(label)
+
+
+class Cast(Transform):
+    """Cast the image volume to ``dtype`` (MLPerf casts activations down)."""
+
+    def __init__(self, dtype=np.uint8) -> None:
+        self.dtype = np.dtype(dtype)
+
+    def __call__(self, sample: VolumePair) -> VolumePair:
+        image, label = sample
+        return _array_cast(image, self.dtype), label
+
+    def __repr__(self) -> str:
+        return f"Cast(dtype={self.dtype})"
+
+
+class RandomBrightnessAugmentation(RandomTransform):
+    """Scale intensities by 1 + U(-factor, factor) with probability ``p``.
+
+    The probability-gated branch makes the underlying C functions appear
+    *inconsistently* in sampled hardware profiles — the paper's motivating
+    example for LotusMap's repeat-run capture formula (§ IV-B).
+    """
+
+    def __init__(
+        self, factor: float = 0.3, p: float = 0.1, seed: Optional[int] = None
+    ) -> None:
+        super().__init__(seed)
+        self.factor = factor
+        self.p = p
+
+    def __call__(self, sample: VolumePair) -> VolumePair:
+        image, label = sample
+        rng = self._rng()
+        if rng.random() < self.p:
+            scale = 1.0 + rng.uniform(-self.factor, self.factor)
+            image = _float_multiply(image.astype(np.float32, copy=False), scale)
+        return image, label
+
+
+class GaussianNoise(RandomTransform):
+    """Add N(0, std) noise with probability ``p``."""
+
+    def __init__(
+        self, mean: float = 0.0, std: float = 0.1, p: float = 0.1,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__(seed)
+        self.mean = mean
+        self.std = std
+        self.p = p
+
+    def __call__(self, sample: VolumePair) -> VolumePair:
+        image, label = sample
+        rng = self._rng()
+        if rng.random() < self.p:
+            scale = rng.uniform(0.0, self.std)
+            noise = _gaussian_fill(rng, image.shape, scale)
+            image = image.astype(np.float32, copy=False) + self.mean + noise
+        return image, label

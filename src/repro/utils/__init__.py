@@ -1,0 +1,46 @@
+"""Shared utilities: time units, descriptive statistics, seeded RNG helpers."""
+
+from repro.utils.rng import derive_rng, spawn_seed
+from repro.utils.stats import (
+    Summary,
+    fraction_below,
+    iqr,
+    percentile,
+    summarize,
+)
+from repro.utils.timeunits import (
+    MS_PER_S,
+    NS_PER_MS,
+    NS_PER_S,
+    NS_PER_US,
+    US_PER_MS,
+    format_ns,
+    ms_to_ns,
+    ns_to_ms,
+    ns_to_s,
+    ns_to_us,
+    s_to_ns,
+    us_to_ns,
+)
+
+__all__ = [
+    "MS_PER_S",
+    "NS_PER_MS",
+    "NS_PER_S",
+    "NS_PER_US",
+    "US_PER_MS",
+    "Summary",
+    "derive_rng",
+    "format_ns",
+    "fraction_below",
+    "iqr",
+    "ms_to_ns",
+    "ns_to_ms",
+    "ns_to_s",
+    "ns_to_us",
+    "percentile",
+    "s_to_ns",
+    "spawn_seed",
+    "summarize",
+    "us_to_ns",
+]

@@ -1,0 +1,97 @@
+"""Descriptive statistics used throughout the characterization experiments.
+
+These back the paper's Table II (avg / P90 / fraction below threshold) and
+the Figure 4 variance analysis (std as a percentage of the mean, IQR).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile, ``q`` in [0, 100].
+
+    Matches numpy's default ("linear") method but avoids requiring an
+    ndarray for small sequences.
+    """
+    if not values:
+        raise ValueError("percentile() of empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (q / 100.0) * (len(ordered) - 1)
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    if lo == hi:
+        return float(ordered[lo])
+    frac = rank - lo
+    return float(ordered[lo] * (1.0 - frac) + ordered[hi] * frac)
+
+
+def iqr(values: Sequence[float]) -> float:
+    """Inter-quartile range (P75 - P25)."""
+    return percentile(values, 75.0) - percentile(values, 25.0)
+
+
+def fraction_below(values: Sequence[float], threshold: float) -> float:
+    """Fraction of values strictly below ``threshold`` (0..1).
+
+    Table II reports the percentage of operations with elapsed time below
+    10 ms and below 100 us; this is the underlying computation.
+    """
+    if not values:
+        raise ValueError("fraction_below() of empty sequence")
+    return sum(1 for v in values if v < threshold) / len(values)
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-style summary of a sample of durations."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    p25: float
+    median: float
+    p75: float
+    p90: float
+    p99: float
+    maximum: float
+
+    @property
+    def iqr(self) -> float:
+        return self.p75 - self.p25
+
+    @property
+    def std_pct_of_mean(self) -> float:
+        """Standard deviation as a percentage of the mean (Figure 4)."""
+        if self.mean == 0.0:
+            return 0.0
+        return 100.0 * self.std / self.mean
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Compute a :class:`Summary` of ``values``."""
+    if not values:
+        raise ValueError("summarize() of empty sequence")
+    n = len(values)
+    mean = sum(values) / n
+    var = sum((v - mean) ** 2 for v in values) / n
+    return Summary(
+        count=n,
+        mean=mean,
+        std=math.sqrt(var),
+        minimum=float(min(values)),
+        p25=percentile(values, 25.0),
+        median=percentile(values, 50.0),
+        p75=percentile(values, 75.0),
+        p90=percentile(values, 90.0),
+        p99=percentile(values, 99.0),
+        maximum=float(max(values)),
+    )

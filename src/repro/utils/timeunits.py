@@ -1,0 +1,63 @@
+"""Time unit conversions.
+
+All timestamps and durations inside the library are integer nanoseconds
+(matching ``time.time_ns()``, which is what LotusTrace instruments with in
+the paper's Listing 3). These helpers keep conversions explicit and avoid
+ad-hoc ``* 1e6`` factors scattered through the code.
+"""
+
+from __future__ import annotations
+
+NS_PER_US = 1_000
+NS_PER_MS = 1_000_000
+NS_PER_S = 1_000_000_000
+US_PER_MS = 1_000
+MS_PER_S = 1_000
+
+
+def us_to_ns(us: float) -> int:
+    """Convert microseconds to integer nanoseconds."""
+    return int(round(us * NS_PER_US))
+
+
+def ms_to_ns(ms: float) -> int:
+    """Convert milliseconds to integer nanoseconds."""
+    return int(round(ms * NS_PER_MS))
+
+
+def s_to_ns(s: float) -> int:
+    """Convert seconds to integer nanoseconds."""
+    return int(round(s * NS_PER_S))
+
+
+def ns_to_us(ns: float) -> float:
+    """Convert nanoseconds to microseconds."""
+    return ns / NS_PER_US
+
+
+def ns_to_ms(ns: float) -> float:
+    """Convert nanoseconds to milliseconds."""
+    return ns / NS_PER_MS
+
+
+def ns_to_s(ns: float) -> float:
+    """Convert nanoseconds to seconds."""
+    return ns / NS_PER_S
+
+
+def format_ns(ns: float) -> str:
+    """Render a duration with the most readable unit.
+
+    >>> format_ns(1_500)
+    '1.50us'
+    >>> format_ns(2_340_000)
+    '2.34ms'
+    """
+    ns = float(ns)
+    if abs(ns) < NS_PER_US:
+        return f"{ns:.0f}ns"
+    if abs(ns) < NS_PER_MS:
+        return f"{ns / NS_PER_US:.2f}us"
+    if abs(ns) < NS_PER_S:
+        return f"{ns / NS_PER_MS:.2f}ms"
+    return f"{ns / NS_PER_S:.2f}s"

@@ -1,0 +1,12 @@
+"""Trace visualization: ASCII timelines for terminals.
+
+Chrome Trace Viewer export lives in
+:mod:`repro.core.lotustrace.chrometrace`; this package renders the same
+spans as a fixed-width text timeline so a trace can be eyeballed without
+a browser — one row per track (main process and each DataLoader worker),
+matching the layout of the paper's Figure 2.
+"""
+
+from repro.viz.ascii_timeline import render_batch_flows, render_timeline
+
+__all__ = ["render_batch_flows", "render_timeline"]

@@ -1,0 +1,126 @@
+"""Fixed-width text rendering of LotusTrace spans.
+
+Each track (main process, worker 0, worker 1, ...) becomes one row of
+cells; a span covers the cells its time range maps to, drawn with a
+character per span family:
+
+* ``=`` SBatchPreprocessed (worker fetch)
+* ``.`` SBatchWait (main process idle)
+* ``#`` SBatchConsumed
+* digits mark span starts with the batch id (mod 10)
+
+Example (2 workers, preprocessing-bound)::
+
+    main     |....................0#....1#..|
+    worker:0 |0===========                  |
+    worker:1 |1=============                |
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.core.lotustrace.records import (
+    KIND_BATCH_CONSUMED,
+    KIND_BATCH_PREPROCESSED,
+    KIND_BATCH_WAIT,
+    KIND_OP,
+    TraceRecord,
+)
+from repro.core.lotustrace.spans import Span, build_spans
+from repro.core.lotustrace.analysis import analyze_trace
+from repro.errors import TraceError
+from repro.utils.timeunits import format_ns
+
+_FILL = {
+    KIND_BATCH_PREPROCESSED: "=",
+    KIND_BATCH_WAIT: ".",
+    KIND_BATCH_CONSUMED: "#",
+    KIND_OP: "-",
+}
+# Painting priority when spans overlap a cell (higher wins).
+_PRIORITY = {
+    KIND_OP: 0,
+    KIND_BATCH_WAIT: 1,
+    KIND_BATCH_PREPROCESSED: 2,
+    KIND_BATCH_CONSUMED: 3,
+}
+
+
+def _track_sort_key(track: str) -> tuple:
+    if track == "main":
+        return (0, 0)
+    return (1, int(track.split(":", 1)[1]))
+
+
+def render_timeline(
+    records: Iterable[TraceRecord],
+    width: int = 80,
+    coarse: bool = True,
+) -> str:
+    """Render the trace as one row per track plus a time axis and legend.
+
+    ``width`` is the number of timeline cells; ``coarse`` drops per-op
+    spans (matching the coarse/fine levels of the Chrome export).
+    """
+    if width < 10:
+        raise TraceError(f"timeline width must be >= 10, got {width}")
+    spans = build_spans(records, include_ops=not coarse)
+    if not spans:
+        raise TraceError("no spans to render")
+    t0 = min(span.start_ns for span in spans)
+    t1 = max(span.end_ns for span in spans)
+    if t1 <= t0:
+        t1 = t0 + 1
+    scale = width / (t1 - t0)
+
+    rows: Dict[str, List[str]] = {}
+    priority: Dict[str, List[int]] = {}
+    for span in sorted(spans, key=lambda s: _PRIORITY[s.kind]):
+        row = rows.setdefault(span.track, [" "] * width)
+        prio = priority.setdefault(span.track, [-1] * width)
+        begin = int((span.start_ns - t0) * scale)
+        end = max(begin + 1, int((span.end_ns - t0) * scale))
+        fill = _FILL[span.kind]
+        rank = _PRIORITY[span.kind]
+        for cell in range(begin, min(end, width)):
+            if rank >= prio[cell]:
+                row[cell] = fill
+                prio[cell] = rank
+        if span.batch_id >= 0 and begin < width and rank >= prio[begin]:
+            row[begin] = str(span.batch_id % 10)
+
+    label_width = max(len(track) for track in rows) + 1
+    lines = []
+    for track in sorted(rows, key=_track_sort_key):
+        lines.append(f"{track:<{label_width}}|{''.join(rows[track])}|")
+    lines.append(
+        f"{'':<{label_width}} 0{'':<{max(width - 18, 1)}}+{format_ns(t1 - t0)}"
+    )
+    lines.append(
+        f"{'':<{label_width}} legend: = preprocess   . wait   # consume"
+        + ("" if coarse else "   - op")
+    )
+    return "\n".join(lines)
+
+
+def render_batch_flows(records: Iterable[TraceRecord], limit: int = 20) -> str:
+    """One line per batch: preprocess, wait, and delay durations."""
+    analysis = analyze_trace(records)
+    if not analysis.batches:
+        raise TraceError("no batches in trace")
+    lines = [
+        f"{'batch':>6} {'worker':>7} {'preprocess':>12} {'wait':>10} "
+        f"{'delay':>10} {'ooo':>4}"
+    ]
+    for batch_id in sorted(analysis.batches)[:limit]:
+        flow = analysis.batches[batch_id]
+        worker = flow.preprocessed.worker_id if flow.preprocessed else "?"
+        lines.append(
+            f"{batch_id:>6} {worker:>7} "
+            f"{format_ns(flow.preprocess_time_ns or 0):>12} "
+            f"{format_ns(flow.wait_time_ns or 0):>10} "
+            f"{format_ns(flow.delay_time_ns or 0):>10} "
+            f"{'yes' if flow.arrived_out_of_order else '':>4}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,36 @@
+"""MLPerf-shaped workload builders (paper § V-A).
+
+Three pipelines with the paper's preprocessing chains:
+
+* **IC** — image classification: Loader, RandomResizedCrop,
+  RandomHorizontalFlip, ToTensor, Normalize, Collation; ResNet18-class
+  model. Preprocessing-bound.
+* **IS** — image segmentation: Loader (numpy volumes), RandBalancedCrop,
+  RandomFlip, Cast, RandomBrightnessAugmentation, GaussianNoise,
+  Collation; U-Net3D-class model. GPU-bound.
+* **OD** — object detection: Loader, Resize, RandomHorizontalFlip,
+  ToTensor, Normalize, Collation; Mask-R-CNN-class model. GPU-bound.
+
+All are parameterized by a :class:`ScaleProfile` so the same code runs as
+a milliseconds-long smoke test or a seconds-long benchmark epoch.
+"""
+
+from repro.workloads.config import BENCH, SMOKE, ScaleProfile
+from repro.workloads.pipelines import (
+    PipelineBundle,
+    build_ic_pipeline,
+    build_is_pipeline,
+    build_od_pipeline,
+    detection_collate,
+)
+
+__all__ = [
+    "BENCH",
+    "PipelineBundle",
+    "SMOKE",
+    "ScaleProfile",
+    "build_ic_pipeline",
+    "build_is_pipeline",
+    "build_od_pipeline",
+    "detection_collate",
+]

@@ -1,0 +1,76 @@
+"""Scale profiles: one knob for experiment size.
+
+The paper's runs cover a full ImageNet epoch on a 32-core node; this
+reproduction shrinks images, datasets, and GPU step times together so the
+preprocessing-vs-GPU balance of each pipeline is preserved while a full
+experiment finishes in seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class ScaleProfile:
+    """Sizing for one experiment run.
+
+    Attributes:
+        name: label used in reports.
+        ic_images / is_cases / od_images: dataset sizes.
+        ic_batch_size / is_batch_size / od_batch_size: batch sizes
+            (paper defaults: IC 128-1024, IS 2, OD 2).
+        ic_crop: RandomResizedCrop target side.
+        median_side: median synthetic image side length.
+        model_scale: multiplier on model GPU step times.
+        is_patch: RandBalancedCrop patch size.
+    """
+
+    name: str
+    ic_images: int = 64
+    ic_batch_size: int = 8
+    ic_crop: int = 64
+    is_cases: int = 8
+    is_batch_size: int = 2
+    is_patch: "tuple[int, int, int]" = (16, 32, 32)
+    od_images: int = 16
+    od_batch_size: int = 2
+    od_resize: int = 96
+    median_side: int = 112
+    model_scale: float = 1.0
+
+    def scaled(self, **overrides) -> "ScaleProfile":
+        return replace(self, **overrides)
+
+
+#: Tiny profile for unit tests: sub-second end to end.
+SMOKE = ScaleProfile(
+    name="smoke",
+    ic_images=24,
+    ic_batch_size=4,
+    ic_crop=48,
+    is_cases=4,
+    is_batch_size=2,
+    is_patch=(8, 16, 16),
+    od_images=6,
+    od_batch_size=2,
+    od_resize=64,
+    median_side=80,
+    model_scale=0.6,
+)
+
+#: Benchmark profile: a few seconds per pipeline epoch.
+BENCH = ScaleProfile(
+    name="bench",
+    ic_images=192,
+    ic_batch_size=16,
+    ic_crop=64,
+    is_cases=12,
+    is_batch_size=2,
+    is_patch=(16, 32, 32),
+    od_images=32,
+    od_batch_size=2,
+    od_resize=96,
+    median_side=112,
+    model_scale=1.0,
+)

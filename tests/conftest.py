@@ -1,0 +1,50 @@
+"""Shared fixtures: deterministic images, blobs, and datasets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.imaging.jpeg.codec import encode_sjpg
+
+
+def make_test_image(
+    height: int = 96, width: int = 96, seed: int = 0
+) -> np.ndarray:
+    """Natural-ish test image: blocky base plus mild noise."""
+    rng = np.random.default_rng(seed)
+    base_h = max(2, -(-height // 12))
+    base_w = max(2, -(-width // 12))
+    base = rng.integers(0, 256, size=(base_h, base_w, 3))
+    up = np.kron(base, np.ones((12, 12, 1)))[:height, :width]
+    noisy = up + rng.normal(0, 8, size=up.shape)
+    return np.clip(noisy, 0, 255).astype(np.uint8)
+
+
+@pytest.fixture
+def rgb_image() -> np.ndarray:
+    return make_test_image()
+
+
+@pytest.fixture
+def sjpg_blob(rgb_image) -> bytes:
+    return encode_sjpg(rgb_image, quality=85)
+
+
+@pytest.fixture
+def sjpg_blob_lowq(rgb_image) -> bytes:
+    return encode_sjpg(rgb_image, quality=60)
+
+
+@pytest.fixture
+def small_blobs() -> list:
+    """A handful of variously sized blobs for DataLoader tests."""
+    rng = np.random.default_rng(7)
+    blobs = []
+    for i in range(12):
+        h = int(rng.integers(48, 112))
+        w = int(rng.integers(48, 112))
+        blobs.append(
+            encode_sjpg(make_test_image(h, w, seed=100 + i), quality=int(rng.integers(55, 95)))
+        )
+    return blobs

@@ -1,0 +1,124 @@
+"""Mix-aware (affinity) counter splitting — the paper's § IV-B future work."""
+
+import pytest
+
+from repro.core.lotusmap import attribute_counters, attribute_counters_affinity
+from repro.core.lotusmap.mapping import MappedFunction, Mapping
+from repro.hwprof.profile import FunctionProfile, HardwareProfile
+
+
+def make_profile(rows):
+    profile = HardwareProfile("intel", 1000)
+    for function, (library, cpu) in rows.items():
+        row = FunctionProfile(function=function, library=library, samples=1)
+        row.counters.add({"cpu_time_ns": cpu})
+        profile._rows[(function, library)] = row
+    return profile
+
+
+class TestMappingWeights:
+    def test_add_with_weights(self):
+        mapping = Mapping("intel")
+        mapping.add("Loader", [("decode_mcu", "libjpeg", 0.8), ("memmove", "libc", 0.2)])
+        assert mapping.affinity("Loader", "decode_mcu") == 0.8
+        assert mapping.affinity("Loader", "memmove") == 0.2
+
+    def test_default_weight(self):
+        mapping = Mapping("intel")
+        mapping.add("Loader", [("decode_mcu", "libjpeg")])
+        assert mapping.affinity("Loader", "decode_mcu") == 1.0
+
+    def test_unknown_affinity_zero(self):
+        mapping = Mapping("intel")
+        mapping.add("Loader", [("decode_mcu", "libjpeg")])
+        assert mapping.affinity("Loader", "other") == 0.0
+        assert mapping.affinity("Missing", "decode_mcu") == 0.0
+
+    def test_weights_survive_json(self):
+        mapping = Mapping("intel")
+        mapping.add("Loader", [("decode_mcu", "libjpeg", 0.75)])
+        restored = Mapping.from_json(mapping.to_json())
+        assert restored.affinity("Loader", "decode_mcu") == 0.75
+
+    def test_legacy_two_element_json(self):
+        """Older mapping files without weights still load (weight 1.0)."""
+        text = (
+            '{"vendor": "intel", "operations": '
+            '{"Loader": [["decode_mcu", "libjpeg"]]}}'
+        )
+        mapping = Mapping.from_json(text)
+        assert mapping.affinity("Loader", "decode_mcu") == 1.0
+
+
+class TestAffinityAttribution:
+    def make_mapping(self):
+        """memmove: 5% of Loader's own profile, 60% of ToTensor's."""
+        mapping = Mapping("intel")
+        mapping.add(
+            "Loader",
+            [("decode_mcu", "libjpeg", 0.95), ("memmove", "libc", 0.05)],
+        )
+        mapping.add(
+            "ToTensor",
+            [("copy_", "libtensor", 0.40), ("memmove", "libc", 0.60)],
+        )
+        return mapping
+
+    def test_affinity_shifts_weight_from_slow_low_mix_op(self):
+        """A slow op that barely uses a function should not absorb its
+        counters: affinity weighting corrects time-only weighting."""
+        profile = make_profile({"memmove": ("libc", 1000.0)})
+        mapping = self.make_mapping()
+        # Loader is 10x slower overall, but memmove is only 5 % of it.
+        elapsed = {"Loader": 10.0, "ToTensor": 1.0}
+        time_only = attribute_counters(profile, mapping, elapsed)
+        affinity = attribute_counters_affinity(profile, mapping, elapsed)
+        assert time_only["Loader"].cpu_time_ns > affinity["Loader"].cpu_time_ns
+        assert affinity["ToTensor"].cpu_time_ns > time_only["ToTensor"].cpu_time_ns
+        # w(Loader) = 10*0.05 / (10*0.05 + 1*0.60) = 0.4545...
+        assert affinity["Loader"].cpu_time_ns == pytest.approx(1000 * 0.5 / 1.1)
+
+    def test_conserves_total(self):
+        profile = make_profile(
+            {"memmove": ("libc", 1000.0), "decode_mcu": ("libjpeg", 500.0)}
+        )
+        mapping = self.make_mapping()
+        result = attribute_counters_affinity(
+            profile, mapping, {"Loader": 3.0, "ToTensor": 2.0}
+        )
+        total = sum(c.cpu_time_ns for c in result.values())
+        assert total == pytest.approx(1500.0)
+
+    def test_zero_affinity_falls_back_to_time(self):
+        profile = make_profile({"shared": ("libc", 100.0)})
+        mapping = Mapping("intel")
+        mapping.add("A", [("shared", "libc", 0.0)])
+        mapping.add("B", [("shared", "libc", 0.0)])
+        result = attribute_counters_affinity(profile, mapping, {"A": 3.0, "B": 1.0})
+        assert result["A"].cpu_time_ns == pytest.approx(75.0)
+
+    def test_no_elapsed_falls_back_to_equal(self):
+        profile = make_profile({"shared": ("libc", 100.0)})
+        mapping = Mapping("intel")
+        mapping.add("A", [("shared", "libc", 0.0)])
+        mapping.add("B", [("shared", "libc", 0.0)])
+        result = attribute_counters_affinity(profile, mapping, {})
+        assert result["A"].cpu_time_ns == pytest.approx(50.0)
+
+
+class TestBuiltMappingCarriesWeights:
+    def test_ic_mapping_weights_normalized(self):
+        from repro.experiments.common import build_ic_mapping, scaled_vtune
+
+        mapping = build_ic_mapping(lambda: scaled_vtune(seed=5), runs=6, seed=5)
+        for op in mapping.operations():
+            entries = mapping.functions_for(op)
+            if entries:
+                total = sum(entry.weight for entry in entries)
+                assert total == pytest.approx(1.0, abs=1e-6)
+
+    def test_loader_dominated_by_decode(self):
+        from repro.experiments.common import build_ic_mapping, scaled_vtune
+
+        mapping = build_ic_mapping(lambda: scaled_vtune(seed=6), runs=6, seed=6)
+        assert mapping.affinity("Loader", "decode_mcu") > 0.3

@@ -1,0 +1,122 @@
+import pytest
+
+from repro.core.lotustrace import InMemoryTraceLog, generate_report
+from repro.core.lotustrace.autoreport import (
+    REGIME_CONSUMER,
+    REGIME_PREPROCESSING,
+    SEVERITY_WARNING,
+)
+from repro.core.lotustrace.records import (
+    KIND_BATCH_CONSUMED,
+    KIND_BATCH_PREPROCESSED,
+    KIND_BATCH_WAIT,
+    KIND_OP,
+    MAIN_PROCESS_WORKER_ID,
+    OOO_MARKER_DURATION_NS,
+    TraceRecord,
+)
+from repro.errors import TraceError
+from repro.workloads import SMOKE, build_ic_pipeline, build_is_pipeline
+
+MS = 1_000_000
+
+
+def rec(kind, batch_id, start_ms, dur_ms, worker=0, name="x", ooo=False):
+    return TraceRecord(
+        kind=kind, name=name, batch_id=batch_id, worker_id=worker, pid=1,
+        start_ns=start_ms * MS, duration_ns=int(dur_ms * MS), out_of_order=ooo,
+    )
+
+
+def synthetic_prep_bound_trace(n=6):
+    """Batches take 50 ms to preprocess; consumer waits 40 ms each."""
+    records = []
+    for i in range(n):
+        base = i * 50
+        records.append(rec(KIND_BATCH_PREPROCESSED, i, base, 50, worker=i % 2))
+        records.append(
+            rec(KIND_BATCH_WAIT, i, base + 10, 40, worker=MAIN_PROCESS_WORKER_ID)
+        )
+        records.append(
+            rec(KIND_BATCH_CONSUMED, i, base + 50, 1, worker=MAIN_PROCESS_WORKER_ID)
+        )
+        records.append(rec(KIND_OP, -1, base, 45, worker=i % 2, name="Loader"))
+        records.append(rec(KIND_OP, -1, base + 45, 5, worker=i % 2, name="Crop"))
+    return records
+
+
+def synthetic_consumer_bound_trace(n=6):
+    """Batches preprocessed instantly, consumed 100 ms apart."""
+    records = []
+    for i in range(n):
+        records.append(rec(KIND_BATCH_PREPROCESSED, i, i * 5, 5, worker=0))
+        records.append(
+            TraceRecord(
+                kind=KIND_BATCH_WAIT, name="wait", batch_id=i,
+                worker_id=MAIN_PROCESS_WORKER_ID, pid=1,
+                start_ns=(100 * i + 50) * MS,
+                duration_ns=OOO_MARKER_DURATION_NS, out_of_order=(i > 0),
+            )
+        )
+        records.append(
+            rec(KIND_BATCH_CONSUMED, i, 100 * i + 51, 1,
+                worker=MAIN_PROCESS_WORKER_ID)
+        )
+    return records
+
+
+class TestRegimes:
+    def test_preprocessing_bound_detected(self):
+        report = generate_report(synthetic_prep_bound_trace())
+        assert report.regime == REGIME_PREPROCESSING
+        assert any(f.category == "bottleneck" and f.severity == SEVERITY_WARNING
+                   for f in report.findings)
+
+    def test_consumer_bound_detected(self):
+        report = generate_report(synthetic_consumer_bound_trace())
+        assert report.regime == REGIME_CONSUMER
+
+    def test_empty_trace_raises(self):
+        with pytest.raises(TraceError):
+            generate_report([])
+
+
+class TestFindings:
+    def test_hot_operation_identified(self):
+        report = generate_report(synthetic_prep_bound_trace())
+        assert report.op_ranking[0] == "Loader"
+        assert any(f.category == "hot-operation" for f in report.findings)
+
+    def test_out_of_order_flagged(self):
+        report = generate_report(synthetic_consumer_bound_trace())
+        assert any(f.category == "out-of-order" for f in report.findings)
+
+    def test_worker_busy_fractions(self):
+        report = generate_report(synthetic_prep_bound_trace())
+        assert set(report.worker_busy_fraction) == {0, 1}
+        for fraction in report.worker_busy_fraction.values():
+            assert 0.0 < fraction <= 1.0
+
+    def test_format_contains_key_lines(self):
+        text = generate_report(synthetic_prep_bound_trace()).format()
+        assert "regime:" in text
+        assert "Loader" in text
+
+
+class TestOnRealPipelines:
+    def test_ic_reported_preprocessing_bound(self):
+        # One worker: no out-of-order queueing, so delays stay near zero
+        # and the preprocessing-bound signal is unambiguous.
+        log = InMemoryTraceLog()
+        bundle = build_ic_pipeline(profile=SMOKE, num_workers=1, log_file=log, seed=0)
+        bundle.run_epoch()
+        report = generate_report(log.records())
+        assert report.regime == REGIME_PREPROCESSING
+        assert report.op_ranking[0] == "Loader"
+
+    def test_is_reported_consumer_bound(self):
+        log = InMemoryTraceLog()
+        bundle = build_is_pipeline(profile=SMOKE, num_workers=2, log_file=log, seed=0)
+        bundle.run_epoch()
+        report = generate_report(log.records())
+        assert report.regime == REGIME_CONSUMER

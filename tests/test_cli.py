@@ -1,0 +1,108 @@
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+
+
+class TestGenerateDataset:
+    def test_writes_image_folder(self, tmp_path, capsys):
+        out = tmp_path / "data"
+        code = main([
+            "generate-dataset", "--out", str(out), "--images", "6",
+            "--classes", "2", "--seed", "1",
+        ])
+        assert code == 0
+        assert len(list(out.rglob("*.sjpg"))) == 6
+        assert "wrote 6 images" in capsys.readouterr().out
+
+
+class TestRunAndAnalyze:
+    @pytest.fixture(scope="class")
+    def trace_path(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli") / "trace.log"
+        code = main([
+            "run", "--pipeline", "ic", "--log", str(path),
+            "--workers", "2", "--seed", "0",
+        ])
+        assert code == 0
+        return str(path)
+
+    def test_run_writes_trace(self, trace_path):
+        assert os.path.getsize(trace_path) > 0
+
+    def test_analyze_basic(self, trace_path, capsys):
+        assert main(["analyze", "--log", trace_path]) == 0
+        out = capsys.readouterr().out
+        assert "Loader" in out
+        assert "per-operation elapsed time" in out
+
+    def test_analyze_report_and_timeline(self, trace_path, capsys):
+        assert main([
+            "analyze", "--log", trace_path, "--report", "--timeline",
+            "--width", "50",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "regime:" in out
+        assert "legend:" in out
+        assert "batch flows" in out
+
+    def test_analyze_chrome_export(self, trace_path, tmp_path, capsys):
+        chrome = tmp_path / "trace.json"
+        assert main([
+            "analyze", "--log", trace_path, "--chrome", str(chrome),
+        ]) == 0
+        payload = json.loads(chrome.read_text())
+        assert payload["traceEvents"]
+
+    def test_run_is_pipeline(self, tmp_path, capsys):
+        path = tmp_path / "is.log"
+        assert main([
+            "run", "--pipeline", "is", "--log", str(path), "--workers", "1",
+        ]) == 0
+        assert "image_segmentation" in capsys.readouterr().out
+
+
+class TestMapAndAttribute:
+    def test_map_then_attribute(self, tmp_path, capsys):
+        mapping_path = tmp_path / "mapping_funcs.json"
+        assert main([
+            "map", "--vendor", "intel", "--out", str(mapping_path),
+            "--runs", "6", "--seed", "0",
+        ]) == 0
+        assert "intel mapping" in capsys.readouterr().out
+
+        # Produce a trace + a profile CSV for the same run.
+        from repro.experiments.common import scaled_vtune
+        from repro.hwprof.report import write_profile_csv
+        from repro.workloads import SMOKE, build_ic_pipeline
+
+        trace_path = tmp_path / "t.log"
+        bundle = build_ic_pipeline(
+            profile=SMOKE, num_workers=1, log_file=str(trace_path), seed=1
+        )
+        profiler = scaled_vtune(seed=1)
+        profiler.start()
+        bundle.run_epoch()
+        profile = profiler.stop()
+        csv_path = tmp_path / "uarch.csv"
+        write_profile_csv(profile, csv_path)
+
+        assert main([
+            "attribute", "--mapping", str(mapping_path),
+            "--profile-csv", str(csv_path), "--log", str(trace_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Loader" in out
+        assert "uops/clk" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["bogus"])

@@ -1,0 +1,87 @@
+import pytest
+
+from repro.clib.costmodel import (
+    BALANCED,
+    BRANCHY,
+    COMPUTE_BOUND,
+    MEMORY_BOUND,
+    ContentionModel,
+    CostSignature,
+)
+
+
+class TestCostSignature:
+    def test_defaults_valid(self):
+        CostSignature()
+
+    def test_bound_fraction_validation(self):
+        with pytest.raises(ValueError):
+            CostSignature(front_end_bound=1.5)
+        with pytest.raises(ValueError):
+            CostSignature(dram_bound=-0.1)
+
+    def test_positive_rates_required(self):
+        with pytest.raises(ValueError):
+            CostSignature(ipc=0)
+        with pytest.raises(ValueError):
+            CostSignature(uops_per_instruction=-1)
+
+    def test_presets_distinct(self):
+        assert COMPUTE_BOUND.ipc > MEMORY_BOUND.ipc
+        assert MEMORY_BOUND.dram_bound > COMPUTE_BOUND.dram_bound
+        assert BRANCHY.branch_mpki > BALANCED.branch_mpki
+
+
+class TestContentionModel:
+    def test_single_thread_identity(self):
+        model = ContentionModel()
+        sig = model.effective(BALANCED, 1)
+        assert sig.front_end_bound == BALANCED.front_end_bound
+        assert sig.dram_bound == BALANCED.dram_bound
+        assert sig.ipc == BALANCED.ipc
+
+    def test_front_end_bound_rises_with_threads(self):
+        model = ContentionModel()
+        values = [model.effective(BALANCED, n).front_end_bound for n in (1, 2, 4, 8)]
+        assert values == sorted(values)
+        assert values[-1] > values[0]
+
+    def test_front_end_bound_capped(self):
+        model = ContentionModel(front_end_sensitivity=10.0)
+        assert model.effective(BALANCED, 16).front_end_bound <= 0.90
+
+    def test_dram_bound_falls_with_threads(self):
+        model = ContentionModel()
+        values = [model.effective(MEMORY_BOUND, n).dram_bound for n in (1, 2, 4, 8)]
+        assert values == sorted(values, reverse=True)
+
+    def test_ipc_degrades(self):
+        model = ContentionModel()
+        assert model.effective(BALANCED, 8).ipc < BALANCED.ipc
+
+    def test_invalid_thread_count(self):
+        with pytest.raises(ValueError):
+            ContentionModel().effective(BALANCED, 0)
+
+    def test_counters_scale_with_time(self):
+        model = ContentionModel()
+        c1 = model.counters_for(BALANCED, 1000.0)
+        c2 = model.counters_for(BALANCED, 2000.0)
+        for key in c1:
+            assert c2[key] == pytest.approx(2 * c1[key])
+
+    def test_counters_fields(self):
+        counters = ContentionModel().counters_for(BALANCED, 1e6)
+        assert counters["cpu_time_ns"] == 1e6
+        assert counters["clockticks"] == pytest.approx(1e6 * 3.2)
+        assert counters["instructions_retired"] > 0
+        assert counters["uops_delivered"] < counters["uops_issued"]
+
+    def test_uop_supply_falls_with_contention(self):
+        model = ContentionModel()
+        solo = model.counters_for(BALANCED, 1e6, active_threads=1)
+        busy = model.counters_for(BALANCED, 1e6, active_threads=8)
+        assert (
+            busy["uops_delivered"] / busy["clockticks"]
+            < solo["uops_delivered"] / solo["clockticks"]
+        )

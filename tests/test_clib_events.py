@@ -1,0 +1,137 @@
+import threading
+import time
+
+import pytest
+
+from repro.clib.events import (
+    CallEvent,
+    EventRecorder,
+    active_native_threads,
+    attach_recorder,
+    current_native_function,
+    detach_recorder,
+    native_span,
+)
+
+
+class TestNativeSpan:
+    def test_stack_tracking(self):
+        assert current_native_function() is None
+        with native_span("outer", "libA"):
+            assert current_native_function() == ("outer", "libA")
+            with native_span("inner", "libB"):
+                assert current_native_function() == ("inner", "libB")
+            assert current_native_function() == ("outer", "libA")
+        assert current_native_function() is None
+
+    def test_stack_restored_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with native_span("f", "lib"):
+                raise RuntimeError("boom")
+        assert current_native_function() is None
+
+    def test_no_event_without_recorder(self):
+        recorder = EventRecorder()
+        with native_span("f", "lib"):
+            pass
+        assert len(recorder) == 0
+
+    def test_active_count_minimum_one(self):
+        assert active_native_threads() >= 1
+
+
+class TestEventRecorder:
+    def test_records_nested_events_with_depth(self):
+        recorder = EventRecorder()
+        attach_recorder(recorder)
+        try:
+            with native_span("outer", "libA"):
+                with native_span("inner", "libB"):
+                    time.sleep(0.001)
+        finally:
+            detach_recorder(recorder)
+        events = recorder.events()
+        assert [e.function for e in events] == ["outer", "inner"]
+        by_name = {e.function: e for e in events}
+        assert by_name["outer"].depth == 0
+        assert by_name["inner"].depth == 1
+        assert by_name["inner"].start_ns >= by_name["outer"].start_ns
+        assert by_name["inner"].end_ns <= by_name["outer"].end_ns
+
+    def test_pause_resume_gating(self):
+        recorder = EventRecorder(collecting=False)
+        attach_recorder(recorder)
+        try:
+            with native_span("skipped", "lib"):
+                pass
+            recorder.resume()
+            with native_span("kept", "lib"):
+                pass
+            recorder.pause()
+            with native_span("skipped2", "lib"):
+                pass
+        finally:
+            detach_recorder(recorder)
+        assert [e.function for e in recorder.events()] == ["kept"]
+
+    def test_multiple_recorders_both_receive(self):
+        a, b = EventRecorder(), EventRecorder()
+        attach_recorder(a)
+        attach_recorder(b)
+        try:
+            with native_span("f", "lib"):
+                pass
+        finally:
+            detach_recorder(a)
+            detach_recorder(b)
+        assert len(a) == 1 and len(b) == 1
+
+    def test_detach_is_idempotent(self):
+        recorder = EventRecorder()
+        attach_recorder(recorder)
+        detach_recorder(recorder)
+        detach_recorder(recorder)  # no error
+        assert not recorder.attached
+
+    def test_clear(self):
+        recorder = EventRecorder()
+        attach_recorder(recorder)
+        try:
+            with native_span("f", "lib"):
+                pass
+        finally:
+            detach_recorder(recorder)
+        recorder.clear()
+        assert len(recorder) == 0
+
+    def test_concurrency_stamp_across_threads(self):
+        recorder = EventRecorder()
+        attach_recorder(recorder)
+        barrier = threading.Barrier(3)
+
+        def work():
+            barrier.wait()
+            with native_span("threaded", "lib"):
+                time.sleep(0.02)
+
+        threads = [threading.Thread(target=work) for _ in range(3)]
+        try:
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        finally:
+            detach_recorder(recorder)
+        counts = [e.active_threads for e in recorder.events()]
+        assert max(counts) >= 2  # concurrent native execution observed
+
+
+class TestCallEvent:
+    def test_covers(self):
+        event = CallEvent(1, "f", "lib", start_ns=100, duration_ns=50,
+                          depth=0, active_threads=1)
+        assert event.covers(100)
+        assert event.covers(149)
+        assert not event.covers(150)
+        assert not event.covers(99)
+        assert event.end_ns == 150

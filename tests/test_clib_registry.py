@@ -1,0 +1,123 @@
+import pytest
+
+from repro.clib.costmodel import BALANCED, COMPUTE_BOUND
+from repro.clib.registry import (
+    LIBC,
+    NativeFunction,
+    NativeRegistry,
+    native,
+)
+
+
+def make_fn(name="k", library=LIBC, **kwargs):
+    return NativeFunction(lambda x: x + 1, name=name, library=library,
+                          signature=BALANCED, **kwargs)
+
+
+class TestNativeFunction:
+    def test_call_passthrough(self):
+        fn = make_fn()
+        assert fn(1) == 2
+
+    def test_visible_to_default_both_vendors(self):
+        fn = make_fn()
+        assert fn.visible_to("intel") and fn.visible_to("amd")
+
+    def test_vendor_restriction(self):
+        fn = make_fn(vendors=("intel",))
+        assert fn.visible_to("intel")
+        assert not fn.visible_to("amd")
+
+    def test_reported_identity_default(self):
+        fn = make_fn(name="memset", library=LIBC)
+        assert fn.reported_identity("intel") == ("memset", LIBC)
+
+    def test_reported_identity_alias(self):
+        fn = make_fn(
+            name="__memset_erms",
+            aliases={"amd": ("__memset_plain", "libc-2.31.so")},
+        )
+        assert fn.reported_identity("amd") == ("__memset_plain", "libc-2.31.so")
+        assert fn.reported_identity("intel") == ("__memset_erms", LIBC)
+
+    def test_repr_contains_name(self):
+        assert "memset" in repr(make_fn(name="memset"))
+
+
+class TestNativeRegistry:
+    def test_register_and_get(self):
+        registry = NativeRegistry()
+        fn = registry.register(make_fn(name="a"))
+        assert registry.get("a") is fn
+
+    def test_duplicate_name_rejected(self):
+        registry = NativeRegistry()
+        registry.register(make_fn(name="a"))
+        with pytest.raises(ValueError):
+            registry.register(make_fn(name="a"))
+
+    def test_reregistering_same_object_ok(self):
+        registry = NativeRegistry()
+        fn = make_fn(name="a")
+        registry.register(fn)
+        registry.register(fn)
+        assert len(registry) == 1
+
+    def test_unknown_get_raises(self):
+        with pytest.raises(KeyError):
+            NativeRegistry().get("missing")
+
+    def test_lookup_signature_fallback(self):
+        registry = NativeRegistry()
+        assert registry.lookup_signature("unknown") is BALANCED
+
+    def test_lookup_signature_registered(self):
+        registry = NativeRegistry()
+        registry.register(
+            NativeFunction(lambda: None, "k", LIBC, COMPUTE_BOUND)
+        )
+        assert registry.lookup_signature("k") is COMPUTE_BOUND
+
+    def test_contains_and_len(self):
+        registry = NativeRegistry()
+        registry.register(make_fn(name="a"))
+        assert "a" in registry
+        assert "b" not in registry
+        assert len(registry) == 1
+
+    def test_by_library(self):
+        registry = NativeRegistry()
+        registry.register(make_fn(name="a", library="libA.so"))
+        registry.register(make_fn(name="b", library="libB.so"))
+        assert [f.name for f in registry.by_library("libA.so")] == ["a"]
+        assert registry.libraries() == ["libA.so", "libB.so"]
+
+
+class TestNativeDecorator:
+    def test_decorator_registers(self):
+        registry = NativeRegistry()
+
+        @native("deco_fn", library=LIBC, registry=registry)
+        def deco_fn(x):
+            return x * 2
+
+        assert deco_fn(3) == 6
+        assert "deco_fn" in registry
+
+    def test_default_registry_has_jpeg_kernels(self):
+        # Importing the imaging package registers the Table I symbols.
+        import repro.imaging  # noqa: F401
+        from repro.clib.registry import default_registry
+
+        for symbol in ("decode_mcu", "jpeg_idct_islow", "ycc_rgb_convert",
+                       "ImagingResampleHorizontal_8bpc", "__libc_calloc"):
+            assert symbol in default_registry
+
+    def test_vendor_specific_table1_symbols(self):
+        import repro.imaging  # noqa: F401
+        from repro.clib.registry import default_registry
+
+        assert not default_registry.get("__libc_calloc").visible_to("amd")
+        assert not default_registry.get("sep_upsample").visible_to("intel")
+        assert not default_registry.get("precompute_coeffs").visible_to("intel")
+        assert not default_registry.get("copy").visible_to("intel")

@@ -1,0 +1,71 @@
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.tensor import Tensor, default_collate
+
+
+class TestDefaultCollate:
+    def test_tensors(self):
+        batch = default_collate([Tensor(np.ones(3)), Tensor(np.zeros(3))])
+        assert batch.shape == (2, 3)
+
+    def test_arrays(self):
+        batch = default_collate([np.ones(2), np.zeros(2)])
+        assert isinstance(batch, Tensor)
+        assert batch.shape == (2, 2)
+
+    def test_numbers(self):
+        batch = default_collate([1, 2, 3])
+        assert batch.shape == (3,)
+        assert batch.numpy().tolist() == [1, 2, 3]
+
+    def test_tuples_positionwise(self):
+        samples = [(Tensor(np.ones(2)), 0), (Tensor(np.zeros(2)), 1)]
+        images, labels = default_collate(samples)
+        assert images.shape == (2, 2)
+        assert labels.numpy().tolist() == [0, 1]
+
+    def test_lists(self):
+        out = default_collate([[1, np.ones(2)], [2, np.zeros(2)]])
+        assert isinstance(out, list)
+        assert out[0].numpy().tolist() == [1, 2]
+
+    def test_dicts(self):
+        samples = [{"x": 1, "y": np.ones(2)}, {"x": 2, "y": np.zeros(2)}]
+        out = default_collate(samples)
+        assert out["x"].numpy().tolist() == [1, 2]
+        assert out["y"].shape == (2, 2)
+
+    def test_nested(self):
+        samples = [((np.ones(2), 0), 5), ((np.zeros(2), 1), 6)]
+        (inner, labels0), labels1 = default_collate(samples)
+        assert inner.shape == (2, 2)
+        assert labels1.numpy().tolist() == [5, 6]
+
+    def test_empty_raises(self):
+        with pytest.raises(ReproError):
+            default_collate([])
+
+    def test_mismatched_dict_keys_raises(self):
+        with pytest.raises(ReproError):
+            default_collate([{"a": 1}, {"b": 2}])
+
+    def test_mismatched_tuple_lengths_raises(self):
+        with pytest.raises(ReproError):
+            default_collate([(1, 2), (1, 2, 3)])
+
+    def test_uncollatable_type_raises(self):
+        with pytest.raises(ReproError):
+            default_collate([object(), object()])
+
+    def test_strings_stay_as_list(self):
+        assert default_collate(["a", "b"]) == ["a", "b"]
+
+    def test_bytes_stay_as_list(self):
+        assert default_collate([b"x", b"y"]) == [b"x", b"y"]
+
+    def test_dict_with_string_values(self):
+        out = default_collate([{"name": "a", "v": 1}, {"name": "b", "v": 2}])
+        assert out["name"] == ["a", "b"]
+        assert out["v"].numpy().tolist() == [1, 2]

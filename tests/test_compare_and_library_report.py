@@ -1,0 +1,146 @@
+"""Trace comparison and per-library profile aggregation."""
+
+import pytest
+
+from repro.core.lotustrace import InMemoryTraceLog, compare_traces
+from repro.core.lotustrace.records import (
+    KIND_BATCH_CONSUMED,
+    KIND_BATCH_PREPROCESSED,
+    KIND_BATCH_WAIT,
+    KIND_OP,
+    MAIN_PROCESS_WORKER_ID,
+    TraceRecord,
+)
+from repro.errors import TraceError
+from repro.hwprof.counters import CounterSet
+from repro.hwprof.profile import FunctionProfile, HardwareProfile
+from repro.hwprof.report import aggregate_by_library, format_library_table
+
+MS = 1_000_000
+
+
+def rec(kind, batch_id, start_ms, dur_ms, worker=0, name="x"):
+    return TraceRecord(
+        kind=kind, name=name, batch_id=batch_id, worker_id=worker, pid=1,
+        start_ns=start_ms * MS, duration_ns=dur_ms * MS,
+    )
+
+
+def trace(loader_ms, crop_ms, wait_ms):
+    out = []
+    for i in range(3):
+        base = i * 100
+        out.append(rec(KIND_OP, -1, base, loader_ms, name="Loader"))
+        out.append(rec(KIND_OP, -1, base + loader_ms, crop_ms, name="Crop"))
+        out.append(rec(KIND_BATCH_PREPROCESSED, i, base, loader_ms + crop_ms))
+        out.append(
+            rec(KIND_BATCH_WAIT, i, base, wait_ms, worker=MAIN_PROCESS_WORKER_ID)
+        )
+        out.append(
+            rec(KIND_BATCH_CONSUMED, i, base + 90, 1, worker=MAIN_PROCESS_WORKER_ID)
+        )
+    return out
+
+
+class TestCompareTraces:
+    def test_op_deltas(self):
+        comparison = compare_traces(trace(50, 10, 40), trace(5, 10, 2))
+        loader = comparison.delta_for("Loader")
+        assert loader.baseline_total_ns == 150 * MS
+        assert loader.candidate_total_ns == 15 * MS
+        assert loader.ratio == pytest.approx(0.1)
+        crop = comparison.delta_for("Crop")
+        assert crop.ratio == pytest.approx(1.0)
+
+    def test_wait_shift(self):
+        comparison = compare_traces(trace(50, 10, 40), trace(5, 10, 2))
+        assert comparison.baseline_median_wait_ns == 40 * MS
+        assert comparison.candidate_median_wait_ns == 2 * MS
+
+    def test_biggest_improvement_and_regression(self):
+        comparison = compare_traces(trace(50, 10, 40), trace(5, 30, 2))
+        assert comparison.biggest_improvement().op == "Loader"
+        assert comparison.biggest_regression().op == "Crop"
+
+    def test_no_regressions_returns_none(self):
+        comparison = compare_traces(trace(50, 10, 40), trace(5, 10, 2))
+        assert comparison.biggest_regression() is None
+
+    def test_new_op_infinite_ratio(self):
+        candidate = trace(5, 10, 2) + [rec(KIND_OP, -1, 500, 3, name="Extra")]
+        comparison = compare_traces(trace(50, 10, 40), candidate)
+        assert comparison.delta_for("Extra").ratio == float("inf")
+
+    def test_missing_delta_raises(self):
+        comparison = compare_traces(trace(1, 1, 1), trace(1, 1, 1))
+        with pytest.raises(TraceError):
+            comparison.delta_for("Nope")
+
+    def test_empty_traces_raise(self):
+        with pytest.raises(TraceError):
+            compare_traces([], [])
+
+    def test_format(self):
+        text = compare_traces(trace(50, 10, 40), trace(5, 10, 2)).format()
+        assert "Loader" in text and "median wait" in text
+
+    def test_on_real_cache_experiment(self, small_blobs):
+        """Before/after the decode cache: Loader collapses, the rest holds."""
+        from repro.data.cache import CachingLoader
+        from repro.data.dataloader import DataLoader
+        from repro.data.dataset import BlobImageDataset
+        from repro.transforms import Compose, RandomResizedCrop, ToTensor
+
+        def run(loader_fn):
+            log = InMemoryTraceLog()
+            dataset = BlobImageDataset(
+                small_blobs,
+                transform=Compose(
+                    [RandomResizedCrop(32, seed=0), ToTensor()],
+                    log_transform_elapsed_time=log,
+                ),
+                loader=loader_fn,
+                log_file=log,
+            )
+            for _ in DataLoader(dataset, batch_size=4, num_workers=1, log_file=log):
+                pass
+            return log.records()
+
+        from repro.data.dataset import pil_loader
+
+        baseline = run(pil_loader)
+        cache = CachingLoader()
+        run(cache)  # warm
+        candidate = run(cache)
+        comparison = compare_traces(baseline, candidate)
+        assert comparison.delta_for("Loader").ratio < 0.2
+        assert comparison.delta_for("RandomResizedCrop").ratio < 3.0
+
+
+class TestLibraryAggregation:
+    def make_profile(self):
+        profile = HardwareProfile("intel", 1000)
+        for function, library, cpu in [
+            ("decode_mcu", "libjpeg.so.9", 500.0),
+            ("jpeg_idct_islow", "libjpeg.so.9", 300.0),
+            ("memcpy", "libc.so.6", 100.0),
+        ]:
+            row = FunctionProfile(function=function, library=library, samples=1)
+            row.counters.add({"cpu_time_ns": cpu, "clockticks": cpu * 3.2,
+                              "instructions_retired": cpu * 4.0})
+            profile._rows[(function, library)] = row
+        return profile
+
+    def test_aggregation_sums_per_library(self):
+        totals = aggregate_by_library(self.make_profile())
+        assert totals["libjpeg.so.9"].cpu_time_ns == 800.0
+        assert totals["libc.so.6"].cpu_time_ns == 100.0
+
+    def test_ordering_by_cpu_time(self):
+        libraries = list(aggregate_by_library(self.make_profile()))
+        assert libraries == ["libjpeg.so.9", "libc.so.6"]
+
+    def test_format(self):
+        text = format_library_table(self.make_profile())
+        assert "libjpeg.so.9" in text
+        assert "88.9%" in text  # 800/900

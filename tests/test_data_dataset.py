@@ -1,0 +1,101 @@
+import numpy as np
+import pytest
+
+from repro.core.lotustrace import InMemoryTraceLog
+from repro.data.dataset import BlobImageDataset, ImageFolder, pil_loader
+from repro.datasets.synthetic import SyntheticImageNet
+from repro.errors import DataLoaderError
+from repro.imaging.image import Image
+from repro.imaging.jpeg.codec import encode_sjpg
+from tests.conftest import make_test_image
+
+
+class TestPilLoader:
+    def test_returns_decoded_rgb(self, sjpg_blob):
+        image = pil_loader(sjpg_blob)
+        assert isinstance(image, Image)
+        assert image.mode == "RGB"
+        assert image.is_decoded
+
+
+class TestBlobImageDataset:
+    def test_basic_access(self, small_blobs):
+        ds = BlobImageDataset(small_blobs, labels=list(range(len(small_blobs))))
+        image, label = ds[3]
+        assert label == 3
+        assert image.mode == "RGB"
+        assert len(ds) == len(small_blobs)
+
+    def test_default_labels_zero(self, small_blobs):
+        _, label = BlobImageDataset(small_blobs)[0]
+        assert label == 0
+
+    def test_label_length_mismatch(self, small_blobs):
+        with pytest.raises(DataLoaderError):
+            BlobImageDataset(small_blobs, labels=[0])
+
+    def test_transform_applied(self, small_blobs):
+        ds = BlobImageDataset(small_blobs, transform=lambda image: image.size)
+        size, _ = ds[0]
+        assert isinstance(size, tuple)
+
+    def test_loader_op_logged(self, small_blobs):
+        log = InMemoryTraceLog()
+        ds = BlobImageDataset(small_blobs, log_file=log)
+        ds[0]
+        ds[1]
+        records = log.records()
+        assert len(records) == 2
+        assert all(r.name == "Loader" for r in records)
+        assert all(r.duration_ns > 0 for r in records)
+
+    def test_no_log_by_default(self, small_blobs):
+        ds = BlobImageDataset(small_blobs)
+        assert ds._sink is None
+
+
+class TestImageFolder:
+    @pytest.fixture
+    def folder(self, tmp_path):
+        dataset = SyntheticImageNet(8, n_classes=3, seed=0)
+        dataset.write_image_folder(tmp_path)
+        return tmp_path
+
+    def test_discovers_classes_and_samples(self, folder):
+        ds = ImageFolder(folder)
+        assert len(ds.classes) >= 2
+        assert len(ds) == 8
+        image, label = ds[0]
+        assert 0 <= label < len(ds.classes)
+        assert image.mode == "RGB"
+
+    def test_class_to_idx_consistent(self, folder):
+        ds = ImageFolder(folder)
+        for name, idx in ds.class_to_idx.items():
+            assert ds.classes[idx] == name
+
+    def test_labels_match_directories(self, folder):
+        ds = ImageFolder(folder)
+        for path, label in ds.samples:
+            assert ds.classes[label] in path
+
+    def test_empty_root_raises(self, tmp_path):
+        with pytest.raises(DataLoaderError):
+            ImageFolder(tmp_path)
+
+    def test_no_matching_extension_raises(self, tmp_path):
+        (tmp_path / "class_a").mkdir()
+        (tmp_path / "class_a" / "notes.txt").write_text("hi")
+        with pytest.raises(DataLoaderError):
+            ImageFolder(tmp_path)
+
+    def test_loader_logging(self, folder):
+        log = InMemoryTraceLog()
+        ds = ImageFolder(folder, log_file=log)
+        ds[0]
+        assert log.records()[0].name == "Loader"
+
+    def test_transform_applied(self, folder):
+        ds = ImageFolder(folder, transform=lambda image: "transformed")
+        value, _ = ds[0]
+        assert value == "transformed"

@@ -1,0 +1,100 @@
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset, IterableDataset, TensorDataset
+from repro.data.fetcher import (
+    _IterableDatasetFetcher,
+    _MapDatasetFetcher,
+    create_fetcher,
+)
+from repro.errors import DataLoaderError
+from repro.tensor.collate import default_collate
+
+
+class SquareDataset(Dataset):
+    def __getitem__(self, index):
+        return np.array([float(index**2)])
+
+    def __len__(self):
+        return 100
+
+
+class CountStream(IterableDataset):
+    def __init__(self, n):
+        self.n = n
+
+    def __iter__(self):
+        return iter(np.array([float(i)]) for i in range(self.n))
+
+
+class TestMapFetcher:
+    def test_fetch_collates(self):
+        fetcher = _MapDatasetFetcher(SquareDataset(), default_collate)
+        batch = fetcher.fetch([1, 2, 3])
+        assert batch.shape == (3, 1)
+        assert batch.numpy().ravel().tolist() == [1.0, 4.0, 9.0]
+
+    def test_fetch_respects_index_order(self):
+        fetcher = _MapDatasetFetcher(SquareDataset(), default_collate)
+        batch = fetcher.fetch([3, 1])
+        assert batch.numpy().ravel().tolist() == [9.0, 1.0]
+
+    def test_custom_collate(self):
+        fetcher = _MapDatasetFetcher(SquareDataset(), lambda samples: len(samples))
+        assert fetcher.fetch([0, 1, 2, 3]) == 4
+
+
+class TestIterableFetcher:
+    def test_sequential_pulls(self):
+        fetcher = _IterableDatasetFetcher(CountStream(5), default_collate)
+        first = fetcher.fetch([0, 0])  # indices ignored, only count matters
+        second = fetcher.fetch([0, 0])
+        assert first.numpy().ravel().tolist() == [0.0, 1.0]
+        assert second.numpy().ravel().tolist() == [2.0, 3.0]
+
+    def test_partial_final_batch(self):
+        fetcher = _IterableDatasetFetcher(CountStream(3), default_collate)
+        fetcher.fetch([0, 0])
+        final = fetcher.fetch([0, 0])
+        assert final.shape == (1, 1)
+
+    def test_exhausted_raises_stopiteration(self):
+        fetcher = _IterableDatasetFetcher(CountStream(1), default_collate)
+        fetcher.fetch([0])
+        with pytest.raises(StopIteration):
+            fetcher.fetch([0])
+
+
+class TestCreateFetcher:
+    def test_map_style(self):
+        assert isinstance(
+            create_fetcher(SquareDataset(), default_collate), _MapDatasetFetcher
+        )
+
+    def test_iterable_style(self):
+        assert isinstance(
+            create_fetcher(CountStream(3), default_collate), _IterableDatasetFetcher
+        )
+
+    def test_tensor_dataset_is_map_style(self):
+        ds = TensorDataset([1, 2], [3, 4])
+        assert isinstance(create_fetcher(ds, default_collate), _MapDatasetFetcher)
+
+    def test_invalid_dataset(self):
+        with pytest.raises(DataLoaderError):
+            create_fetcher(object(), default_collate)
+
+
+class TestTensorDataset:
+    def test_columns(self):
+        ds = TensorDataset([1, 2, 3], ["a", "b", "c"])
+        assert ds[1] == (2, "b")
+        assert len(ds) == 3
+
+    def test_unequal_lengths(self):
+        with pytest.raises(DataLoaderError):
+            TensorDataset([1, 2], [3])
+
+    def test_no_columns(self):
+        with pytest.raises(DataLoaderError):
+            TensorDataset()

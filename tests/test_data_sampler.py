@@ -1,0 +1,68 @@
+import pytest
+
+from repro.data.sampler import BatchSampler, RandomSampler, SequentialSampler
+from repro.errors import DataLoaderError
+
+
+class FakeSized:
+    def __init__(self, n):
+        self._n = n
+
+    def __len__(self):
+        return self._n
+
+
+class TestSequentialSampler:
+    def test_order(self):
+        assert list(SequentialSampler(FakeSized(5))) == [0, 1, 2, 3, 4]
+
+    def test_len(self):
+        assert len(SequentialSampler(FakeSized(7))) == 7
+
+    def test_empty(self):
+        assert list(SequentialSampler(FakeSized(0))) == []
+
+
+class TestRandomSampler:
+    def test_permutation_covers_all(self):
+        indices = list(RandomSampler(FakeSized(20), seed=1))
+        assert sorted(indices) == list(range(20))
+
+    def test_seeded_reproducible(self):
+        a = list(RandomSampler(FakeSized(10), seed=3))
+        b = list(RandomSampler(FakeSized(10), seed=3))
+        assert a == b
+
+    def test_fresh_permutation_each_epoch(self):
+        sampler = RandomSampler(FakeSized(30), seed=4)
+        first = list(sampler)
+        second = list(sampler)
+        assert sorted(first) == sorted(second)
+        assert first != second  # overwhelmingly likely for n=30
+
+    def test_yields_python_ints(self):
+        for index in RandomSampler(FakeSized(3), seed=0):
+            assert type(index) is int
+
+
+class TestBatchSampler:
+    def test_batching(self):
+        batches = list(BatchSampler(SequentialSampler(FakeSized(7)), 3))
+        assert batches == [[0, 1, 2], [3, 4, 5], [6]]
+
+    def test_drop_last(self):
+        batches = list(BatchSampler(SequentialSampler(FakeSized(7)), 3, drop_last=True))
+        assert batches == [[0, 1, 2], [3, 4, 5]]
+
+    def test_len_with_and_without_drop(self):
+        sampler = SequentialSampler(FakeSized(10))
+        assert len(BatchSampler(sampler, 3)) == 4
+        assert len(BatchSampler(sampler, 3, drop_last=True)) == 3
+
+    def test_exact_division(self):
+        batches = list(BatchSampler(SequentialSampler(FakeSized(6)), 3))
+        assert len(batches) == 2
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(DataLoaderError):
+            BatchSampler(SequentialSampler(FakeSized(5)), 0)

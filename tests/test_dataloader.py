@@ -1,0 +1,246 @@
+import queue
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.lotustrace import (
+    InMemoryTraceLog,
+    KIND_BATCH_CONSUMED,
+    KIND_BATCH_PREPROCESSED,
+    KIND_BATCH_WAIT,
+    OOO_MARKER_DURATION_NS,
+    analyze_trace,
+)
+from repro.data.dataloader import DataLoader
+from repro.data.dataset import Dataset
+from repro.data.worker import SHUTDOWN_SENTINEL, WorkerFailure, worker_loop
+from repro.errors import DataLoaderError, WorkerCrashError
+from repro.tensor.collate import default_collate
+
+
+class ArrayDataset(Dataset):
+    def __init__(self, n=24):
+        self._n = n
+
+    def __getitem__(self, index):
+        return np.array([float(index)])
+
+    def __len__(self):
+        return self._n
+
+
+class FailingDataset(Dataset):
+    def __getitem__(self, index):
+        if index == 5:
+            raise ValueError("bad sample")
+        return np.array([float(index)])
+
+    def __len__(self):
+        return 8
+
+
+class TestSingleProcess:
+    def test_yields_all_batches_in_order(self):
+        loader = DataLoader(ArrayDataset(10), batch_size=4)
+        batches = [batch.numpy().ravel().tolist() for batch in loader]
+        assert batches == [[0, 1, 2, 3], [4, 5, 6, 7], [8, 9]]
+
+    def test_drop_last(self):
+        loader = DataLoader(ArrayDataset(10), batch_size=4, drop_last=True)
+        assert len(list(loader)) == 2
+        assert len(loader) == 2
+
+    def test_shuffle_covers_all(self):
+        loader = DataLoader(ArrayDataset(12), batch_size=3, shuffle=True, seed=0)
+        seen = sorted(
+            v for batch in loader for v in batch.numpy().ravel().tolist()
+        )
+        assert seen == [float(i) for i in range(12)]
+
+    def test_shuffle_seeded(self):
+        def epoch(seed):
+            loader = DataLoader(ArrayDataset(12), batch_size=3, shuffle=True, seed=seed)
+            return [tuple(b.numpy().ravel()) for b in loader]
+
+        assert epoch(5) == epoch(5)
+        assert epoch(5) != epoch(6)
+
+    def test_pin_memory(self):
+        loader = DataLoader(ArrayDataset(4), batch_size=2, pin_memory=True)
+        batch = next(iter(loader))
+        assert batch.pinned
+
+    def test_trace_records(self):
+        log = InMemoryTraceLog()
+        loader = DataLoader(ArrayDataset(8), batch_size=4, log_file=log)
+        list(loader)
+        kinds = {r.kind for r in log.records()}
+        assert KIND_BATCH_PREPROCESSED in kinds
+        assert KIND_BATCH_CONSUMED in kinds
+
+    def test_reiterable(self):
+        loader = DataLoader(ArrayDataset(6), batch_size=3)
+        assert len(list(loader)) == 2
+        assert len(list(loader)) == 2
+
+    def test_invalid_params(self):
+        with pytest.raises(DataLoaderError):
+            DataLoader(ArrayDataset(), num_workers=-1)
+        with pytest.raises(DataLoaderError):
+            DataLoader(ArrayDataset(), prefetch_factor=0)
+
+
+class TestMultiWorker:
+    def test_yields_all_batches_in_order(self):
+        loader = DataLoader(ArrayDataset(20), batch_size=4, num_workers=3)
+        batches = [batch.numpy().ravel().tolist() for batch in loader]
+        assert batches == [
+            [0, 1, 2, 3],
+            [4, 5, 6, 7],
+            [8, 9, 10, 11],
+            [12, 13, 14, 15],
+            [16, 17, 18, 19],
+        ]
+
+    def test_in_order_despite_shuffle(self):
+        # Batch *ids* are consumed in order even when contents shuffle.
+        log = InMemoryTraceLog()
+        loader = DataLoader(
+            ArrayDataset(24), batch_size=4, num_workers=4, shuffle=True,
+            seed=2, log_file=log,
+        )
+        list(loader)
+        consumed = [
+            r.batch_id for r in log.records() if r.kind == KIND_BATCH_CONSUMED
+        ]
+        assert consumed == sorted(consumed)
+
+    def test_more_workers_than_batches(self):
+        loader = DataLoader(ArrayDataset(4), batch_size=2, num_workers=6)
+        assert len(list(loader)) == 2
+
+    def test_single_worker(self):
+        loader = DataLoader(ArrayDataset(9), batch_size=2, num_workers=1)
+        assert len(list(loader)) == 5
+
+    def test_wait_records_per_batch(self):
+        log = InMemoryTraceLog()
+        loader = DataLoader(
+            ArrayDataset(16), batch_size=4, num_workers=2, log_file=log
+        )
+        list(loader)
+        waits = [r for r in log.records() if r.kind == KIND_BATCH_WAIT]
+        assert len(waits) == 4
+        assert {r.batch_id for r in waits} == {0, 1, 2, 3}
+
+    def test_ooo_marker_duration(self):
+        log = InMemoryTraceLog()
+        loader = DataLoader(
+            ArrayDataset(32), batch_size=2, num_workers=4, log_file=log
+        )
+        list(loader)
+        ooo = [r for r in log.records() if r.kind == KIND_BATCH_WAIT and r.out_of_order]
+        for record in ooo:
+            assert record.duration_ns == OOO_MARKER_DURATION_NS
+
+    def test_preprocessed_records_carry_worker_ids(self):
+        log = InMemoryTraceLog()
+        loader = DataLoader(
+            ArrayDataset(16), batch_size=4, num_workers=2, log_file=log
+        )
+        list(loader)
+        fetches = [r for r in log.records() if r.kind == KIND_BATCH_PREPROCESSED]
+        assert {r.worker_id for r in fetches} <= {0, 1}
+        assert len(fetches) == 4
+
+    def test_worker_exception_propagates(self):
+        loader = DataLoader(
+            FailingDataset(), batch_size=4, num_workers=2, worker_timeout_s=10
+        )
+        with pytest.raises(WorkerCrashError) as excinfo:
+            list(loader)
+        assert "bad sample" in str(excinfo.value)
+
+    def test_close_midway(self):
+        loader = DataLoader(ArrayDataset(40), batch_size=2, num_workers=2)
+        iterator = iter(loader)
+        next(iterator)
+        iterator.close()  # must not hang or raise
+
+    def test_epoch_complete_after_ooo(self):
+        # Every batch is eventually yielded exactly once.
+        loader = DataLoader(ArrayDataset(30), batch_size=3, num_workers=5, shuffle=True, seed=9)
+        values = sorted(
+            v for batch in iter(loader) for v in batch.numpy().ravel().tolist()
+        )
+        assert values == [float(i) for i in range(30)]
+
+
+class TestWorkerLoop:
+    def test_worker_loop_processes_and_stops(self):
+        index_q, data_q = queue.Queue(), queue.Queue()
+        index_q.put((0, [1, 2]))
+        index_q.put(SHUTDOWN_SENTINEL)
+        worker_loop(0, ArrayDataset(), index_q, data_q, default_collate)
+        batch_id, data = data_q.get_nowait()
+        assert batch_id == 0
+        assert data.numpy().ravel().tolist() == [1.0, 2.0]
+
+    def test_worker_ships_failure_and_continues(self):
+        index_q, data_q = queue.Queue(), queue.Queue()
+        index_q.put((0, [5]))
+        index_q.put((1, [0]))
+        index_q.put(SHUTDOWN_SENTINEL)
+        worker_loop(1, FailingDataset(), index_q, data_q, default_collate)
+        _, failure = data_q.get_nowait()
+        assert isinstance(failure, WorkerFailure)
+        assert failure.exc_type == "ValueError"
+        batch_id, data = data_q.get_nowait()
+        assert batch_id == 1
+
+    def test_worker_writes_t1_records(self):
+        log = InMemoryTraceLog()
+        index_q, data_q = queue.Queue(), queue.Queue()
+        index_q.put((7, [0, 1]))
+        index_q.put(SHUTDOWN_SENTINEL)
+        worker_loop(2, ArrayDataset(), index_q, data_q, default_collate, log_target=log)
+        records = log.records()
+        assert len(records) == 1
+        assert records[0].kind == KIND_BATCH_PREPROCESSED
+        assert records[0].batch_id == 7
+        assert records[0].worker_id == 2
+
+
+class SlowDataset(Dataset):
+    """Items that take longer than the loader's worker timeout."""
+
+    def __init__(self, delay_s=0.6, n=4):
+        self.delay_s = delay_s
+        self._n = n
+
+    def __getitem__(self, index):
+        time.sleep(self.delay_s)
+        return np.array([float(index)])
+
+    def __len__(self):
+        return self._n
+
+
+class TestWorkerTimeout:
+    def test_timeout_raises_with_configured_deadline(self):
+        loader = DataLoader(
+            SlowDataset(delay_s=1.0), batch_size=2, num_workers=1,
+            worker_timeout_s=0.2,
+        )
+        with pytest.raises(DataLoaderError) as excinfo:
+            list(loader)
+        assert "timed out" in str(excinfo.value)
+
+    def test_no_timeout_when_fast_enough(self):
+        loader = DataLoader(
+            SlowDataset(delay_s=0.01), batch_size=2, num_workers=1,
+            worker_timeout_s=5.0,
+        )
+        assert len(list(loader)) == 2

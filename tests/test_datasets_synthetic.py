@@ -1,0 +1,140 @@
+import io
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import (
+    SizeDistribution,
+    SyntheticCoco,
+    SyntheticImageNet,
+    SyntheticKits19,
+    VolumePairDataset,
+    numpy_volume_loader,
+)
+from repro.errors import ReproError
+from repro.imaging.jpeg.codec import peek_header
+
+
+class TestSizeDistribution:
+    def test_draw_within_bounds(self):
+        dist = SizeDistribution(median_side=100, min_side=50, max_side=200)
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            h, w = dist.draw(rng)
+            assert 50 <= h <= 200
+            assert 50 <= w <= 200
+
+    def test_sizes_vary(self):
+        dist = SizeDistribution()
+        rng = np.random.default_rng(1)
+        sides = {dist.draw(rng)[0] for _ in range(50)}
+        assert len(sides) > 10
+
+
+class TestSyntheticImageNet:
+    def test_deterministic(self):
+        a = SyntheticImageNet(5, seed=3)
+        b = SyntheticImageNet(5, seed=3)
+        assert a.blobs == b.blobs
+        assert a.labels == b.labels
+
+    def test_different_seed_differs(self):
+        assert SyntheticImageNet(3, seed=1).blobs != SyntheticImageNet(3, seed=2).blobs
+
+    def test_blobs_decodable(self):
+        dataset = SyntheticImageNet(4, seed=0)
+        for blob in dataset.blobs:
+            header = peek_header(blob)
+            assert header.width >= 48
+
+    def test_labels_in_range(self):
+        dataset = SyntheticImageNet(20, n_classes=4, seed=5)
+        assert all(0 <= label < 4 for label in dataset.labels)
+
+    def test_file_size_heterogeneity(self):
+        dataset = SyntheticImageNet(60, seed=6)
+        summary = dataset.file_size_summary()
+        # The paper's ImageNet: std comparable to the mean (CV ~ 1.2).
+        assert summary.std / summary.mean > 0.3
+
+    def test_write_image_folder(self, tmp_path):
+        dataset = SyntheticImageNet(6, n_classes=2, seed=7)
+        dataset.write_image_folder(tmp_path)
+        files = list(tmp_path.rglob("*.sjpg"))
+        assert len(files) == 6
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            SyntheticImageNet(0)
+        with pytest.raises(ReproError):
+            SyntheticImageNet(1, n_classes=0)
+        with pytest.raises(ReproError):
+            SyntheticImageNet(1, quality_range=(0, 50))
+
+
+class TestSyntheticKits19:
+    def test_case_shapes_vary(self):
+        cases = SyntheticKits19(6, seed=0)
+        depths = set()
+        for image_blob, label_blob in cases.case_blobs:
+            image = np.load(io.BytesIO(image_blob))
+            label = np.load(io.BytesIO(label_blob))
+            assert image.shape == label.shape[:1] + image.shape[1:]
+            assert image.ndim == 4
+            depths.add(image.shape[1])
+        assert len(depths) > 1  # heterogeneous depths drive variance
+
+    def test_labels_have_foreground(self):
+        cases = SyntheticKits19(3, seed=1)
+        for _, label_blob in cases.case_blobs:
+            assert np.load(io.BytesIO(label_blob)).sum() > 0
+
+    def test_deterministic(self):
+        assert (
+            SyntheticKits19(2, seed=4).case_blobs
+            == SyntheticKits19(2, seed=4).case_blobs
+        )
+
+
+class TestVolumePairDataset:
+    def test_getitem_loads_pair(self):
+        cases = SyntheticKits19(3, seed=2)
+        ds = VolumePairDataset(cases)
+        image, label = ds[0]
+        assert image.ndim == 4
+        assert label.ndim == 4
+        assert len(ds) == 3
+
+    def test_transform_applied(self):
+        cases = SyntheticKits19(2, seed=3)
+        ds = VolumePairDataset(cases, transform=lambda pair: "done")
+        assert ds[0] == "done"
+
+    def test_loader_logging(self):
+        from repro.core.lotustrace import InMemoryTraceLog
+
+        log = InMemoryTraceLog()
+        ds = VolumePairDataset(SyntheticKits19(2, seed=4), log_file=log)
+        ds[0]
+        assert log.records()[0].name == "Loader"
+
+
+class TestSyntheticCoco:
+    def test_targets_well_formed(self):
+        coco = SyntheticCoco(5, seed=0)
+        assert len(coco) == 5
+        for blob, target in zip(coco.blobs, coco.targets):
+            header = peek_header(blob)
+            boxes = target["boxes"]
+            assert boxes.shape[1] == 4
+            assert (boxes[:, 2] <= header.width).all()
+            assert (boxes[:, 3] <= header.height).all()
+            assert (boxes[:, 2] >= boxes[:, 0]).all()
+
+    def test_box_counts_vary(self):
+        coco = SyntheticCoco(12, max_boxes=6, seed=1)
+        counts = {len(t["boxes"]) for t in coco.targets}
+        assert len(counts) > 1
+
+    def test_deterministic(self):
+        assert SyntheticCoco(3, seed=5).blobs == SyntheticCoco(3, seed=5).blobs

@@ -1,0 +1,133 @@
+"""Failure injection across module boundaries."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clib.events import CallEvent
+from repro.data.dataloader import DataLoader
+from repro.data.dataset import BlobImageDataset, Dataset
+from repro.errors import CodecError, TraceError, WorkerCrashError
+from repro.hwprof.sampling import build_leaf_segments
+from repro.imaging.jpeg.codec import encode_sjpg
+from tests.conftest import make_test_image
+
+
+class TestCorruptBlobsThroughPipeline:
+    def test_truncated_blob_surfaces_as_worker_crash(self, small_blobs):
+        blobs = list(small_blobs)
+        blobs[3] = blobs[3][: len(blobs[3]) // 3]  # truncated mid-payload
+        loader = DataLoader(
+            BlobImageDataset(blobs, transform=lambda im: im.to_array().sum()),
+            batch_size=4,
+            num_workers=2,
+            worker_timeout_s=10,
+        )
+        with pytest.raises(WorkerCrashError) as excinfo:
+            list(loader)
+        assert "CodecError" in str(excinfo.value) or "truncated" in str(excinfo.value)
+
+    def test_garbage_blob_single_process(self):
+        dataset = BlobImageDataset([b"not an image at all"])
+        with pytest.raises(CodecError):
+            dataset[0]
+
+    @given(cut=st.integers(min_value=1, max_value=200))
+    @settings(max_examples=15, deadline=None)
+    def test_random_truncation_never_crashes_uncontrolled(self, cut):
+        """Any truncation raises CodecError — never IndexError/ValueError
+        from deep inside numpy."""
+        from repro.imaging.jpeg.codec import decode_sjpg
+
+        blob = encode_sjpg(make_test_image(48, 48, seed=1), quality=70)
+        truncated = blob[: max(0, len(blob) - cut)]
+        with pytest.raises(CodecError):
+            decode_sjpg(truncated)
+
+    @given(
+        position=st.integers(min_value=16, max_value=400),
+        value=st.integers(min_value=0, max_value=255),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_byte_flips_decode_or_raise_codec_error(self, position, value):
+        """Flipping payload bytes either still decodes (wrong pixels are
+        fine — it is lossy data) or raises the codec's own error type."""
+        from repro.imaging.jpeg.codec import decode_sjpg
+
+        blob = bytearray(encode_sjpg(make_test_image(48, 48, seed=2), quality=70))
+        if position >= len(blob):
+            position = len(blob) - 1
+        blob[position] = value
+        try:
+            decoded = decode_sjpg(bytes(blob))
+            assert decoded.shape[2] == 3
+        except CodecError:
+            pass
+
+
+class TestSamplerRobustness:
+    def test_orphan_depth_event_treated_as_root(self):
+        """Recording can start mid-call: a depth-1 event with no parent
+        must not crash segment building."""
+        orphan = CallEvent(
+            thread_id=1, function="inner", library="lib",
+            start_ns=0, duration_ns=100, depth=1, active_threads=1,
+        )
+        segments = build_leaf_segments([orphan])[1]
+        assert [s.function for s in segments] == ["inner"]
+        assert segments[0].stack == (("inner", "lib"),)
+
+    def test_zero_duration_event(self):
+        instant = CallEvent(
+            thread_id=1, function="f", library="lib",
+            start_ns=10, duration_ns=0, depth=0, active_threads=1,
+        )
+        segments = build_leaf_segments([instant])[1]
+        # Zero-width span yields no leaf segment (nothing to sample).
+        assert all(s.duration_ns >= 0 for s in segments)
+
+
+class TestTraceRobustness:
+    def test_interleaved_multi_run_log(self, tmp_path):
+        """Appending a second run to the same log keeps both analyzable
+        (batch ids collide across runs — analysis merges flows, which is
+        the documented append semantics)."""
+        from repro.core.lotustrace import analyze_trace, parse_trace_file
+        from repro.workloads import SMOKE, build_ic_pipeline
+
+        path = tmp_path / "two_runs.log"
+        for seed in (0, 1):
+            bundle = build_ic_pipeline(
+                profile=SMOKE, num_workers=1, log_file=str(path), seed=seed
+            )
+            bundle.run_epoch()
+        analysis = analyze_trace(parse_trace_file(path))
+        assert analysis.batches
+        assert analysis.op_durations["Loader"]
+
+    def test_partial_line_at_tail_raises_cleanly(self, tmp_path):
+        from repro.core.lotustrace import parse_trace_file
+
+        path = tmp_path / "torn.log"
+        path.write_text("op,Loader,-1,0,1,100,50,0\nop,Random")
+        with pytest.raises(TraceError):
+            parse_trace_file(path)
+
+
+class TestPinMemoryStructures:
+    def test_non_tensor_payload_passthrough(self):
+        class StringDataset(Dataset):
+            def __getitem__(self, index):
+                return {"name": f"item{index}", "value": np.array([float(index)])}
+
+            def __len__(self):
+                return 4
+
+        loader = DataLoader(
+            StringDataset(), batch_size=2, num_workers=1, pin_memory=True
+        )
+        batch = next(iter(loader))
+        assert batch["value"].pinned
+        # Non-tensor leaves survive the pin walk untouched.
+        assert batch["name"] == ["item0", "item1"]

@@ -1,0 +1,48 @@
+import time
+
+import pytest
+
+from repro.datasets.filestore import SimulatedRemoteStore
+from repro.errors import ReproError
+
+
+class TestSimulatedRemoteStore:
+    def test_returns_blobs(self):
+        store = SimulatedRemoteStore([b"a", b"bb"], base_latency_s=0, bandwidth_mb_s=0)
+        assert store[0] == b"a"
+        assert store[1] == b"bb"
+        assert len(store) == 2
+
+    def test_latency_applied(self):
+        store = SimulatedRemoteStore([b"x"], base_latency_s=0.02, bandwidth_mb_s=0)
+        start = time.monotonic()
+        store[0]
+        assert time.monotonic() - start >= 0.015
+
+    def test_bandwidth_term(self):
+        blob = b"z" * 2_000_000  # 2 MB at 100 MB/s -> ~20 ms
+        store = SimulatedRemoteStore([blob], base_latency_s=0, bandwidth_mb_s=100)
+        start = time.monotonic()
+        store[0]
+        assert time.monotonic() - start >= 0.015
+
+    def test_stats_accounting(self):
+        store = SimulatedRemoteStore([b"abc", b"de"], base_latency_s=0, bandwidth_mb_s=0)
+        store[0]
+        store[1]
+        assert store.stats == {"reads": 2, "bytes_read": 5}
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            SimulatedRemoteStore([b"a"], base_latency_s=-1)
+        with pytest.raises(ReproError):
+            SimulatedRemoteStore([b"a"], bandwidth_mb_s=-1)
+
+    def test_works_as_dataloader_source(self, small_blobs):
+        from repro.data.dataset import BlobImageDataset
+
+        store = SimulatedRemoteStore(small_blobs, base_latency_s=0, bandwidth_mb_s=0)
+        ds = BlobImageDataset(store)
+        image, _ = ds[0]
+        assert image.mode == "RGB"
+        assert store.stats["reads"] == 1

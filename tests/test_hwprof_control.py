@@ -1,0 +1,92 @@
+import time
+
+import pytest
+
+from repro.errors import ProfilerError
+from repro.hwprof.control import AMDProfileControl, CollectionWindows, ITT
+
+
+class TestCollectionWindows:
+    def test_initially_not_collecting(self):
+        windows = CollectionWindows()
+        assert not windows.collecting
+        assert not windows.ever_controlled()
+
+    def test_resume_opens_window(self):
+        windows = CollectionWindows()
+        windows.resume()
+        assert windows.collecting
+        assert windows.ever_controlled()
+        assert len(windows.windows()) == 1
+
+    def test_pause_closes_window(self):
+        windows = CollectionWindows()
+        windows.resume()
+        time.sleep(0.001)
+        windows.pause()
+        assert not windows.collecting
+        (start, end), = windows.windows()
+        assert end > start
+
+    def test_double_resume_keeps_one_window(self):
+        windows = CollectionWindows()
+        windows.resume()
+        windows.resume()
+        windows.pause()
+        assert len(windows.windows()) == 1
+
+    def test_pause_without_resume_noop(self):
+        windows = CollectionWindows()
+        windows.pause()
+        assert windows.windows() == []
+
+    def test_multiple_windows(self):
+        windows = CollectionWindows()
+        for _ in range(3):
+            windows.resume()
+            windows.pause()
+        assert len(windows.windows()) == 3
+
+    def test_contains(self):
+        windows = CollectionWindows()
+        windows.resume()
+        t_inside = time.time_ns()
+        windows.pause()
+        assert windows.contains(t_inside)
+        assert not windows.contains(t_inside - 10**12)
+
+    def test_freeze_closes_and_locks(self):
+        windows = CollectionWindows()
+        windows.resume()
+        windows.freeze()
+        assert windows.frozen
+        assert len(windows.windows()) == 1
+        with pytest.raises(ProfilerError):
+            windows.resume()
+        with pytest.raises(ProfilerError):
+            windows.pause()
+
+
+class TestControlAPIs:
+    def test_itt_shape(self):
+        windows = CollectionWindows()
+        itt = ITT(windows)
+        itt.resume()
+        assert itt.collecting
+        itt.pause()
+        assert not itt.collecting
+        itt.detach()
+        assert itt.detached
+
+    def test_amd_core_argument(self):
+        windows = CollectionWindows()
+        amd = AMDProfileControl(windows)
+        amd.resume(1)
+        assert amd.collecting
+        amd.pause(1)
+        assert not amd.collecting
+
+    def test_amd_invalid_core(self):
+        amd = AMDProfileControl(CollectionWindows())
+        with pytest.raises(ProfilerError):
+            amd.resume(-1)

@@ -1,0 +1,60 @@
+import pytest
+
+from repro.hwprof.counters import COUNTER_NAMES, CounterSet
+
+
+class TestCounterSet:
+    def test_add_from_dict(self):
+        counters = CounterSet()
+        counters.add({"cpu_time_ns": 100.0, "clockticks": 320.0})
+        assert counters.cpu_time_ns == 100.0
+        assert counters.clockticks == 320.0
+
+    def test_add_accumulates(self):
+        counters = CounterSet()
+        counters.add({"cpu_time_ns": 1.0})
+        counters.add({"cpu_time_ns": 2.0})
+        assert counters.cpu_time_ns == 3.0
+
+    def test_merge(self):
+        a = CounterSet(cpu_time_ns=1.0, l1_misses=5.0)
+        b = CounterSet(cpu_time_ns=2.0, l1_misses=1.0)
+        a.merge(b)
+        assert a.cpu_time_ns == 3.0
+        assert a.l1_misses == 6.0
+
+    def test_scaled(self):
+        counters = CounterSet(cpu_time_ns=10.0, clockticks=32.0)
+        half = counters.scaled(0.5)
+        assert half.cpu_time_ns == 5.0
+        assert half.clockticks == 16.0
+        assert counters.cpu_time_ns == 10.0  # original untouched
+
+    def test_scaled_weights_sum_to_whole(self):
+        counters = CounterSet(cpu_time_ns=9.0)
+        parts = [counters.scaled(w) for w in (0.5, 0.3, 0.2)]
+        assert sum(p.cpu_time_ns for p in parts) == pytest.approx(9.0)
+
+    def test_derived_metrics(self):
+        counters = CounterSet(
+            clockticks=1000.0,
+            instructions_retired=1500.0,
+            uops_delivered=1200.0,
+            front_end_bound_slots=150.0,
+            back_end_bound_slots=300.0,
+            dram_bound_stalls=100.0,
+        )
+        assert counters.ipc == pytest.approx(1.5)
+        assert counters.front_end_bound_pct == pytest.approx(15.0)
+        assert counters.back_end_bound_pct == pytest.approx(30.0)
+        assert counters.dram_bound_pct == pytest.approx(10.0)
+        assert counters.uops_per_clocktick == pytest.approx(1.2)
+
+    def test_derived_metrics_zero_safe(self):
+        counters = CounterSet()
+        assert counters.ipc == 0.0
+        assert counters.front_end_bound_pct == 0.0
+        assert counters.uops_per_clocktick == 0.0
+
+    def test_as_dict_covers_all_names(self):
+        assert set(CounterSet().as_dict()) == set(COUNTER_NAMES)

@@ -1,0 +1,146 @@
+import numpy as np
+import pytest
+
+from repro.clib.events import CallEvent
+from repro.errors import ProfilerError
+from repro.hwprof.sampling import (
+    INTERPRETER_SYMBOLS,
+    build_leaf_segments,
+    replay_samples,
+)
+
+US = 1_000
+
+
+def event(function, start_us, dur_us, depth=0, thread=1, library="lib", active=1):
+    return CallEvent(
+        thread_id=thread, function=function, library=library,
+        start_ns=start_us * US, duration_ns=dur_us * US,
+        depth=depth, active_threads=active,
+    )
+
+
+class TestLeafSegments:
+    def test_flat_events(self):
+        segments = build_leaf_segments([event("a", 0, 10), event("b", 20, 10)])[1]
+        assert [(s.function, s.start_ns, s.end_ns) for s in segments] == [
+            ("a", 0, 10 * US),
+            ("b", 20 * US, 30 * US),
+        ]
+
+    def test_nested_self_time_carved_out(self):
+        events = [
+            event("outer", 0, 100, depth=0),
+            event("inner", 20, 30, depth=1),
+        ]
+        segments = build_leaf_segments(events)[1]
+        spans = sorted((s.function, s.start_ns, s.end_ns) for s in segments)
+        assert ("inner", 20 * US, 50 * US) in spans
+        assert ("outer", 0, 20 * US) in spans
+        assert ("outer", 50 * US, 100 * US) in spans
+
+    def test_leaf_stack_path(self):
+        events = [
+            event("outer", 0, 100, depth=0),
+            event("inner", 10, 50, depth=1),
+            event("leaf", 20, 10, depth=2),
+        ]
+        segments = build_leaf_segments(events)[1]
+        leaf = next(s for s in segments if s.function == "leaf")
+        assert [frame[0] for frame in leaf.stack] == ["outer", "inner", "leaf"]
+
+    def test_threads_separated(self):
+        segments = build_leaf_segments(
+            [event("a", 0, 10, thread=1), event("b", 0, 10, thread=2)]
+        )
+        assert set(segments) == {1, 2}
+
+    def test_child_covering_whole_parent(self):
+        events = [event("outer", 0, 10, depth=0), event("inner", 0, 10, depth=1)]
+        segments = build_leaf_segments(events)[1]
+        assert [s.function for s in segments] == ["inner"]
+
+    def test_sibling_children(self):
+        events = [
+            event("outer", 0, 100, depth=0),
+            event("c1", 0, 40, depth=1),
+            event("c2", 60, 40, depth=1),
+        ]
+        functions = sorted(
+            s.function for s in build_leaf_segments(events)[1]
+        )
+        assert functions == ["c1", "c2", "outer"]
+
+
+class TestReplaySamples:
+    def test_sample_count_tracks_duration(self):
+        events = [event("long", 0, 10_000)]  # 10 ms
+        samples = replay_samples(events, interval_ns=1000 * US, rng=np.random.default_rng(0))
+        assert 8 <= len(samples) <= 11
+
+    def test_short_function_capture_probability(self):
+        # f = 100 us under s = 1000 us: capture chance ~10% per run.
+        rng = np.random.default_rng(1)
+        captures = 0
+        runs = 400
+        for run in range(runs):
+            events = [event("short", run * 100_000, 100)]
+            samples = replay_samples(events, interval_ns=1000 * US, rng=rng,
+                                     thread_activity_pad_ns=1000 * US)
+            captures += any(
+                s.segment is not None and s.segment.function == "short"
+                for s in samples
+            )
+        assert 0.04 < captures / runs < 0.25
+
+    def test_long_function_always_captured(self):
+        events = [event("long", 0, 5000)]
+        samples = replay_samples(events, interval_ns=1000 * US, rng=np.random.default_rng(2))
+        assert any(s.identity[0] == "long" for s in samples)
+
+    def test_gap_samples_hit_interpreter(self):
+        events = [event("a", 0, 100), event("b", 9000, 100)]
+        samples = replay_samples(events, interval_ns=500 * US, rng=np.random.default_rng(3))
+        idle = [s for s in samples if s.segment is None]
+        assert idle
+        assert all(s.interpreter_symbol in INTERPRETER_SYMBOLS for s in idle)
+
+    def test_skid_attributes_stale_function(self):
+        # Two adjacent functions; with skid always on and a skid window
+        # larger than b's offset coverage, early-b samples report a.
+        events = [event("a", 0, 1000), event("b", 1000, 1000)]
+        samples = replay_samples(
+            events, interval_ns=100 * US, rng=np.random.default_rng(4),
+            skid_ns=150 * US, skid_probability=1.0,
+        )
+        stale = [
+            s for s in samples
+            if s.skidded and s.segment.function == "a" and s.t_ns >= 1000 * US
+        ]
+        assert stale  # misattribution occurred
+
+    def test_no_skid_with_gap(self):
+        # A sleep gap wider than the skid window: early-b samples find
+        # nothing at t - skid and report b correctly.
+        events = [event("a", 0, 1000), event("b", 2000, 1000)]
+        samples = replay_samples(
+            events, interval_ns=100 * US, rng=np.random.default_rng(5),
+            skid_ns=150 * US, skid_probability=1.0,
+        )
+        b_samples = [s for s in samples if s.t_ns >= 2000 * US and s.segment is not None]
+        assert b_samples
+        mislabeled = [s for s in b_samples if s.segment.function == "a" and s.t_ns >= 2150 * US]
+        assert not mislabeled
+
+    def test_validation(self):
+        with pytest.raises(ProfilerError):
+            replay_samples([], interval_ns=0, rng=np.random.default_rng(0))
+        with pytest.raises(ProfilerError):
+            replay_samples([], interval_ns=10, rng=np.random.default_rng(0),
+                           skid_probability=2.0)
+
+    def test_deterministic_given_rng(self):
+        events = [event("f", 0, 5000)]
+        a = replay_samples(events, interval_ns=700 * US, rng=np.random.default_rng(9))
+        b = replay_samples(events, interval_ns=700 * US, rng=np.random.default_rng(9))
+        assert [(s.t_ns, s.identity) for s in a] == [(s.t_ns, s.identity) for s in b]

@@ -1,0 +1,85 @@
+"""Native-event Chrome-trace export and the combined Python+C view."""
+
+import pytest
+
+from repro.clib.events import CallEvent, EventRecorder, attach_recorder, detach_recorder
+from repro.core.lotustrace import InMemoryTraceLog
+from repro.hwprof.tracing import combined_trace, events_to_chrome
+
+
+def event(function, start_us, dur_us, depth=0, thread=1, library="libjpeg.so.9"):
+    return CallEvent(
+        thread_id=thread, function=function, library=library,
+        start_ns=start_us * 1000, duration_ns=dur_us * 1000,
+        depth=depth, active_threads=1,
+    )
+
+
+class TestEventsToChrome:
+    def test_spans_emitted(self):
+        payload = events_to_chrome([event("decode_mcu", 0, 100)])
+        (span,) = payload["traceEvents"]
+        assert span["name"] == "decode_mcu"
+        assert span["args"]["module"] == "libjpeg.so.9"
+        assert span["ts"] == 0.0 and span["dur"] == 100.0
+
+    def test_positive_ids(self):
+        payload = events_to_chrome(
+            [event("a", 0, 10), event("b", 20, 10)]
+        )
+        assert all(e["id"] > 0 for e in payload["traceEvents"])
+
+    def test_threads_get_distinct_tids(self):
+        payload = events_to_chrome(
+            [event("a", 0, 10, thread=111), event("b", 0, 10, thread=222)]
+        )
+        tids = {e["tid"] for e in payload["traceEvents"]}
+        assert len(tids) == 2
+
+    def test_nesting_preserved_in_args(self):
+        payload = events_to_chrome(
+            [event("outer", 0, 100, depth=0), event("inner", 10, 20, depth=1)]
+        )
+        depths = {e["name"]: e["args"]["depth"] for e in payload["traceEvents"]}
+        assert depths == {"outer": 0, "inner": 1}
+
+    def test_empty(self):
+        assert events_to_chrome([])["traceEvents"] == []
+
+
+class TestCombinedTrace:
+    def test_real_decode_combined_with_lotus_spans(self, small_blobs):
+        from repro.data.dataset import BlobImageDataset
+        from repro.transforms import Compose, RandomResizedCrop, ToTensor
+
+        log = InMemoryTraceLog()
+        recorder = EventRecorder()
+        attach_recorder(recorder)
+        try:
+            dataset = BlobImageDataset(
+                small_blobs[:4],
+                transform=Compose(
+                    [RandomResizedCrop(32, seed=0), ToTensor()],
+                    log_transform_elapsed_time=log,
+                ),
+                log_file=log,
+            )
+            for index in range(4):
+                dataset[index]
+        finally:
+            detach_recorder(recorder)
+
+        payload = combined_trace(recorder.events(), log.records())
+        names = {e["name"] for e in payload["traceEvents"]}
+        assert "decode_mcu" in names  # native layer
+        assert "SLoader" in names  # LotusTrace layer
+        native_ids = [
+            e["id"] for e in payload["traceEvents"]
+            if e.get("cat") == "native" and "id" in e
+        ]
+        lotus_ids = [
+            e["id"] for e in payload["traceEvents"]
+            if e.get("cat") == "lotustrace" and "id" in e
+        ]
+        assert all(i > 0 for i in native_ids)
+        assert all(i < 0 for i in lotus_ids)  # no collisions by construction

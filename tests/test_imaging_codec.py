@@ -1,0 +1,103 @@
+import numpy as np
+import pytest
+
+from repro.errors import CodecError
+from repro.imaging.jpeg.codec import (
+    FUSED_QUALITY_THRESHOLD,
+    MODE_FUSED_IDCT,
+    MODE_SEPARATE_UPSAMPLE,
+    decode_sjpg,
+    encode_sjpg,
+    peek_header,
+)
+from tests.conftest import make_test_image
+
+
+class TestEncodeDecode:
+    def test_roundtrip_quality(self):
+        image = make_test_image(96, 96, seed=1)
+        for quality in (50, 75, 95):
+            decoded = decode_sjpg(encode_sjpg(image, quality=quality))
+            assert decoded.shape == image.shape
+            err = np.abs(decoded.astype(int) - image.astype(int)).mean()
+            assert err < 20
+
+    def test_higher_quality_lower_error(self):
+        image = make_test_image(96, 96, seed=2)
+        errors = []
+        for quality in (30, 60, 90):
+            decoded = decode_sjpg(encode_sjpg(image, quality=quality))
+            errors.append(np.abs(decoded.astype(int) - image.astype(int)).mean())
+        assert errors[0] > errors[-1]
+
+    def test_higher_quality_bigger_blob(self):
+        image = make_test_image(96, 96, seed=3)
+        assert len(encode_sjpg(image, quality=90)) > len(encode_sjpg(image, quality=40))
+
+    def test_non_multiple_of_8_dims(self):
+        image = make_test_image(93, 101, seed=4)
+        decoded = decode_sjpg(encode_sjpg(image, quality=80))
+        assert decoded.shape == (93, 101, 3)
+
+    def test_no_subsampling_path(self):
+        image = make_test_image(64, 64, seed=5)
+        decoded = decode_sjpg(encode_sjpg(image, quality=80, subsample=False))
+        assert decoded.shape == image.shape
+
+    def test_bigger_image_bigger_blob(self):
+        small = encode_sjpg(make_test_image(64, 64, seed=6), quality=80)
+        big = encode_sjpg(make_test_image(192, 192, seed=6), quality=80)
+        assert len(big) > 2 * len(small)
+
+
+class TestHeader:
+    def test_peek_without_decode(self):
+        image = make_test_image(70, 110, seed=7)
+        header = peek_header(encode_sjpg(image, quality=88))
+        assert header.size == (110, 70)  # (width, height)
+        assert header.quality == 88
+        assert header.subsampled
+
+    def test_mode_branches_on_quality(self):
+        image = make_test_image(64, 64, seed=8)
+        hi = peek_header(encode_sjpg(image, quality=FUSED_QUALITY_THRESHOLD))
+        lo = peek_header(encode_sjpg(image, quality=FUSED_QUALITY_THRESHOLD - 1))
+        assert hi.mode == MODE_FUSED_IDCT
+        assert lo.mode == MODE_SEPARATE_UPSAMPLE
+
+    def test_both_decode_paths_roundtrip(self):
+        image = make_test_image(80, 80, seed=9)
+        for quality in (FUSED_QUALITY_THRESHOLD, FUSED_QUALITY_THRESHOLD - 1):
+            decoded = decode_sjpg(encode_sjpg(image, quality=quality))
+            assert decoded.shape == image.shape
+
+
+class TestCodecErrors:
+    def test_bad_magic(self):
+        with pytest.raises(CodecError):
+            peek_header(b"JUNKJUNKJUNKJUNKJUNK")
+
+    def test_short_blob(self):
+        with pytest.raises(CodecError):
+            peek_header(b"SJ")
+
+    def test_truncated_payload(self):
+        blob = encode_sjpg(make_test_image(64, 64, seed=10), quality=80)
+        with pytest.raises(CodecError):
+            decode_sjpg(blob[: len(blob) // 2])
+
+    def test_wrong_dtype(self):
+        with pytest.raises(CodecError):
+            encode_sjpg(np.zeros((64, 64, 3), dtype=np.float32))
+
+    def test_wrong_shape(self):
+        with pytest.raises(CodecError):
+            encode_sjpg(np.zeros((64, 64), dtype=np.uint8))
+
+    def test_too_small(self):
+        with pytest.raises(CodecError):
+            encode_sjpg(np.zeros((4, 4, 3), dtype=np.uint8))
+
+    def test_bad_quality(self):
+        with pytest.raises(ValueError):
+            encode_sjpg(np.zeros((16, 16, 3), dtype=np.uint8), quality=0)

@@ -1,0 +1,64 @@
+import numpy as np
+import pytest
+
+from repro.imaging.jpeg.color import (
+    h2v2_downsample,
+    rgb_ycc_convert,
+    sep_upsample,
+    ycc_rgb_convert,
+)
+
+
+class TestColorConversion:
+    def test_roundtrip_close(self):
+        rng = np.random.default_rng(0)
+        rgb = rng.integers(0, 256, size=(16, 16, 3), dtype=np.uint8)
+        back = ycc_rgb_convert(rgb_ycc_convert(rgb))
+        assert np.abs(back.astype(int) - rgb.astype(int)).max() <= 2
+
+    def test_gray_maps_to_neutral_chroma(self):
+        gray = np.full((8, 8, 3), 128, dtype=np.uint8)
+        ycc = rgb_ycc_convert(gray)
+        assert ycc[..., 0] == pytest.approx(128.0, abs=0.5)
+        assert ycc[..., 1] == pytest.approx(128.0, abs=0.5)
+        assert ycc[..., 2] == pytest.approx(128.0, abs=0.5)
+
+    def test_luma_weights(self):
+        red = np.zeros((1, 1, 3), dtype=np.uint8)
+        red[..., 0] = 255
+        assert rgb_ycc_convert(red)[0, 0, 0] == pytest.approx(0.299 * 255, abs=0.5)
+
+    def test_output_dtype_uint8(self):
+        ycc = np.full((4, 4, 3), 128.0, dtype=np.float32)
+        assert ycc_rgb_convert(ycc).dtype == np.uint8
+
+    def test_bad_shape_raises(self):
+        with pytest.raises(ValueError):
+            rgb_ycc_convert(np.zeros((4, 4)))
+        with pytest.raises(ValueError):
+            ycc_rgb_convert(np.zeros((4, 4, 1)))
+
+
+class TestChromaResampling:
+    def test_downsample_halves(self):
+        plane = np.arange(64, dtype=np.float32).reshape(8, 8)
+        down = h2v2_downsample(plane)
+        assert down.shape == (4, 4)
+        assert down[0, 0] == pytest.approx(plane[:2, :2].mean())
+
+    def test_downsample_odd_raises(self):
+        with pytest.raises(ValueError):
+            h2v2_downsample(np.zeros((7, 8), dtype=np.float32))
+
+    def test_upsample_doubles(self):
+        plane = np.array([[1.0, 2.0], [3.0, 4.0]], dtype=np.float32)
+        up = sep_upsample(plane)
+        assert up.shape == (4, 4)
+        assert up[0, 0] == up[0, 1] == up[1, 0] == up[1, 1] == 1.0
+        assert up[3, 3] == 4.0
+
+    def test_down_then_up_preserves_means(self):
+        rng = np.random.default_rng(1)
+        plane = rng.uniform(0, 255, size=(16, 16)).astype(np.float32)
+        roundtrip = sep_upsample(h2v2_downsample(plane))
+        assert roundtrip.mean() == pytest.approx(plane.mean(), rel=1e-5)

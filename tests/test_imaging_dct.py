@@ -1,0 +1,103 @@
+import numpy as np
+import pytest
+
+from repro.imaging.jpeg.dct import (
+    blocks_to_plane,
+    dequantize_blocks,
+    forward_dct,
+    jpeg_idct_16x16,
+    jpeg_idct_islow,
+    plane_to_blocks,
+    quantize_blocks,
+)
+from repro.imaging.jpeg.tables import BLOCK, LUMA_QUANT_BASE, quant_table
+
+
+class TestBlocking:
+    def test_roundtrip(self):
+        rng = np.random.default_rng(0)
+        plane = rng.integers(0, 256, size=(32, 48)).astype(np.float64)
+        blocks = plane_to_blocks(plane)
+        assert blocks.shape == (24, 8, 8)
+        restored = blocks_to_plane(blocks, 32, 48)
+        assert np.array_equal(restored, plane)
+
+    def test_block_order_row_major(self):
+        plane = np.arange(16 * 16).reshape(16, 16).astype(np.float64)
+        blocks = plane_to_blocks(plane)
+        # First block is the top-left 8x8 region.
+        assert np.array_equal(blocks[0], plane[:8, :8])
+        assert np.array_equal(blocks[1], plane[:8, 8:])
+
+    def test_non_multiple_raises(self):
+        with pytest.raises(ValueError):
+            plane_to_blocks(np.zeros((10, 16)))
+
+    def test_bad_tiling_raises(self):
+        with pytest.raises(ValueError):
+            blocks_to_plane(np.zeros((3, 8, 8)), 16, 16)
+
+
+class TestDct:
+    def test_forward_inverse_roundtrip(self):
+        rng = np.random.default_rng(1)
+        blocks = rng.integers(0, 256, size=(5, 8, 8)).astype(np.float64)
+        coeffs = forward_dct(blocks)
+        restored = jpeg_idct_islow(coeffs)
+        assert np.abs(restored.astype(int) - blocks.astype(int)).max() <= 1
+
+    def test_dc_coefficient_is_shifted_mean(self):
+        blocks = np.full((1, 8, 8), 200.0)
+        coeffs = forward_dct(blocks)
+        # DC = 8 * (mean - 128) for the orthonormal transform.
+        assert coeffs[0, 0, 0] == pytest.approx(8 * (200 - 128))
+        assert np.abs(coeffs[0]).sum() == pytest.approx(abs(coeffs[0, 0, 0]))
+
+    def test_idct_output_uint8_clipped(self):
+        coeffs = forward_dct(np.full((1, 8, 8), 255.0)) * 1.5  # overdrive
+        out = jpeg_idct_islow(coeffs)
+        assert out.dtype == np.uint8
+        assert out.max() <= 255
+
+    def test_idct_16x16_upscales(self):
+        blocks = np.full((2, 8, 8), 100.0)
+        coeffs = forward_dct(blocks)
+        up = jpeg_idct_16x16(coeffs)
+        assert up.shape == (2, 16, 16)
+        # DC-only block: the upscaled block keeps the mean value.
+        assert np.abs(up.astype(float) - 100.0).max() <= 1.0
+
+    def test_idct_16x16_preserves_gradient_shape(self):
+        gradient = np.tile(np.linspace(0, 248, 8), (8, 1))[None]
+        coeffs = forward_dct(gradient)
+        up = jpeg_idct_16x16(coeffs).astype(float)[0]
+        # Monotone left-to-right on average.
+        col_means = up.mean(axis=0)
+        assert col_means[-1] > col_means[0] + 100
+
+
+class TestQuantization:
+    def test_quantize_dequantize_bounded_error(self):
+        rng = np.random.default_rng(2)
+        blocks = forward_dct(rng.integers(0, 256, size=(4, 8, 8)).astype(np.float64))
+        table = quant_table(LUMA_QUANT_BASE, 85)
+        quantized = quantize_blocks(blocks, table)
+        assert quantized.dtype == np.int16
+        restored = dequantize_blocks(quantized, table)
+        assert np.abs(restored - blocks).max() <= table.max() / 2 + 1e-9
+
+    def test_higher_quality_finer_tables(self):
+        coarse = quant_table(LUMA_QUANT_BASE, 30)
+        fine = quant_table(LUMA_QUANT_BASE, 90)
+        assert fine.mean() < coarse.mean()
+
+    def test_quality_bounds(self):
+        with pytest.raises(ValueError):
+            quant_table(LUMA_QUANT_BASE, 0)
+        with pytest.raises(ValueError):
+            quant_table(LUMA_QUANT_BASE, 101)
+
+    def test_table_clipped_to_byte_range(self):
+        table = quant_table(LUMA_QUANT_BASE, 1)
+        assert table.max() <= 255
+        assert table.min() >= 1

@@ -1,0 +1,77 @@
+import numpy as np
+import pytest
+
+from repro.errors import CodecError
+from repro.imaging.jpeg.entropy import (
+    decode_mcu,
+    encode_mcu_huff,
+    encoded_length,
+)
+from repro.imaging.jpeg.tables import BLOCK
+
+
+def random_quant_blocks(n, density=0.2, seed=0):
+    rng = np.random.default_rng(seed)
+    blocks = np.zeros((n, BLOCK, BLOCK), dtype=np.int16)
+    mask = rng.random(size=blocks.shape) < density
+    blocks[mask] = rng.integers(-500, 500, size=int(mask.sum()), dtype=np.int16)
+    return blocks
+
+
+class TestEntropyRoundtrip:
+    def test_roundtrip_random_blocks(self):
+        blocks = random_quant_blocks(20)
+        payload = encode_mcu_huff(blocks)
+        decoded = decode_mcu(payload, 20)
+        assert np.array_equal(decoded, blocks)
+
+    def test_roundtrip_all_zero(self):
+        blocks = np.zeros((5, 8, 8), dtype=np.int16)
+        assert np.array_equal(decode_mcu(encode_mcu_huff(blocks), 5), blocks)
+
+    def test_roundtrip_dense_blocks(self):
+        blocks = random_quant_blocks(3, density=1.0, seed=1)
+        assert np.array_equal(decode_mcu(encode_mcu_huff(blocks), 3), blocks)
+
+    def test_roundtrip_many_blocks_crosses_refills(self):
+        # More than one refill period (16 MCUs) to exercise
+        # jpeg_fill_bit_buffer windowing.
+        blocks = random_quant_blocks(100, seed=2)
+        assert np.array_equal(decode_mcu(encode_mcu_huff(blocks), 100), blocks)
+
+    def test_dc_delta_coding(self):
+        blocks = np.zeros((3, 8, 8), dtype=np.int16)
+        blocks[:, 0, 0] = [100, 110, 90]
+        payload = encode_mcu_huff(blocks)
+        assert np.array_equal(decode_mcu(payload, 3)[:, 0, 0], [100, 110, 90])
+
+    def test_sparser_blocks_encode_smaller(self):
+        sparse = encode_mcu_huff(random_quant_blocks(10, density=0.05))
+        dense = encode_mcu_huff(random_quant_blocks(10, density=0.8))
+        assert len(sparse) < len(dense)
+
+    def test_encoded_length_matches(self):
+        blocks = random_quant_blocks(15, seed=3)
+        assert encoded_length(blocks) == len(encode_mcu_huff(blocks))
+
+
+class TestEntropyErrors:
+    def test_truncated_header_raises(self):
+        blocks = random_quant_blocks(4)
+        payload = encode_mcu_huff(blocks)
+        with pytest.raises(CodecError):
+            decode_mcu(payload[:2], 4)
+
+    def test_truncated_records_raises(self):
+        blocks = random_quant_blocks(4, density=0.5)
+        payload = encode_mcu_huff(blocks)
+        with pytest.raises(CodecError):
+            decode_mcu(payload[:-4], 4)
+
+    def test_bad_block_shape_raises(self):
+        with pytest.raises(CodecError):
+            encode_mcu_huff(np.zeros((2, 4, 4), dtype=np.int16))
+
+    def test_decode_zero_blocks(self):
+        out = decode_mcu(b"", 0)
+        assert out.shape == (0, 8, 8)

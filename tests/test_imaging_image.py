@@ -1,0 +1,113 @@
+import numpy as np
+import pytest
+
+from repro.errors import ImageError
+from repro.imaging.image import FLIP_LEFT_RIGHT, Image
+from repro.imaging.jpeg.codec import encode_sjpg
+from tests.conftest import make_test_image
+
+
+class TestOpenConvert:
+    def test_open_is_lazy(self, sjpg_blob):
+        image = Image.open(sjpg_blob)
+        assert not image.is_decoded
+        assert image.mode == "SJPG"
+
+    def test_size_without_decode(self, rgb_image, sjpg_blob):
+        image = Image.open(sjpg_blob)
+        assert image.size == (rgb_image.shape[1], rgb_image.shape[0])
+        assert not image.is_decoded
+
+    def test_convert_decodes(self, sjpg_blob):
+        decoded = Image.open(sjpg_blob).convert("RGB")
+        assert decoded.is_decoded
+        assert decoded.mode == "RGB"
+
+    def test_convert_to_gray(self, sjpg_blob):
+        gray = Image.open(sjpg_blob).convert("L")
+        assert gray.mode == "L"
+        assert gray.to_array().ndim == 2
+
+    def test_open_from_file(self, tmp_path, rgb_image):
+        path = tmp_path / "img.sjpg"
+        Image(rgb_image).save_sjpg(path, quality=90)
+        loaded = Image.open(path).convert("RGB")
+        assert loaded.size == (rgb_image.shape[1], rgb_image.shape[0])
+
+    def test_convert_unknown_mode(self, sjpg_blob):
+        with pytest.raises(ImageError):
+            Image.open(sjpg_blob).convert("CMYK")
+
+    def test_raster_op_on_lazy_raises(self, sjpg_blob):
+        with pytest.raises(ImageError):
+            Image.open(sjpg_blob).resize((10, 10))
+
+
+class TestRasterOps:
+    def test_resize_dims(self):
+        image = Image(make_test_image(100, 80))
+        resized = image.resize((40, 60))
+        assert resized.size == (40, 60)
+        assert resized.to_array().shape == (60, 40, 3)
+
+    def test_resize_upscale(self):
+        image = Image(make_test_image(32, 32))
+        assert image.resize((64, 64)).size == (64, 64)
+
+    def test_resize_preserves_mean_roughly(self):
+        array = make_test_image(96, 96, seed=11)
+        resized = Image(array).resize((48, 48)).to_array()
+        assert abs(float(resized.mean()) - float(array.mean())) < 6
+
+    def test_resize_invalid(self):
+        with pytest.raises(ImageError):
+            Image(make_test_image(16, 16)).resize((0, 10))
+
+    def test_crop_box_convention(self):
+        array = make_test_image(60, 60)
+        cropped = Image(array).crop((10, 20, 30, 50))
+        assert cropped.size == (20, 30)
+        assert np.array_equal(cropped.to_array(), array[20:50, 10:30])
+
+    def test_crop_degenerate_raises(self):
+        with pytest.raises(ImageError):
+            Image(make_test_image(16, 16)).crop((5, 5, 5, 10))
+
+    def test_crop_out_of_bounds_raises(self):
+        with pytest.raises(ImageError):
+            Image(make_test_image(16, 16)).crop((0, 0, 32, 32))
+
+    def test_flip(self):
+        array = make_test_image(20, 30)
+        flipped = Image(array).transpose(FLIP_LEFT_RIGHT)
+        assert np.array_equal(flipped.to_array(), array[:, ::-1])
+
+    def test_flip_twice_identity(self):
+        array = make_test_image(20, 20)
+        double = Image(array).transpose(FLIP_LEFT_RIGHT).transpose(FLIP_LEFT_RIGHT)
+        assert np.array_equal(double.to_array(), array)
+
+    def test_unsupported_transpose(self):
+        with pytest.raises(ImageError):
+            Image(make_test_image(8, 8)).transpose(99)
+
+
+class TestConstruction:
+    def test_new_solid(self):
+        image = Image.new((10, 6), color=7)
+        assert image.size == (10, 6)
+        assert (image.to_array() == 7).all()
+
+    def test_mode_shape_validation(self):
+        with pytest.raises(ImageError):
+            Image(np.zeros((8, 8), dtype=np.uint8), mode="RGB")
+        with pytest.raises(ImageError):
+            Image(np.zeros((8, 8, 3), dtype=np.uint8), mode="L")
+
+    def test_dtype_validation(self):
+        with pytest.raises(ImageError):
+            Image(np.zeros((8, 8, 3), dtype=np.float32))
+
+    def test_repr_states(self, sjpg_blob):
+        assert "lazy" in repr(Image.open(sjpg_blob))
+        assert "decoded" in repr(Image.open(sjpg_blob).convert("RGB"))

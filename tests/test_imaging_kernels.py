@@ -1,0 +1,105 @@
+import numpy as np
+import pytest
+
+from repro.errors import ImageError
+from repro.imaging import kernels
+
+
+class TestMemoryKernels:
+    def test_memcpy_copies(self):
+        src = np.arange(12).reshape(3, 4)
+        dst = kernels.memcpy_copy(src)
+        assert np.array_equal(dst, src)
+        dst[0, 0] = 99
+        assert src[0, 0] == 0
+
+    def test_memset_zero(self):
+        out = kernels.memset_zero((4, 5), dtype=np.float32)
+        assert out.shape == (4, 5)
+        assert out.dtype == np.float32
+        assert (out == 0).all()
+
+    def test_calloc(self):
+        out = kernels.libc_calloc((2, 3))
+        assert (out == 0).all()
+
+    def test_memmove_gather(self):
+        array = np.arange(20).reshape(4, 5)
+        gathered = kernels.memmove_gather(array, np.array([2, 0]))
+        assert np.array_equal(gathered, array[[2, 0]])
+
+    def test_pillow_copy(self):
+        src = np.ones((2, 2), dtype=np.uint8)
+        assert np.array_equal(kernels.pillow_copy(src), src)
+
+
+class TestUnpack:
+    def test_interleaves_planes(self):
+        r = np.full((2, 2), 1, dtype=np.uint8)
+        g = np.full((2, 2), 2, dtype=np.uint8)
+        b = np.full((2, 2), 3, dtype=np.uint8)
+        out = kernels.imaging_unpack_rgb((r, g, b))
+        assert out.shape == (2, 2, 3)
+        assert (out[..., 0] == 1).all()
+        assert (out[..., 2] == 3).all()
+
+    def test_shape_mismatch_raises(self):
+        r = np.zeros((2, 2), dtype=np.uint8)
+        g = np.zeros((2, 3), dtype=np.uint8)
+        with pytest.raises(ImageError):
+            kernels.imaging_unpack_rgb((r, g, r))
+
+
+class TestResample:
+    def test_precompute_coeffs_normalized(self):
+        bounds, weights = kernels.precompute_coeffs(100, 40)
+        assert len(bounds) == 40
+        assert weights.shape[0] == 40
+        assert np.allclose(weights.sum(axis=1), 1.0)
+
+    def test_precompute_identity_size(self):
+        bounds, weights = kernels.precompute_coeffs(10, 10)
+        assert np.allclose(weights.sum(axis=1), 1.0)
+
+    def test_precompute_invalid(self):
+        with pytest.raises(ImageError):
+            kernels.precompute_coeffs(0, 10)
+
+    def test_horizontal_resample_constant_field(self):
+        array = np.full((6, 20), 50.0)
+        bounds, weights = kernels.precompute_coeffs(20, 7)
+        out = kernels.imaging_resample_horizontal(array, bounds, weights)
+        assert out.shape == (6, 7)
+        assert np.allclose(out, 50.0)
+
+    def test_vertical_resample_constant_field(self):
+        array = np.full((20, 6, 3), 77.0)
+        bounds, weights = kernels.precompute_coeffs(20, 9)
+        out = kernels.imaging_resample_vertical(array, bounds, weights)
+        assert out.shape == (9, 6, 3)
+        assert np.allclose(out, 77.0)
+
+    def test_downsample_gradient_monotone(self):
+        gradient = np.tile(np.arange(64, dtype=np.float64), (4, 1))
+        bounds, weights = kernels.precompute_coeffs(64, 8)
+        out = kernels.imaging_resample_horizontal(gradient, bounds, weights)
+        row = out[0]
+        assert all(row[i] < row[i + 1] for i in range(len(row) - 1))
+
+
+class TestCropFlip:
+    def test_crop_copy_semantics(self):
+        array = np.arange(36).reshape(6, 6)
+        region = kernels.imaging_crop(array, 1, 2, 3, 4)
+        assert region.shape == (3, 4)
+        region[0, 0] = -1
+        assert array[1, 2] != -1
+
+    def test_crop_bounds_check(self):
+        with pytest.raises(ImageError):
+            kernels.imaging_crop(np.zeros((4, 4)), 2, 2, 4, 4)
+
+    def test_flip_contiguous(self):
+        out = kernels.imaging_flip_left_right(np.arange(8).reshape(2, 4))
+        assert out.flags["C_CONTIGUOUS"]
+        assert out[0, 0] == 3

@@ -1,0 +1,106 @@
+import pytest
+
+from repro.core.lotusmap.attribution import (
+    attribute_counters,
+    attribute_counters_equal_split,
+)
+from repro.core.lotusmap.mapping import Mapping
+from repro.errors import MappingError
+from repro.hwprof.profile import FunctionProfile, HardwareProfile
+
+
+def make_profile(rows):
+    """rows: {function: (library, cpu_time_ns)}"""
+    profile = HardwareProfile("intel", 1000)
+    for function, (library, cpu) in rows.items():
+        row = FunctionProfile(function=function, library=library, samples=1)
+        row.counters.add({"cpu_time_ns": cpu, "clockticks": cpu * 3.2})
+        profile._rows[(function, library)] = row
+    return profile
+
+
+def make_mapping():
+    mapping = Mapping("intel")
+    mapping.add("Loader", [("decode_mcu", "libjpeg"), ("memmove", "libc")])
+    mapping.add("RandomResizedCrop", [("resample", "pillow"), ("memmove", "libc")])
+    mapping.add("ToTensor", [("copy_", "libtensor"), ("memmove", "libc")])
+    return mapping
+
+
+class TestTimeWeightedAttribution:
+    def test_exclusive_function_fully_attributed(self):
+        profile = make_profile({"decode_mcu": ("libjpeg", 1000.0)})
+        result = attribute_counters(
+            profile, make_mapping(), {"Loader": 5.0, "RandomResizedCrop": 2.0}
+        )
+        assert result["Loader"].cpu_time_ns == pytest.approx(1000.0)
+        assert result["RandomResizedCrop"].cpu_time_ns == 0.0
+
+    def test_shared_function_split_by_elapsed_time(self):
+        """The paper's example: weight Loader by L / (L + RRP + TT)."""
+        profile = make_profile({"memmove": ("libc", 900.0)})
+        elapsed = {"Loader": 6.0, "RandomResizedCrop": 2.0, "ToTensor": 1.0}
+        result = attribute_counters(profile, make_mapping(), elapsed)
+        assert result["Loader"].cpu_time_ns == pytest.approx(900.0 * 6 / 9)
+        assert result["RandomResizedCrop"].cpu_time_ns == pytest.approx(900.0 * 2 / 9)
+        assert result["ToTensor"].cpu_time_ns == pytest.approx(900.0 * 1 / 9)
+
+    def test_split_conserves_total(self):
+        profile = make_profile(
+            {"memmove": ("libc", 900.0), "decode_mcu": ("libjpeg", 500.0)}
+        )
+        elapsed = {"Loader": 3.0, "RandomResizedCrop": 1.0, "ToTensor": 1.0}
+        result = attribute_counters(profile, make_mapping(), elapsed)
+        total = sum(counters.cpu_time_ns for counters in result.values())
+        assert total == pytest.approx(1400.0)
+
+    def test_unmapped_functions_ignored(self):
+        profile = make_profile({"gc_collect": ("libpython", 5000.0)})
+        result = attribute_counters(profile, make_mapping(), {"Loader": 1.0})
+        assert all(c.cpu_time_ns == 0.0 for c in result.values())
+
+    def test_zero_elapsed_ops_get_zero_weight(self):
+        profile = make_profile({"memmove": ("libc", 600.0)})
+        elapsed = {"Loader": 5.0, "RandomResizedCrop": 0.0, "ToTensor": 0.0}
+        result = attribute_counters(profile, make_mapping(), elapsed)
+        assert result["Loader"].cpu_time_ns == pytest.approx(600.0)
+        assert result["RandomResizedCrop"].cpu_time_ns == 0.0
+
+    def test_no_elapsed_falls_back_to_equal(self):
+        profile = make_profile({"memmove": ("libc", 600.0)})
+        result = attribute_counters(profile, make_mapping(), {})
+        assert result["Loader"].cpu_time_ns == pytest.approx(200.0)
+
+    def test_negative_elapsed_raises(self):
+        profile = make_profile({"memmove": ("libc", 1.0)})
+        with pytest.raises(MappingError):
+            attribute_counters(profile, make_mapping(), {"Loader": -1.0})
+
+
+class TestEqualSplitAblation:
+    def test_equal_weights(self):
+        profile = make_profile({"memmove": ("libc", 900.0)})
+        result = attribute_counters_equal_split(profile, make_mapping())
+        assert result["Loader"].cpu_time_ns == pytest.approx(300.0)
+        assert result["ToTensor"].cpu_time_ns == pytest.approx(300.0)
+
+    def test_misattribution_vs_time_weighted(self):
+        """Equal splitting inflates light ops: the paper quantifies a ~30%
+        RandomResizedCrop inflation when decode_mcu is mis-bucketed."""
+        profile = make_profile(
+            {"memmove": ("libc", 1000.0), "decode_mcu": ("libjpeg", 3000.0)}
+        )
+        elapsed = {"Loader": 10.0, "RandomResizedCrop": 1.0, "ToTensor": 1.0}
+        weighted = attribute_counters(profile, make_mapping(), elapsed)
+        # Build a *wrong* mapping that buckets decode_mcu under RRC too.
+        bad = make_mapping()
+        bad.add(
+            "RandomResizedCrop",
+            [("resample", "pillow"), ("memmove", "libc"), ("decode_mcu", "libjpeg")],
+        )
+        equal = attribute_counters_equal_split(profile, bad)
+        inflation = (
+            equal["RandomResizedCrop"].cpu_time_ns
+            / max(weighted["RandomResizedCrop"].cpu_time_ns, 1e-9)
+        )
+        assert inflation > 1.3

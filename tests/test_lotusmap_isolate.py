@@ -1,0 +1,117 @@
+import pytest
+
+from repro.core.lotusmap.isolate import (
+    IsolationConfig,
+    OperationIsolator,
+    capture_probability,
+    required_runs,
+)
+from repro.errors import MappingError
+from repro.hwprof import VTuneLikeProfiler
+from repro.imaging.image import Image
+from repro.imaging.jpeg.codec import encode_sjpg
+from tests.conftest import make_test_image
+
+
+class TestCaptureFormula:
+    def test_paper_example(self):
+        """f=660us, s=10ms, C=75% -> ~20 runs (paper rounds 20.3 down)."""
+        runs = required_runs(660_000, 10_000_000, 0.75)
+        assert runs in (20, 21)
+        assert capture_probability(660_000, 10_000_000, runs) >= 0.75
+
+    def test_probability_formula(self):
+        # f = s: always captured.
+        assert capture_probability(1000, 1000, 1) == pytest.approx(1.0)
+        # f = s/2, one run: 50 %.
+        assert capture_probability(500, 1000, 1) == pytest.approx(0.5)
+        # two runs: 75 %.
+        assert capture_probability(500, 1000, 2) == pytest.approx(0.75)
+
+    def test_required_runs_monotone_in_confidence(self):
+        low = required_runs(100, 1000, 0.5)
+        high = required_runs(100, 1000, 0.99)
+        assert high > low
+
+    def test_required_runs_monotone_in_span(self):
+        short = required_runs(10, 1000, 0.75)
+        long = required_runs(500, 1000, 0.75)
+        assert short > long
+
+    def test_required_runs_satisfies_confidence(self):
+        for f, s, c in [(100, 1000, 0.9), (50, 10_000, 0.75), (999, 1000, 0.5)]:
+            n = required_runs(f, s, c)
+            assert capture_probability(f, s, n) >= c
+            if n > 1:
+                assert capture_probability(f, s, n - 1) < c
+
+    def test_validation(self):
+        with pytest.raises(MappingError):
+            required_runs(0, 1000, 0.75)
+        with pytest.raises(MappingError):
+            required_runs(2000, 1000, 0.75)  # f > s
+        with pytest.raises(MappingError):
+            required_runs(100, 1000, 1.0)
+        with pytest.raises(MappingError):
+            capture_probability(100, 1000, 0)
+
+
+class TestIsolationConfig:
+    def test_defaults(self):
+        config = IsolationConfig()
+        assert config.runs >= 1
+
+    def test_validation(self):
+        with pytest.raises(MappingError):
+            IsolationConfig(runs=0)
+        with pytest.raises(MappingError):
+            IsolationConfig(warmup_iterations=-1)
+        with pytest.raises(MappingError):
+            IsolationConfig(gap_s=-0.1)
+
+
+class TestOperationIsolator:
+    @pytest.fixture(scope="class")
+    def blob(self):
+        return encode_sjpg(make_test_image(128, 128, seed=30), quality=85)
+
+    def test_one_profile_per_run(self, blob):
+        isolator = OperationIsolator(
+            lambda: VTuneLikeProfiler(seed=0, sampling_interval_ns=100_000),
+            IsolationConfig(runs=3, warmup_iterations=0, gap_s=0.0),
+        )
+        profiles = isolator.profile_operation(
+            lambda: Image.open(blob), lambda image: image.convert("RGB")
+        )
+        assert len(profiles) == 3
+
+    def test_collection_excludes_prelude(self, blob):
+        """Prelude (decode) functions must not appear when the operation
+        is a pure flip — the window opens only around the operation."""
+        from repro.transforms import RandomHorizontalFlip
+
+        decoded = Image.open(blob).convert("RGB")
+        flip = RandomHorizontalFlip(p=1.0, seed=0)
+        isolator = OperationIsolator(
+            lambda: VTuneLikeProfiler(seed=1, sampling_interval_ns=20_000,
+                                      skid_probability=0.0),
+            IsolationConfig(runs=6, warmup_iterations=0, gap_s=0.002),
+        )
+        profiles = isolator.profile_operation(
+            lambda: Image.open(blob).convert("RGB") and decoded, flip
+        )
+        sampled = {fn for p in profiles for fn in p.functions()}
+        assert "decode_mcu" not in sampled
+
+    def test_warmup_iterations_run(self, blob):
+        calls = []
+
+        def operation(value):
+            calls.append(value)
+
+        isolator = OperationIsolator(
+            lambda: VTuneLikeProfiler(sampling_interval_ns=100_000),
+            IsolationConfig(runs=2, warmup_iterations=3, gap_s=0.0),
+        )
+        isolator.profile_operation(lambda: 1, operation)
+        assert len(calls) == 2 * 4  # (warmups + collected) per run

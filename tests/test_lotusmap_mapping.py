@@ -1,0 +1,137 @@
+import pytest
+
+from repro.core.lotusmap.filtering import (
+    DEFAULT_EXCLUDED_LIBRARIES,
+    filter_profiles,
+)
+from repro.core.lotusmap.mapping import MappedFunction, Mapping, build_mapping
+from repro.errors import MappingError
+from repro.hwprof.counters import CounterSet
+from repro.hwprof.profile import FunctionProfile, HardwareProfile
+
+
+def profile_with(functions, vendor="intel", samples=5):
+    profile = HardwareProfile(vendor, 1000)
+    for function, library in functions:
+        row = FunctionProfile(function=function, library=library, samples=samples)
+        row.counters.add({"cpu_time_ns": samples * 1000.0})
+        profile._rows[(function, library)] = row
+        profile.total_samples += samples
+    return profile
+
+
+class TestFiltering:
+    def test_consistent_functions_kept(self):
+        profiles = [profile_with([("f", "lib"), ("g", "lib")]) for _ in range(4)]
+        kept = filter_profiles(profiles, min_presence=0.5)
+        assert ("f", "lib") in kept and ("g", "lib") in kept
+
+    def test_rare_functions_dropped(self):
+        profiles = [profile_with([("common", "lib")]) for _ in range(9)]
+        profiles.append(profile_with([("common", "lib"), ("fluke", "lib")]))
+        kept = filter_profiles(profiles, min_presence=0.25)
+        assert ("common", "lib") in kept
+        assert ("fluke", "lib") not in kept
+
+    def test_branchy_functions_survive_partial_presence(self):
+        """Data-dependent branches appear in only some runs but must be
+        kept (the paper's RandomBrightnessAugmentation case)."""
+        profiles = [profile_with([("always", "lib")]) for _ in range(6)]
+        for i in range(3):
+            profiles[i] = profile_with([("always", "lib"), ("branch", "lib")])
+        kept = filter_profiles(profiles, min_presence=0.25)
+        assert ("branch", "lib") in kept
+
+    def test_interpreter_libraries_excluded(self):
+        profiles = [
+            profile_with([("work", "lib"), ("_PyEval_EvalFrameDefault", "libpython3.so")])
+        ]
+        kept = filter_profiles(profiles)
+        assert all(library not in DEFAULT_EXCLUDED_LIBRARIES for _, library in kept)
+
+    def test_ordering_by_sample_weight(self):
+        heavy = profile_with([("heavy", "lib")], samples=100)
+        light = profile_with([("light", "lib")], samples=1)
+        merged = [heavy.merged(light)]
+        kept = filter_profiles(merged, min_presence=0.0)
+        assert kept[0][0] == "heavy"
+
+    def test_all_empty_profiles(self):
+        assert filter_profiles([HardwareProfile("intel", 1000)]) == []
+
+    def test_validation(self):
+        with pytest.raises(MappingError):
+            filter_profiles([])
+        with pytest.raises(MappingError):
+            filter_profiles([profile_with([])], min_presence=2.0)
+
+
+class TestMapping:
+    def make_mapping(self):
+        mapping = Mapping("intel")
+        mapping.add("Loader", [("decode_mcu", "libjpeg"), ("memmove", "libc")])
+        mapping.add("RandomResizedCrop", [("resample", "pillow"), ("memmove", "libc")])
+        return mapping
+
+    def test_queries(self):
+        mapping = self.make_mapping()
+        assert mapping.operations() == ["Loader", "RandomResizedCrop"]
+        assert mapping.function_names_for("Loader") == {"decode_mcu", "memmove"}
+        assert mapping.ops_for("memmove") == ["Loader", "RandomResizedCrop"]
+        assert mapping.ops_for("decode_mcu") == ["Loader"]
+        assert mapping.ops_for("unknown") == []
+
+    def test_is_preprocessing_function(self):
+        mapping = self.make_mapping()
+        assert mapping.is_preprocessing_function("resample")
+        assert not mapping.is_preprocessing_function("gc_collect")
+
+    def test_missing_op_raises(self):
+        with pytest.raises(MappingError):
+            self.make_mapping().functions_for("Missing")
+
+    def test_json_roundtrip(self):
+        mapping = self.make_mapping()
+        restored = Mapping.from_json(mapping.to_json())
+        assert restored.vendor == "intel"
+        assert restored.operations() == mapping.operations()
+        assert restored.function_names_for("Loader") == mapping.function_names_for("Loader")
+
+    def test_save_load(self, tmp_path):
+        path = tmp_path / "mapping_funcs.json"
+        mapping = self.make_mapping()
+        mapping.save(path)
+        assert Mapping.load(path).function_names_for("Loader") == {
+            "decode_mcu", "memmove",
+        }
+
+    def test_malformed_json(self):
+        with pytest.raises(MappingError):
+            Mapping.from_json("{not json")
+        with pytest.raises(MappingError):
+            Mapping.from_json("{}")
+
+    def test_vendor_specific_diff(self):
+        intel = self.make_mapping()
+        amd = Mapping("amd")
+        amd.add("Loader", [("decode_mcu", "libjpeg"), ("sep_upsample", "libjpeg")])
+        assert intel.vendor_specific_vs(amd, "Loader") == {"memmove"}
+        assert amd.vendor_specific_vs(intel, "Loader") == {"sep_upsample"}
+
+    def test_vendor_specific_missing_op(self):
+        intel = self.make_mapping()
+        empty = Mapping("amd")
+        assert intel.vendor_specific_vs(empty, "Loader") == {"decode_mcu", "memmove"}
+
+    def test_contains_len(self):
+        mapping = self.make_mapping()
+        assert "Loader" in mapping
+        assert len(mapping) == 2
+
+
+class TestBuildMapping:
+    def test_empty_operations_raises(self):
+        from repro.hwprof import VTuneLikeProfiler
+
+        with pytest.raises(MappingError):
+            build_mapping({}, VTuneLikeProfiler)

@@ -1,0 +1,135 @@
+import pytest
+
+from repro.core.lotustrace.analysis import (
+    BatchFlow,
+    analyze_trace,
+    out_of_order_events,
+    per_op_stats,
+)
+from repro.core.lotustrace.records import (
+    KIND_BATCH_CONSUMED,
+    KIND_BATCH_PREPROCESSED,
+    KIND_BATCH_WAIT,
+    KIND_OP,
+    MAIN_PROCESS_WORKER_ID,
+    OOO_MARKER_DURATION_NS,
+    TraceRecord,
+)
+from repro.errors import TraceError
+
+MS = 1_000_000
+
+
+def rec(kind, batch_id, start_ms, dur_ms, worker=0, name="x", ooo=False):
+    return TraceRecord(
+        kind=kind, name=name, batch_id=batch_id,
+        worker_id=worker, pid=1, start_ns=start_ms * MS,
+        duration_ns=dur_ms * MS, out_of_order=ooo,
+    )
+
+
+def synthetic_trace():
+    """Two batches: batch 0 in-order on worker 0, batch 1 OOO on worker 1."""
+    return [
+        # worker 0 preprocesses batch 0 over [0, 50) with two ops inside
+        rec(KIND_OP, -1, 5, 20, worker=0, name="Loader"),
+        rec(KIND_OP, -1, 25, 10, worker=0, name="RandomResizedCrop"),
+        rec(KIND_BATCH_PREPROCESSED, 0, 0, 50, worker=0),
+        # worker 1 preprocesses batch 1 over [0, 30) - finishes first
+        rec(KIND_BATCH_PREPROCESSED, 1, 0, 30, worker=1),
+        # main waits for batch 0 over [10, 50)
+        rec(KIND_BATCH_WAIT, 0, 10, 40, worker=MAIN_PROCESS_WORKER_ID),
+        rec(KIND_BATCH_CONSUMED, 0, 51, 1, worker=MAIN_PROCESS_WORKER_ID),
+        # batch 1 was cached: wait has the out-of-order marker
+        TraceRecord(
+            kind=KIND_BATCH_WAIT, name="wait", batch_id=1,
+            worker_id=MAIN_PROCESS_WORKER_ID, pid=1,
+            start_ns=53 * MS, duration_ns=OOO_MARKER_DURATION_NS,
+            out_of_order=True,
+        ),
+        rec(KIND_BATCH_CONSUMED, 1, 54, 1, worker=MAIN_PROCESS_WORKER_ID),
+    ]
+
+
+class TestAnalyzeTrace:
+    def test_batches_assembled(self):
+        analysis = analyze_trace(synthetic_trace())
+        assert set(analysis.batches) == {0, 1}
+        flow = analysis.batches[0]
+        assert flow.preprocess_time_ns == 50 * MS
+        assert flow.wait_time_ns == 40 * MS
+
+    def test_delay_times(self):
+        analysis = analyze_trace(synthetic_trace())
+        # batch 0 ready at 50, consumed at 51 -> 1 ms delay
+        assert analysis.batches[0].delay_time_ns == 1 * MS
+        # batch 1 ready at 30, consumed at 54 -> 24 ms delay
+        assert analysis.batches[1].delay_time_ns == 24 * MS
+
+    def test_negative_delay_clamped(self):
+        flow = BatchFlow(
+            0,
+            preprocessed=rec(KIND_BATCH_PREPROCESSED, 0, 10, 20),
+            consumed=rec(KIND_BATCH_CONSUMED, 0, 25, 1),
+        )
+        assert flow.delay_time_ns == 0
+
+    def test_incomplete_flow_none_metrics(self):
+        flow = BatchFlow(0)
+        assert flow.preprocess_time_ns is None
+        assert flow.wait_time_ns is None
+        assert flow.delay_time_ns is None
+
+    def test_op_association_by_containment(self):
+        analysis = analyze_trace(synthetic_trace())
+        assert analysis.op_batch_ids["Loader"] == [0]
+        assert analysis.op_batch_ids["RandomResizedCrop"] == [0]
+
+    def test_op_outside_any_fetch_span(self):
+        records = [rec(KIND_OP, -1, 500, 5, worker=3, name="Orphan")]
+        analysis = analyze_trace(records)
+        assert analysis.op_batch_ids["Orphan"] == [-1]
+
+    def test_out_of_order_detection(self):
+        events = out_of_order_events(analyze_trace(synthetic_trace()))
+        assert len(events) == 1
+        assert events[0].batch_id == 1
+        assert events[0].delay_ns == 24 * MS
+
+    def test_total_preprocess_cpu(self):
+        analysis = analyze_trace(synthetic_trace())
+        assert analysis.total_preprocess_cpu_ns() == 80 * MS
+
+    def test_op_total_cpu(self):
+        totals = analyze_trace(synthetic_trace()).op_total_cpu_ns()
+        assert totals == {"Loader": 20 * MS, "RandomResizedCrop": 10 * MS}
+
+
+class TestFractions:
+    def test_fraction_waits_over(self):
+        analysis = analyze_trace(synthetic_trace())
+        assert analysis.fraction_waits_over(30 * MS) == 0.5
+        assert analysis.fraction_waits_over(100 * MS) == 0.0
+
+    def test_fraction_delays_over(self):
+        analysis = analyze_trace(synthetic_trace())
+        assert analysis.fraction_delays_over(10 * MS) == 0.5
+
+    def test_empty_fractions_raise(self):
+        analysis = analyze_trace([])
+        with pytest.raises(TraceError):
+            analysis.fraction_waits_over(1)
+        with pytest.raises(TraceError):
+            analysis.fraction_delays_over(1)
+
+
+class TestPerOpStats:
+    def test_summaries(self):
+        stats = per_op_stats(synthetic_trace())
+        assert stats["Loader"].mean == 20 * MS
+        assert stats["Loader"].count == 1
+
+    def test_unknown_op_raises(self):
+        analysis = analyze_trace(synthetic_trace())
+        with pytest.raises(TraceError):
+            analysis.op_summary("Missing")

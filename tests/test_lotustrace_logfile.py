@@ -1,0 +1,105 @@
+import threading
+
+import pytest
+
+from repro.core.lotustrace.logfile import (
+    InMemoryTraceLog,
+    LotusLogWriter,
+    open_trace_log,
+    parse_trace_file,
+    parse_trace_lines,
+)
+from repro.core.lotustrace.records import KIND_OP, TraceRecord
+from repro.errors import TraceError
+
+
+def make_record(i=0):
+    return TraceRecord(
+        kind=KIND_OP, name=f"Op{i}", batch_id=-1, worker_id=0, pid=1,
+        start_ns=i * 1000, duration_ns=10,
+    )
+
+
+class TestLotusLogWriter:
+    def test_write_and_parse(self, tmp_path):
+        path = tmp_path / "trace.log"
+        with LotusLogWriter(path) as writer:
+            writer.write(make_record(0))
+            writer.write(make_record(1))
+        records = parse_trace_file(path)
+        assert [r.name for r in records] == ["Op0", "Op1"]
+
+    def test_append_mode(self, tmp_path):
+        path = tmp_path / "trace.log"
+        with LotusLogWriter(path) as writer:
+            writer.write(make_record(0))
+        with LotusLogWriter(path) as writer:
+            writer.write(make_record(1))
+        assert len(parse_trace_file(path)) == 2
+
+    def test_write_after_close_raises(self, tmp_path):
+        writer = LotusLogWriter(tmp_path / "t.log")
+        writer.close()
+        with pytest.raises(TraceError):
+            writer.write(make_record())
+
+    def test_concurrent_writes_intact(self, tmp_path):
+        path = tmp_path / "t.log"
+        writer = LotusLogWriter(path)
+
+        def write_many(base):
+            for i in range(50):
+                writer.write(make_record(base + i))
+
+        threads = [threading.Thread(target=write_many, args=(k * 100,)) for k in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        writer.close()
+        records = parse_trace_file(path)
+        assert len(records) == 200  # no torn lines
+
+    def test_double_close_ok(self, tmp_path):
+        writer = LotusLogWriter(tmp_path / "t.log")
+        writer.close()
+        writer.close()
+
+
+class TestInMemoryTraceLog:
+    def test_records_accumulate(self):
+        log = InMemoryTraceLog()
+        log.write(make_record(0))
+        log.write(make_record(1))
+        assert len(log.records()) == 2
+
+    def test_records_snapshot_isolated(self):
+        log = InMemoryTraceLog()
+        log.write(make_record())
+        snapshot = log.records()
+        log.write(make_record(1))
+        assert len(snapshot) == 1
+
+
+class TestOpenTraceLog:
+    def test_none_passthrough(self):
+        assert open_trace_log(None) is None
+
+    def test_sink_passthrough(self):
+        sink = InMemoryTraceLog()
+        assert open_trace_log(sink) is sink
+
+    def test_path_opens_writer(self, tmp_path):
+        sink = open_trace_log(tmp_path / "x.log")
+        assert isinstance(sink, LotusLogWriter)
+        sink.close()
+
+
+class TestParsing:
+    def test_skips_blank_lines(self):
+        lines = [make_record(0).to_line(), "", "   ", make_record(1).to_line()]
+        assert len(parse_trace_lines(lines)) == 2
+
+    def test_bad_line_raises(self):
+        with pytest.raises(TraceError):
+            parse_trace_lines(["garbage"])

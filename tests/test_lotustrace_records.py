@@ -1,0 +1,68 @@
+import pytest
+
+from repro.core.lotustrace.records import (
+    KIND_BATCH_CONSUMED,
+    KIND_BATCH_PREPROCESSED,
+    KIND_BATCH_WAIT,
+    KIND_OP,
+    MAIN_PROCESS_WORKER_ID,
+    OOO_MARKER_DURATION_NS,
+    TraceRecord,
+)
+from repro.errors import TraceError
+
+
+def make_record(**overrides):
+    defaults = dict(
+        kind=KIND_OP,
+        name="RandomResizedCrop",
+        batch_id=-1,
+        worker_id=2,
+        pid=1234,
+        start_ns=1_000_000,
+        duration_ns=5_000,
+    )
+    defaults.update(overrides)
+    return TraceRecord(**defaults)
+
+
+class TestTraceRecord:
+    def test_end_ns(self):
+        assert make_record().end_ns == 1_005_000
+
+    def test_roundtrip_line(self):
+        record = make_record(kind=KIND_BATCH_WAIT, out_of_order=True)
+        assert TraceRecord.from_line(record.to_line()) == record
+
+    def test_roundtrip_all_kinds(self):
+        for kind in (KIND_OP, KIND_BATCH_PREPROCESSED, KIND_BATCH_WAIT,
+                     KIND_BATCH_CONSUMED):
+            record = make_record(kind=kind, batch_id=7)
+            assert TraceRecord.from_line(record.to_line()) == record
+
+    def test_roundtrip_with_newline(self):
+        record = make_record()
+        assert TraceRecord.from_line(record.to_line() + "\n") == record
+
+    def test_invalid_kind(self):
+        with pytest.raises(TraceError):
+            make_record(kind="bogus")
+
+    def test_negative_duration(self):
+        with pytest.raises(TraceError):
+            make_record(duration_ns=-1)
+
+    def test_malformed_line_wrong_fields(self):
+        with pytest.raises(TraceError):
+            TraceRecord.from_line("op,Name,1,2")
+
+    def test_malformed_line_bad_int(self):
+        line = make_record().to_line().replace("1234", "notanint")
+        with pytest.raises(TraceError):
+            TraceRecord.from_line(line)
+
+    def test_ooo_marker_is_one_microsecond(self):
+        assert OOO_MARKER_DURATION_NS == 1_000
+
+    def test_main_process_sentinel(self):
+        assert MAIN_PROCESS_WORKER_ID == -1

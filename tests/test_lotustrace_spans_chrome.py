@@ -1,0 +1,134 @@
+import json
+
+import pytest
+
+from repro.core.lotustrace.chrometrace import (
+    augment_profiler_trace,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+from repro.core.lotustrace.records import (
+    KIND_BATCH_CONSUMED,
+    KIND_BATCH_PREPROCESSED,
+    KIND_BATCH_WAIT,
+    KIND_OP,
+    MAIN_PROCESS_WORKER_ID,
+    TraceRecord,
+)
+from repro.core.lotustrace.spans import Span, build_spans, span_name
+from repro.errors import TraceError
+
+MS = 1_000_000
+
+
+def rec(kind, batch_id, start_ms, dur_ms, worker=0, name="x"):
+    return TraceRecord(
+        kind=kind, name=name, batch_id=batch_id, worker_id=worker,
+        pid=1, start_ns=start_ms * MS, duration_ns=dur_ms * MS,
+    )
+
+
+TRACE = [
+    rec(KIND_BATCH_PREPROCESSED, 0, 0, 50, worker=1),
+    rec(KIND_OP, -1, 5, 10, worker=1, name="Loader"),
+    rec(KIND_BATCH_WAIT, 0, 10, 40, worker=MAIN_PROCESS_WORKER_ID),
+    rec(KIND_BATCH_CONSUMED, 0, 51, 1, worker=MAIN_PROCESS_WORKER_ID),
+]
+
+
+class TestSpanNames:
+    def test_paper_naming_scheme(self):
+        assert span_name(rec(KIND_BATCH_PREPROCESSED, 3, 0, 1)) == "SBatchPreprocessed_3"
+        assert span_name(rec(KIND_BATCH_WAIT, 3, 0, 1)) == "SBatchWait_3"
+        assert span_name(rec(KIND_BATCH_CONSUMED, 3, 0, 1)) == "SBatchConsumed_3"
+        assert span_name(rec(KIND_OP, -1, 0, 1, name="ToTensor")) == "SToTensor"
+
+
+class TestBuildSpans:
+    def test_tracks(self):
+        spans = build_spans(TRACE)
+        tracks = {span.name: span.track for span in spans}
+        assert tracks["SBatchPreprocessed_0"] == "worker:1"
+        assert tracks["SBatchWait_0"] == "main"
+
+    def test_coarse_excludes_ops(self):
+        spans = build_spans(TRACE, include_ops=False)
+        assert all(span.kind != KIND_OP for span in spans)
+        assert len(spans) == 3
+
+    def test_fine_includes_ops(self):
+        spans = build_spans(TRACE, include_ops=True)
+        assert any(span.name == "SLoader" for span in spans)
+
+    def test_sorted_by_start(self):
+        spans = build_spans(TRACE)
+        starts = [span.start_ns for span in spans]
+        assert starts == sorted(starts)
+
+
+class TestChromeTrace:
+    def test_events_use_negative_ids(self):
+        payload = to_chrome_trace(TRACE)
+        ids = [e["id"] for e in payload["traceEvents"] if "id" in e]
+        assert ids and all(i < 0 for i in ids)
+
+    def test_flow_arrow_present(self):
+        payload = to_chrome_trace(TRACE)
+        phases = [e["ph"] for e in payload["traceEvents"]]
+        assert "s" in phases and "f" in phases  # producer -> consumer arrow
+
+    def test_flow_arrow_spans_delay(self):
+        payload = to_chrome_trace(TRACE)
+        start = next(e for e in payload["traceEvents"] if e["ph"] == "s")
+        finish = next(e for e in payload["traceEvents"] if e["ph"] == "f")
+        assert start["ts"] == pytest.approx(50 * 1000)  # preprocessed end (us)
+        assert finish["ts"] == pytest.approx(51 * 1000)  # consumed start
+
+    def test_timestamps_in_microseconds(self):
+        payload = to_chrome_trace(TRACE)
+        span = next(
+            e for e in payload["traceEvents"] if e["name"] == "SBatchPreprocessed_0"
+        )
+        assert span["ts"] == pytest.approx(0.0)
+        assert span["dur"] == pytest.approx(50 * 1000)
+
+    def test_coarse_mode(self):
+        payload = to_chrome_trace(TRACE, coarse=True)
+        names = [e["name"] for e in payload["traceEvents"]]
+        assert "SLoader" not in names
+
+    def test_positive_start_id_rejected(self):
+        with pytest.raises(TraceError):
+            to_chrome_trace(TRACE, start_id=1)
+
+    def test_write_file(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(TRACE, path)
+        payload = json.loads(path.read_text())
+        assert "traceEvents" in payload
+
+
+class TestAugmentation:
+    def test_merges_below_existing_ids(self):
+        host = {"traceEvents": [{"name": "op", "ph": "X", "id": 12, "ts": 0}]}
+        merged = augment_profiler_trace(host, TRACE)
+        ids = [e.get("id") for e in merged["traceEvents"] if "id" in e]
+        lotus_ids = [i for i in ids if i != 12]
+        assert all(i < 0 for i in lotus_ids)
+        assert 12 in ids  # host events preserved
+
+    def test_host_untouched(self):
+        host = {"traceEvents": []}
+        merged = augment_profiler_trace(host, TRACE)
+        assert host["traceEvents"] == []
+        assert len(merged["traceEvents"]) > 0
+
+    def test_negative_existing_ids_avoided(self):
+        host = {"traceEvents": [{"name": "x", "id": -5, "ts": 0}]}
+        merged = augment_profiler_trace(host, TRACE)
+        lotus_ids = [e["id"] for e in merged["traceEvents"] if e.get("id", 0) < -5]
+        assert lotus_ids  # new ids start below -5
+
+    def test_missing_trace_events_raises(self):
+        with pytest.raises(TraceError):
+            augment_profiler_trace({}, TRACE)

@@ -1,0 +1,128 @@
+"""persistent_workers: one worker pool reused across epochs."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.data.dataloader import DataLoader
+from repro.data.dataset import Dataset
+from repro.data.worker_info import ShardedIterableDataset
+from repro.errors import DataLoaderError
+
+
+class CountingDataset(Dataset):
+    """Counts distinct fetching threads across its lifetime.
+
+    Thread *objects* are retained (not ids): keeping the reference alive
+    guarantees distinct workers never alias through identifier reuse.
+    """
+
+    def __init__(self, n=16):
+        self._n = n
+        self.threads = set()
+        self._lock = threading.Lock()
+
+    @property
+    def thread_ids(self):
+        return self.threads
+
+    def __getitem__(self, index):
+        with self._lock:
+            self.threads.add(threading.current_thread())
+        return np.array([float(index)])
+
+    def __len__(self):
+        return self._n
+
+
+class TestPersistentWorkers:
+    def test_multiple_epochs_correct(self):
+        dataset = CountingDataset(12)
+        loader = DataLoader(
+            dataset, batch_size=4, num_workers=2, persistent_workers=True
+        )
+        for _ in range(3):
+            values = sorted(
+                v for batch in loader for v in batch.numpy().ravel().tolist()
+            )
+            assert values == [float(i) for i in range(12)]
+        loader.close()
+
+    def test_workers_reused_across_epochs(self):
+        dataset = CountingDataset(8)
+        loader = DataLoader(
+            dataset, batch_size=4, num_workers=2, persistent_workers=True
+        )
+        for _ in range(4):
+            list(loader)
+        loader.close()
+        # 2 persistent workers -> 2 fetching threads total, not 8.
+        assert len(dataset.thread_ids) == 2
+
+    def test_without_persistence_workers_restart(self):
+        # Hold each epoch's iterator so its worker threads stay alive and
+        # their identifiers cannot be recycled for the next epoch.
+        dataset = CountingDataset(8)
+        loader = DataLoader(dataset, batch_size=4, num_workers=2)
+        iterators = []
+        for _ in range(3):
+            iterator = iter(loader)
+            iterators.append(iterator)
+            list(iterator)
+        assert len(dataset.thread_ids) == 6  # 2 fresh threads per epoch
+
+    def test_abandoned_epoch_recreates_pool(self):
+        dataset = CountingDataset(40)
+        loader = DataLoader(
+            dataset, batch_size=2, num_workers=2, persistent_workers=True
+        )
+        iterator = iter(loader)
+        next(iterator)
+        iterator.close()  # mid-epoch abandon: pool is dirty
+        values = sorted(
+            v for batch in loader for v in batch.numpy().ravel().tolist()
+        )
+        assert values == [float(i) for i in range(40)]
+        loader.close()
+
+    def test_shuffle_fresh_permutation_per_epoch(self):
+        loader = DataLoader(
+            CountingDataset(24), batch_size=4, num_workers=2,
+            persistent_workers=True, shuffle=True, seed=1,
+        )
+        epoch1 = [tuple(b.numpy().ravel()) for b in loader]
+        epoch2 = [tuple(b.numpy().ravel()) for b in loader]
+        loader.close()
+        assert epoch1 != epoch2
+        assert sorted(sum((list(t) for t in epoch1), [])) == sorted(
+            sum((list(t) for t in epoch2), [])
+        )
+
+    def test_close_idempotent(self):
+        loader = DataLoader(
+            CountingDataset(4), batch_size=2, num_workers=1,
+            persistent_workers=True,
+        )
+        list(loader)
+        loader.close()
+        loader.close()
+
+    def test_iteration_after_close_restarts_pool(self):
+        dataset = CountingDataset(6)
+        loader = DataLoader(
+            dataset, batch_size=3, num_workers=1, persistent_workers=True
+        )
+        list(loader)
+        loader.close()
+        assert len(list(loader)) == 2
+        loader.close()
+
+    def test_validation(self):
+        with pytest.raises(DataLoaderError):
+            DataLoader(CountingDataset(4), num_workers=0, persistent_workers=True)
+        with pytest.raises(DataLoaderError):
+            DataLoader(
+                ShardedIterableDataset([1, 2]), num_workers=1,
+                persistent_workers=True,
+            )

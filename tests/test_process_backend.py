@@ -1,0 +1,110 @@
+"""Process-backed DataLoader workers (the paper's forked architecture)."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.lotustrace import (
+    InMemoryTraceLog,
+    KIND_BATCH_PREPROCESSED,
+    analyze_trace,
+    parse_trace_file,
+)
+from repro.data.backends import create_backend
+from repro.data.dataloader import DataLoader
+from repro.data.dataset import Dataset
+from repro.errors import DataLoaderError
+
+
+class ArrayDataset(Dataset):
+    def __init__(self, n=16):
+        self._n = n
+
+    def __getitem__(self, index):
+        return np.array([float(index)])
+
+    def __len__(self):
+        return self._n
+
+
+class TestBackendFactory:
+    def test_thread_backend(self):
+        backend = create_backend("thread")
+        assert not backend.is_process
+
+    def test_process_backend(self):
+        backend = create_backend("process")
+        assert backend.is_process
+
+    def test_unknown_backend(self):
+        with pytest.raises(DataLoaderError):
+            create_backend("greenlet")
+
+    def test_loader_validates_backend_eagerly(self):
+        with pytest.raises(DataLoaderError):
+            DataLoader(ArrayDataset(), worker_backend="bogus")
+
+
+class TestProcessWorkers:
+    def test_epoch_in_order(self):
+        loader = DataLoader(
+            ArrayDataset(16), batch_size=4, num_workers=2,
+            worker_backend="process",
+        )
+        batches = [batch.numpy().ravel().tolist() for batch in loader]
+        assert batches == [
+            [0, 1, 2, 3], [4, 5, 6, 7], [8, 9, 10, 11], [12, 13, 14, 15],
+        ]
+
+    def test_workers_are_real_processes(self, tmp_path):
+        """T1 records from process workers carry child pids, distinct
+        from the main process (why the paper needs psutil at log time)."""
+        path = tmp_path / "proc.trace"
+        loader = DataLoader(
+            ArrayDataset(8), batch_size=4, num_workers=2,
+            worker_backend="process", log_file=str(path),
+        )
+        list(loader)
+        records = parse_trace_file(path)
+        fetches = [r for r in records if r.kind == KIND_BATCH_PREPROCESSED]
+        assert fetches
+        assert all(r.pid != os.getpid() for r in fetches)
+        main_records = [r for r in records if r.worker_id == -1]
+        assert all(r.pid == os.getpid() for r in main_records)
+
+    def test_trace_analysis_complete(self, tmp_path):
+        path = tmp_path / "proc2.trace"
+        loader = DataLoader(
+            ArrayDataset(12), batch_size=4, num_workers=2,
+            worker_backend="process", log_file=str(path),
+        )
+        list(loader)
+        analysis = analyze_trace(parse_trace_file(path))
+        assert len(analysis.batches) == 3
+        for flow in analysis.batches.values():
+            assert flow.preprocessed is not None
+            assert flow.consumed is not None
+
+    def test_in_memory_sink_rejected(self):
+        loader = DataLoader(
+            ArrayDataset(8), batch_size=4, num_workers=2,
+            worker_backend="process", log_file=InMemoryTraceLog(),
+        )
+        with pytest.raises(DataLoaderError):
+            iter(loader)
+
+    def test_image_pipeline_through_processes(self, small_blobs, tmp_path):
+        from repro.data.dataset import BlobImageDataset
+        from repro.transforms import Compose, RandomResizedCrop, ToTensor
+
+        dataset = BlobImageDataset(
+            small_blobs,
+            transform=Compose([RandomResizedCrop(32, seed=0), ToTensor()]),
+        )
+        loader = DataLoader(
+            dataset, batch_size=4, num_workers=2, worker_backend="process",
+            log_file=str(tmp_path / "img.trace"),
+        )
+        shapes = [batch[0].shape for batch in loader]
+        assert all(shape[1:] == (3, 32, 32) for shape in shapes)

@@ -1,0 +1,215 @@
+import os
+import time
+
+import pytest
+
+from repro.errors import ProfilerMemoryError
+from repro.profilers import (
+    AustinLike,
+    LotusTraceProfiler,
+    PySpyLike,
+    ScaleneLike,
+    TorchProfilerLike,
+)
+from repro.profilers.sampling import FrameSampler, StackSample
+
+
+def busy_function(duration_s=0.08):
+    deadline = time.monotonic() + duration_s
+    total = 0
+    while time.monotonic() < deadline:
+        total += sum(range(200))
+    return total
+
+
+class TestFrameSampler:
+    def test_samples_collected(self):
+        samples = []
+        sampler = FrameSampler(0.005, samples.append)
+        sampler.start()
+        busy_function()
+        sampler.stop()
+        assert samples
+        assert all(isinstance(s, StackSample) for s in samples)
+
+    def test_leaf_frame_identifies_function(self):
+        samples = []
+        sampler = FrameSampler(0.002, samples.append)
+        sampler.start()
+        busy_function()
+        sampler.stop()
+        leaf_names = {s.leaf[0] for s in samples}
+        assert "busy_function" in leaf_names
+
+    def test_stop_idempotent(self):
+        sampler = FrameSampler(0.01, lambda s: None)
+        sampler.start()
+        sampler.stop()
+        sampler.stop()
+
+    def test_double_start_raises(self):
+        sampler = FrameSampler(0.01, lambda s: None)
+        sampler.start()
+        try:
+            with pytest.raises(RuntimeError):
+                sampler.start()
+        finally:
+            sampler.stop()
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            FrameSampler(0, lambda s: None)
+
+
+class TestPySpyLike:
+    def test_function_times(self):
+        profiler = PySpyLike(interval_s=0.002)
+        with profiler:
+            busy_function()
+        times = profiler.function_times_s()
+        assert times.get("busy_function", 0) > 0
+
+    def test_write_log_raw_samples(self, tmp_path):
+        profiler = PySpyLike(interval_s=0.002)
+        with profiler:
+            busy_function()
+        size = profiler.write_log(str(tmp_path / "pyspy.json"))
+        assert size > 0
+
+    def test_capabilities_epoch_only(self):
+        caps = PySpyLike().capabilities().as_row()
+        assert caps == {
+            "Epoch": True, "Batch": False, "Async": False,
+            "Wait": False, "Delay": False,
+        }
+
+    def test_transforms_labeled_dunder_call(self, small_blobs):
+        """The paper's labeling problem: sampled transform frames say
+        __call__, not the transform class name."""
+        from repro.data.dataset import BlobImageDataset
+        from repro.transforms import Compose, RandomResizedCrop
+
+        dataset = BlobImageDataset(
+            small_blobs, transform=Compose([RandomResizedCrop(32, seed=0)])
+        )
+        profiler = PySpyLike(interval_s=0.001)
+        with profiler:
+            for i in range(len(dataset)):
+                dataset[i]
+        all_frame_names = {
+            frame[0] for sample in profiler.samples() for frame in sample.frames
+        }
+        assert "__call__" in all_frame_names
+        assert "RandomResizedCrop" not in all_frame_names
+
+
+class TestAustinLike:
+    def test_live_log_lines(self, tmp_path):
+        path = str(tmp_path / "austin.log")
+        profiler = AustinLike(path, interval_s=0.002)
+        with profiler:
+            busy_function()
+        with open(path) as handle:
+            lines = handle.readlines()
+        assert lines
+        assert all(line.startswith("P0;T") for line in lines)
+
+    def test_storage_grows_with_runtime(self, tmp_path):
+        short_path = str(tmp_path / "short.log")
+        long_path = str(tmp_path / "long.log")
+        with AustinLike(short_path, interval_s=0.002):
+            busy_function(0.03)
+        with AustinLike(long_path, interval_s=0.002):
+            busy_function(0.25)
+        assert os.path.getsize(long_path) > os.path.getsize(short_path)
+
+    def test_metrics(self, tmp_path):
+        profiler = AustinLike(str(tmp_path / "a.log"), interval_s=0.002)
+        with profiler:
+            busy_function()
+        metrics = profiler.extract_metrics()
+        assert "epoch_preprocessing_time_s" in metrics
+        assert metrics["function_times_s"]
+
+
+class TestScaleneLike:
+    def test_line_level_attribution(self):
+        profiler = ScaleneLike(interval_s=0.002)
+        with profiler:
+            busy_function()
+        metrics = profiler.extract_metrics()
+        files = {filename for (filename, _), _ in metrics["top_lines"]}
+        assert any("test_profilers_baselines" in name for name in files)
+
+    def test_memory_tracking(self):
+        profiler = ScaleneLike(interval_s=0.005)
+        with profiler:
+            _ = [bytes(10_000) for _ in range(200)]
+        assert profiler.extract_metrics()["memory_peak_bytes"] > 0
+
+    def test_no_capabilities(self):
+        assert not any(ScaleneLike().capabilities().as_row().values())
+
+    def test_log_small(self, tmp_path):
+        profiler = ScaleneLike(interval_s=0.005)
+        with profiler:
+            busy_function(0.05)
+        size = profiler.write_log(str(tmp_path / "scalene.json"))
+        assert 0 < size < 200_000  # aggregates stay small
+
+
+class TestTorchProfilerLike:
+    def test_only_main_thread_events_reported(self, small_blobs):
+        from repro.data.dataloader import DataLoader
+        from repro.data.dataset import BlobImageDataset
+        from repro.transforms import Compose, RandomResizedCrop, ToTensor
+
+        dataset = BlobImageDataset(
+            small_blobs,
+            transform=Compose([RandomResizedCrop(32, seed=0), ToTensor()]),
+        )
+        loader = DataLoader(dataset, batch_size=4, num_workers=2)
+        profiler = TorchProfilerLike()
+        with profiler:
+            for _ in loader:
+                pass
+        # Native decode work happened on worker threads only.
+        assert profiler.extract_metrics()["main_process_events"] == 0
+
+    def test_main_thread_events_visible(self, sjpg_blob):
+        from repro.imaging.image import Image
+
+        profiler = TorchProfilerLike()
+        with profiler:
+            Image.open(sjpg_blob).convert("RGB")
+        assert profiler.extract_metrics()["main_process_events"] > 0
+
+    def test_memory_budget_enforced(self, sjpg_blob):
+        from repro.imaging.image import Image
+
+        profiler = TorchProfilerLike(memory_budget_bytes=2048)
+        profiler.start()
+        try:
+            with pytest.raises(ProfilerMemoryError):
+                for _ in range(100):
+                    Image.open(sjpg_blob).convert("RGB")
+        finally:
+            profiler.stop()
+
+    def test_wait_capability(self):
+        profiler = TorchProfilerLike()
+        profiler.record_wait(0, 5_000_000)
+        metrics = profiler.extract_metrics()
+        assert metrics["wait_times_s"] == [pytest.approx(0.005)]
+
+    def test_chrome_trace_output(self, tmp_path, sjpg_blob):
+        from repro.imaging.image import Image
+        import json
+
+        profiler = TorchProfilerLike()
+        with profiler:
+            Image.open(sjpg_blob).convert("RGB")
+        path = str(tmp_path / "torch.json")
+        profiler.write_log(path)
+        payload = json.loads(open(path).read())
+        assert payload["traceEvents"]

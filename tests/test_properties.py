@@ -1,0 +1,187 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.lotustrace.records import TraceRecord
+from repro.imaging.jpeg.codec import decode_sjpg, encode_sjpg, peek_header
+from repro.imaging.jpeg.dct import (
+    blocks_to_plane,
+    forward_dct,
+    jpeg_idct_islow,
+    plane_to_blocks,
+)
+from repro.imaging.jpeg.entropy import decode_mcu, encode_mcu_huff
+from repro.imaging.jpeg.tables import UNZIGZAG, ZIGZAG
+from repro.tensor.collate import default_collate
+from repro.utils.stats import fraction_below, iqr, percentile, summarize
+from repro.utils.timeunits import format_ns
+
+finite_floats = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+
+
+class TestStatsProperties:
+    @given(st.lists(finite_floats, min_size=1, max_size=200))
+    def test_percentile_within_range(self, values):
+        for q in (0, 25, 50, 75, 100):
+            p = percentile(values, q)
+            assert min(values) <= p <= max(values)
+
+    @given(st.lists(finite_floats, min_size=1, max_size=200))
+    def test_percentile_monotone_in_q(self, values):
+        import math
+
+        points = [percentile(values, q) for q in (0, 10, 50, 90, 100)]
+        for a, b in zip(points, points[1:]):
+            # Interpolation may lose one ulp; monotone up to rounding.
+            assert b >= a or math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-300)
+
+    @given(st.lists(finite_floats, min_size=1, max_size=200))
+    def test_summary_invariants(self, values):
+        import math
+
+        def leq(a, b):
+            # Mean accumulation can lose one ulp vs min/max.
+            return a <= b or math.isclose(a, b, rel_tol=1e-12, abs_tol=1e-300)
+
+        s = summarize(values)
+        assert leq(s.minimum, s.median) and leq(s.median, s.maximum)
+        assert leq(s.minimum, s.mean) and leq(s.mean, s.maximum)
+        assert s.std >= 0
+        assert s.iqr >= 0
+        assert s.count == len(values)
+
+    @given(st.lists(finite_floats, min_size=1, max_size=100), finite_floats)
+    def test_fraction_below_bounds(self, values, threshold):
+        assert 0.0 <= fraction_below(values, threshold) <= 1.0
+
+    @given(st.lists(finite_floats, min_size=1, max_size=100))
+    def test_iqr_nonnegative_and_translation_invariant(self, values):
+        assert iqr(values) >= 0
+        shifted = [v + 100.0 for v in values]
+        assert iqr(shifted) == pytest.approx(iqr(values), abs=1e-6)
+
+
+class TestTimeunitsProperties:
+    @given(st.integers(min_value=-10**15, max_value=10**15))
+    def test_format_never_crashes(self, ns):
+        text = format_ns(ns)
+        assert isinstance(text, str) and text
+
+
+class TestZigzagProperties:
+    def test_zigzag_is_permutation(self):
+        assert sorted(ZIGZAG.tolist()) == list(range(64))
+
+    @given(st.integers(min_value=0, max_value=63))
+    def test_unzigzag_inverts(self, index):
+        assert UNZIGZAG[ZIGZAG[index]] == index
+
+
+class TestTraceRecordProperties:
+    @given(
+        kind=st.sampled_from(
+            ["op", "batch_preprocessed", "batch_wait", "batch_consumed"]
+        ),
+        name=st.text(
+            alphabet=st.characters(
+                whitelist_categories=("Lu", "Ll", "Nd"), min_codepoint=33
+            ),
+            min_size=1,
+            max_size=30,
+        ),
+        batch_id=st.integers(min_value=-1, max_value=10**6),
+        worker_id=st.integers(min_value=-1, max_value=100),
+        pid=st.integers(min_value=0, max_value=2**22),
+        start_ns=st.integers(min_value=0, max_value=2**62),
+        duration_ns=st.integers(min_value=0, max_value=2**40),
+        ooo=st.booleans(),
+    )
+    def test_line_roundtrip(self, kind, name, batch_id, worker_id, pid,
+                            start_ns, duration_ns, ooo):
+        record = TraceRecord(
+            kind=kind, name=name, batch_id=batch_id, worker_id=worker_id,
+            pid=pid, start_ns=start_ns, duration_ns=duration_ns,
+            out_of_order=ooo,
+        )
+        assert TraceRecord.from_line(record.to_line()) == record
+
+
+class TestEntropyProperties:
+    @given(
+        data=st.data(),
+        n_blocks=st.integers(min_value=1, max_value=40),
+        density=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_entropy_roundtrip(self, data, n_blocks, density):
+        seed = data.draw(st.integers(min_value=0, max_value=2**31))
+        rng = np.random.default_rng(seed)
+        blocks = np.zeros((n_blocks, 8, 8), dtype=np.int16)
+        mask = rng.random(size=blocks.shape) < density
+        count = int(mask.sum())
+        if count:
+            blocks[mask] = rng.integers(-1000, 1000, size=count, dtype=np.int16)
+        assert np.array_equal(decode_mcu(encode_mcu_huff(blocks), n_blocks), blocks)
+
+
+class TestDctProperties:
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_dct_roundtrip_error_bounded(self, seed):
+        rng = np.random.default_rng(seed)
+        blocks = rng.integers(0, 256, size=(3, 8, 8)).astype(np.float64)
+        restored = jpeg_idct_islow(forward_dct(blocks))
+        assert np.abs(restored.astype(int) - blocks.astype(int)).max() <= 1
+
+    @given(
+        rows=st.integers(min_value=1, max_value=6),
+        cols=st.integers(min_value=1, max_value=6),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_blocking_roundtrip(self, rows, cols, seed):
+        rng = np.random.default_rng(seed)
+        plane = rng.uniform(0, 255, size=(rows * 8, cols * 8))
+        blocks = plane_to_blocks(plane)
+        assert np.array_equal(blocks_to_plane(blocks, rows * 8, cols * 8), plane)
+
+
+class TestCodecProperties:
+    @given(
+        height=st.integers(min_value=8, max_value=80),
+        width=st.integers(min_value=8, max_value=80),
+        quality=st.integers(min_value=20, max_value=95),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_decode_restores_shape_and_header(self, height, width, quality, seed):
+        rng = np.random.default_rng(seed)
+        image = rng.integers(0, 256, size=(height, width, 3), dtype=np.uint8)
+        blob = encode_sjpg(image, quality=quality)
+        header = peek_header(blob)
+        assert header.size == (width, height)
+        decoded = decode_sjpg(blob)
+        assert decoded.shape == image.shape
+        assert decoded.dtype == np.uint8
+
+
+class TestCollateProperties:
+    @given(
+        batch=st.integers(min_value=1, max_value=8),
+        dims=st.lists(st.integers(min_value=1, max_value=5), min_size=1, max_size=3),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_collate_stacks_any_shape(self, batch, dims, seed):
+        rng = np.random.default_rng(seed)
+        samples = [rng.normal(size=tuple(dims)) for _ in range(batch)]
+        out = default_collate(samples)
+        assert out.shape == (batch, *dims)
+        for i, sample in enumerate(samples):
+            assert np.array_equal(out.numpy()[i], sample)

@@ -1,0 +1,77 @@
+import time
+
+import pytest
+
+from repro.errors import ReproError
+from repro.runtime.device import VirtualGPU, make_gpus
+
+
+class TestVirtualGPU:
+    def test_submit_returns_job(self):
+        gpu = VirtualGPU(0)
+        job = gpu.submit(0.01)
+        assert job.device_id == 0
+        assert job.duration_s == 0.01
+
+    def test_submit_is_async(self):
+        gpu = VirtualGPU(0)
+        start = time.monotonic()
+        gpu.submit(0.05)
+        assert time.monotonic() - start < 0.02
+
+    def test_synchronize_waits(self):
+        gpu = VirtualGPU(0)
+        gpu.submit(0.03)
+        start = time.monotonic()
+        gpu.synchronize()
+        assert time.monotonic() - start >= 0.02
+
+    def test_kernels_serialize(self):
+        gpu = VirtualGPU(0)
+        first = gpu.submit(0.02)
+        second = gpu.submit(0.02)
+        assert second.ready_at >= first.ready_at + 0.015
+
+    def test_job_wait_and_done(self):
+        gpu = VirtualGPU(0)
+        job = gpu.submit(0.01)
+        assert not job.done
+        job.wait()
+        assert job.done
+
+    def test_busy_flag(self):
+        gpu = VirtualGPU(0)
+        assert not gpu.busy
+        gpu.submit(0.05)
+        assert gpu.busy
+        gpu.synchronize()
+        assert not gpu.busy
+
+    def test_utilization_bounds(self):
+        gpu = VirtualGPU(0)
+        gpu.submit(0.01)
+        gpu.synchronize()
+        assert 0.0 < gpu.utilization() <= 1.0
+
+    def test_stats(self):
+        gpu = VirtualGPU(2)
+        gpu.submit(0.001)
+        stats = gpu.stats()
+        assert stats["device"] == "gpu:2"
+        assert stats["jobs_submitted"] == 1
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            VirtualGPU(-1)
+        with pytest.raises(ReproError):
+            VirtualGPU(0).submit(-0.1)
+
+
+class TestMakeGpus:
+    def test_count(self):
+        gpus = make_gpus(3)
+        assert [gpu.device_id for gpu in gpus] == [0, 1, 2]
+
+    def test_invalid(self):
+        with pytest.raises(ReproError):
+            make_gpus(0)

@@ -1,0 +1,128 @@
+import numpy as np
+import pytest
+
+from repro.data.dataloader import DataLoader
+from repro.data.dataset import Dataset
+from repro.errors import ReproError
+from repro.runtime.device import make_gpus
+from repro.runtime.model import (
+    GeneralizedRCNNLike,
+    ModelProfile,
+    ResNet18Like,
+    UNet3DLike,
+)
+from repro.runtime.trainer import Trainer, _batch_size_of
+from repro.tensor import Tensor
+
+
+class TinyDataset(Dataset):
+    def __init__(self, n=12):
+        self._n = n
+
+    def __getitem__(self, index):
+        return np.array([float(index)])
+
+    def __len__(self):
+        return self._n
+
+
+class TestModelProfile:
+    def test_affine_step_time(self):
+        model = ModelProfile("m", base_s=0.1, per_sample_s=0.01)
+        assert model.step_time_s(10) == pytest.approx(0.2)
+
+    def test_zero_samples_zero_time(self):
+        assert ModelProfile("m", 0.1, 0.01).step_time_s(0) == 0.0
+
+    def test_negative_samples(self):
+        with pytest.raises(ReproError):
+            ModelProfile("m", 0.1, 0.01).step_time_s(-1)
+
+    def test_negative_times(self):
+        with pytest.raises(ReproError):
+            ModelProfile("m", -0.1, 0.01)
+
+    def test_presets_ordering(self):
+        # IS/OD models dominate their small batches; IC model is light.
+        assert UNet3DLike().step_time_s(2) > GeneralizedRCNNLike().step_time_s(2)
+        assert GeneralizedRCNNLike().step_time_s(2) > ResNet18Like().step_time_s(2)
+
+    def test_scale_parameter(self):
+        assert UNet3DLike(2.0).step_time_s(2) == pytest.approx(
+            2 * UNet3DLike(1.0).step_time_s(2)
+        )
+
+
+class TestBatchSizeOf:
+    def test_tensor(self):
+        assert _batch_size_of(Tensor(np.zeros((5, 3)))) == 5
+
+    def test_tuple(self):
+        assert _batch_size_of((Tensor(np.zeros((4, 2))), [1, 2, 3, 4])) == 4
+
+    def test_dict(self):
+        assert _batch_size_of({"x": Tensor(np.zeros((7,)))}) == 7
+
+    def test_unknown_raises(self):
+        with pytest.raises(ReproError):
+            _batch_size_of(object())
+
+
+class TestTrainer:
+    def test_runs_all_batches(self):
+        loader = DataLoader(TinyDataset(12), batch_size=4)
+        trainer = Trainer(make_gpus(2), ResNet18Like(0.1))
+        report = trainer.train_epoch(loader)
+        assert report.n_batches == 3
+        assert len(report.gpu_step_times_s) == 3
+        assert report.epoch_time_s > 0
+
+    def test_max_batches_truncation(self):
+        loader = DataLoader(TinyDataset(12), batch_size=2, num_workers=1)
+        trainer = Trainer(make_gpus(1), ResNet18Like(0.1))
+        report = trainer.train_epoch(loader, max_batches=2)
+        assert report.n_batches == 2
+
+    def test_split_sizes_balanced(self):
+        trainer = Trainer(make_gpus(3), ResNet18Like())
+        assert trainer._split_sizes(10) == [4, 3, 3]
+        assert trainer._split_sizes(2) == [1, 1, 0]
+
+    def test_more_gpus_smaller_step(self):
+        model = UNet3DLike(0.3)
+        loader1 = DataLoader(TinyDataset(8), batch_size=4)
+        loader2 = DataLoader(TinyDataset(8), batch_size=4)
+        step1 = Trainer(make_gpus(1), model).train_epoch(loader1).mean_gpu_step_s
+        step2 = Trainer(make_gpus(4), model).train_epoch(loader2).mean_gpu_step_s
+        assert step2 < step1
+
+    def test_requires_gpu(self):
+        with pytest.raises(ReproError):
+            Trainer([], ResNet18Like())
+
+    def test_utilization_reported(self):
+        loader = DataLoader(TinyDataset(4), batch_size=2)
+        report = Trainer(make_gpus(2), UNet3DLike(0.2)).train_epoch(loader)
+        assert len(report.gpu_utilization) == 2
+        assert all(0.0 <= u <= 1.0 for u in report.gpu_utilization)
+
+
+class TestFit:
+    def test_multi_epoch_reports(self):
+        loader = DataLoader(TinyDataset(8), batch_size=4)
+        reports = Trainer(make_gpus(1), ResNet18Like(0.1)).fit(loader, epochs=3)
+        assert len(reports) == 3
+        assert all(r.n_batches == 2 for r in reports)
+
+    def test_fit_with_persistent_workers(self):
+        loader = DataLoader(
+            TinyDataset(8), batch_size=4, num_workers=2, persistent_workers=True
+        )
+        reports = Trainer(make_gpus(1), ResNet18Like(0.1)).fit(loader, epochs=2)
+        loader.close()
+        assert [r.n_batches for r in reports] == [2, 2]
+
+    def test_invalid_epochs(self):
+        loader = DataLoader(TinyDataset(4), batch_size=2)
+        with pytest.raises(ReproError):
+            Trainer(make_gpus(1), ResNet18Like()).fit(loader, epochs=0)

@@ -1,0 +1,95 @@
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.tensor import Tensor, from_numpy, stack
+
+
+class TestTensorBasics:
+    def test_wraps_without_copy(self):
+        array = np.arange(6).reshape(2, 3)
+        tensor = from_numpy(array)
+        assert tensor.numpy() is array
+
+    def test_shape_dtype_ndim(self):
+        tensor = Tensor(np.zeros((2, 3, 4), dtype=np.float32))
+        assert tensor.shape == (2, 3, 4)
+        assert tensor.dtype == np.float32
+        assert tensor.ndim == 3
+        assert len(tensor) == 2
+
+    def test_requires_ndarray(self):
+        with pytest.raises(ReproError):
+            Tensor([1, 2, 3])
+
+    def test_repr(self):
+        text = repr(Tensor(np.zeros(3)).pin_memory())
+        assert "pinned" in text and "cpu" in text
+
+
+class TestPinning:
+    def test_pin_copies(self):
+        array = np.zeros(4)
+        pinned = Tensor(array).pin_memory()
+        assert pinned.pinned
+        pinned.numpy()[0] = 9
+        assert array[0] == 0
+
+    def test_pin_idempotent(self):
+        pinned = Tensor(np.zeros(4)).pin_memory()
+        assert pinned.pin_memory() is pinned
+
+
+class TestDevice:
+    def test_to_device_retags(self):
+        tensor = Tensor(np.zeros(2))
+        moved = tensor.to("gpu:0")
+        assert moved.device == "gpu:0"
+        assert tensor.device == "cpu"
+
+    def test_to_same_device_identity(self):
+        tensor = Tensor(np.zeros(2))
+        assert tensor.to("cpu") is tensor
+
+    def test_numpy_on_gpu_raises(self):
+        with pytest.raises(ReproError):
+            Tensor(np.zeros(2)).to("gpu:1").numpy()
+
+
+class TestArithmetic:
+    def test_scalar_ops(self):
+        tensor = Tensor(np.array([2.0, 4.0]))
+        assert np.array_equal((tensor + 1).numpy(), [3.0, 5.0])
+        assert np.array_equal((tensor - 1).numpy(), [1.0, 3.0])
+        assert np.array_equal((tensor * 2).numpy(), [4.0, 8.0])
+        assert np.array_equal((tensor / 2).numpy(), [1.0, 2.0])
+
+    def test_tensor_ops_broadcast(self):
+        a = Tensor(np.ones((2, 3)))
+        b = Tensor(np.arange(3, dtype=float))
+        assert (a + b).shape == (2, 3)
+
+    def test_astype(self):
+        assert Tensor(np.zeros(2, dtype=np.uint8)).astype(np.float32).dtype == np.float32
+
+    def test_allclose(self):
+        a = Tensor(np.array([1.0]))
+        b = Tensor(np.array([1.0 + 1e-12]))
+        assert a.allclose(b)
+
+
+class TestStack:
+    def test_stack_shape(self):
+        tensors = [Tensor(np.full((2, 2), i, dtype=float)) for i in range(3)]
+        stacked = stack(tensors)
+        assert stacked.shape == (3, 2, 2)
+        assert stacked.numpy()[2, 0, 0] == 2
+
+    def test_stack_empty_raises(self):
+        with pytest.raises(ReproError):
+            stack([])
+
+    def test_contiguous(self):
+        view = np.arange(12).reshape(3, 4)[:, ::2]
+        out = Tensor(view).contiguous()
+        assert out.numpy().flags["C_CONTIGUOUS"]

@@ -1,0 +1,229 @@
+"""tf.data-style pipeline: declarative API, executor, and LotusTrace hooks."""
+
+import numpy as np
+import pytest
+
+from repro.core.lotustrace import (
+    InMemoryTraceLog,
+    KIND_BATCH_PREPROCESSED,
+    KIND_BATCH_WAIT,
+    KIND_OP,
+    analyze_trace,
+)
+from repro.errors import DataLoaderError
+from repro.tfdata import from_source
+
+
+def arrays(n):
+    return [np.array([float(i)]) for i in range(n)]
+
+
+class TestDeclarativeApi:
+    def test_map_batch(self):
+        ds = from_source(arrays(6)).map(lambda x: x * 2).batch(3)
+        batches = [b.numpy().ravel().tolist() for b in ds]
+        assert batches == [[0.0, 2.0, 4.0], [6.0, 8.0, 10.0]]
+
+    def test_chained_maps(self):
+        ds = from_source(arrays(4)).map(lambda x: x + 1).map(lambda x: x * 10)
+        assert [v.tolist() for v in ds] == [[10.0], [20.0], [30.0], [40.0]]
+
+    def test_batch_remainder(self):
+        ds = from_source(arrays(5)).batch(2)
+        assert [len(b) for b in ds] == [2, 2, 1]
+
+    def test_batch_drop_remainder(self):
+        ds = from_source(arrays(5)).batch(2, drop_remainder=True)
+        assert [len(b) for b in ds] == [2, 2]
+
+    def test_shuffle_permutes_but_covers(self):
+        ds = from_source(arrays(32)).shuffle(8, seed=1)
+        values = [float(v[0]) for v in ds]
+        assert sorted(values) == [float(i) for i in range(32)]
+        assert values != [float(i) for i in range(32)]
+
+    def test_shuffle_seeded(self):
+        def run(seed):
+            return [float(v[0]) for v in from_source(arrays(16)).shuffle(4, seed=seed)]
+
+        assert run(3) == run(3)
+        assert run(3) != run(4)
+
+    def test_prefetch_preserves_order(self):
+        ds = from_source(arrays(10)).map(lambda x: x).batch(2).prefetch(2)
+        batches = [b.numpy().ravel().tolist() for b in ds]
+        assert batches[0] == [0.0, 1.0]
+        assert len(batches) == 5
+
+    def test_reiterable(self):
+        ds = from_source(arrays(4)).batch(2)
+        assert len(list(ds)) == 2
+        assert len(list(ds)) == 2
+
+    def test_pipeline_immutability(self):
+        base = from_source(arrays(4))
+        mapped = base.map(lambda x: x)
+        assert len(list(base)) == 4  # base unchanged
+        assert len(list(mapped)) == 4
+
+    def test_validation(self):
+        ds = from_source(arrays(2))
+        with pytest.raises(DataLoaderError):
+            ds.map("not callable")
+        with pytest.raises(DataLoaderError):
+            ds.batch(0)
+        with pytest.raises(DataLoaderError):
+            ds.shuffle(0)
+        with pytest.raises(DataLoaderError):
+            ds.prefetch(0)
+
+    def test_repr(self):
+        ds = from_source(arrays(2)).map(lambda x: x, name="Decode").batch(2)
+        assert "Decode" in repr(ds) and "batch" in repr(ds)
+
+
+class TestInstrumentation:
+    def test_map_ops_logged_with_names(self):
+        log = InMemoryTraceLog()
+        ds = (
+            from_source(arrays(4))
+            .map(lambda x: x + 1, name="Loader")
+            .map(lambda x: x * 2, name="Scale")
+            .batch(2)
+            .instrument(log)
+        )
+        list(ds)
+        ops = [r.name for r in log.records() if r.kind == KIND_OP]
+        assert ops.count("Loader") == 4
+        assert ops.count("Scale") == 4
+
+    def test_transform_instance_labeled_by_class(self):
+        class Augment:
+            def __call__(self, x):
+                return x
+
+        log = InMemoryTraceLog()
+        list(from_source(arrays(2)).map(Augment()).batch(2).instrument(log))
+        names = {r.name for r in log.records() if r.kind == KIND_OP}
+        assert "Augment" in names
+
+    def test_batch_records(self):
+        log = InMemoryTraceLog()
+        list(from_source(arrays(6)).batch(2).instrument(log))
+        fetches = [r for r in log.records() if r.kind == KIND_BATCH_PREPROCESSED]
+        assert [r.batch_id for r in fetches] == [0, 1, 2]
+        assert all(r.duration_ns >= 0 for r in fetches)
+
+    def test_prefetch_wait_records(self):
+        log = InMemoryTraceLog()
+        list(from_source(arrays(8)).batch(2).prefetch(2).instrument(log))
+        waits = [r for r in log.records() if r.kind == KIND_BATCH_WAIT]
+        assert len(waits) == 4
+        assert all(r.worker_id == -1 for r in waits)
+
+    def test_uninstrumented_by_default(self):
+        log = InMemoryTraceLog()
+        list(from_source(arrays(4)).batch(2))
+        assert log.records() == []
+
+    def test_full_analysis_compatible(self, small_blobs):
+        """An instrumented tf.data-style image pipeline feeds the same
+        LotusTrace analysis as the DataLoader one — the generality claim."""
+        from repro.imaging.image import Image
+        from repro.transforms import RandomResizedCrop, ToTensor
+
+        log = InMemoryTraceLog()
+        ds = (
+            from_source(small_blobs)
+            .map(lambda blob: Image.open(blob).convert("RGB"), name="Loader")
+            .map(RandomResizedCrop(32, seed=0))
+            .map(ToTensor())
+            .batch(4)
+            .prefetch(2)
+            .instrument(log)
+        )
+        batches = list(ds)
+        assert batches[0].shape == (4, 3, 32, 32)
+        analysis = analyze_trace(log.records())
+        assert {"Loader", "RandomResizedCrop", "ToTensor"} <= set(analysis.op_durations)
+        assert analysis.op_summary("Loader").mean > analysis.op_summary(
+            "ToTensor"
+        ).mean
+        assert len(analysis.wait_times_ns()) == len(analysis.batches)
+
+
+class TestPrefetchLifecycle:
+    def test_abandoned_iteration_releases_producer(self):
+        import threading
+        import time
+
+        before = threading.active_count()
+        ds = from_source(arrays(100)).batch(2).prefetch(1)
+        iterator = iter(ds)
+        next(iterator)
+        iterator.close()  # abandon mid-epoch
+        deadline = time.monotonic() + 3.0
+        while threading.active_count() > before and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert threading.active_count() <= before
+
+    def test_complete_iteration_joins_producer(self):
+        import threading
+        import time
+
+        before = threading.active_count()
+        list(from_source(arrays(6)).batch(2).prefetch(2))
+        deadline = time.monotonic() + 3.0
+        while threading.active_count() > before and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert threading.active_count() <= before
+
+
+class TestFilterRepeatTake:
+    def test_filter(self):
+        ds = from_source(arrays(10)).filter(lambda x: float(x[0]) % 2 == 0)
+        assert [float(v[0]) for v in ds] == [0.0, 2.0, 4.0, 6.0, 8.0]
+
+    def test_filter_instrumented(self):
+        log = InMemoryTraceLog()
+        ds = (
+            from_source(arrays(4))
+            .filter(lambda x: True, name="KeepAll")
+            .batch(2)
+            .instrument(log)
+        )
+        list(ds)
+        names = [r.name for r in log.records() if r.kind == KIND_OP]
+        assert names.count("KeepAll") == 4
+
+    def test_repeat(self):
+        ds = from_source(arrays(3)).repeat(2)
+        assert [float(v[0]) for v in ds] == [0.0, 1.0, 2.0, 0.0, 1.0, 2.0]
+
+    def test_repeat_then_batch_spans_repetitions(self):
+        ds = from_source(arrays(3)).repeat(2).batch(4)
+        batches = [b.numpy().ravel().tolist() for b in ds]
+        assert batches == [[0.0, 1.0, 2.0, 0.0], [1.0, 2.0]]
+
+    def test_take(self):
+        ds = from_source(arrays(10)).take(3)
+        assert [float(v[0]) for v in ds] == [0.0, 1.0, 2.0]
+
+    def test_take_zero(self):
+        assert list(from_source(arrays(5)).take(0)) == []
+
+    def test_take_more_than_available(self):
+        assert len(list(from_source(arrays(3)).take(10))) == 3
+
+    def test_repeat_take_compose(self):
+        ds = from_source(arrays(2)).repeat(5).take(7)
+        assert len(list(ds)) == 7
+
+    def test_validation(self):
+        ds = from_source(arrays(2))
+        with pytest.raises(DataLoaderError):
+            ds.filter("nope")
+        with pytest.raises(DataLoaderError):
+            ds.repeat(0)
+        with pytest.raises(DataLoaderError):
+            ds.take(-1)

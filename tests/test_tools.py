@@ -1,0 +1,196 @@
+"""Artifact-workflow tools (repro.tools.*)."""
+
+import csv
+import json
+import os
+
+import pytest
+
+from repro.core.lotustrace import InMemoryTraceLog
+from repro.errors import ProfilerError, TraceError
+from repro.tools import (
+    delay_and_wait_stats,
+    hw_event_analyzer,
+    preprocessing_time_stats,
+    visualization_augmenter,
+)
+from repro.workloads import SMOKE, build_ic_pipeline
+
+
+@pytest.fixture(scope="module")
+def trace_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("tools") / "lotustrace.log"
+    bundle = build_ic_pipeline(
+        profile=SMOKE, num_workers=2, log_file=str(path), seed=0
+    )
+    bundle.run_epoch()
+    return str(path)
+
+
+class TestPreprocessingTimeStats:
+    def test_compute_stats(self, trace_path):
+        summary = preprocessing_time_stats.compute_stats(trace_path)
+        assert summary.count > 0
+        assert summary.mean > 0
+
+    def test_outlier_removal_reduces_or_keeps_count(self, trace_path):
+        raw = preprocessing_time_stats.compute_stats(trace_path)
+        trimmed = preprocessing_time_stats.compute_stats(
+            trace_path, remove_outliers=True
+        )
+        assert trimmed.count <= raw.count
+
+    def test_tukey_trim(self):
+        values = [1.0, 2.0, 2.0, 3.0, 1000.0]
+        kept = preprocessing_time_stats.tukey_trim(values)
+        assert 1000.0 not in kept
+        assert len(kept) == 4
+
+    def test_tukey_trim_small_input_untouched(self):
+        assert preprocessing_time_stats.tukey_trim([1.0, 99.0]) == [1.0, 99.0]
+
+    def test_main_writes_report(self, trace_path, tmp_path, capsys):
+        out = tmp_path / "stats.log"
+        code = preprocessing_time_stats.main([
+            "--data_dir", trace_path, "--remove_outliers",
+            "--output_file", str(out),
+        ])
+        assert code == 0
+        text = out.read_text()
+        assert "IQR" in text and "mean" in text
+
+    def test_directory_input(self, trace_path, tmp_path):
+        files = preprocessing_time_stats.trace_files_in(
+            os.path.dirname(trace_path)
+        )
+        assert trace_path in files
+
+    def test_missing_path_raises(self):
+        with pytest.raises(TraceError):
+            preprocessing_time_stats.trace_files_in("/nonexistent/path")
+
+
+class TestDelayAndWaitStats:
+    def test_main_report(self, trace_path, tmp_path, capsys):
+        out = tmp_path / "dw.log"
+        code = delay_and_wait_stats.main([
+            "--data_dir", trace_path, "--sort_criteria", "duration",
+            "--threshold_ms", "5", "--output_file", str(out),
+        ])
+        assert code == 0
+        text = out.read_text()
+        assert "wait" in text and "delay" in text
+        assert "% of batches" in text
+
+    def test_sort_by_duration(self, trace_path):
+        from repro.core.lotustrace import analyze_trace, parse_trace_file
+
+        analysis = analyze_trace(parse_trace_file(trace_path))
+        rows = delay_and_wait_stats.batch_rows(analysis, "duration")
+        totals = [wait + delay for _, wait, delay, _ in rows]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_sort_by_batch(self, trace_path):
+        from repro.core.lotustrace import analyze_trace, parse_trace_file
+
+        analysis = analyze_trace(parse_trace_file(trace_path))
+        rows = delay_and_wait_stats.batch_rows(analysis, "batch")
+        ids = [batch_id for batch_id, *_ in rows]
+        assert ids == sorted(ids)
+
+    def test_bad_sort_criteria(self, trace_path):
+        from repro.core.lotustrace import analyze_trace, parse_trace_file
+
+        analysis = analyze_trace(parse_trace_file(trace_path))
+        with pytest.raises(TraceError):
+            delay_and_wait_stats.batch_rows(analysis, "bogus")
+
+
+class TestVisualizationAugmenter:
+    def test_standalone_output(self, trace_path, tmp_path):
+        out = tmp_path / "viz_file.lotustrace"
+        code = visualization_augmenter.main([
+            "--coarse", "--lotustrace_trace_dir", trace_path,
+            "--output_lotustrace_viz_file", str(out),
+        ])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        names = {event["name"] for event in payload["traceEvents"]}
+        assert any(name.startswith("SBatchPreprocessed") for name in names)
+
+    def test_augment_profiler_trace(self, trace_path, tmp_path):
+        host = tmp_path / "torch.json"
+        host.write_text(json.dumps(
+            {"traceEvents": [{"name": "aten::op", "id": 5, "ph": "X", "ts": 0}]}
+        ))
+        out = tmp_path / "combined.json"
+        code = visualization_augmenter.main([
+            "--lotustrace_trace_dir", trace_path,
+            "--profiler_trace", str(host),
+            "--output_lotustrace_viz_file", str(out),
+        ])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        names = {event["name"] for event in payload["traceEvents"]}
+        assert "aten::op" in names
+        assert any(name.startswith("SBatch") for name in names)
+
+    def test_directory_with_prefix(self, trace_path, tmp_path):
+        records = visualization_augmenter.collect_records(
+            os.path.dirname(trace_path), prefix="lotustrace"
+        )
+        assert records
+
+    def test_missing_records_raise(self, tmp_path):
+        with pytest.raises(TraceError):
+            visualization_augmenter.collect_records(str(tmp_path))
+
+
+class TestHwEventAnalyzer:
+    @pytest.fixture(scope="class")
+    def inputs(self, tmp_path_factory, trace_path):
+        from repro.experiments.common import build_ic_mapping, scaled_vtune
+        from repro.hwprof.report import write_profile_csv
+        from repro.workloads import build_ic_pipeline
+
+        tmp = tmp_path_factory.mktemp("hwa")
+        mapping = build_ic_mapping(lambda: scaled_vtune(seed=9), runs=6, seed=9)
+        mapping_path = tmp / "mapping_funcs.json"
+        mapping.save(mapping_path)
+
+        uarch_dir = tmp / "uarch"
+        uarch_dir.mkdir()
+        profiler = scaled_vtune(seed=9)
+        profiler.start()
+        bundle = build_ic_pipeline(
+            profile=SMOKE, num_workers=1, log_file=None, seed=9
+        )
+        bundle.run_epoch()
+        profile = profiler.stop()
+        write_profile_csv(profile, uarch_dir / "b8_gpu1_dataloader1.csv")
+        return str(mapping_path), str(uarch_dir), str(tmp)
+
+    def test_combined_csv(self, inputs, trace_path, capsys):
+        mapping_path, uarch_dir, tmp = inputs
+        combined = os.path.join(tmp, "combined.csv")
+        code = hw_event_analyzer.main([
+            "--mapping_file", mapping_path,
+            "--uarch_dir", uarch_dir,
+            "--combined_hw_events", combined,
+            "--lotustrace_log", trace_path,
+        ])
+        assert code == 0
+        with open(combined) as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0][:3] == ["config", "function", "module"]
+        functions = {row[1] for row in rows[1:]}
+        assert "decode_mcu" in functions
+        out = capsys.readouterr().out
+        assert "Loader" in out and "uops/clk" in out
+
+    def test_missing_uarch_dir(self, inputs):
+        mapping_path, _, tmp = inputs
+        with pytest.raises(ProfilerError):
+            hw_event_analyzer.load_profiles(
+                os.path.join(tmp, "nope"), vendor="intel"
+            )

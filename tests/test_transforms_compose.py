@@ -1,0 +1,87 @@
+import pytest
+
+from repro.core.lotustrace import InMemoryTraceLog, KIND_OP
+from repro.core.lotustrace.context import worker_identity
+from repro.errors import ReproError
+from repro.transforms import Compose
+
+
+class AddOne:
+    def __call__(self, x):
+        return x + 1
+
+
+class Double:
+    def __call__(self, x):
+        return x * 2
+
+
+class TestCompose:
+    def test_applies_in_order(self):
+        assert Compose([AddOne(), Double()])(3) == 8
+        assert Compose([Double(), AddOne()])(3) == 7
+
+    def test_empty_compose_identity(self):
+        assert Compose([])(42) == 42
+
+    def test_non_callable_rejected(self):
+        with pytest.raises(ReproError):
+            Compose([AddOne(), "not callable"])
+
+    def test_len_and_repr(self):
+        compose = Compose([AddOne(), Double()])
+        assert len(compose) == 2
+        assert "AddOne" in repr(compose) and "Double" in repr(compose)
+
+
+class TestComposeInstrumentation:
+    def test_logs_one_record_per_transform(self):
+        log = InMemoryTraceLog()
+        Compose([AddOne(), Double()], log_transform_elapsed_time=log)(1)
+        records = log.records()
+        assert [r.name for r in records] == ["AddOne", "Double"]
+        assert all(r.kind == KIND_OP for r in records)
+        assert all(r.duration_ns >= 0 for r in records)
+
+    def test_no_log_when_disabled(self):
+        # The uninstrumented path must not require a sink at all.
+        compose = Compose([AddOne()])
+        assert compose.log_sink is None
+        assert compose(1) == 2
+
+    def test_records_worker_identity(self):
+        log = InMemoryTraceLog()
+        compose = Compose([AddOne()], log_transform_elapsed_time=log)
+        with worker_identity(3):
+            compose(0)
+        assert log.records()[0].worker_id == 3
+
+    def test_main_process_identity_default(self):
+        log = InMemoryTraceLog()
+        Compose([AddOne()], log_transform_elapsed_time=log)(0)
+        assert log.records()[0].worker_id == -1
+
+    def test_timestamps_monotonic_within_call(self):
+        log = InMemoryTraceLog()
+        Compose([AddOne(), Double(), AddOne()], log_transform_elapsed_time=log)(0)
+        records = log.records()
+        for earlier, later in zip(records, records[1:]):
+            assert later.start_ns >= earlier.end_ns
+
+    def test_set_log_sink_after_construction(self):
+        compose = Compose([AddOne()])
+        log = InMemoryTraceLog()
+        compose.set_log_sink(log)
+        compose(0)
+        assert len(log.records()) == 1
+
+    def test_log_to_file(self, tmp_path):
+        from repro.core.lotustrace import parse_trace_file
+
+        path = tmp_path / "ops.trace"
+        compose = Compose([AddOne()], log_transform_elapsed_time=path)
+        compose(0)
+        compose.log_sink.flush()
+        records = parse_trace_file(path)
+        assert len(records) == 1
+        assert records[0].name == "AddOne"

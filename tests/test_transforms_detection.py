@@ -1,0 +1,93 @@
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.imaging.image import Image
+from repro.tensor import Tensor
+from repro.transforms import (
+    DetNormalize,
+    DetRandomHorizontalFlip,
+    DetResize,
+    DetToTensor,
+)
+from tests.conftest import make_test_image
+
+
+def make_sample(height=60, width=80, boxes=None):
+    image = Image(make_test_image(height, width))
+    if boxes is None:
+        boxes = np.array([[10.0, 10.0, 30.0, 40.0], [0.0, 0.0, 80.0, 60.0]])
+    return image, {"boxes": boxes, "labels": np.array([1, 2])}
+
+
+class TestDetResize:
+    def test_image_and_boxes_scaled(self):
+        image, target = make_sample(height=60, width=80)
+        out_image, out_target = DetResize((40, 30))(
+            (image, target)
+        )  # halve both dims
+        assert out_image.size == (40, 30)
+        assert np.allclose(out_target["boxes"][0], [5.0, 5.0, 15.0, 20.0])
+
+    def test_preserves_other_target_keys(self):
+        image, target = make_sample()
+        _, out_target = DetResize(32)((image, target))
+        assert np.array_equal(out_target["labels"], target["labels"])
+
+    def test_original_target_untouched(self):
+        image, target = make_sample()
+        original = target["boxes"].copy()
+        DetResize(32)((image, target))
+        assert np.array_equal(target["boxes"], original)
+
+    def test_empty_boxes_ok(self):
+        image, _ = make_sample()
+        out_image, out_target = DetResize(32)((image, {"boxes": np.zeros((0, 4))}))
+        assert out_target["boxes"].shape == (0, 4)
+
+    def test_bad_boxes_shape(self):
+        image, _ = make_sample()
+        with pytest.raises(ReproError):
+            DetResize(32)((image, {"boxes": np.zeros((3, 5))}))
+
+
+class TestDetFlip:
+    def test_boxes_mirrored(self):
+        image, target = make_sample(width=80)
+        _, out_target = DetRandomHorizontalFlip(p=1.0, seed=0)((image, target))
+        # box [10, 10, 30, 40] mirrors to [80-30, 10, 80-10, 40]
+        assert np.allclose(out_target["boxes"][0], [50.0, 10.0, 70.0, 40.0])
+
+    def test_box_validity_preserved(self):
+        image, target = make_sample()
+        _, out_target = DetRandomHorizontalFlip(p=1.0, seed=1)((image, target))
+        boxes = out_target["boxes"]
+        assert (boxes[:, 2] >= boxes[:, 0]).all()
+
+    def test_p_zero_identity(self):
+        image, target = make_sample()
+        out_image, out_target = DetRandomHorizontalFlip(p=0.0, seed=2)((image, target))
+        assert out_image is image
+        assert out_target is target
+
+    def test_double_flip_restores(self):
+        image, target = make_sample()
+        flip = DetRandomHorizontalFlip(p=1.0, seed=3)
+        _, once = flip((image, target))
+        _, twice = flip((image, once))
+        assert np.allclose(twice["boxes"], target["boxes"])
+
+
+class TestDetTensorOps:
+    def test_to_tensor_keeps_target(self):
+        image, target = make_sample()
+        tensor, out_target = DetToTensor()((image, target))
+        assert isinstance(tensor, Tensor)
+        assert out_target is target
+
+    def test_normalize_keeps_target(self):
+        image, target = make_sample()
+        tensor, _ = DetToTensor()((image, target))
+        out, out_target = DetNormalize([0.5] * 3, [0.2] * 3)((tensor, target))
+        assert isinstance(out, Tensor)
+        assert out_target is target

@@ -1,0 +1,221 @@
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.imaging.image import Image
+from repro.tensor import Tensor
+from repro.transforms import (
+    CenterCrop,
+    Grayscale,
+    Lambda,
+    Normalize,
+    Pad,
+    RandomHorizontalFlip,
+    RandomResizedCrop,
+    Resize,
+    ToTensor,
+)
+from tests.conftest import make_test_image
+
+
+class TestRandomResizedCrop:
+    def test_output_size(self):
+        image = Image(make_test_image(100, 140))
+        out = RandomResizedCrop(64, seed=0)(image)
+        assert out.size == (64, 64)
+
+    def test_rect_size(self):
+        out = RandomResizedCrop((48, 32), seed=0)(Image(make_test_image(100, 100)))
+        assert out.size == (48, 32)
+
+    def test_seeded_determinism(self):
+        image = Image(make_test_image(128, 128))
+        a = RandomResizedCrop(32, seed=5)(image).to_array()
+        b = RandomResizedCrop(32, seed=5)(image).to_array()
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        image = Image(make_test_image(128, 128, seed=3))
+        a = RandomResizedCrop(32, seed=1)(image).to_array()
+        b = RandomResizedCrop(32, seed=2)(image).to_array()
+        assert not np.array_equal(a, b)
+
+    def test_extreme_aspect_fallback(self):
+        # Very wide image: sampling often fails, falls back to center crop.
+        image = Image(make_test_image(16, 400))
+        out = RandomResizedCrop(24, seed=0, scale=(0.9, 1.0))(image)
+        assert out.size == (24, 24)
+
+    def test_invalid_scale(self):
+        with pytest.raises(ReproError):
+            RandomResizedCrop(32, scale=(0.0, 1.0))
+
+    def test_invalid_ratio(self):
+        with pytest.raises(ReproError):
+            RandomResizedCrop(32, ratio=(2.0, 1.0))
+
+
+class TestRandomHorizontalFlip:
+    def test_always_flips_at_p1(self):
+        array = make_test_image(20, 20)
+        out = RandomHorizontalFlip(p=1.0, seed=0)(Image(array))
+        assert np.array_equal(out.to_array(), array[:, ::-1])
+
+    def test_never_flips_at_p0(self):
+        array = make_test_image(20, 20)
+        out = RandomHorizontalFlip(p=0.0, seed=0)(Image(array))
+        assert np.array_equal(out.to_array(), array)
+
+    def test_flip_rate_near_half(self):
+        flipper = RandomHorizontalFlip(p=0.5, seed=9)
+        array = make_test_image(12, 12, seed=4)
+        image = Image(array)
+        flips = sum(
+            not np.array_equal(flipper(image).to_array(), array) for _ in range(200)
+        )
+        assert 60 < flips < 140
+
+    def test_invalid_p(self):
+        with pytest.raises(ReproError):
+            RandomHorizontalFlip(p=1.5)
+
+
+class TestResize:
+    def test_deterministic(self):
+        image = Image(make_test_image(64, 48))
+        a = Resize((32, 32))(image).to_array()
+        b = Resize((32, 32))(image).to_array()
+        assert np.array_equal(a, b)
+
+    def test_size(self):
+        assert Resize(40)(Image(make_test_image(64, 48))).size == (40, 40)
+
+
+class TestToTensor:
+    def test_chw_float_unit_range(self):
+        image = Image(make_test_image(10, 12))
+        tensor = ToTensor()(image)
+        assert isinstance(tensor, Tensor)
+        assert tensor.shape == (3, 10, 12)
+        assert tensor.dtype == np.float32
+        assert tensor.numpy().min() >= 0.0
+        assert tensor.numpy().max() <= 1.0
+
+    def test_value_mapping(self):
+        array = np.zeros((2, 2, 3), dtype=np.uint8)
+        array[0, 0] = (255, 0, 127)
+        tensor = ToTensor()(Image(array))
+        assert tensor.numpy()[0, 0, 0] == pytest.approx(1.0)
+        assert tensor.numpy()[2, 0, 0] == pytest.approx(127 / 255)
+
+    def test_grayscale(self):
+        image = Image(make_test_image(8, 8)).convert("L")
+        tensor = ToTensor()(image)
+        assert tensor.shape == (1, 8, 8)
+
+
+class TestNormalize:
+    def test_standardizes(self):
+        data = np.ones((3, 4, 4), dtype=np.float32) * 0.5
+        out = Normalize([0.5, 0.5, 0.5], [0.25, 0.25, 0.25])(Tensor(data))
+        assert np.allclose(out.numpy(), 0.0)
+
+    def test_per_channel(self):
+        data = np.stack([np.full((2, 2), 1.0), np.full((2, 2), 2.0)]).astype(np.float32)
+        out = Normalize([1.0, 1.0], [1.0, 2.0])(Tensor(data))
+        assert np.allclose(out.numpy()[0], 0.0)
+        assert np.allclose(out.numpy()[1], 0.5)
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ReproError):
+            Normalize([0.5], [0.1, 0.2])
+
+    def test_zero_std(self):
+        with pytest.raises(ReproError):
+            Normalize([0.5], [0.0])
+
+    def test_channel_mismatch_at_call(self):
+        norm = Normalize([0.5] * 3, [0.2] * 3)
+        with pytest.raises(ReproError):
+            norm(Tensor(np.zeros((1, 4, 4), dtype=np.float32)))
+
+
+class TestCenterCrop:
+    def test_central_region(self):
+        array = make_test_image(60, 80)
+        out = CenterCrop((40, 20))(Image(array))
+        assert out.size == (40, 20)
+        assert np.array_equal(out.to_array(), array[20:40, 20:60])
+
+    def test_deterministic(self):
+        image = Image(make_test_image(50, 50))
+        a = CenterCrop(32)(image).to_array()
+        b = CenterCrop(32)(image).to_array()
+        assert np.array_equal(a, b)
+
+    def test_pads_small_images(self):
+        out = CenterCrop(64)(Image(make_test_image(20, 20)))
+        assert out.size == (64, 64)
+
+
+class TestPad:
+    def test_symmetric_padding(self):
+        out = Pad((3, 5), fill=7)(Image(make_test_image(10, 10)))
+        assert out.size == (16, 20)
+        array = out.to_array()
+        assert (array[0] == 7).all()
+        assert (array[:, 0] == 7).all()
+
+    def test_int_padding(self):
+        assert Pad(2)(Image(make_test_image(8, 8))).size == (12, 12)
+
+    def test_zero_padding_identity(self):
+        image = Image(make_test_image(8, 8))
+        assert Pad(0)(image) is image
+
+    def test_grayscale_padding(self):
+        gray = Image(make_test_image(8, 8)).convert("L")
+        out = Pad(1)(gray)
+        assert out.mode == "L"
+        assert out.size == (10, 10)
+
+    def test_negative_padding_raises(self):
+        with pytest.raises(ReproError):
+            Pad((-1, 2))
+
+
+class TestGrayscale:
+    def test_single_channel(self):
+        out = Grayscale(1)(Image(make_test_image(12, 12)))
+        assert out.mode == "L"
+        assert out.to_array().ndim == 2
+
+    def test_three_channel_replication(self):
+        out = Grayscale(3)(Image(make_test_image(12, 12)))
+        assert out.mode == "RGB"
+        array = out.to_array()
+        assert np.array_equal(array[..., 0], array[..., 1])
+        assert np.array_equal(array[..., 1], array[..., 2])
+
+    def test_invalid_channels(self):
+        with pytest.raises(ReproError):
+            Grayscale(2)
+
+
+class TestLambda:
+    def test_applies_function(self):
+        double = Lambda(lambda x: x * 2, name="Double")
+        assert double(3) == 6
+
+    def test_trace_label(self):
+        from repro.core.lotustrace import InMemoryTraceLog
+        from repro.transforms import Compose
+
+        log = InMemoryTraceLog()
+        Compose([Lambda(lambda x: x, name="MyStep")],
+                log_transform_elapsed_time=log)(1)
+        assert log.records()[0].name == "MyStep"
+
+    def test_non_callable_raises(self):
+        with pytest.raises(ReproError):
+            Lambda("nope")

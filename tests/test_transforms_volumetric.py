@@ -1,0 +1,149 @@
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.transforms import (
+    Cast,
+    GaussianNoise,
+    RandBalancedCrop,
+    RandomBrightnessAugmentation,
+    RandomFlip,
+)
+
+
+def make_pair(depth=24, side=32, fg_voxels=40, seed=0):
+    rng = np.random.default_rng(seed)
+    image = rng.normal(size=(1, depth, side, side)).astype(np.float32)
+    label = np.zeros((1, depth, side, side), dtype=np.uint8)
+    flat = rng.choice(depth * side * side, size=fg_voxels, replace=False)
+    label.reshape(-1)[flat] = 1
+    return image, label
+
+
+class TestRandBalancedCrop:
+    def test_output_patch_shape(self):
+        crop = RandBalancedCrop((8, 16, 16), seed=1)
+        image, label = crop(make_pair())
+        assert image.shape == (1, 8, 16, 16)
+        assert label.shape == (1, 8, 16, 16)
+
+    def test_small_volume_padded_to_patch(self):
+        """Volumes smaller than the patch are edge-padded (MLPerf
+        behaviour) so batches always collate to a fixed shape."""
+        crop = RandBalancedCrop((64, 64, 64), seed=1)
+        image, label = crop(make_pair(depth=16, side=24))
+        assert image.shape == (1, 64, 64, 64)
+        assert label.shape == (1, 64, 64, 64)
+
+    def test_mixed_depths_collate(self):
+        """The BENCH-profile failure mode: heterogeneous case depths must
+        still produce uniformly shaped crops."""
+        crop = RandBalancedCrop((16, 16, 16), seed=2)
+        shallow = crop(make_pair(depth=8, side=24))[0].shape
+        deep = crop(make_pair(depth=40, side=24))[0].shape
+        assert shallow == deep == (1, 16, 16, 16)
+
+    def test_oversampled_crop_contains_foreground(self):
+        crop = RandBalancedCrop((8, 16, 16), oversampling=1.0, seed=2)
+        hits = 0
+        pair = make_pair(fg_voxels=30, seed=3)
+        for _ in range(20):
+            _, label = crop(pair)
+            hits += int(label.sum() > 0)
+        # Foreground-centered crops nearly always contain foreground.
+        assert hits >= 18
+
+    def test_no_oversampling_is_uniform(self):
+        crop = RandBalancedCrop((8, 8, 8), oversampling=0.0, seed=4)
+        image, _ = crop(make_pair())
+        assert image.shape == (1, 8, 8, 8)
+
+    def test_empty_label_falls_back(self):
+        image = np.zeros((1, 16, 16, 16), dtype=np.float32)
+        label = np.zeros((1, 16, 16, 16), dtype=np.uint8)
+        crop = RandBalancedCrop((8, 8, 8), oversampling=1.0, seed=5)
+        out_image, out_label = crop((image, label))
+        assert out_image.shape == (1, 8, 8, 8)
+
+    def test_deterministic(self):
+        pair = make_pair(seed=6)
+        a = RandBalancedCrop((8, 8, 8), seed=7)(pair)[0]
+        b = RandBalancedCrop((8, 8, 8), seed=7)(pair)[0]
+        assert np.array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            RandBalancedCrop((8, 8))
+        with pytest.raises(ReproError):
+            RandBalancedCrop((8, 8, 8), oversampling=1.5)
+
+    def test_shape_mismatch_raises(self):
+        image = np.zeros((1, 8, 8, 8), dtype=np.float32)
+        label = np.zeros((1, 8, 8, 4), dtype=np.uint8)
+        with pytest.raises(ReproError):
+            RandBalancedCrop((4, 4, 4), seed=0)((image, label))
+
+
+class TestRandomFlip:
+    def test_image_label_flipped_together(self):
+        image, label = make_pair(seed=8)
+        out_image, out_label = RandomFlip(p=1.0, seed=9)((image, label))
+        # All three axes flipped with p=1.
+        assert np.array_equal(out_image, image[:, ::-1, ::-1, ::-1])
+        assert np.array_equal(out_label, label[:, ::-1, ::-1, ::-1])
+
+    def test_p_zero_identity(self):
+        image, label = make_pair(seed=10)
+        out_image, out_label = RandomFlip(p=0.0, seed=11)((image, label))
+        assert np.array_equal(out_image, image)
+
+    def test_output_contiguous(self):
+        image, label = make_pair()
+        out_image, _ = RandomFlip(p=1.0, seed=12)((image, label))
+        assert out_image.flags["C_CONTIGUOUS"]
+
+
+class TestCast:
+    def test_casts_image_not_label(self):
+        image, label = make_pair()
+        out_image, out_label = Cast(np.uint8)((image, label))
+        assert out_image.dtype == np.uint8
+        assert out_label is label
+
+    def test_arbitrary_dtype(self):
+        image, label = make_pair()
+        out_image, _ = Cast(np.float16)((image, label))
+        assert out_image.dtype == np.float16
+
+
+class TestRandomBrightnessAugmentation:
+    def test_p_one_scales(self):
+        image = np.ones((1, 4, 4, 4), dtype=np.float32)
+        label = np.zeros((1, 4, 4, 4), dtype=np.uint8)
+        out, _ = RandomBrightnessAugmentation(factor=0.3, p=1.0, seed=13)((image, label))
+        assert not np.allclose(out, image)
+        assert 0.7 <= out.mean() <= 1.3
+
+    def test_p_zero_identity(self):
+        image, label = make_pair()
+        out, _ = RandomBrightnessAugmentation(p=0.0, seed=14)((image, label))
+        assert out is image
+
+
+class TestGaussianNoise:
+    def test_p_one_adds_noise(self):
+        image = np.zeros((1, 6, 6, 6), dtype=np.float32)
+        label = np.zeros((1, 6, 6, 6), dtype=np.uint8)
+        out, _ = GaussianNoise(std=0.5, p=1.0, seed=15)((image, label))
+        assert out.std() > 0
+
+    def test_p_zero_identity(self):
+        image, label = make_pair()
+        out, _ = GaussianNoise(p=0.0, seed=16)((image, label))
+        assert out is image
+
+    def test_noise_scale_bounded(self):
+        image = np.zeros((1, 8, 8, 8), dtype=np.float32)
+        label = np.zeros((1, 8, 8, 8), dtype=np.uint8)
+        out, _ = GaussianNoise(std=0.1, p=1.0, seed=17)((image, label))
+        assert out.std() < 0.5

@@ -1,0 +1,49 @@
+import numpy as np
+
+from repro.utils.rng import derive_rng, spawn_seed
+
+
+class TestDeriveRng:
+    def test_same_seed_same_stream(self):
+        a = derive_rng(42, "x")
+        b = derive_rng(42, "x")
+        assert a.integers(0, 1 << 60) == b.integers(0, 1 << 60)
+
+    def test_different_context_different_stream(self):
+        a = derive_rng(42, "worker", 0)
+        b = derive_rng(42, "worker", 1)
+        draws_a = a.integers(0, 1 << 60, size=8)
+        draws_b = b.integers(0, 1 << 60, size=8)
+        assert not np.array_equal(draws_a, draws_b)
+
+    def test_different_seed_different_stream(self):
+        a = derive_rng(1, "x")
+        b = derive_rng(2, "x")
+        assert a.integers(0, 1 << 60) != b.integers(0, 1 << 60)
+
+    def test_generator_passthrough_without_context(self):
+        gen = np.random.default_rng(0)
+        assert derive_rng(gen) is gen
+
+    def test_generator_with_context_derives_child(self):
+        gen = np.random.default_rng(0)
+        child = derive_rng(gen, "c")
+        assert child is not gen
+
+    def test_none_seed_is_deterministic_zero(self):
+        a = derive_rng(None, "k")
+        b = derive_rng(None, "k")
+        assert a.integers(0, 1 << 60) == b.integers(0, 1 << 60)
+
+
+class TestSpawnSeed:
+    def test_range(self):
+        rng = np.random.default_rng(3)
+        for _ in range(100):
+            seed = spawn_seed(rng)
+            assert 0 <= seed < 2**63
+
+    def test_deterministic(self):
+        assert spawn_seed(np.random.default_rng(5)) == spawn_seed(
+            np.random.default_rng(5)
+        )

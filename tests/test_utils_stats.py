@@ -1,0 +1,93 @@
+import math
+
+import numpy as np
+import pytest
+
+from repro.utils.stats import Summary, fraction_below, iqr, percentile, summarize
+
+
+class TestPercentile:
+    def test_single_value(self):
+        assert percentile([5.0], 90) == 5.0
+
+    def test_median_of_even_count_interpolates(self):
+        assert percentile([1, 2, 3, 4], 50) == 2.5
+
+    def test_extremes(self):
+        values = [3, 1, 4, 1, 5]
+        assert percentile(values, 0) == 1
+        assert percentile(values, 100) == 5
+
+    def test_matches_numpy_linear(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=101).tolist()
+        for q in (10, 25, 50, 75, 90, 99):
+            assert percentile(values, q) == pytest.approx(np.percentile(values, q))
+
+    def test_unsorted_input(self):
+        assert percentile([9, 1, 5], 50) == 5
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_q_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+        with pytest.raises(ValueError):
+            percentile([1], -1)
+
+
+class TestIqrAndFractions:
+    def test_iqr(self):
+        values = list(range(1, 101))
+        assert iqr(values) == pytest.approx(
+            np.percentile(values, 75) - np.percentile(values, 25)
+        )
+
+    def test_fraction_below_strict(self):
+        assert fraction_below([1, 2, 3, 4], 3) == 0.5  # 1, 2 below
+
+    def test_fraction_below_all(self):
+        assert fraction_below([1, 2], 10) == 1.0
+
+    def test_fraction_below_none(self):
+        assert fraction_below([5, 6], 1) == 0.0
+
+    def test_fraction_below_empty_raises(self):
+        with pytest.raises(ValueError):
+            fraction_below([], 1)
+
+
+class TestSummarize:
+    def test_basic_fields(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.count == 4
+        assert s.mean == 2.5
+        assert s.minimum == 1.0
+        assert s.maximum == 4.0
+        assert s.median == 2.5
+
+    def test_std_population(self):
+        s = summarize([2.0, 4.0])
+        assert s.std == pytest.approx(1.0)
+
+    def test_iqr_property(self):
+        s = summarize(list(range(100)))
+        assert s.iqr == pytest.approx(s.p75 - s.p25)
+
+    def test_std_pct_of_mean(self):
+        s = summarize([2.0, 4.0])
+        assert s.std_pct_of_mean == pytest.approx(100.0 / 3.0)
+
+    def test_std_pct_zero_mean(self):
+        s = summarize([0.0, 0.0])
+        assert s.std_pct_of_mean == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_p90_ordering(self):
+        s = summarize(list(range(1000)))
+        assert s.p25 < s.median < s.p75 < s.p90 < s.p99 <= s.maximum

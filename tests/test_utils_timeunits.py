@@ -1,0 +1,47 @@
+import pytest
+
+from repro.utils.timeunits import (
+    format_ns,
+    ms_to_ns,
+    ns_to_ms,
+    ns_to_s,
+    ns_to_us,
+    s_to_ns,
+    us_to_ns,
+)
+
+
+class TestConversions:
+    def test_roundtrip_ms(self):
+        assert ns_to_ms(ms_to_ns(12.5)) == pytest.approx(12.5)
+
+    def test_roundtrip_us(self):
+        assert ns_to_us(us_to_ns(0.75)) == pytest.approx(0.75)
+
+    def test_roundtrip_s(self):
+        assert ns_to_s(s_to_ns(3.25)) == pytest.approx(3.25)
+
+    def test_integer_results(self):
+        assert isinstance(ms_to_ns(1.5), int)
+        assert isinstance(us_to_ns(2), int)
+        assert isinstance(s_to_ns(1), int)
+
+    def test_rounding(self):
+        assert us_to_ns(0.0006) == 1  # rounds rather than truncates
+
+
+class TestFormatNs:
+    def test_nanoseconds(self):
+        assert format_ns(999) == "999ns"
+
+    def test_microseconds(self):
+        assert format_ns(1_500) == "1.50us"
+
+    def test_milliseconds(self):
+        assert format_ns(2_340_000) == "2.34ms"
+
+    def test_seconds(self):
+        assert format_ns(1_500_000_000) == "1.50s"
+
+    def test_negative(self):
+        assert format_ns(-2_000_000) == "-2.00ms"

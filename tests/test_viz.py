@@ -1,0 +1,119 @@
+import pytest
+
+from repro.core.lotustrace.records import (
+    KIND_BATCH_CONSUMED,
+    KIND_BATCH_PREPROCESSED,
+    KIND_BATCH_WAIT,
+    KIND_OP,
+    MAIN_PROCESS_WORKER_ID,
+    TraceRecord,
+)
+from repro.errors import TraceError
+from repro.viz import render_batch_flows, render_timeline
+
+MS = 1_000_000
+
+
+def rec(kind, batch_id, start_ms, dur_ms, worker=0, name="x", ooo=False):
+    return TraceRecord(
+        kind=kind, name=name, batch_id=batch_id, worker_id=worker, pid=1,
+        start_ns=start_ms * MS, duration_ns=dur_ms * MS, out_of_order=ooo,
+    )
+
+
+TRACE = [
+    rec(KIND_BATCH_PREPROCESSED, 0, 0, 50, worker=0),
+    rec(KIND_BATCH_PREPROCESSED, 1, 0, 30, worker=1),
+    rec(KIND_OP, -1, 5, 20, worker=0, name="Loader"),
+    rec(KIND_BATCH_WAIT, 0, 10, 40, worker=MAIN_PROCESS_WORKER_ID),
+    rec(KIND_BATCH_CONSUMED, 0, 51, 2, worker=MAIN_PROCESS_WORKER_ID),
+    rec(KIND_BATCH_WAIT, 1, 53, 1, worker=MAIN_PROCESS_WORKER_ID, ooo=True),
+    rec(KIND_BATCH_CONSUMED, 1, 55, 2, worker=MAIN_PROCESS_WORKER_ID),
+]
+
+
+class TestRenderTimeline:
+    def test_tracks_present(self):
+        text = render_timeline(TRACE, width=60)
+        assert "main" in text
+        assert "worker:0" in text and "worker:1" in text
+
+    def test_main_track_first(self):
+        lines = render_timeline(TRACE, width=60).splitlines()
+        assert lines[0].startswith("main")
+
+    def test_fill_characters(self):
+        text = render_timeline(TRACE, width=60)
+        worker_line = next(l for l in text.splitlines() if l.startswith("worker:0"))
+        assert "=" in worker_line
+        main_line = text.splitlines()[0]
+        assert "." in main_line  # wait span
+
+    def test_batch_id_markers(self):
+        text = render_timeline(TRACE, width=60)
+        worker0 = next(l for l in text.splitlines() if l.startswith("worker:0"))
+        worker1 = next(l for l in text.splitlines() if l.startswith("worker:1"))
+        assert "0" in worker0
+        assert "1" in worker1
+
+    def test_constant_width(self):
+        text = render_timeline(TRACE, width=40)
+        rows = [l for l in text.splitlines() if "|" in l]
+        cells = {len(l.split("|")[1]) for l in rows}
+        assert cells == {40}
+
+    def test_legend_and_axis(self):
+        text = render_timeline(TRACE, width=60)
+        assert "legend:" in text
+        assert "+" in text  # duration marker
+
+    def test_fine_mode_includes_ops(self):
+        coarse = render_timeline(TRACE, width=60, coarse=True)
+        fine = render_timeline(TRACE, width=60, coarse=False)
+        assert "-" not in coarse.splitlines()[1]
+        # op fills appear somewhere on worker:0's fine row
+        worker0 = next(l for l in fine.splitlines() if l.startswith("worker:0"))
+        assert "-" in worker0 or "=" in worker0
+
+    def test_validation(self):
+        with pytest.raises(TraceError):
+            render_timeline(TRACE, width=5)
+        with pytest.raises(TraceError):
+            render_timeline([], width=40)
+
+
+class TestRenderBatchFlows:
+    def test_one_line_per_batch(self):
+        text = render_batch_flows(TRACE)
+        lines = text.splitlines()
+        assert len(lines) == 3  # header + 2 batches
+
+    def test_ooo_column(self):
+        text = render_batch_flows(TRACE)
+        batch1_line = text.splitlines()[2]
+        assert "yes" in batch1_line
+
+    def test_limit(self):
+        text = render_batch_flows(TRACE, limit=1)
+        assert len(text.splitlines()) == 2
+
+    def test_empty_raises(self):
+        with pytest.raises(TraceError):
+            render_batch_flows([])
+
+
+class TestTimelineOnRealTrace:
+    def test_real_pipeline_timeline_renders(self):
+        from repro.core.lotustrace import InMemoryTraceLog
+        from repro.workloads import SMOKE, build_ic_pipeline
+
+        log = InMemoryTraceLog()
+        bundle = build_ic_pipeline(profile=SMOKE, num_workers=2, log_file=log, seed=0)
+        bundle.run_epoch()
+        text = render_timeline(log.records(), width=64)
+        lines = text.splitlines()
+        assert lines[0].startswith("main")
+        assert any(line.startswith("worker:0") for line in lines)
+        assert any(line.startswith("worker:1") for line in lines)
+        flows = render_batch_flows(log.records())
+        assert len(flows.splitlines()) >= 4
