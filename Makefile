@@ -1,0 +1,23 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+BENCH_JSON := .bench_current.json
+
+.PHONY: test bench bench-check bench-baseline
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks/bench_substrate.py --benchmark-only \
+		--benchmark-disable-gc --benchmark-json=$(BENCH_JSON) -q
+
+# Fail if the substrate microbenchmarks (entropy decode, sample replay,
+# DataLoader epoch) regressed >25% vs benchmarks/BENCH_baseline.json, or
+# if the vectorized decode/replay dropped below 3x their scalar references.
+bench-check: bench
+	$(PYTHON) benchmarks/check_regression.py $(BENCH_JSON)
+
+# Refresh the committed baseline after an intentional perf change.
+bench-baseline: bench
+	$(PYTHON) benchmarks/check_regression.py $(BENCH_JSON) --update

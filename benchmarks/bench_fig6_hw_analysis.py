@@ -24,11 +24,15 @@ def test_fig6_hw_analysis(benchmark):
     assert e2e[2] < e2e[0] * 0.7  # (a) steep drop before diminishing returns
     cpu = result.total_cpu_series()
     assert cpu[-1] > cpu[0]  # (b, e) CPU time rises with workers
-    assert result.uops_per_clock_series("Loader")[-1] < \
-        result.uops_per_clock_series("Loader")[0]  # (f)
-    assert result.front_end_bound_series("Loader")[-1] > \
-        result.front_end_bound_series("Loader")[0]  # (g)
-    assert result.dram_bound_series("Loader")[-1] < \
-        result.dram_bound_series("Loader")[0]  # (h)
+
+    def falls(series):
+        """Low-worker half vs high-worker half: averaging adjacent worker
+        counts keeps the trend check robust to single-point timing noise."""
+        half = len(series) // 2
+        return sum(series[half:]) / (len(series) - half) < sum(series[:half]) / half
+
+    assert falls(result.uops_per_clock_series("Loader"))  # (f)
+    assert not falls(result.front_end_bound_series("Loader"))  # (g) rises
+    assert falls(result.dram_bound_series("Loader"))  # (h)
     for config in result.configs.values():  # (c, d)
         assert config.filtered_function_count < config.profile_function_count

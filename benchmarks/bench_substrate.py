@@ -9,11 +9,15 @@ reproduced tables.
 import numpy as np
 import pytest
 
+from repro.clib.events import CallEvent
 from repro.data.dataloader import DataLoader
 from repro.data.dataset import BlobImageDataset
 from repro.datasets.synthetic import SyntheticImageNet
+from repro.hwprof.sampling import _segment_at, build_leaf_segments, replay_samples
 from repro.imaging.image import Image
 from repro.imaging.jpeg.codec import decode_sjpg, encode_sjpg
+from repro.imaging.jpeg.entropy import decode_mcu, encode_mcu_huff, entropy_mode
+from repro.imaging.jpeg.tables import BLOCK
 from repro.transforms import Compose, Normalize, RandomResizedCrop, ToTensor
 from repro.workloads import BENCH
 
@@ -29,6 +33,151 @@ def pixels():
 @pytest.fixture(scope="module")
 def blob(pixels):
     return encode_sjpg(pixels, quality=85)
+
+
+@pytest.fixture(scope="module")
+def entropy_blocks():
+    """1000 quantized coefficient blocks at realistic (~20 %) density."""
+    rng = np.random.default_rng(53)
+    blocks = np.zeros((1000, BLOCK, BLOCK), dtype=np.int16)
+    mask = rng.random(size=blocks.shape) < 0.2
+    blocks[mask] = rng.integers(-500, 500, size=int(mask.sum()), dtype=np.int16)
+    return blocks, encode_mcu_huff(blocks)
+
+
+_REPLAY_INTERVAL_NS = 1_000
+
+
+@pytest.fixture(scope="module")
+def replay_events():
+    """Two-level native call events across two threads, dense enough
+    that per-sample-point work dominates segment construction."""
+    rng = np.random.default_rng(54)
+    events = []
+    for thread in (1, 2):
+        cursor = int(rng.integers(0, 50_000))
+        for _ in range(50):
+            duration = int(rng.integers(20_000, 400_000))
+            events.append(
+                CallEvent(
+                    thread_id=thread, function="decode_mcu", library="libjpeg",
+                    start_ns=cursor, duration_ns=duration, depth=0,
+                    active_threads=2,
+                )
+            )
+            inner = duration // 3
+            events.append(
+                CallEvent(
+                    thread_id=thread, function="jpeg_fill_bit_buffer",
+                    library="libjpeg", start_ns=cursor + inner,
+                    duration_ns=inner, depth=1, active_threads=2,
+                )
+            )
+            cursor += duration + int(rng.integers(0, 100_000))
+    return events
+
+
+def test_bench_decode_mcu(benchmark, entropy_blocks):
+    """Block-parallel entropy decode (the paper's hottest symbol, § V-D)."""
+    blocks, payload = entropy_blocks
+    decoded = benchmark(decode_mcu, payload, len(blocks))
+    assert np.array_equal(decoded, blocks)
+
+
+def test_bench_decode_mcu_scalar(benchmark, entropy_blocks):
+    """Seed per-block loop, retained under entropy_mode("scalar").
+
+    Kept so check_regression.py can enforce the vectorized decode stays
+    >= 3x faster than the reference loop.
+    """
+    blocks, payload = entropy_blocks
+
+    def run():
+        with entropy_mode("scalar"):
+            return decode_mcu(payload, len(blocks))
+
+    decoded = benchmark(run)
+    assert np.array_equal(decoded, blocks)
+
+
+def test_bench_replay_samples(benchmark, replay_events):
+    """Vectorized searchsorted sample replay over the recorded timeline."""
+
+    def run():
+        return replay_samples(
+            replay_events,
+            interval_ns=_REPLAY_INTERVAL_NS,
+            rng=np.random.default_rng(7),
+            skid_ns=2_000,
+            skid_probability=0.1,
+        )
+
+    samples = benchmark(run)
+    assert len(samples) > 10_000
+
+
+def _replay_samples_seed(events, interval_ns, rng, skid_ns, skid_probability):
+    """The seed's per-sample-point replay loop, verbatim in structure:
+    one scalar coin flip and up to two bisect lookups per point, one
+    Sample construction per point. Kept as the reference the vectorized
+    replay is required (check_regression.py) to beat by >= 3x."""
+    from repro.hwprof.sampling import INTERPRETER_SYMBOLS, Sample
+
+    per_thread = build_leaf_segments(events)
+    samples = []
+    for thread_id, segments in per_thread.items():
+        if not segments:
+            continue
+        starts = [segment.start_ns for segment in segments]
+        phase = int(rng.integers(0, interval_ns))
+        t = segments[0].start_ns + phase
+        t_end = segments[-1].end_ns
+        while t < t_end:
+            skidded = False
+            lookup = t
+            if skid_probability > 0 and rng.random() < skid_probability:
+                earlier = _segment_at(segments, starts, t - skid_ns)
+                if earlier is not None:
+                    lookup = t - skid_ns
+                    skidded = True
+            segment = _segment_at(segments, starts, lookup)
+            if segment is None:
+                symbol = int(rng.integers(0, len(INTERPRETER_SYMBOLS)))
+                samples.append(
+                    Sample(
+                        t_ns=t, thread_id=thread_id, segment=None,
+                        interpreter_symbol=INTERPRETER_SYMBOLS[symbol],
+                        skidded=False, interval_ns=interval_ns,
+                    )
+                )
+            else:
+                samples.append(
+                    Sample(
+                        t_ns=t, thread_id=thread_id, segment=segment,
+                        interpreter_symbol=None, skidded=skidded,
+                        interval_ns=interval_ns,
+                    )
+                )
+            t += interval_ns
+    samples.sort(key=lambda sample: sample.t_ns)
+    return samples
+
+
+def test_bench_replay_samples_scalar(benchmark, replay_events):
+    """Seed per-sample-point loop (timing reference; its rng stream
+    interleaves draws, so only sample *counts* are compared here)."""
+
+    def run():
+        return _replay_samples_seed(
+            replay_events,
+            interval_ns=_REPLAY_INTERVAL_NS,
+            rng=np.random.default_rng(7),
+            skid_ns=2_000,
+            skid_probability=0.1,
+        )
+
+    samples = benchmark(run)
+    assert len(samples) > 10_000
 
 
 def test_bench_encode(benchmark, pixels):

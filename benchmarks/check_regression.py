@@ -1,0 +1,167 @@
+"""Guard the substrate microbenchmarks against performance regressions.
+
+Usage::
+
+    pytest benchmarks/bench_substrate.py --benchmark-only \
+        --benchmark-disable-gc --benchmark-json=.bench_current.json
+    python benchmarks/check_regression.py .bench_current.json
+
+(or just ``make bench-check``). Compares the medians of the tracked
+benchmarks against the committed ``benchmarks/BENCH_baseline.json`` and
+fails if any regressed by more than ``TOLERANCE`` (25 %). Also enforces
+the vectorization speedup floor: the block-parallel entropy decode and
+the numpy sample replay must stay at least ``SPEEDUP_FLOOR``x faster
+than the retained scalar reference loops *measured in the same run*
+(same machine, same load — the ratio is robust where absolute times are
+not).
+
+To refresh the baseline after an intentional perf change::
+
+    python benchmarks/check_regression.py .bench_current.json --update
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+#: Maximum tolerated median slowdown vs the committed baseline.
+TOLERANCE = 0.25
+
+#: Required vectorized-over-scalar speedup, per (fast, reference) pair.
+SPEEDUP_FLOOR = 3.0
+
+#: Benchmarks whose medians are compared against the baseline.
+TRACKED = (
+    "test_bench_decode_mcu",
+    "test_bench_replay_samples",
+    "test_bench_dataloader_epoch",
+)
+
+#: (vectorized, scalar-reference) pairs for the speedup floor.
+SPEEDUP_PAIRS = (
+    ("test_bench_decode_mcu", "test_bench_decode_mcu_scalar"),
+    ("test_bench_replay_samples", "test_bench_replay_samples_scalar"),
+)
+
+DEFAULT_BASELINE = os.path.join(os.path.dirname(__file__), "BENCH_baseline.json")
+
+
+def load_medians(path: str) -> dict:
+    """Map benchmark name -> median seconds from a pytest-benchmark JSON."""
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    benchmarks = data.get("benchmarks", data.get("medians", {}))
+    if isinstance(benchmarks, dict):  # already a distilled baseline file
+        return dict(benchmarks)
+    return {b["name"]: b["stats"]["median"] for b in benchmarks}
+
+
+def check(current_path: str, baseline_path: str) -> list:
+    current = load_medians(current_path)
+    baseline = load_medians(baseline_path)
+    failures = []
+
+    for name in TRACKED:
+        if name not in current:
+            failures.append(f"{name}: missing from current run {current_path}")
+            continue
+        if name not in baseline:
+            failures.append(f"{name}: missing from baseline {baseline_path}")
+            continue
+        ratio = current[name] / baseline[name]
+        status = "ok" if ratio <= 1.0 + TOLERANCE else "REGRESSED"
+        print(
+            f"{name}: {current[name] * 1e3:.3f} ms vs baseline "
+            f"{baseline[name] * 1e3:.3f} ms ({ratio:.2f}x) {status}"
+        )
+        if ratio > 1.0 + TOLERANCE:
+            failures.append(
+                f"{name}: median regressed {ratio:.2f}x over baseline "
+                f"(tolerance {1.0 + TOLERANCE:.2f}x)"
+            )
+
+    for fast, reference in SPEEDUP_PAIRS:
+        if fast not in current or reference not in current:
+            failures.append(f"speedup {fast}: pair missing from current run")
+            continue
+        speedup = current[reference] / current[fast]
+        status = "ok" if speedup >= SPEEDUP_FLOOR else "TOO SLOW"
+        print(
+            f"{fast}: {speedup:.2f}x faster than {reference} "
+            f"(floor {SPEEDUP_FLOOR:.1f}x) {status}"
+        )
+        if speedup < SPEEDUP_FLOOR:
+            failures.append(
+                f"{fast}: only {speedup:.2f}x faster than {reference}, "
+                f"floor is {SPEEDUP_FLOOR:.1f}x"
+            )
+    return failures
+
+
+def update_baseline(current_path: str, baseline_path: str) -> None:
+    current = load_medians(current_path)
+    medians = {
+        name: current[name]
+        for name in (*TRACKED, *(ref for _, ref in SPEEDUP_PAIRS))
+        if name in current
+    }
+    speedups = {
+        fast: current[reference] / current[fast]
+        for fast, reference in SPEEDUP_PAIRS
+        if fast in current and reference in current
+    }
+    with open(baseline_path, "w", encoding="utf-8") as handle:
+        json.dump(
+            {
+                "note": (
+                    "Median seconds from `make bench` on the reference "
+                    "machine; refresh with check_regression.py --update "
+                    "after intentional perf changes."
+                ),
+                "medians": medians,
+                "vectorized_speedup_vs_scalar": speedups,
+            },
+            handle,
+            indent=2,
+            sort_keys=True,
+        )
+        handle.write("\n")
+    print(f"wrote {baseline_path} ({len(medians)} medians)")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", help="pytest-benchmark JSON of the current run")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE)
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the baseline from the current run instead of checking",
+    )
+    args = parser.parse_args(argv)
+    try:
+        if args.update:
+            update_baseline(args.current, args.baseline)
+            return 0
+        failures = check(args.current, args.baseline)
+    except FileNotFoundError as exc:
+        print(
+            f"error: {exc.filename} not found -- run `make bench` first, or "
+            "`make bench-baseline` to (re)create the baseline",
+            file=sys.stderr,
+        )
+        return 2
+    if failures:
+        print("\nFAIL:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nall benchmarks within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

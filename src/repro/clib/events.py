@@ -11,6 +11,13 @@ events with a virtual sampling clock instead of running a live sampler
 thread. That keeps the paper's sampling pathologies — short functions
 missed with probability ``(1 - f/s)`` per run, skid misattribution across
 operation boundaries — while making experiments deterministic.
+
+Recording is lock-free on the hot path: :func:`native_span` reads an
+immutable snapshot tuple of attached recorders (no global lock), and each
+recorder appends to an unlocked per-thread buffer (CPython list appends
+are atomic under the GIL). The per-thread buffers are merged and sorted
+only when :meth:`EventRecorder.events` is called, so the per-call cost of
+an attached recorder is one thread-local lookup plus one list append.
 """
 
 from __future__ import annotations
@@ -18,8 +25,8 @@ from __future__ import annotations
 import threading
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
 
 _state = threading.local()
 
@@ -28,9 +35,11 @@ _state = threading.local()
 _active_lock = threading.Lock()
 _active_count = 0
 
+# Attach/detach mutate under the lock and publish an immutable snapshot
+# tuple; native_span reads the snapshot without locking (an atomic
+# reference read under the GIL).
 _recorders_lock = threading.Lock()
-_recorders: List["EventRecorder"] = []
-_any_recorder = False  # fast-path flag, checked without the lock
+_recorders: Tuple["EventRecorder", ...] = ()
 
 
 @dataclass(frozen=True)
@@ -70,11 +79,19 @@ class EventRecorder:
     Collection gating mirrors the ITT / AMDProfileControl model: a recorder
     is attached (registered globally) but only stores events while
     ``collecting`` is True; ``resume()`` / ``pause()`` toggle it.
+
+    Events are appended to unlocked per-thread buffers; the registry of
+    buffers is guarded by a lock taken only once per (recorder, thread)
+    pair, never on the per-event path. :meth:`events` merges and sorts
+    the buffers into one chronological snapshot.
     """
 
     def __init__(self, collecting: bool = True) -> None:
-        self._events: List[CallEvent] = []
-        self._lock = threading.Lock()
+        # All per-thread buffers, in creation order. Buffers are append-only
+        # lists; threads keep a reference via ``self._local.buffer``.
+        self._buffers: List[List[CallEvent]] = []
+        self._local = threading.local()
+        self._lock = threading.Lock()  # guards _buffers registration only
         self.collecting = collecting
         self._attached = False
 
@@ -93,41 +110,49 @@ class EventRecorder:
     def record(self, event: CallEvent) -> None:
         if not self.collecting:
             return
-        with self._lock:
-            self._events.append(event)
+        buffer = getattr(self._local, "buffer", None)
+        if buffer is None:
+            buffer = []
+            with self._lock:
+                self._buffers.append(buffer)
+            self._local.buffer = buffer
+        buffer.append(event)
 
     def events(self) -> List[CallEvent]:
         """Snapshot of recorded events, ordered by start time."""
         with self._lock:
-            return sorted(self._events, key=lambda e: (e.start_ns, e.depth))
+            buffers = list(self._buffers)
+        merged: List[CallEvent] = []
+        for buffer in buffers:
+            merged.extend(buffer)
+        return sorted(merged, key=lambda e: (e.start_ns, e.depth))
 
     def clear(self) -> None:
         with self._lock:
-            self._events.clear()
+            for buffer in self._buffers:
+                buffer.clear()
 
     def __len__(self) -> int:
         with self._lock:
-            return len(self._events)
+            return sum(len(buffer) for buffer in self._buffers)
 
 
 def attach_recorder(recorder: EventRecorder) -> None:
     """Register ``recorder`` to receive native call events."""
-    global _any_recorder
+    global _recorders
     with _recorders_lock:
         if recorder not in _recorders:
-            _recorders.append(recorder)
+            _recorders = _recorders + (recorder,)
             recorder._attached = True
-        _any_recorder = True
 
 
 def detach_recorder(recorder: EventRecorder) -> None:
     """Unregister ``recorder``; missing recorders are ignored."""
-    global _any_recorder
+    global _recorders
     with _recorders_lock:
         if recorder in _recorders:
-            _recorders.remove(recorder)
+            _recorders = tuple(r for r in _recorders if r is not recorder)
             recorder._attached = False
-        _any_recorder = bool(_recorders)
 
 
 def _thread_stack() -> List[Tuple[str, str]]:
@@ -160,7 +185,9 @@ def native_span(function: str, library: str) -> Iterator[None]:
     Pushes the per-thread native stack, counts toward the concurrency
     level, and emits a :class:`CallEvent` to attached recorders on exit.
     The fast path (no recorder attached) is a list push/pop, an int
-    increment, and two ``time.time_ns()`` calls.
+    increment, and two ``time.time_ns()`` calls; with recorders attached,
+    fan-out reads the immutable recorder snapshot and appends to each
+    recorder's per-thread buffer without taking any lock.
     """
     global _active_count
     stack = _thread_stack()
@@ -179,7 +206,8 @@ def native_span(function: str, library: str) -> Iterator[None]:
         if depth == 0:
             with _active_lock:
                 _active_count -= 1
-        if _any_recorder:
+        recorders = _recorders
+        if recorders:
             event = CallEvent(
                 thread_id=threading.get_ident(),
                 function=function,
@@ -189,7 +217,5 @@ def native_span(function: str, library: str) -> Iterator[None]:
                 depth=depth,
                 active_threads=active,
             )
-            with _recorders_lock:
-                recorders = list(_recorders)
             for recorder in recorders:
                 recorder.record(event)

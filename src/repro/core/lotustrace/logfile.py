@@ -1,19 +1,25 @@
 """LotusTrace log writing and parsing.
 
 The writer is deliberately minimal: formatting one CSV line and appending
-it to a line-buffered file. It keeps no tracer state in memory and does no
-additional computation — the property that gives LotusTrace its ~zero
-wall-time overhead (paper § III-B, Table III).
+it to an in-memory buffer that is flushed to the file in chunks. It keeps
+no tracer state beyond the pending lines and does no additional
+computation — the property that gives LotusTrace its ~zero wall-time
+overhead (paper § III-B, Table III). Chunked flushing keeps the per-record
+cost to a string append; the file-system write is paid once per
+``buffer_bytes`` of trace data instead of once per line.
 
 Worker processes and the main process may share one log file: each opens
-it in append mode and writes whole lines, which POSIX appends atomically
-for short writes.
+it in append mode and flushes whole lines in a single ``os.write`` on an
+``O_APPEND`` descriptor, which POSIX serializes so lines stay intact.
+Readers see records after a ``flush()`` (the DataLoader flushes at epoch
+boundaries and workers on shutdown) or ``close()``.
 """
 
 from __future__ import annotations
 
 import os
 import threading
+import weakref
 from typing import Iterable, List, Optional, Union
 
 from repro.core.lotustrace.records import TraceRecord
@@ -21,41 +27,88 @@ from repro.errors import TraceError
 
 PathLike = Union[str, os.PathLike]
 
+#: Default in-memory buffer size before the writer spills to the file.
+DEFAULT_BUFFER_BYTES = 32 * 1024
+
+# Every live writer, so epoch boundaries (and forked worker shutdown) can
+# spill buffers they don't hold a direct reference to — e.g. the writers a
+# dataset or transform chain opened from the same log path.
+_writers: "weakref.WeakSet[LotusLogWriter]" = weakref.WeakSet()
+
+
+def flush_all_writers() -> None:
+    """Flush every live :class:`LotusLogWriter` in this process.
+
+    Called by the DataLoader at epoch boundaries (and before spawning
+    workers, so forked children never inherit a non-empty buffer and
+    re-write the parent's pending lines) and by process-backed workers on
+    shutdown.
+    """
+    for writer in list(_writers):
+        writer.flush()
+
 
 class LotusLogWriter:
-    """Appends :class:`TraceRecord` lines to a log file.
+    """Appends :class:`TraceRecord` lines to a log file, buffered in memory.
 
     Thread-safe; safe to share between thread-backed DataLoader workers.
     Process-backed workers should each construct their own writer for the
-    same path (append mode keeps lines intact).
+    same path (append mode keeps lines intact). Records become visible to
+    readers when the buffer spills (every ``buffer_bytes`` of formatted
+    lines), on :meth:`flush`, or on :meth:`close`.
     """
 
-    def __init__(self, path: PathLike) -> None:
+    def __init__(
+        self, path: PathLike, buffer_bytes: int = DEFAULT_BUFFER_BYTES
+    ) -> None:
+        if buffer_bytes < 1:
+            raise TraceError(f"buffer_bytes must be >= 1, got {buffer_bytes}")
         self._path = os.fspath(path)
         self._lock = threading.Lock()
-        self._handle = open(self._path, "a", buffering=1, encoding="utf-8")
+        self._fd: Optional[int] = os.open(
+            self._path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+        )
+        self._buffer: List[str] = []
+        self._buffered_bytes = 0
+        self._buffer_limit = buffer_bytes
         self._closed = False
+        _writers.add(self)
 
     @property
     def path(self) -> str:
         return self._path
+
+    def _flush_locked(self) -> None:
+        if self._buffer and self._fd is not None:
+            data = "".join(self._buffer).encode("utf-8")
+            self._buffer.clear()
+            self._buffered_bytes = 0
+            # One os.write of whole lines: O_APPEND keeps concurrent
+            # appenders (worker processes) from tearing lines apart.
+            os.write(self._fd, data)
 
     def write(self, record: TraceRecord) -> None:
         if self._closed:
             raise TraceError(f"writer for {self._path} is closed")
         line = record.to_line() + "\n"
         with self._lock:
-            self._handle.write(line)
+            self._buffer.append(line)
+            self._buffered_bytes += len(line)
+            if self._buffered_bytes >= self._buffer_limit:
+                self._flush_locked()
 
     def flush(self) -> None:
         with self._lock:
             if not self._closed:
-                self._handle.flush()
+                self._flush_locked()
 
     def close(self) -> None:
         with self._lock:
             if not self._closed:
-                self._handle.close()
+                self._flush_locked()
+                assert self._fd is not None
+                os.close(self._fd)
+                self._fd = None
                 self._closed = True
 
     def __enter__(self) -> "LotusLogWriter":
@@ -63,6 +116,12 @@ class LotusLogWriter:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass
 
 
 class InMemoryTraceLog:

@@ -21,9 +21,10 @@ bottleneck flip the paper observes between IC and IS/OD.
 
 from __future__ import annotations
 
+import hashlib
 import threading
 from collections import OrderedDict
-from typing import Callable, List, Optional, Sequence, Union
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -51,13 +52,26 @@ class CachingLoader:
             raise DataLoaderError(f"capacity must be >= 1, got {capacity}")
         self._loader = loader
         self._capacity = capacity
-        self._cache: "OrderedDict[int, object]" = OrderedDict()
+        self._cache: "OrderedDict[Tuple[str, Union[bytes, str]], object]" = OrderedDict()
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
+    @staticmethod
+    def cache_key(source) -> Tuple[str, Union[bytes, str]]:
+        """Collision-free cache key for a loader source.
+
+        Byte blobs are keyed by a content digest (``hash(bytes)`` can
+        collide — and silently serve the *wrong* decoded image); path-like
+        sources are keyed by their string form. The type tag keeps a path
+        string and a blob with the same bytes distinct.
+        """
+        if isinstance(source, bytes):
+            return ("blob", hashlib.blake2b(source, digest_size=16).digest())
+        return ("path", str(source))
+
     def __call__(self, source) -> object:
-        key = hash(source) if isinstance(source, bytes) else hash(str(source))
+        key = self.cache_key(source)
         with self._lock:
             if key in self._cache:
                 self._cache.move_to_end(key)

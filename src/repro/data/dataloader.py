@@ -36,7 +36,11 @@ from repro.core.lotustrace.records import (
     OOO_MARKER_DURATION_NS,
     TraceRecord,
 )
-from repro.core.lotustrace.logfile import InMemoryTraceLog, LotusLogWriter
+from repro.core.lotustrace.logfile import (
+    InMemoryTraceLog,
+    LotusLogWriter,
+    flush_all_writers,
+)
 from repro.data.backends import THREAD_BACKEND, create_backend
 from repro.data.dataset import IterableDataset
 from repro.data.fetcher import create_fetcher
@@ -244,7 +248,13 @@ class _SingleProcessIter:
         return self
 
     def __next__(self) -> Any:
-        indices = next(self._batches)  # StopIteration ends the epoch
+        try:
+            indices = next(self._batches)
+        except StopIteration:
+            # Epoch over: spill any buffered trace lines so readers see a
+            # complete log without waiting for the writers to close.
+            flush_all_writers()
+            raise
         loader = self._loader
         start = time.time_ns()
         data = self._fetcher.fetch(indices)
@@ -299,6 +309,9 @@ class _WorkerPool:
         self.data_queue = self.backend.make_queue()
         self.dirty = False
         self._closed = False
+        # Spill buffered trace lines before spawning: a forked worker must
+        # not inherit (and later re-write) the parent's pending lines.
+        flush_all_writers()
         worker_log = self._worker_log_target(loader)
         self.workers = [
             self.backend.start_worker(
@@ -536,13 +549,15 @@ class _MultiWorkerIter:
         self._shutdown = True
         if self._owns_pool:
             self._pool.shutdown()
-            return
-        # Borrowed (persistent) pool: leave it running after a clean
-        # epoch; an abandoned epoch leaves payloads in flight, so the
-        # pool must be retired.
-        if self._rcvd_idx < self._send_idx:
+        elif self._rcvd_idx < self._send_idx:
+            # Borrowed (persistent) pool: leave it running after a clean
+            # epoch; an abandoned epoch leaves payloads in flight, so the
+            # pool must be retired.
             self._pool.dirty = True
             self._pool.shutdown()
+        # Workers have quiesced (or keep their own writers): spill any
+        # buffered trace lines so readers see a complete epoch log.
+        flush_all_writers()
 
     def close(self) -> None:
         """Stop workers without finishing the epoch."""

@@ -22,7 +22,12 @@ from repro.core.lotustrace.context import (
     set_process_worker_id,
     worker_identity,
 )
-from repro.core.lotustrace.logfile import PathLike, TraceSink, open_trace_log
+from repro.core.lotustrace.logfile import (
+    PathLike,
+    TraceSink,
+    flush_all_writers,
+    open_trace_log,
+)
 from repro.core.lotustrace.records import KIND_BATCH_PREPROCESSED, TraceRecord
 from repro.data.fetcher import create_fetcher
 from repro.data.worker_info import WorkerInfo, worker_info_scope
@@ -125,5 +130,10 @@ def worker_loop(
                     )
                 )
             data_queue.put((batch_id, data))
-    if sink is not None and is_process_worker:
-        sink.close()
+    if is_process_worker:
+        # Spill every buffered writer in this child — including writers the
+        # dataset or transform chain inherited across the fork — before the
+        # sink itself is closed.
+        flush_all_writers()
+        if sink is not None:
+            sink.close()

@@ -16,13 +16,28 @@ Recorded events form properly nested per-thread call trees. The replay:
 Sample points with no covering native segment attribute to interpreter
 symbols, mimicking the non-preprocessing functions a whole-program
 profile contains.
+
+The replay is vectorized: all sample points of a thread are resolved in
+one ``np.searchsorted`` pass over the segment start/end arrays, and the
+random draws are batched. The seeded draw order per thread is a fixed
+contract — (1) one phase draw, (2) one batched ``rng.random`` of skid
+coin flips (only when ``skid_probability > 0``), (3) one batched
+interpreter-symbol draw for the sample points that missed native code —
+so results are bit-reproducible for a given seed, and identical to a
+per-point loop that pre-draws the same batches (see
+``tests/test_substrate_parity.py``). With ``skid_probability == 0`` the
+stream consumption is also bit-identical to the historical per-point
+implementation. The capture-probability semantics are unchanged: a
+function of duration ``f`` sampled at interval ``s`` is still captured
+with probability ``f/s`` per run (``C >= 1 - (1 - f/s)^n`` over ``n``
+runs, § IV-B).
 """
 
 from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -81,6 +96,9 @@ class Sample:
         return self.interpreter_symbol
 
 
+_SAMPLE_NEW = Sample.__new__
+
+
 def build_leaf_segments(events: Sequence[CallEvent]) -> Dict[int, List[LeafSegment]]:
     """Per-thread leaf segments from (possibly interleaved) call events.
 
@@ -128,9 +146,17 @@ def _emit_self_segments(
     events: List[CallEvent],
     children: Dict[int, List[CallEvent]],
     out: List[LeafSegment],
-    parent_stack: Tuple[Tuple[str, str], ...] = (),
 ) -> None:
-    for event in events:
+    """Emit self-time segments for ``events`` and their descendants.
+
+    Iterative pre-order walk with an explicit stack, so pathologically
+    deep call trees cannot hit Python's recursion limit.
+    """
+    work: List[Tuple[CallEvent, Tuple[Tuple[str, str], ...]]] = [
+        (event, ()) for event in reversed(events)
+    ]
+    while work:
+        event, parent_stack = work.pop()
         stack = parent_stack + ((event.function, event.library),)
         kids = children.get(id(event), [])
         cursor = event.start_ns
@@ -156,12 +182,14 @@ def _emit_self_segments(
                     active_threads=event.active_threads,
                 )
             )
-        _emit_self_segments(thread_id, kids, children, out, stack)
+        for kid in reversed(kids):
+            work.append((kid, stack))
 
 
 def _segment_at(
     segments: List[LeafSegment], starts: List[int], t_ns: int
 ) -> Optional[LeafSegment]:
+    """Scalar covering-segment lookup (kept as the parity-test oracle)."""
     index = bisect.bisect_right(starts, t_ns) - 1
     if index < 0:
         return None
@@ -169,6 +197,20 @@ def _segment_at(
     if segment.start_ns <= t_ns < segment.end_ns:
         return segment
     return None
+
+
+def _resolve(
+    starts: np.ndarray, ends: np.ndarray, ts: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorized covering-segment lookup over sorted disjoint segments.
+
+    Returns (index, covered) arrays; ``index`` is only meaningful where
+    ``covered`` is True.
+    """
+    index = np.searchsorted(starts, ts, side="right") - 1
+    clipped = np.maximum(index, 0)
+    covered = (index >= 0) & (ts < ends[clipped])
+    return clipped, covered
 
 
 def replay_samples(
@@ -194,46 +236,84 @@ def replay_samples(
         )
     per_thread = build_leaf_segments(events)
     samples: List[Sample] = []
+    ts_per_thread: List[np.ndarray] = []
     for thread_id, segments in per_thread.items():
         if not segments:
             continue
-        starts = [segment.start_ns for segment in segments]
-        t_begin = segments[0].start_ns - thread_activity_pad_ns
-        t_end = segments[-1].end_ns + thread_activity_pad_ns
+        n_segments = len(segments)
+        starts = np.fromiter(
+            (segment.start_ns for segment in segments),
+            dtype=np.int64,
+            count=n_segments,
+        )
+        ends = np.fromiter(
+            (segment.end_ns for segment in segments),
+            dtype=np.int64,
+            count=n_segments,
+        )
+        t_begin = int(starts[0]) - thread_activity_pad_ns
+        t_end = int(ends[-1]) + thread_activity_pad_ns
         phase = int(rng.integers(0, interval_ns))
-        t = t_begin + phase
-        while t < t_end:
-            skidded = False
-            lookup = t
-            if skid_probability > 0 and rng.random() < skid_probability:
-                earlier = _segment_at(segments, starts, t - skid_ns)
-                if earlier is not None:
-                    lookup = t - skid_ns
-                    skidded = True
-            segment = _segment_at(segments, starts, lookup)
-            if segment is None:
-                symbol_index = int(rng.integers(0, len(INTERPRETER_SYMBOLS)))
-                samples.append(
-                    Sample(
-                        t_ns=t,
-                        thread_id=thread_id,
-                        segment=None,
-                        interpreter_symbol=INTERPRETER_SYMBOLS[symbol_index],
-                        skidded=False,
-                        interval_ns=interval_ns,
-                    )
-                )
+        ts = np.arange(t_begin + phase, t_end, interval_ns, dtype=np.int64)
+        if ts.size == 0:
+            continue
+
+        current_index, current_covered = _resolve(starts, ends, ts)
+        if skid_probability > 0:
+            coins = rng.random(ts.size) < skid_probability
+            earlier_index, earlier_covered = _resolve(starts, ends, ts - skid_ns)
+            skidded = coins & earlier_covered
+        else:
+            skidded = np.zeros(ts.size, dtype=bool)
+            earlier_index = current_index
+        segment_index = np.where(skidded, earlier_index, current_index)
+        covered = current_covered | skidded
+        miss = ~covered
+        n_miss = int(miss.sum())
+        symbol_index = np.zeros(ts.size, dtype=np.int64)
+        if n_miss:
+            symbol_index[miss] = rng.integers(
+                0, len(INTERPRETER_SYMBOLS), size=n_miss
+            )
+
+        # Materialize the Sample objects with a prototype dict instead of
+        # the dataclass constructor: the frozen __init__ pays one
+        # object.__setattr__ per field, which at tens of thousands of
+        # samples is the dominant cost of the whole replay. __new__ plus
+        # an in-place __dict__ update builds field-identical (==, hash)
+        # instances, and nothing mutates a Sample after this point.
+        proto = {
+            "t_ns": 0,
+            "thread_id": thread_id,
+            "segment": None,
+            "interpreter_symbol": None,
+            "skidded": False,
+            "interval_ns": interval_ns,
+        }
+        append = samples.append
+        for t, hit, seg, sym, skid in zip(
+            ts.tolist(),
+            covered.tolist(),
+            segment_index.tolist(),
+            symbol_index.tolist(),
+            skidded.tolist(),
+        ):
+            sample = _SAMPLE_NEW(Sample)
+            fields = sample.__dict__
+            fields.update(proto)
+            fields["t_ns"] = t
+            if hit:
+                fields["segment"] = segments[seg]
+                if skid:
+                    fields["skidded"] = True
             else:
-                samples.append(
-                    Sample(
-                        t_ns=t,
-                        thread_id=thread_id,
-                        segment=segment,
-                        interpreter_symbol=None,
-                        skidded=skidded,
-                        interval_ns=interval_ns,
-                    )
-                )
-            t += interval_ns
-    samples.sort(key=lambda sample: sample.t_ns)
+                fields["interpreter_symbol"] = INTERPRETER_SYMBOLS[sym]
+            append(sample)
+        ts_per_thread.append(ts)
+    if len(ts_per_thread) > 1:
+        # Stable merge of the per-thread (already time-sorted) runs via
+        # one numpy argsort over the timestamps — same order a keyed
+        # samples.sort(key=t_ns) produces, without a key call per sample.
+        order = np.argsort(np.concatenate(ts_per_thread), kind="stable")
+        samples = [samples[i] for i in order.tolist()]
     return samples

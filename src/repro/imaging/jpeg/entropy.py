@@ -2,8 +2,8 @@
 
 The SJPG entropy format is a byte-aligned run-length code rather than a
 true Huffman bitstream, but the decode loop has the same shape as
-``decode_mcu``: a per-block loop with data-dependent branching, refilling
-its input buffer via ``jpeg_fill_bit_buffer`` every few MCUs. This makes
+``decode_mcu``: per-block data-dependent parsing, refilling its input
+buffer via ``jpeg_fill_bit_buffer`` every few MCUs. This makes
 ``decode_mcu`` the most CPU-hungry, branchy symbol in the decode profile —
 matching its role in the paper (§ V-D notes it is the most time-consuming
 function).
@@ -13,12 +13,33 @@ Block layout (little endian)::
     u8  nnz        -- number of non-zero AC coefficients
     i16 dc_delta   -- DC difference from the previous block
     nnz x (u8 zigzag_index, i16 value)
+
+Every field is 3 bytes wide, so a payload is a flat sequence of 3-byte
+*cells*: one header cell per block followed by its AC cells. The default
+implementation exploits this to decode block-parallel with numpy — a
+single ``np.frombuffer`` view of all cells, a pointer-jumping scan that
+recovers every block-header offset in ``O(log n)`` vectorized passes, a
+cumulative-sum DC reconstruction, and one fancy-indexed un-zigzag scatter
+— the SIMD shape a production entropy codec would have. The original
+per-block scalar loop is retained behind :func:`entropy_mode` as the
+paper-fidelity reference: it is bit-compatible with the vectorized path
+(see ``tests/test_substrate_parity.py``) and reproduces the serial,
+branchy execution profile of real libjpeg that § V-D characterizes.
+
+Both paths keep the observable profiling semantics identical: the same
+byte format, a ``jpeg_fill_bit_buffer`` call every ``_REFILL_PERIOD``
+MCUs with the same (offset, size) arguments, and a ``CodecError`` on
+truncated, corrupt, or over-long payloads (a payload with bytes left
+after the last block is rejected — trailing garbage would previously
+decode silently).
 """
 
 from __future__ import annotations
 
 import struct
-from typing import List, Tuple
+import threading
+from contextlib import contextmanager
+from typing import Iterator, List
 
 import numpy as np
 
@@ -29,9 +50,91 @@ from repro.errors import CodecError
 
 _AC_DTYPE = np.dtype([("idx", "u1"), ("val", "<i2")])
 _BLOCK_HEADER = struct.Struct("<Bh")
+#: Header cells and AC cells share one packed 3-byte layout; ``b`` is the
+#: nnz count (header) or zigzag index (AC), ``v`` the DC delta or value.
+_CELL_DTYPE = np.dtype([("b", "u1"), ("v", "<i2")])
+_CELL = _CELL_DTYPE.itemsize
 # decode_mcu refills its input buffer after this many MCUs, mirroring
 # libjpeg's periodic calls into jpeg_fill_bit_buffer.
 _REFILL_PERIOD = 16
+# Worst-case bytes one refill window must cover: a full period of dense
+# blocks (header + 63 AC records each).
+_WORST_WINDOW = _REFILL_PERIOD * (_BLOCK_HEADER.size + 63 * _AC_DTYPE.itemsize)
+
+_mode = threading.local()
+
+
+def _scalar_mode() -> bool:
+    return getattr(_mode, "scalar", False)
+
+
+@contextmanager
+def entropy_mode(mode: str) -> Iterator[None]:
+    """Select the entropy implementation for the current thread.
+
+    ``"vectorized"`` (the default) runs the block-parallel numpy passes;
+    ``"scalar"`` runs the retained per-block reference loop, which
+    reproduces the serial execution profile of real libjpeg entropy
+    decoding (the paper's § V-D testbed). Both produce identical bytes
+    and arrays and emit the same native call events.
+    """
+    if mode not in ("vectorized", "scalar"):
+        raise ValueError(f"unknown entropy mode: {mode!r}")
+    previous = _scalar_mode()
+    _mode.scalar = mode == "scalar"
+    try:
+        yield
+    finally:
+        _mode.scalar = previous
+
+
+def _encode_mcu_huff_scalar(quant_blocks: np.ndarray) -> bytes:
+    """Reference per-block encode loop (paper-fidelity / parity oracle)."""
+    chunks: List[bytes] = []
+    prev_dc = 0
+    flat_blocks = quant_blocks.reshape(len(quant_blocks), BLOCK * BLOCK)
+    zigzagged = flat_blocks[:, ZIGZAG]
+    for zz in zigzagged:
+        dc = int(zz[0])
+        ac = zz[1:]
+        nonzero = np.nonzero(ac)[0]
+        delta = dc - prev_dc
+        if not -32768 <= delta <= 32767:
+            raise CodecError(f"DC delta out of range: {delta}")
+        record = np.empty(len(nonzero), dtype=_AC_DTYPE)
+        record["idx"] = nonzero.astype(np.uint8)
+        record["val"] = ac[nonzero]
+        chunks.append(_BLOCK_HEADER.pack(len(nonzero), delta))
+        chunks.append(record.tobytes())
+        prev_dc = dc
+    return b"".join(chunks)
+
+
+def _encode_mcu_huff_vectorized(quant_blocks: np.ndarray) -> bytes:
+    """Block-parallel encode: one cell-array scatter, no per-block loop."""
+    n_blocks = len(quant_blocks)
+    if n_blocks == 0:
+        return b""
+    flat = quant_blocks.reshape(n_blocks, BLOCK * BLOCK)
+    zigzagged = flat[:, ZIGZAG]
+    dc = zigzagged[:, 0].astype(np.int64)
+    ac = zigzagged[:, 1:]
+    deltas = np.diff(dc, prepend=0)
+    if deltas.size and (deltas.max() > 32767 or deltas.min() < -32768):
+        raise CodecError("DC delta out of range")
+    rows, cols = np.nonzero(ac)
+    nnz = np.bincount(rows, minlength=n_blocks)
+    # Output cell index of each block header: one cell per prior block
+    # plus one per prior AC record.
+    header_pos = np.arange(n_blocks) + np.concatenate(([0], np.cumsum(nnz)[:-1]))
+    cells = np.zeros(n_blocks + len(rows), dtype=_CELL_DTYPE)
+    cells["b"][header_pos] = nnz
+    cells["v"][header_pos] = deltas.astype(np.int16)
+    ac_mask = np.ones(len(cells), dtype=bool)
+    ac_mask[header_pos] = False
+    cells["b"][ac_mask] = cols
+    cells["v"][ac_mask] = ac[rows, cols]
+    return cells.tobytes()
 
 
 @native(
@@ -43,23 +146,9 @@ def encode_mcu_huff(quant_blocks: np.ndarray) -> bytes:
     """Entropy-encode quantized (n, 8, 8) int16 blocks to bytes."""
     if quant_blocks.ndim != 3 or quant_blocks.shape[1:] != (BLOCK, BLOCK):
         raise CodecError(f"expected (n, 8, 8) blocks, got {quant_blocks.shape}")
-    chunks: List[bytes] = []
-    prev_dc = 0
-    flat_blocks = quant_blocks.reshape(len(quant_blocks), BLOCK * BLOCK)
-    zigzagged = flat_blocks[:, ZIGZAG]
-    for zz in zigzagged:
-        dc = int(zz[0])
-        ac = zz[1:]
-        nonzero = np.nonzero(ac)[0]
-        if len(nonzero) > 255:
-            raise CodecError("too many AC coefficients in block")
-        record = np.empty(len(nonzero), dtype=_AC_DTYPE)
-        record["idx"] = nonzero.astype(np.uint8)
-        record["val"] = ac[nonzero]
-        chunks.append(_BLOCK_HEADER.pack(len(nonzero), dc - prev_dc))
-        chunks.append(record.tobytes())
-        prev_dc = dc
-    return b"".join(chunks)
+    if _scalar_mode():
+        return _encode_mcu_huff_scalar(quant_blocks)
+    return _encode_mcu_huff_vectorized(quant_blocks)
 
 
 @native(
@@ -72,16 +161,8 @@ def jpeg_fill_bit_buffer(payload: bytes, offset: int, size: int) -> bytes:
     return payload[offset : offset + size]
 
 
-@native(
-    "decode_mcu",
-    library=LIBJPEG,
-    signature=BRANCHY,
-)
-def decode_mcu(payload: bytes, n_blocks: int) -> np.ndarray:
-    """Entropy-decode ``n_blocks`` blocks; returns (n, 8, 8) int16.
-
-    Raises :class:`CodecError` on truncated or corrupt payloads.
-    """
+def _decode_mcu_scalar(payload: bytes, n_blocks: int) -> np.ndarray:
+    """Reference per-block decode loop (paper-fidelity / parity oracle)."""
     out = np.zeros((n_blocks, BLOCK * BLOCK), dtype=np.int16)
     offset = 0
     prev_dc = 0
@@ -92,8 +173,7 @@ def decode_mcu(payload: bytes, n_blocks: int) -> np.ndarray:
             # Refill a working window large enough for the next period of
             # worst-case blocks (header + 63 AC records each).
             window_base = offset
-            worst = _REFILL_PERIOD * (_BLOCK_HEADER.size + 63 * _AC_DTYPE.itemsize)
-            window = jpeg_fill_bit_buffer(payload, window_base, worst)
+            window = jpeg_fill_bit_buffer(payload, window_base, _WORST_WINDOW)
         local = offset - window_base
         if local + _BLOCK_HEADER.size > len(window):
             raise CodecError("truncated SJPG payload (block header)")
@@ -104,7 +184,7 @@ def decode_mcu(payload: bytes, n_blocks: int) -> np.ndarray:
             raise CodecError("truncated SJPG payload (AC records)")
         zz = np.zeros(BLOCK * BLOCK, dtype=np.int16)
         prev_dc += dc_delta
-        zz[0] = prev_dc
+        zz[0] = np.int16(prev_dc)
         if nnz:
             records = np.frombuffer(window, dtype=_AC_DTYPE, count=nnz, offset=local)
             indices = records["idx"].astype(np.int64) + 1
@@ -113,7 +193,98 @@ def decode_mcu(payload: bytes, n_blocks: int) -> np.ndarray:
             zz[indices] = records["val"]
         out[block_index] = zz[UNZIGZAG]
         offset = window_base + local + ac_bytes
+    if offset != len(payload):
+        raise CodecError(
+            f"trailing garbage after SJPG payload: {len(payload) - offset} bytes"
+        )
     return out.reshape(n_blocks, BLOCK, BLOCK)
+
+
+def _block_starts(nnz_at: np.ndarray, n_cells: int, n_blocks: int) -> np.ndarray:
+    """Cell index of every block header, via pointer jumping.
+
+    ``jump[i] = i + 1 + nnz_at[i]`` is the next header if cell ``i`` were a
+    header; composing the jump table with itself doubles the number of
+    recovered block starts per pass, so the whole scan is ``O(log n)``
+    vectorized gathers instead of a per-block Python loop. Out-of-range
+    jumps are clamped to the absorbing sentinel ``n_cells``; a start that
+    lands on the sentinel means the payload ran out of header bytes.
+    """
+    jump = np.minimum(
+        np.arange(n_cells, dtype=np.int64) + 1 + nnz_at, n_cells
+    )
+    jump = np.append(jump, n_cells)  # sentinel absorbs further jumps
+    starts = np.zeros(1, dtype=np.int64)
+    step = jump
+    while len(starts) < n_blocks:
+        starts = np.concatenate([starts, step[starts]])
+        if len(starts) >= n_blocks:
+            break
+        step = step[step]
+    return starts[:n_blocks]
+
+
+def _decode_mcu_vectorized(payload: bytes, n_blocks: int) -> np.ndarray:
+    """Block-parallel decode: cell scan + cumsum DC + un-zigzag scatter."""
+    n_cells, leftover = divmod(len(payload), _CELL)
+    if n_blocks == 0:
+        if payload:
+            raise CodecError(
+                f"trailing garbage after SJPG payload: {len(payload)} bytes"
+            )
+        return np.zeros((0, BLOCK, BLOCK), dtype=np.int16)
+    if n_cells == 0:
+        raise CodecError("truncated SJPG payload (block header)")
+    cells = np.frombuffer(payload, dtype=_CELL_DTYPE, count=n_cells)
+    nnz_at = cells["b"].astype(np.int64)
+    starts = _block_starts(nnz_at, n_cells, n_blocks)
+    if int(starts[-1]) >= n_cells:
+        raise CodecError("truncated SJPG payload (block header)")
+    nnz = nnz_at[starts]
+    end_cell = int(starts[-1] + 1 + nnz[-1])
+    if end_cell > n_cells:
+        raise CodecError("truncated SJPG payload (AC records)")
+    if end_cell * _CELL != len(payload):
+        raise CodecError(
+            f"trailing garbage after SJPG payload: "
+            f"{len(payload) - end_cell * _CELL} bytes"
+        )
+
+    # Preserve the refill cadence: the same jpeg_fill_bit_buffer call, with
+    # the same (offset, size) arguments, every _REFILL_PERIOD MCUs — so
+    # hardware profiles of the vectorized decoder keep the paper's refill
+    # pattern. The loop is over refill windows, not blocks.
+    for window_start in range(0, n_blocks, _REFILL_PERIOD):
+        jpeg_fill_bit_buffer(payload, int(starts[window_start]) * _CELL, _WORST_WINDOW)
+
+    values = cells["v"]
+    dc = np.cumsum(values[starts].astype(np.int64)).astype(np.int16)
+    ac_mask = np.ones(end_cell, dtype=bool)
+    ac_mask[starts] = False
+    block_id = np.repeat(np.arange(n_blocks), nnz)
+    indices = nnz_at[:end_cell][ac_mask] + 1
+    if indices.size and int(indices.max()) >= BLOCK * BLOCK:
+        raise CodecError("corrupt SJPG payload (AC index out of range)")
+    zz = np.zeros((n_blocks, BLOCK * BLOCK), dtype=np.int16)
+    zz[block_id, indices] = values[:end_cell][ac_mask]
+    zz[:, 0] = dc
+    return zz[:, UNZIGZAG].reshape(n_blocks, BLOCK, BLOCK)
+
+
+@native(
+    "decode_mcu",
+    library=LIBJPEG,
+    signature=BRANCHY,
+)
+def decode_mcu(payload: bytes, n_blocks: int) -> np.ndarray:
+    """Entropy-decode ``n_blocks`` blocks; returns (n, 8, 8) int16.
+
+    Raises :class:`CodecError` on truncated, corrupt, or over-long
+    payloads (any bytes remaining after the last block are rejected).
+    """
+    if _scalar_mode():
+        return _decode_mcu_scalar(payload, n_blocks)
+    return _decode_mcu_vectorized(payload, n_blocks)
 
 
 def encoded_length(quant_blocks: np.ndarray) -> int:

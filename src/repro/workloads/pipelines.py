@@ -7,7 +7,7 @@ from typing import Any, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.core.lotustrace.logfile import PathLike, TraceSink
+from repro.core.lotustrace.logfile import PathLike, TraceSink, open_trace_log
 from repro.data.dataloader import DataLoader
 from repro.data.dataset import BlobImageDataset
 from repro.datasets.synthetic import (
@@ -93,6 +93,10 @@ def build_ic_pipeline(
         dataset = SyntheticImageNet(
             profile.ic_images, seed=seed,
         )
+    # One shared sink for transforms, dataset, and loader: buffered
+    # writers flush at epoch boundaries, and a single writer per process
+    # keeps the flush atomic per chunk of whole lines.
+    log_file = open_trace_log(log_file)
     transform = Compose(
         [
             RandomResizedCrop(profile.ic_crop, seed=seed),
@@ -139,6 +143,10 @@ def build_is_pipeline(
     """Image segmentation: KiTS19-style volumes through the MLPerf chain."""
     if cases is None:
         cases = SyntheticKits19(profile.is_cases, seed=seed)
+    # One shared sink for transforms, dataset, and loader: buffered
+    # writers flush at epoch boundaries, and a single writer per process
+    # keeps the flush atomic per chunk of whole lines.
+    log_file = open_trace_log(log_file)
     transform = Compose(
         [
             RandBalancedCrop(profile.is_patch, oversampling=0.4, seed=seed),
@@ -175,6 +183,10 @@ def build_od_pipeline(
     """Object detection: like IC but Resize instead of resize-and-crop."""
     if dataset is None:
         dataset = SyntheticCoco(profile.od_images, seed=seed)
+    # One shared sink for transforms, dataset, and loader: buffered
+    # writers flush at epoch boundaries, and a single writer per process
+    # keeps the flush atomic per chunk of whole lines.
+    log_file = open_trace_log(log_file)
 
     class _CocoDataset(BlobImageDataset):
         """Pairs each decoded image with its detection target."""

@@ -58,6 +58,32 @@ class TestCachingLoader:
         with pytest.raises(DataLoaderError):
             CachingLoader(capacity=0)
 
+    def test_keys_are_content_addressed(self, small_blobs):
+        """Regression: ``hash(source)`` keys can collide (and str hashes
+        are randomized per process), silently serving the wrong decoded
+        image. Blob keys must derive from the content digest, and equal
+        content must hit regardless of object identity."""
+        key_a = CachingLoader.cache_key(small_blobs[0])
+        key_b = CachingLoader.cache_key(small_blobs[1])
+        assert key_a != key_b
+        assert key_a[0] == "blob" and isinstance(key_a[1], bytes)
+        # A copy with different identity but equal bytes is the same entry.
+        assert CachingLoader.cache_key(bytes(bytearray(small_blobs[0]))) == key_a
+        cache = CachingLoader()
+        decoded = {}
+        for blob in small_blobs[:2]:
+            decoded[CachingLoader.cache_key(blob)] = cache(blob)
+        for blob in small_blobs[:2]:  # hits must return the matching image
+            assert cache(blob) is decoded[CachingLoader.cache_key(blob)]
+        assert cache.misses == 2 and cache.hits == 2
+
+    def test_path_and_blob_keys_disjoint(self, tmp_path):
+        """A path string and a blob with the same bytes never collide."""
+        name = str(tmp_path / "img.sjpg")
+        assert CachingLoader.cache_key(name) != CachingLoader.cache_key(
+            name.encode("utf-8")
+        )
+
     def test_as_dataset_loader(self, small_blobs):
         cache = CachingLoader()
         dataset = BlobImageDataset(small_blobs, loader=cache)
@@ -98,7 +124,10 @@ class TestOfflineMaterialization:
 class TestBottleneckShift:
     @pytest.fixture(scope="class")
     def result(self):
-        return run_bottleneck_shift(images=36, seed=1)
+        # 64 images / batch 4 -> 15 steady-state waits, so the
+        # frac_waits_over_gpu_step statistic is quantized at ~0.07 rather
+        # than 0.125 and one noisy wait cannot flip the bound verdict.
+        return run_bottleneck_shift(images=64, seed=1)
 
     def test_online_preprocessing_bound(self, result):
         assert result.variants["online"].preprocessing_bound

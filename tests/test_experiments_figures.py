@@ -151,9 +151,12 @@ class TestFig5:
 def fig6():
     # Worker sweep up to 8: the contention-driven counter trends (f-h)
     # need a wide concurrency contrast to rise above function-mix noise.
+    # 96 images (12 batches) keep all 8 workers concurrently busy long
+    # enough for the sampled active-thread counts to reflect the sweep —
+    # with the vectorized decoder, shorter epochs under-overlap.
     return run_fig6(
         profile=SMOKE, worker_counts=(1, 2, 8), batch_size=8, n_gpus=2,
-        images=48, mapping_runs=6, seed=6,
+        images=96, mapping_runs=6, seed=6,
     )
 
 

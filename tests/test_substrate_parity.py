@@ -1,0 +1,337 @@
+"""Parity and property tests for the vectorized substrate hot paths.
+
+The tentpole contract: the block-parallel SJPG entropy codec, the numpy
+sample replay, and the per-thread event recording must preserve the
+*observable profiling semantics* of the original per-item loops — same
+bytes, same arrays, same native call-event streams (names, depths,
+refill cadence), and bit-identical seeded results. The scalar reference
+implementations are retained in the modules (`entropy_mode("scalar")`)
+or reproduced here verbatim as oracles.
+"""
+
+import bisect
+import threading
+
+import numpy as np
+import pytest
+
+from repro.clib.events import (
+    CallEvent,
+    EventRecorder,
+    attach_recorder,
+    detach_recorder,
+    native_span,
+)
+from repro.errors import CodecError
+from repro.hwprof.sampling import (
+    INTERPRETER_SYMBOLS,
+    Sample,
+    build_leaf_segments,
+    replay_samples,
+)
+from repro.imaging.jpeg.entropy import (
+    _REFILL_PERIOD,
+    decode_mcu,
+    encode_mcu_huff,
+    encoded_length,
+    entropy_mode,
+)
+from repro.imaging.jpeg.tables import BLOCK
+
+# Block counts straddling the refill period (16): empty, single, exactly
+# one window, one window plus one block, and many windows.
+BLOCK_COUNTS = (0, 1, 16, 17, 1000)
+
+
+def random_blocks(n, density=0.2, seed=0):
+    rng = np.random.default_rng(seed)
+    blocks = np.zeros((n, BLOCK, BLOCK), dtype=np.int16)
+    mask = rng.random(size=blocks.shape) < density
+    blocks[mask] = rng.integers(-500, 500, size=int(mask.sum()), dtype=np.int16)
+    return blocks
+
+
+class TestEntropyParity:
+    @pytest.mark.parametrize("n_blocks", BLOCK_COUNTS)
+    @pytest.mark.parametrize("density", (0.0, 0.2, 1.0))
+    def test_encode_bytes_identical(self, n_blocks, density):
+        blocks = random_blocks(n_blocks, density=density, seed=n_blocks)
+        with entropy_mode("scalar"):
+            reference = encode_mcu_huff(blocks)
+        assert encode_mcu_huff(blocks) == reference
+
+    @pytest.mark.parametrize("n_blocks", BLOCK_COUNTS)
+    @pytest.mark.parametrize("density", (0.0, 0.2, 1.0))
+    def test_roundtrip_and_decode_parity(self, n_blocks, density):
+        blocks = random_blocks(n_blocks, density=density, seed=n_blocks + 7)
+        payload = encode_mcu_huff(blocks)
+        decoded = decode_mcu(payload, n_blocks)
+        assert np.array_equal(decoded, blocks)
+        with entropy_mode("scalar"):
+            assert np.array_equal(decode_mcu(payload, n_blocks), decoded)
+
+    @pytest.mark.parametrize("n_blocks", BLOCK_COUNTS)
+    def test_encoded_length_agrees_with_encoder(self, n_blocks):
+        blocks = random_blocks(n_blocks, density=0.3, seed=n_blocks + 11)
+        assert encoded_length(blocks) == len(encode_mcu_huff(blocks))
+
+    @pytest.mark.parametrize("mode", ("vectorized", "scalar"))
+    def test_truncated_payload_raises(self, mode):
+        blocks = random_blocks(40, density=0.4, seed=1)
+        payload = encode_mcu_huff(blocks)
+        with entropy_mode(mode):
+            for cut in (1, 2, 3, 7, len(payload) // 2, len(payload) - 1):
+                with pytest.raises(CodecError):
+                    decode_mcu(payload[:cut], 40)
+
+    @pytest.mark.parametrize("mode", ("vectorized", "scalar"))
+    def test_overlong_payload_raises(self, mode):
+        """Trailing garbage after the last block must be rejected."""
+        blocks = random_blocks(20, density=0.3, seed=2)
+        payload = encode_mcu_huff(blocks)
+        with entropy_mode(mode):
+            for extra in (b"\x00", b"\x00" * 3, b"junk-trailing-bytes"):
+                with pytest.raises(CodecError, match="trailing garbage"):
+                    decode_mcu(payload + extra, 20)
+            with pytest.raises(CodecError, match="trailing garbage"):
+                decode_mcu(b"\x00\x00\x00", 0)
+
+    def test_refill_cadence_preserved(self):
+        """Both modes call jpeg_fill_bit_buffer every _REFILL_PERIOD MCUs
+        with identical (offset, size) arguments — the event stream a
+        hardware profile of decode_mcu contains is unchanged."""
+        blocks = random_blocks(3 * _REFILL_PERIOD + 5, density=0.25, seed=3)
+        payload = encode_mcu_huff(blocks)
+        streams = {}
+        for mode in ("scalar", "vectorized"):
+            recorder = EventRecorder()
+            attach_recorder(recorder)
+            try:
+                with entropy_mode(mode):
+                    decode_mcu(payload, len(blocks))
+            finally:
+                detach_recorder(recorder)
+            streams[mode] = [
+                (e.function, e.library, e.depth)
+                for e in recorder.events()
+            ]
+        assert streams["scalar"] == streams["vectorized"]
+        refills = [s for s in streams["vectorized"] if s[0] == "jpeg_fill_bit_buffer"]
+        assert len(refills) == 4  # ceil(53 / 16)
+        assert all(depth == 1 for _, _, depth in refills)
+
+    def test_corrupt_ac_index_raises_both_modes(self):
+        blocks = random_blocks(4, density=0.5, seed=4)
+        payload = bytearray(encode_mcu_huff(blocks))
+        # First block header is 3 bytes; corrupt the first AC record's
+        # zigzag index to 63 (maps to coefficient 64, out of range).
+        payload[3] = 63
+        for mode in ("vectorized", "scalar"):
+            with entropy_mode(mode):
+                with pytest.raises(CodecError, match="AC index"):
+                    decode_mcu(bytes(payload), 4)
+
+
+def _replay_samples_oracle(
+    events,
+    interval_ns,
+    rng,
+    skid_ns=0,
+    skid_probability=0.0,
+    thread_activity_pad_ns=0,
+):
+    """Per-sample-point loop with the same seeded draw-order contract as
+    the vectorized replay: per thread, one phase draw, one batched coin
+    array, one batched interpreter-symbol array."""
+    per_thread = build_leaf_segments(events)
+    samples = []
+    for thread_id, segments in per_thread.items():
+        if not segments:
+            continue
+        starts = [segment.start_ns for segment in segments]
+
+        def segment_at(t_ns):
+            index = bisect.bisect_right(starts, t_ns) - 1
+            if index < 0:
+                return None
+            segment = segments[index]
+            return segment if segment.start_ns <= t_ns < segment.end_ns else None
+
+        t_begin = segments[0].start_ns - thread_activity_pad_ns
+        t_end = segments[-1].end_ns + thread_activity_pad_ns
+        phase = int(rng.integers(0, interval_ns))
+        points = list(range(t_begin + phase, t_end, interval_ns))
+        if not points:
+            continue
+        coins = (
+            rng.random(len(points)) < skid_probability
+            if skid_probability > 0
+            else [False] * len(points)
+        )
+        resolved = []
+        n_miss = 0
+        for t, coin in zip(points, coins):
+            skidded = False
+            segment = None
+            if coin:
+                segment = segment_at(t - skid_ns)
+                skidded = segment is not None
+            if not skidded:
+                segment = segment_at(t)
+            if segment is None:
+                n_miss += 1
+            resolved.append((t, segment, skidded))
+        symbols = iter(
+            rng.integers(0, len(INTERPRETER_SYMBOLS), size=n_miss) if n_miss else []
+        )
+        for t, segment, skidded in resolved:
+            samples.append(
+                Sample(
+                    t_ns=t,
+                    thread_id=thread_id,
+                    segment=segment,
+                    interpreter_symbol=(
+                        None if segment is not None
+                        else INTERPRETER_SYMBOLS[int(next(symbols))]
+                    ),
+                    skidded=skidded,
+                    interval_ns=interval_ns,
+                )
+            )
+    samples.sort(key=lambda sample: sample.t_ns)
+    return samples
+
+
+def _sample_key(sample):
+    return (
+        sample.t_ns,
+        sample.thread_id,
+        sample.identity,
+        sample.skidded,
+        None if sample.segment is None
+        else (sample.segment.start_ns, sample.segment.end_ns, sample.segment.stack),
+    )
+
+
+US = 1_000
+
+
+def make_events(seed, n=40, threads=2):
+    """Nested two-level call trees across threads with gaps."""
+    rng = np.random.default_rng(seed)
+    events = []
+    for thread in range(1, threads + 1):
+        cursor = int(rng.integers(0, 50)) * US
+        for _ in range(n):
+            duration = int(rng.integers(50, 4000)) * US
+            events.append(
+                CallEvent(
+                    thread_id=thread, function=f"outer{thread}", library="libjpeg",
+                    start_ns=cursor, duration_ns=duration, depth=0, active_threads=1,
+                )
+            )
+            inner = duration // 3
+            if inner > 0:
+                events.append(
+                    CallEvent(
+                        thread_id=thread, function="inner", library="libc",
+                        start_ns=cursor + inner, duration_ns=inner, depth=1,
+                        active_threads=1,
+                    )
+                )
+            cursor += duration + int(rng.integers(0, 3000)) * US
+    return events
+
+
+class TestReplayParity:
+    @pytest.mark.parametrize("skid_probability", (0.0, 0.3, 1.0))
+    @pytest.mark.parametrize("seed", (0, 1, 2))
+    def test_vectorized_matches_oracle(self, skid_probability, seed):
+        events = make_events(seed)
+        kwargs = dict(
+            interval_ns=700 * US,
+            skid_ns=150 * US,
+            skid_probability=skid_probability,
+            thread_activity_pad_ns=500 * US,
+        )
+        got = replay_samples(events, rng=np.random.default_rng(seed + 10), **kwargs)
+        expected = _replay_samples_oracle(
+            events, rng=np.random.default_rng(seed + 10), **kwargs
+        )
+        assert [_sample_key(s) for s in got] == [_sample_key(s) for s in expected]
+
+    def test_interpreter_symbols_identical_for_seed(self):
+        """Misses must draw the same symbols as the oracle (same rng
+        stream position), not merely symbols from the same set."""
+        events = make_events(5, n=10)
+        got = replay_samples(
+            events, interval_ns=900 * US, rng=np.random.default_rng(3),
+            thread_activity_pad_ns=5000 * US,
+        )
+        expected = _replay_samples_oracle(
+            events, interval_ns=900 * US, rng=np.random.default_rng(3),
+            thread_activity_pad_ns=5000 * US,
+        )
+        misses = [s.interpreter_symbol for s in got if s.segment is None]
+        assert misses  # the pad guarantees idle points
+        assert misses == [s.interpreter_symbol for s in expected if s.segment is None]
+
+    def test_deep_nesting_does_not_recurse(self):
+        """_emit_self_segments must survive call trees deeper than the
+        interpreter recursion limit."""
+        depth = 5000
+        events = [
+            CallEvent(
+                thread_id=1, function=f"f{d}", library="lib",
+                start_ns=d, duration_ns=2 * (depth - d) + 1, depth=d,
+                active_threads=1,
+            )
+            for d in range(depth)
+        ]
+        segments = build_leaf_segments(events)[1]
+        assert len(segments) == 2 * depth - 1
+        deepest = max(segments, key=lambda s: len(s.stack))
+        assert len(deepest.stack) == depth
+
+
+class TestRecorderParity:
+    def test_events_merge_across_threads_sorted(self):
+        recorder = EventRecorder()
+        attach_recorder(recorder)
+        barrier = threading.Barrier(4)
+
+        def work(k):
+            barrier.wait()
+            for i in range(50):
+                with native_span(f"fn{k}", "lib"):
+                    pass
+
+        threads = [threading.Thread(target=work, args=(k,)) for k in range(4)]
+        try:
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        finally:
+            detach_recorder(recorder)
+        events = recorder.events()
+        assert len(events) == 200
+        assert len(recorder) == 200
+        stamps = [(e.start_ns, e.depth) for e in events]
+        assert stamps == sorted(stamps)
+        recorder.clear()
+        assert len(recorder) == 0
+        assert recorder.events() == []
+
+    def test_record_after_clear_reuses_buffers(self):
+        recorder = EventRecorder()
+        attach_recorder(recorder)
+        try:
+            with native_span("a", "lib"):
+                pass
+            recorder.clear()
+            with native_span("b", "lib"):
+                pass
+        finally:
+            detach_recorder(recorder)
+        assert [e.function for e in recorder.events()] == ["b"]
