@@ -9,12 +9,14 @@ test:
 	$(PYTHON) -m pytest -x -q
 
 bench:
-	$(PYTHON) -m pytest benchmarks/bench_substrate.py --benchmark-only \
+	$(PYTHON) -m pytest benchmarks/bench_substrate.py \
+		benchmarks/bench_trace_analysis.py --benchmark-only \
 		--benchmark-disable-gc --benchmark-json=$(BENCH_JSON) -q
 
-# Fail if the substrate microbenchmarks (entropy decode, sample replay,
-# DataLoader epoch) regressed >25% vs benchmarks/BENCH_baseline.json, or
-# if the vectorized decode/replay dropped below 3x their scalar references.
+# Fail if the microbenchmarks (entropy decode, sample replay, DataLoader
+# epoch, trace parse/analyze/export) regressed >25% vs
+# benchmarks/BENCH_baseline.json, or if a vectorized path dropped below
+# its floor over the retained reference (3x decode/replay, 10x trace).
 bench-check: bench
 	$(PYTHON) benchmarks/check_regression.py $(BENCH_JSON)
 

@@ -1,0 +1,156 @@
+"""Trace-engine benchmarks: parse -> analyze -> report -> export at scale.
+
+A characterization run over a full epoch leaves LotusTrace logs with
+millions of lines (every sample op, plus three batch records per batch).
+These benchmarks time the whole analysis path on a ~1M-record synthetic
+log for both engines — the vectorized columnar default and the retained
+record-list oracle — so check_regression.py can enforce both an absolute
+budget and the >= 10x columnar-over-records speedup floor.
+"""
+
+import random
+
+import pytest
+
+from repro.core.lotustrace.analysis import analyze_trace
+from repro.core.lotustrace.autoreport import generate_report
+from repro.core.lotustrace.chrometrace import to_chrome_trace
+from repro.core.lotustrace.columns import parse_trace_file_columns
+from repro.core.lotustrace.engine import analysis_engine
+from repro.core.lotustrace.logfile import parse_trace_file
+from repro.core.lotustrace.records import MAIN_PROCESS_WORKER_ID
+
+N_WORKERS = 4
+SAMPLES_PER_BATCH = 32
+OPS = ("Loader", "RandomResizedCrop", "RandomHorizontalFlip", "ToTensor",
+       "Normalize")
+#: records/batch: per-sample ops + Collation + preprocessed/wait/consumed.
+RECORDS_PER_BATCH = SAMPLES_PER_BATCH * len(OPS) + 4
+TARGET_RECORDS = 1_000_000
+N_BATCHES = TARGET_RECORDS // RECORDS_PER_BATCH
+
+
+def _write_trace(path):
+    """~1M-line trace: 4 workers, 32 samples x 5 transforms per batch,
+    Collation with its carried batch id, and the three batch-level
+    records, with ~5% of batches arriving out of order."""
+    rng = random.Random(99)
+    lines = []
+    worker_clock = [0] * N_WORKERS
+    for batch in range(N_BATCHES):
+        worker = batch % N_WORKERS
+        pid = 1000 + worker
+        start = worker_clock[worker] + rng.randrange(1_000, 20_000)
+        cursor = start
+        for _sample in range(SAMPLES_PER_BATCH):
+            for op in OPS:
+                duration = rng.randrange(5_000, 400_000)
+                lines.append(
+                    f"op,{op},-1,{worker},{pid},{cursor},{duration},0"
+                )
+                cursor += duration
+        collate = rng.randrange(20_000, 300_000)
+        lines.append(
+            f"op,Collation,{batch},{worker},{pid},{cursor},{collate},0"
+        )
+        cursor += collate
+        lines.append(
+            f"batch_preprocessed,fetch,{batch},{worker},{pid},{start},"
+            f"{cursor - start},0"
+        )
+        out_of_order = rng.random() < 0.05
+        wait_start = cursor + rng.randrange(1_000, 50_000)
+        wait_duration = 1_000 if out_of_order else rng.randrange(
+            10_000, 2_000_000
+        )
+        ooo_flag = 1 if out_of_order else 0
+        lines.append(
+            f"batch_wait,wait,{batch},{MAIN_PROCESS_WORKER_ID},1,"
+            f"{wait_start},{wait_duration},{ooo_flag}"
+        )
+        lines.append(
+            f"batch_consumed,consume,{batch},{MAIN_PROCESS_WORKER_ID},1,"
+            f"{wait_start + wait_duration + rng.randrange(0, 100_000)},"
+            f"{rng.randrange(10_000, 200_000)},0"
+        )
+        worker_clock[worker] = cursor
+    path.write_text("\n".join(lines) + "\n")
+    return len(lines)
+
+
+@pytest.fixture(scope="module")
+def trace_log(tmp_path_factory):
+    path = tmp_path_factory.mktemp("trace") / "epoch.log"
+    n_lines = _write_trace(path)
+    assert n_lines > 900_000
+    return path
+
+
+def _pipeline(path):
+    """The CLI's analyze workload: parse, analyze, and report."""
+    columns = parse_trace_file_columns(path)
+    analysis = analyze_trace(columns)
+    report = generate_report(columns)
+    return len(columns), analysis.num_batches(), report
+
+
+def _pipeline_records(path):
+    records = parse_trace_file(path)
+    analysis = analyze_trace(records)
+    report = generate_report(records)
+    return len(records), analysis.num_batches(), report
+
+
+def test_bench_trace_pipeline_columnar(benchmark, trace_log):
+    """Vectorized parse -> analyze -> autoreport on ~1M records."""
+    n_records, n_batches, report = benchmark.pedantic(
+        _pipeline, args=(trace_log,), rounds=3, iterations=1, warmup_rounds=1
+    )
+    assert n_records > 900_000
+    assert n_batches == N_BATCHES
+    assert report.op_ranking
+
+
+def test_bench_trace_pipeline_records(benchmark, trace_log):
+    """Record-list oracle on the same log (one round: it is ~10-20x
+    slower, and the floor check is a same-run ratio, robust to load)."""
+
+    def run():
+        with analysis_engine("records"):
+            return _pipeline_records(trace_log)
+
+    n_records, n_batches, report = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    assert n_records > 900_000
+    assert n_batches == N_BATCHES
+    assert report.op_ranking
+
+
+@pytest.fixture(scope="module")
+def parsed_columns(trace_log):
+    return parse_trace_file_columns(trace_log)
+
+
+def test_bench_trace_export_columnar(benchmark, parsed_columns):
+    """Coarse Chrome-trace emission straight from columns."""
+    payload = benchmark.pedantic(
+        to_chrome_trace,
+        args=(parsed_columns,),
+        kwargs={"coarse": True},
+        rounds=3,
+        iterations=1,
+    )
+    assert len(payload["traceEvents"]) > 2 * N_BATCHES
+
+
+def test_bench_trace_export_records(benchmark, parsed_columns):
+    """Record-path emitter on the same trace (oracle reference)."""
+    records = parsed_columns.to_records()
+
+    def run():
+        with analysis_engine("records"):
+            return to_chrome_trace(records, coarse=True)
+
+    payload = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(payload["traceEvents"]) > 2 * N_BATCHES

@@ -72,35 +72,47 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
     from repro.core.lotustrace import (
+        ParseStats,
+        analysis_engine,
         analyze_trace,
         generate_report,
-        parse_trace_file,
+        parse_trace_file_columns,
         write_chrome_trace,
     )
     from repro.viz import render_batch_flows, render_timeline
 
-    records = parse_trace_file(args.log)
-    analysis = analyze_trace(records)
-    print(f"trace: {args.log} ({len(records)} records, "
-          f"{len(analysis.batches)} batches)\n")
-    print("per-operation elapsed time:")
-    for op in analysis.op_names():
-        summary = analysis.op_summary(op)
-        print(
-            f"  {op:<26} avg={format_ns(summary.mean):>10} "
-            f"p90={format_ns(summary.p90):>10} n={summary.count}"
+    # Analysis tolerates a torn trailing line (a run cut off mid-write):
+    # skip and report instead of refusing the whole log.
+    stats = ParseStats()
+    columns = parse_trace_file_columns(args.log, errors="skip", stats=stats)
+    with analysis_engine(args.engine):
+        analysis = analyze_trace(columns)
+        skipped = (
+            f", {stats.skipped_lines} corrupt lines skipped"
+            if stats.skipped_lines
+            else ""
         )
-    if args.report:
-        print("\nautomated findings:")
-        print(generate_report(records).format())
-    if args.timeline:
-        print("\ntimeline:")
-        print(render_timeline(records, width=args.width))
-        print("\nbatch flows:")
-        print(render_batch_flows(records))
-    if args.chrome:
-        write_chrome_trace(records, args.chrome, coarse=not args.fine)
-        print(f"\nChrome trace written to {args.chrome}")
+        print(f"trace: {args.log} ({len(columns)} records{skipped}, "
+              f"{analysis.num_batches()} batches)\n")
+        print("per-operation elapsed time:")
+        for op in analysis.op_names():
+            summary = analysis.op_summary(op)
+            print(
+                f"  {op:<26} avg={format_ns(summary.mean):>10} "
+                f"p90={format_ns(summary.p90):>10} n={summary.count}"
+            )
+        if args.report:
+            print("\nautomated findings:")
+            print(generate_report(columns).format())
+        if args.timeline:
+            records = columns.to_records()
+            print("\ntimeline:")
+            print(render_timeline(records, width=args.width))
+            print("\nbatch flows:")
+            print(render_batch_flows(records))
+        if args.chrome:
+            write_chrome_trace(columns, args.chrome, coarse=not args.fine)
+            print(f"\nChrome trace written to {args.chrome}")
     return 0
 
 
@@ -177,6 +189,9 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--chrome", help="write a Chrome trace JSON here")
     analyze.add_argument("--fine", action="store_true",
                          help="include per-op spans in the Chrome trace")
+    analyze.add_argument("--engine", choices=("columnar", "records"),
+                         default="columnar",
+                         help="analysis engine (records = reference path)")
     analyze.set_defaults(func=_cmd_analyze)
 
     map_cmd = sub.add_parser("map", help="build the Python->C/C++ mapping")

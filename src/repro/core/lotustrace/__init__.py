@@ -18,10 +18,23 @@ Trace Viewer JSON (:mod:`~repro.core.lotustrace.chrometrace`).
 
 from repro.core.lotustrace.analysis import (
     BatchFlow,
+    ColumnarTraceAnalysis,
     TraceAnalysis,
     analyze_trace,
     out_of_order_events,
     per_op_stats,
+)
+from repro.core.lotustrace.columns import (
+    ParseStats,
+    TraceColumns,
+    parse_trace_bytes,
+    parse_trace_file_columns,
+)
+from repro.core.lotustrace.engine import (
+    ENGINE_COLUMNAR,
+    ENGINE_RECORDS,
+    analysis_engine,
+    current_engine,
 )
 from repro.core.lotustrace.autoreport import Finding, TraceReport, generate_report
 from repro.core.lotustrace.compare import (
@@ -54,8 +67,17 @@ from repro.core.lotustrace.spans import Span, build_spans, span_name
 
 __all__ = [
     "BatchFlow",
+    "ColumnarTraceAnalysis",
+    "ENGINE_COLUMNAR",
+    "ENGINE_RECORDS",
     "Finding",
     "InMemoryTraceLog",
+    "ParseStats",
+    "TraceColumns",
+    "analysis_engine",
+    "current_engine",
+    "parse_trace_bytes",
+    "parse_trace_file_columns",
     "TraceReport",
     "generate_report",
     "KIND_BATCH_CONSUMED",

@@ -10,13 +10,17 @@ worker utilization balance, and provisioning hints.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Union
+
+import numpy as np
 
 from repro.core.lotustrace.analysis import (
+    ColumnarTraceAnalysis,
     TraceAnalysis,
     analyze_trace,
     out_of_order_events,
 )
+from repro.core.lotustrace.columns import KIND_CODE_PREPROCESSED, TraceColumns
 from repro.core.lotustrace.records import (
     KIND_BATCH_PREPROCESSED,
     TraceRecord,
@@ -117,23 +121,52 @@ def _worker_busy_fractions(
     return {worker: busy / span for worker, busy in fetches.items()}
 
 
+def _worker_busy_fractions_columns(cols: TraceColumns) -> Dict[int, float]:
+    """Vectorized :func:`_worker_busy_fractions` over columns.
+
+    Same integer sums and the same final int/int division, so the
+    fractions are bit-identical to the record loop's.
+    """
+    mask = (cols.kind == KIND_CODE_PREPROCESSED) & (cols.worker_id >= 0)
+    if not mask.any():
+        return {}
+    workers = cols.worker_id[mask]
+    durations = cols.duration_ns[mask]
+    starts = cols.start_ns[mask]
+    t_min = int(starts.min())
+    t_max = int((starts + durations).max())
+    if t_max <= t_min:
+        return {}
+    span = t_max - t_min
+    order = np.argsort(workers, kind="stable")
+    workers_sorted = workers[order]
+    bounds = np.flatnonzero(np.r_[True, workers_sorted[1:] != workers_sorted[:-1]])
+    totals = np.add.reduceat(durations[order], bounds)
+    return {
+        int(worker): int(busy) / span
+        for worker, busy in zip(workers_sorted[bounds].tolist(), totals.tolist())
+    }
+
+
 def generate_report(
-    records: Iterable[TraceRecord],
+    records: Union[Iterable[TraceRecord], TraceColumns],
     wait_threshold_ns: Optional[int] = None,
     variance_warning_pct: float = 25.0,
 ) -> TraceReport:
     """Diagnose a trace and return a :class:`TraceReport`.
 
     Args:
-        records: parsed LotusTrace records.
+        records: parsed LotusTrace records, or a columnar table from
+            the vectorized parser / ``InMemoryTraceLog.columns()``.
         wait_threshold_ns: waits above this are flagged; default is 2x
             the median batch preprocessing time.
         variance_warning_pct: std-as-%-of-mean above which per-batch time
             variability is flagged (provisioning hazard, Takeaway 3).
     """
-    records = list(records)
+    if not isinstance(records, TraceColumns):
+        records = list(records)
     analysis = analyze_trace(records)
-    if not analysis.batches:
+    if analysis.num_batches() == 0:
         raise TraceError("trace contains no batch records")
 
     findings: List[Finding] = []
@@ -176,13 +209,13 @@ def generate_report(
     ooo = out_of_order_events(analysis)
     if ooo:
         worst = max(ooo, key=lambda event: event.delay_ns)
-        fraction = len(ooo) / len(analysis.batches)
+        fraction = len(ooo) / analysis.num_batches()
         severity = SEVERITY_WARNING if fraction > 0.25 else SEVERITY_NOTICE
         findings.append(
             Finding(
                 severity,
                 "out-of-order",
-                f"{len(ooo)}/{len(analysis.batches)} batches arrived out of "
+                f"{len(ooo)}/{analysis.num_batches()} batches arrived out of "
                 f"order (worst sat ready for {format_ns(worst.delay_ns)}); "
                 f"the shared data queue serializes consumption behind the "
                 f"slowest outstanding batch",
@@ -207,7 +240,12 @@ def generate_report(
             )
 
     # Worker balance.
-    busy = _worker_busy_fractions(records)
+    if isinstance(analysis, ColumnarTraceAnalysis):
+        busy = _worker_busy_fractions_columns(analysis.columns)
+    elif isinstance(records, TraceColumns):
+        busy = _worker_busy_fractions(records.to_records())
+    else:
+        busy = _worker_busy_fractions(records)
     if len(busy) > 1:
         values = list(busy.values())
         spread = max(values) - min(values)
@@ -242,7 +280,7 @@ def generate_report(
 
     return TraceReport(
         regime=regime,
-        n_batches=len(analysis.batches),
+        n_batches=analysis.num_batches(),
         findings=findings,
         op_ranking=ranking,
         worker_busy_fraction=busy,

@@ -4,6 +4,12 @@ LotusTrace can emit a standalone trace file or augment an existing
 (PyTorch-profiler-style) trace, both loadable at ``chrome://tracing``.
 Augmented events use *negative* synthetic ids so they never collide with
 the host profiler's positive integer ids (paper § III-C).
+
+Two emitters produce the events (see
+:mod:`~repro.core.lotustrace.engine`): the default columnar one formats
+events in a single pass over :class:`TraceColumns` arrays, the records
+one goes through :class:`Span` objects. Their JSON output is
+byte-identical — same events, same key order, same floats.
 """
 
 from __future__ import annotations
@@ -11,20 +17,32 @@ from __future__ import annotations
 import json
 import os
 from itertools import count
-from typing import Dict, Iterable, List, Optional, Union
+from typing import Dict, Iterable, List, Union
 
+import numpy as np
+
+from repro.core.lotustrace.columns import (
+    KIND_CODE_CONSUMED,
+    KIND_CODE_OP,
+    KIND_CODE_PREPROCESSED,
+    TraceColumns,
+)
+from repro.core.lotustrace.engine import ENGINE_RECORDS, current_engine
 from repro.core.lotustrace.records import (
     KIND_BATCH_CONSUMED,
     KIND_BATCH_PREPROCESSED,
+    MAIN_PROCESS_WORKER_ID,
     TraceRecord,
 )
-from repro.core.lotustrace.spans import Span, build_spans
+from repro.core.lotustrace.spans import Span, build_spans, span_name_parts
 from repro.errors import TraceError
 
 #: Trace-viewer process id used for LotusTrace tracks.
 TRACE_PID = "lotus"
 
 _TRACK_ORDER_MAIN = 0
+
+TraceInput = Union[Iterable[TraceRecord], TraceColumns]
 
 
 def _tid_for_track(track: str) -> int:
@@ -92,19 +110,123 @@ def _flow_events(
     return events
 
 
+def _columnar_events(
+    cols: TraceColumns, coarse: bool, start_id: int
+) -> List[Dict]:
+    """One-pass event formatting straight from the columns.
+
+    Emits exactly what ``build_spans`` + ``_span_event`` +
+    ``_flow_events`` emit for the same trace: rows in stable start
+    order, same key order per event, same synthetic-id sequence.
+    """
+    rows = cols.argsort_start()
+    if coarse:
+        rows = rows[cols.kind[rows] != KIND_CODE_OP]
+    kinds = cols.kind[rows].tolist()
+    # Pre-rendered name fragments: op names by name id, batch-kind
+    # prefixes formatted with the batch id inline.
+    op_labels = ["S" + name for name in cols.names]
+    prefixes = span_name_parts()
+    batch_ids = cols.batch_id[rows].tolist()
+    name_ids = cols.name_id[rows].tolist()
+    workers = cols.worker_id[rows].tolist()
+    starts = cols.start_ns[rows].tolist()
+    durations = cols.duration_ns[rows].tolist()
+    ooos = cols.out_of_order[rows].tolist()
+
+    events: List[Dict] = []
+    next_id = start_id
+    for kind, nid, batch, worker, start, duration, ooo in zip(
+        kinds, name_ids, batch_ids, workers, starts, durations, ooos
+    ):
+        if kind == KIND_CODE_OP:
+            name = op_labels[nid]
+        else:
+            name = f"{prefixes[kind]}_{batch}"
+        events.append(
+            {
+                "ph": "X",
+                "name": name,
+                "cat": "lotustrace",
+                "pid": TRACE_PID,
+                "tid": 0 if worker == MAIN_PROCESS_WORKER_ID else worker + 1,
+                "ts": start / 1000.0,
+                "dur": max(duration / 1000.0, 0.001),
+                "id": next_id,
+                "args": {"batch_id": batch, "out_of_order": ooo},
+            }
+        )
+        next_id -= 1
+
+    # Flow arrows: the *last* preprocessed/consumed span per batch in
+    # draw order (dict-overwrite semantics of the record emitter),
+    # batches present on both sides, ascending batch id.
+    def last_per_batch(code: int):
+        sel = np.flatnonzero(cols.kind[rows] == code)
+        if sel.size == 0:
+            return {}
+        chosen = rows[sel]
+        ids_arr = cols.batch_id[chosen]
+        order = np.argsort(ids_arr, kind="stable")
+        ids_sorted = ids_arr[order]
+        last = np.flatnonzero(np.r_[ids_sorted[1:] != ids_sorted[:-1], True])
+        return dict(zip(ids_sorted[last].tolist(), chosen[order[last]].tolist()))
+
+    produced = last_per_batch(KIND_CODE_PREPROCESSED)
+    consumed = last_per_batch(KIND_CODE_CONSUMED)
+    for batch in sorted(produced.keys() & consumed.keys()):
+        src, dst = produced[batch], consumed[batch]
+        flow_id = next_id
+        next_id -= 1
+        common = {"cat": "lotustrace-flow", "name": f"batch_{batch}", "pid": TRACE_PID}
+        src_w = int(cols.worker_id[src])
+        dst_w = int(cols.worker_id[dst])
+        events.append(
+            {
+                **common,
+                "ph": "s",
+                "id": flow_id,
+                "tid": 0 if src_w == MAIN_PROCESS_WORKER_ID else src_w + 1,
+                "ts": (int(cols.start_ns[src]) + int(cols.duration_ns[src])) / 1000.0,
+            }
+        )
+        events.append(
+            {
+                **common,
+                "ph": "f",
+                "bp": "e",
+                "id": flow_id,
+                "tid": 0 if dst_w == MAIN_PROCESS_WORKER_ID else dst_w + 1,
+                "ts": int(cols.start_ns[dst]) / 1000.0,
+            }
+        )
+    return events
+
+
 def to_chrome_trace(
-    records: Iterable[TraceRecord],
+    records: TraceInput,
     coarse: bool = False,
     start_id: int = -1,
 ) -> Dict:
-    """Build a Chrome Trace Viewer JSON object from trace records.
+    """Build a Chrome Trace Viewer JSON object from a trace.
 
-    ``coarse=True`` emits batch-level spans only (Figure 2's granularity);
-    otherwise per-op spans are included. All event ids are negative,
-    counting down from ``start_id``.
+    Accepts records or a :class:`TraceColumns` table. ``coarse=True``
+    emits batch-level spans only (Figure 2's granularity); otherwise
+    per-op spans are included. All event ids are negative, counting down
+    from ``start_id``.
     """
     if start_id >= 0:
         raise TraceError("LotusTrace synthetic ids must be negative")
+    use_records = current_engine() == ENGINE_RECORDS
+    if isinstance(records, TraceColumns):
+        if not use_records:
+            events = _columnar_events(records, coarse, start_id)
+            return {"traceEvents": events, "displayTimeUnit": "ms"}
+        records = records.to_records()
+    elif not use_records:
+        cols = TraceColumns.from_records(records)
+        events = _columnar_events(cols, coarse, start_id)
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
     ids = count(start_id, -1)
     spans = build_spans(records, include_ops=not coarse)
     events = [_span_event(span, next(ids)) for span in spans]
@@ -113,7 +235,7 @@ def to_chrome_trace(
 
 
 def write_chrome_trace(
-    records: Iterable[TraceRecord],
+    records: TraceInput,
     path: Union[str, os.PathLike],
     coarse: bool = False,
 ) -> None:
@@ -125,7 +247,7 @@ def write_chrome_trace(
 
 def augment_profiler_trace(
     profiler_trace: Dict,
-    records: Iterable[TraceRecord],
+    records: TraceInput,
     coarse: bool = False,
 ) -> Dict:
     """Merge LotusTrace events into an existing profiler trace.

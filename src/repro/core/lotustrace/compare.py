@@ -13,10 +13,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
+from typing import Union
+
 from repro.core.lotustrace.analysis import TraceAnalysis, analyze_trace
+from repro.core.lotustrace.columns import TraceColumns
 from repro.core.lotustrace.records import TraceRecord
 from repro.errors import TraceError
 from repro.utils.timeunits import format_ns
+
+TraceInput = Union[Iterable[TraceRecord], TraceColumns]
 
 
 @dataclass(frozen=True)
@@ -94,13 +99,18 @@ def _median(values: List[int]) -> float:
 
 
 def compare_traces(
-    baseline: Iterable[TraceRecord],
-    candidate: Iterable[TraceRecord],
+    baseline: TraceInput,
+    candidate: TraceInput,
 ) -> TraceComparison:
-    """Compare two runs' traces; operations are matched by name."""
+    """Compare two runs' traces; operations are matched by name.
+
+    Accepts record lists or :class:`TraceColumns` tables; under the
+    default engine the per-op totals and wait/delay series come from
+    grouped vectorized reductions.
+    """
     base = analyze_trace(baseline)
     cand = analyze_trace(candidate)
-    if not base.batches and not cand.batches:
+    if base.num_batches() == 0 and cand.num_batches() == 0:
         raise TraceError("both traces are empty")
     base_totals = base.op_total_cpu_ns()
     cand_totals = cand.op_total_cpu_ns()
@@ -114,8 +124,8 @@ def compare_traces(
             )
             for op in ops
         ],
-        baseline_batches=len(base.batches),
-        candidate_batches=len(cand.batches),
+        baseline_batches=base.num_batches(),
+        candidate_batches=cand.num_batches(),
         baseline_median_wait_ns=_median(base.wait_times_ns()),
         candidate_median_wait_ns=_median(cand.wait_times_ns()),
         baseline_median_delay_ns=_median(base.delay_times_ns()),

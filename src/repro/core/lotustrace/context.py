@@ -31,6 +31,19 @@ def current_worker_id() -> int:
     return _process_worker_id
 
 
+def current_batch_id() -> int:
+    """The batch id being fetched in the calling context, or -1.
+
+    The worker loop (and the single-process iterator) scope each
+    ``fetch`` with :func:`batch_scope`, so per-batch instrumentation that
+    runs inside the fetch — collation, notably — can stamp the real
+    batch id instead of the -1 placeholder that would otherwise have to
+    be recovered by span containment during analysis.
+    """
+    batch_id = getattr(_context, "batch_id", None)
+    return -1 if batch_id is None else batch_id
+
+
 def current_pid() -> int:
     """OS process id of the calling context."""
     return os.getpid()
@@ -51,3 +64,14 @@ def worker_identity(worker_id: int) -> Iterator[None]:
         yield
     finally:
         _context.worker_id = previous
+
+
+@contextmanager
+def batch_scope(batch_id: int) -> Iterator[None]:
+    """Scope the calling thread as fetching batch ``batch_id``."""
+    previous = getattr(_context, "batch_id", None)
+    _context.batch_id = batch_id
+    try:
+        yield
+    finally:
+        _context.batch_id = previous

@@ -1,0 +1,54 @@
+"""Analysis-engine selection for the LotusTrace consumers.
+
+The trace *consumers* (``parse_trace_file``, ``analyze_trace``,
+``to_chrome_trace``, ``generate_report``) have two interchangeable
+implementations:
+
+* ``"columnar"`` (the default) — the vectorized engine over
+  :class:`~repro.core.lotustrace.columns.TraceColumns`;
+* ``"records"`` — the retained per-``TraceRecord`` reference loops, kept
+  as the parity oracle (the same pattern as the substrate's
+  ``entropy_mode("scalar")``).
+
+Both produce identical analyses, reports, and byte-identical Chrome
+trace JSON; the parity suite (``tests/test_trace_columns_parity.py``)
+holds them to that.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+ENGINE_COLUMNAR = "columnar"
+ENGINE_RECORDS = "records"
+
+_engine = threading.local()
+
+
+def current_engine() -> str:
+    """The analysis engine selected for the calling thread."""
+    return getattr(_engine, "mode", ENGINE_COLUMNAR)
+
+
+@contextmanager
+def analysis_engine(mode: str) -> Iterator[None]:
+    """Select the trace-analysis engine for the current thread.
+
+    ``"columnar"`` (the default) runs the vectorized numpy passes;
+    ``"records"`` runs the retained per-record reference loops. Both
+    produce identical results — the records engine exists as the parity
+    oracle and for stepping through the analysis logic record by record.
+    """
+    if mode not in (ENGINE_COLUMNAR, ENGINE_RECORDS):
+        raise ValueError(f"unknown analysis engine: {mode!r}")
+    previous = getattr(_engine, "mode", None)
+    _engine.mode = mode
+    try:
+        yield
+    finally:
+        if previous is None:
+            del _engine.mode
+        else:
+            _engine.mode = previous

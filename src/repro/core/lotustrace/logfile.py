@@ -22,6 +22,13 @@ import threading
 import weakref
 from typing import Iterable, List, Optional, Union
 
+from repro.core.lotustrace.columns import (
+    ParseStats,
+    TraceColumns,
+    parse_trace_bytes,
+    parse_trace_file_columns,
+)
+from repro.core.lotustrace.engine import ENGINE_RECORDS, current_engine
 from repro.core.lotustrace.records import TraceRecord
 from repro.errors import TraceError
 
@@ -149,6 +156,10 @@ class InMemoryTraceLog:
         with self._lock:
             return list(self._records)
 
+    def columns(self) -> TraceColumns:
+        """Snapshot the sink as a columnar table (for vectorized analysis)."""
+        return TraceColumns.from_records(self.records())
+
     def __enter__(self) -> "InMemoryTraceLog":
         return self
 
@@ -172,16 +183,52 @@ def open_trace_log(target: Union[PathLike, TraceSink, None]) -> Optional[TraceSi
     return LotusLogWriter(target)
 
 
-def parse_trace_lines(lines: Iterable[str]) -> List[TraceRecord]:
-    """Parse trace lines; blank lines are skipped, bad lines raise."""
+def parse_trace_lines(
+    lines: Iterable[str],
+    errors: str = "raise",
+    stats: Optional[ParseStats] = None,
+) -> List[TraceRecord]:
+    """Parse trace lines; blank lines are always skipped.
+
+    ``errors="raise"`` (default) propagates :class:`TraceError` on the
+    first malformed line. ``errors="skip"`` drops malformed lines —
+    e.g. the truncated tail a process-backed worker leaves behind when
+    killed mid-append — counting them in ``stats.skipped_lines`` when a
+    :class:`~repro.core.lotustrace.columns.ParseStats` is given.
+    """
+    if errors not in ("raise", "skip"):
+        raise TraceError(f"unknown errors mode: {errors!r}")
     records = []
     for line in lines:
-        if line.strip():
+        if not line.strip():
+            continue
+        try:
             records.append(TraceRecord.from_line(line))
+        except TraceError:
+            if errors == "raise":
+                raise
+            if stats is not None:
+                stats.skipped_lines += 1
     return records
 
 
-def parse_trace_file(path: PathLike) -> List[TraceRecord]:
-    """Read and parse a LotusTrace log file."""
-    with open(path, "r", encoding="utf-8") as handle:
-        return parse_trace_lines(handle)
+def parse_trace_file(
+    path: PathLike,
+    errors: str = "raise",
+    stats: Optional[ParseStats] = None,
+) -> List[TraceRecord]:
+    """Read and parse a LotusTrace log file into records.
+
+    The active :func:`~repro.core.lotustrace.engine.analysis_engine`
+    picks the decoder: the default columnar engine parses the file in
+    vectorized chunks and materializes records from the columns; the
+    records engine parses line by line. Skip/raise semantics (see
+    :func:`parse_trace_lines`) are identical. Callers that feed the
+    records straight into ``analyze_trace``/``to_chrome_trace`` should
+    prefer :func:`parse_trace_file_columns` and pass the columns through
+    — that skips record materialization entirely.
+    """
+    if current_engine() == ENGINE_RECORDS:
+        with open(path, "r", encoding="utf-8") as handle:
+            return parse_trace_lines(handle, errors=errors, stats=stats)
+    return parse_trace_file_columns(path, errors=errors, stats=stats).to_records()

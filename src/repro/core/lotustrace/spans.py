@@ -12,8 +12,9 @@ plus per-operation ``S<TransformName>`` spans at the finer granularity.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List
+from typing import Dict, Iterable, List, Union
 
+from repro.core.lotustrace.columns import KIND_TO_CODE, TraceColumns
 from repro.core.lotustrace.records import (
     KIND_BATCH_CONSUMED,
     KIND_BATCH_PREPROCESSED,
@@ -29,6 +30,11 @@ _KIND_PREFIX = {
     KIND_BATCH_WAIT: "SBatchWait",
     KIND_BATCH_CONSUMED: "SBatchConsumed",
 }
+
+
+def span_name_parts() -> Dict[int, str]:
+    """Span-name prefixes keyed by numeric kind code (columnar emitter)."""
+    return {KIND_TO_CODE[kind]: prefix for kind, prefix in _KIND_PREFIX.items()}
 
 
 def span_name(record: TraceRecord) -> str:
@@ -66,13 +72,18 @@ def _track(record: TraceRecord) -> str:
 
 
 def build_spans(
-    records: Iterable[TraceRecord], include_ops: bool = True
+    records: Union[Iterable[TraceRecord], TraceColumns],
+    include_ops: bool = True,
 ) -> List[Span]:
     """Convert records to spans, coarse (batch) or fine (batch + op).
 
     ``include_ops=False`` gives the paper's "coarse" visualization level;
-    True adds the per-operation spans.
+    True adds the per-operation spans. A :class:`TraceColumns` table is
+    accepted as well (rows materialize in line order, which the stable
+    sort below puts into the same draw order as the record path).
     """
+    if isinstance(records, TraceColumns):
+        records = records.to_records()
     spans = []
     for record in sorted(records, key=lambda r: r.start_ns):
         if record.kind == KIND_OP and not include_ops:

@@ -26,7 +26,7 @@ import threading
 import time
 from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple, Union
 
-from repro.core.lotustrace.context import current_pid
+from repro.core.lotustrace.context import batch_scope, current_pid
 from repro.core.lotustrace.logfile import PathLike, TraceSink, open_trace_log
 from repro.core.lotustrace.records import (
     KIND_BATCH_CONSUMED,
@@ -81,7 +81,11 @@ class _InstrumentedCollate:
     def __call__(self, samples):
         import time as _time
 
-        from repro.core.lotustrace.context import current_pid, current_worker_id
+        from repro.core.lotustrace.context import (
+            current_batch_id,
+            current_pid,
+            current_worker_id,
+        )
         from repro.core.lotustrace.records import KIND_OP
 
         start = _time.time_ns()
@@ -91,7 +95,9 @@ class _InstrumentedCollate:
             TraceRecord(
                 kind=KIND_OP,
                 name=COLLATION_OP_NAME,
-                batch_id=-1,
+                # The fetch is scoped with batch_scope, so the real batch
+                # id is known here; -1 only if called outside a fetch.
+                batch_id=current_batch_id(),
                 worker_id=current_worker_id(),
                 pid=current_pid(),
                 start_ns=start,
@@ -257,7 +263,8 @@ class _SingleProcessIter:
             raise
         loader = self._loader
         start = time.time_ns()
-        data = self._fetcher.fetch(indices)
+        with batch_scope(self._batch_id):
+            data = self._fetcher.fetch(indices)
         duration = time.time_ns() - start
         if loader._sink is not None:
             loader._sink.write(

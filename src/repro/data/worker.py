@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Optional, Union
 
 from repro.core.lotustrace.context import (
+    batch_scope,
     current_pid,
     set_process_worker_id,
     worker_identity,
@@ -96,7 +97,8 @@ def worker_loop(
             batch_id, indices = task
             start = time.time_ns()
             try:
-                data = fetcher.fetch(indices)
+                with batch_scope(batch_id):
+                    data = fetcher.fetch(indices)
             except StopIteration:
                 # Iterable shard exhausted; tell the main process and
                 # keep serving (only the shutdown sentinel ends the loop).

@@ -138,6 +138,6 @@ def run_traced_epoch(bundle, max_batches: Optional[int] = None) -> TraceAnalysis
     sink = bundle.log_target
     if not isinstance(sink, InMemoryTraceLog):
         raise ValueError("run_traced_epoch needs an InMemoryTraceLog bundle")
-    analysis = analyze_trace(sink.records())
+    analysis = analyze_trace(sink.columns())
     analysis.epoch_report = report  # type: ignore[attr-defined]
     return analysis

@@ -76,7 +76,7 @@ def _panel(name: str, bundle, coarse: bool = True) -> PipelineTrace:
         gpu_step_ms=report.mean_gpu_step_s * 1000.0,
         n_batches=report.n_batches,
         out_of_order_batches=ooo,
-        chrome_trace=to_chrome_trace(sink.records(), coarse=coarse),
+        chrome_trace=to_chrome_trace(sink.columns(), coarse=coarse),
     )
 
 

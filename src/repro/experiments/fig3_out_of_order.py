@@ -72,7 +72,7 @@ def run_fig3(heavy_size: int = 320, light_size: int = 16) -> Fig3Result:
     )
     for _batch in loader:
         pass
-    analysis = analyze_trace(log.records())
+    analysis = analyze_trace(log.columns())
     events = out_of_order_events(analysis)
     flow0 = analysis.batches[0]
     flow1 = analysis.batches[1]

@@ -12,7 +12,7 @@ import os
 from typing import Any, Dict, Optional
 
 from repro.core.lotustrace.analysis import TraceAnalysis, analyze_trace
-from repro.core.lotustrace.logfile import parse_trace_file
+from repro.core.lotustrace.columns import parse_trace_file_columns
 from repro.profilers.base import BaselineProfiler, ProfilerCapabilities
 from repro.utils.timeunits import ns_to_s
 
@@ -33,7 +33,7 @@ class LotusTraceProfiler(BaselineProfiler):
 
     def stop(self) -> None:
         if os.path.exists(self.log_path):
-            self._analysis = analyze_trace(parse_trace_file(self.log_path))
+            self._analysis = analyze_trace(parse_trace_file_columns(self.log_path))
 
     def write_log(self, path: str) -> int:
         """The trace log is written live by the pipeline; report its size."""

@@ -21,7 +21,7 @@ import sys
 from typing import List, Optional, Sequence, Tuple
 
 from repro.core.lotustrace.analysis import TraceAnalysis, analyze_trace
-from repro.core.lotustrace.logfile import parse_trace_file
+from repro.core.lotustrace.columns import parse_trace_file_columns
 from repro.errors import TraceError
 from repro.utils.stats import summarize
 from repro.utils.timeunits import ms_to_ns, ns_to_ms
@@ -99,7 +99,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--output_file")
     args = parser.parse_args(argv)
 
-    analysis = analyze_trace(parse_trace_file(args.data_dir))
+    analysis = analyze_trace(parse_trace_file_columns(args.data_dir))
     report = format_report(
         analysis, threshold_ms=args.threshold_ms, sort_criteria=args.sort_criteria
     )

@@ -30,7 +30,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.core.lotusmap.attribution import attribute_counters
 from repro.core.lotusmap.mapping import Mapping
 from repro.core.lotustrace.analysis import analyze_trace
-from repro.core.lotustrace.logfile import parse_trace_file
+from repro.core.lotustrace.columns import parse_trace_file_columns
 from repro.errors import ProfilerError
 from repro.hwprof.counters import COUNTER_NAMES
 from repro.hwprof.profile import HardwareProfile
@@ -91,7 +91,7 @@ def per_op_table(
     profile: HardwareProfile, mapping: Mapping, lotustrace_log: str
 ) -> str:
     """Attribute one profile to Python ops and render the table."""
-    analysis = analyze_trace(parse_trace_file(lotustrace_log))
+    analysis = analyze_trace(parse_trace_file_columns(lotustrace_log))
     filtered = profile.filter(
         lambda row: mapping.is_preprocessing_function(row.function)
     )

@@ -21,7 +21,7 @@ import sys
 from typing import List, Optional, Sequence
 
 from repro.core.lotustrace.analysis import analyze_trace
-from repro.core.lotustrace.logfile import parse_trace_file
+from repro.core.lotustrace.columns import parse_trace_file_columns
 from repro.errors import TraceError
 from repro.utils.stats import Summary, percentile, summarize
 from repro.utils.timeunits import ns_to_ms
@@ -58,7 +58,7 @@ def compute_stats(
     trace_path: str, remove_outliers: bool = False
 ) -> Summary:
     """Per-batch preprocessing-time summary for one trace log."""
-    analysis = analyze_trace(parse_trace_file(trace_path))
+    analysis = analyze_trace(parse_trace_file_columns(trace_path))
     times = [float(t) for t in analysis.preprocess_times_ns()]
     if not times:
         raise TraceError(f"{trace_path} has no batch_preprocessed records")

@@ -24,19 +24,29 @@ import os
 import sys
 from typing import List, Optional, Sequence
 
+from typing import Union
+
 from repro.core.lotustrace.chrometrace import (
     augment_profiler_trace,
     to_chrome_trace,
 )
+from repro.core.lotustrace.columns import TraceColumns, parse_trace_file_columns
 from repro.core.lotustrace.logfile import parse_trace_file
 from repro.core.lotustrace.records import TraceRecord
 from repro.errors import TraceError
 
 
-def collect_records(path: str, prefix: Optional[str] = None) -> List[TraceRecord]:
-    """Records from a log file, or from every matching log in a directory."""
+def collect_records(
+    path: str, prefix: Optional[str] = None
+) -> Union[TraceColumns, List[TraceRecord]]:
+    """Trace rows from a log file, or from every matching log in a directory.
+
+    A single file parses straight to a columnar table; a directory of
+    per-worker logs is merged record-by-record (both forms feed
+    ``to_chrome_trace``/``augment_profiler_trace`` unchanged).
+    """
     if os.path.isfile(path):
-        return parse_trace_file(path)
+        return parse_trace_file_columns(path)
     if os.path.isdir(path):
         records: List[TraceRecord] = []
         for name in sorted(os.listdir(path)):

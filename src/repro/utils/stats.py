@@ -30,7 +30,10 @@ def percentile(values: Sequence[float], q: float) -> float:
     if lo == hi:
         return float(ordered[lo])
     frac = rank - lo
-    return float(ordered[lo] * (1.0 - frac) + ordered[hi] * frac)
+    value = ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+    # Interpolating subnormals can underflow below ordered[lo] (e.g.
+    # 5e-324 * 0.5 rounds to 0.0); clamp to the bracketing samples.
+    return float(min(max(value, ordered[lo]), ordered[hi]))
 
 
 def iqr(values: Sequence[float]) -> float:

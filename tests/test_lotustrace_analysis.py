@@ -123,6 +123,60 @@ class TestFractions:
             analysis.fraction_delays_over(1)
 
 
+class TestCollationBatchIds:
+    """Collation op records carry the real batch id (no -1 placeholder).
+
+    The worker loop and the single-process iterator scope each fetch with
+    ``batch_scope``, so ``_InstrumentedCollate`` stamps the id directly
+    instead of leaving attribution to span containment.
+    """
+
+    class _Dataset:
+        def __len__(self):
+            return 12
+
+        def __getitem__(self, i):
+            return [float(i)]
+
+    @pytest.mark.parametrize("num_workers", [0, 2])
+    def test_collation_records_carry_batch_id(self, num_workers):
+        from repro.core.lotustrace.logfile import InMemoryTraceLog
+        from repro.data.dataloader import COLLATION_OP_NAME, DataLoader
+
+        log = InMemoryTraceLog()
+        loader = DataLoader(
+            self._Dataset(),
+            batch_size=3,
+            num_workers=num_workers,
+            log_file=log,
+        )
+        for _batch in loader:
+            pass
+        collations = [
+            r for r in log.records()
+            if r.kind == KIND_OP and r.name == COLLATION_OP_NAME
+        ]
+        assert sorted(r.batch_id for r in collations) == [0, 1, 2, 3]
+        analysis = analyze_trace(log.columns())
+        assert sorted(analysis.op_batch_ids[COLLATION_OP_NAME]) == [0, 1, 2, 3]
+
+    def test_carried_id_beats_containment(self):
+        # An op stamped with batch 7 sits inside batch 0's fetch span;
+        # the carried id must win in both engines.
+        records = [
+            rec(KIND_BATCH_PREPROCESSED, 0, 0, 50, worker=0),
+            rec(KIND_OP, 7, 5, 10, worker=0, name="Collation"),
+            rec(KIND_OP, -1, 20, 10, worker=0, name="Loader"),
+        ]
+        from repro.core.lotustrace.engine import analysis_engine
+
+        assert analyze_trace(records).op_batch_ids["Collation"] == [7]
+        assert analyze_trace(records).op_batch_ids["Loader"] == [0]
+        with analysis_engine("records"):
+            assert analyze_trace(records).op_batch_ids["Collation"] == [7]
+            assert analyze_trace(records).op_batch_ids["Loader"] == [0]
+
+
 class TestPerOpStats:
     def test_summaries(self):
         stats = per_op_stats(synthetic_trace())

@@ -2,6 +2,13 @@ import threading
 
 import pytest
 
+from repro.core.lotustrace.columns import (
+    ParseStats,
+    TraceColumns,
+    parse_trace_bytes,
+    parse_trace_file_columns,
+)
+from repro.core.lotustrace.engine import analysis_engine
 from repro.core.lotustrace.logfile import (
     InMemoryTraceLog,
     LotusLogWriter,
@@ -103,3 +110,78 @@ class TestParsing:
     def test_bad_line_raises(self):
         with pytest.raises(TraceError):
             parse_trace_lines(["garbage"])
+
+    def test_bad_line_skipped_and_counted(self):
+        stats = ParseStats()
+        lines = [
+            make_record(0).to_line(),
+            "garbage",
+            make_record(1).to_line(),
+            "op,Trunc,0,0,1,5",  # torn mid-write: too few fields
+        ]
+        records = parse_trace_lines(lines, errors="skip", stats=stats)
+        assert [r.name for r in records] == ["Op0", "Op1"]
+        assert stats.skipped_lines == 2
+
+    def test_blank_lines_not_counted_as_skipped(self):
+        stats = ParseStats()
+        parse_trace_lines(["", "  "], errors="skip", stats=stats)
+        assert stats.skipped_lines == 0
+
+    def test_unknown_errors_mode_raises(self):
+        with pytest.raises(TraceError):
+            parse_trace_lines([], errors="ignore")
+
+
+class TestHardenedFileParsing:
+    """A log whose tail was torn mid-append must still be readable."""
+
+    def _write_torn_log(self, path):
+        lines = [make_record(i).to_line() for i in range(4)]
+        torn = lines[3][: len(lines[3]) // 2]  # truncated final append
+        path.write_text("\n".join(lines[:3]) + "\n" + torn)
+        return path
+
+    def test_truncated_tail_raises_by_default(self, tmp_path):
+        path = self._write_torn_log(tmp_path / "torn.log")
+        with pytest.raises(TraceError):
+            parse_trace_file(path)
+        with pytest.raises(TraceError), analysis_engine("records"):
+            parse_trace_file(path)
+
+    def test_truncated_tail_skipped_and_counted(self, tmp_path):
+        path = self._write_torn_log(tmp_path / "torn.log")
+        stats = ParseStats()
+        records = parse_trace_file(path, errors="skip", stats=stats)
+        assert [r.name for r in records] == ["Op0", "Op1", "Op2"]
+        assert stats.skipped_lines == 1
+
+    def test_skip_semantics_match_between_engines(self, tmp_path):
+        path = self._write_torn_log(tmp_path / "torn.log")
+        columnar_stats, record_stats = ParseStats(), ParseStats()
+        columnar = parse_trace_file(path, errors="skip", stats=columnar_stats)
+        with analysis_engine("records"):
+            oracle = parse_trace_file(path, errors="skip", stats=record_stats)
+        assert columnar == oracle
+        assert columnar_stats.skipped_lines == record_stats.skipped_lines
+
+    def test_columns_roundtrip_matches_oracle(self, tmp_path):
+        path = tmp_path / "trace.log"
+        with LotusLogWriter(path) as writer:
+            for i in range(10):
+                writer.write(make_record(i))
+        cols = parse_trace_file_columns(path)
+        assert isinstance(cols, TraceColumns)
+        with analysis_engine("records"):
+            oracle = parse_trace_file(path)
+        assert cols.to_records() == oracle
+
+    def test_parse_bytes_corrupt_middle_line(self):
+        good = [make_record(i).to_line() for i in range(3)]
+        blob = (good[0] + "\nnot,a,record\n" + good[1] + "\n" + good[2] + "\n").encode()
+        with pytest.raises(TraceError):
+            parse_trace_bytes(blob)
+        stats = ParseStats()
+        cols = parse_trace_bytes(blob, errors="skip", stats=stats)
+        assert len(cols) == 3
+        assert stats.skipped_lines == 1

@@ -1,0 +1,282 @@
+"""Columnar engine vs record oracle: exhaustive parity checks.
+
+The columnar trace engine (parse → analyze → report → export) must be
+observationally identical to the record-list path it replaced; the
+record path survives behind ``analysis_engine("records")`` precisely so
+these tests can hold the two implementations against each other on
+traces with multiple workers, out-of-order arrivals, duplicate batch
+ids (multi-epoch logs), orphan ops, and degenerate inputs.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.core.lotustrace.analysis import analyze_trace, out_of_order_events
+from repro.core.lotustrace.autoreport import generate_report
+from repro.core.lotustrace.chrometrace import to_chrome_trace
+from repro.core.lotustrace.columns import TraceColumns, parse_trace_file_columns
+from repro.core.lotustrace.compare import compare_traces
+from repro.core.lotustrace.engine import analysis_engine, current_engine
+from repro.core.lotustrace.logfile import parse_trace_file
+from repro.core.lotustrace.records import (
+    KIND_BATCH_CONSUMED,
+    KIND_BATCH_PREPROCESSED,
+    KIND_BATCH_WAIT,
+    KIND_OP,
+    MAIN_PROCESS_WORKER_ID,
+    OOO_MARKER_DURATION_NS,
+    TraceRecord,
+)
+
+US = 1_000
+
+
+def synthetic_trace(
+    n_batches=40,
+    n_workers=3,
+    seed=0,
+    ooo_fraction=0.3,
+    with_orphans=True,
+    shuffle=True,
+):
+    """A randomized but seeded multi-worker trace with per-op records."""
+    rng = random.Random(seed)
+    records = []
+    clock = 0
+    for batch in range(n_batches):
+        worker = batch % n_workers
+        start = clock + rng.randrange(0, 900 * US)
+        op_clock = start
+        for name in ("Loader", "RandomResizedCrop", "Normalize"):
+            duration = rng.randrange(50 * US, 900 * US)
+            records.append(
+                TraceRecord(
+                    kind=KIND_OP, name=name, batch_id=-1, worker_id=worker,
+                    pid=100 + worker, start_ns=op_clock, duration_ns=duration,
+                )
+            )
+            op_clock += duration
+        # Collation carries its batch id (emitted inside batch_scope).
+        records.append(
+            TraceRecord(
+                kind=KIND_OP, name="Collation", batch_id=batch,
+                worker_id=worker, pid=100 + worker, start_ns=op_clock,
+                duration_ns=rng.randrange(1 * US, 20 * US),
+            )
+        )
+        fetch_duration = (op_clock - start) + rng.randrange(30 * US, 200 * US)
+        records.append(
+            TraceRecord(
+                kind=KIND_BATCH_PREPROCESSED, name="fetch", batch_id=batch,
+                worker_id=worker, pid=100 + worker, start_ns=start,
+                duration_ns=fetch_duration,
+            )
+        )
+        out_of_order = rng.random() < ooo_fraction
+        wait_start = start + fetch_duration + rng.randrange(0, 50 * US)
+        records.append(
+            TraceRecord(
+                kind=KIND_BATCH_WAIT, name="wait", batch_id=batch,
+                worker_id=MAIN_PROCESS_WORKER_ID, pid=1, start_ns=wait_start,
+                duration_ns=(
+                    OOO_MARKER_DURATION_NS
+                    if out_of_order
+                    else rng.randrange(1 * US, 400 * US)
+                ),
+                out_of_order=out_of_order,
+            )
+        )
+        records.append(
+            TraceRecord(
+                kind=KIND_BATCH_CONSUMED, name="consume", batch_id=batch,
+                worker_id=MAIN_PROCESS_WORKER_ID, pid=1,
+                start_ns=wait_start + rng.randrange(1 * US, 300 * US),
+                duration_ns=rng.randrange(1 * US, 40 * US),
+            )
+        )
+        clock += rng.randrange(100 * US, 1000 * US)
+    if with_orphans:
+        # An op on a worker with no fetch span, and one far outside any
+        # span on a known worker: both must attribute to batch -1.
+        records.append(
+            TraceRecord(
+                kind=KIND_OP, name="Orphan", batch_id=-1, worker_id=97,
+                pid=999, start_ns=5 * US, duration_ns=2 * US,
+            )
+        )
+        records.append(
+            TraceRecord(
+                kind=KIND_OP, name="Loader", batch_id=-1, worker_id=0,
+                pid=100, start_ns=clock + 10_000 * US, duration_ns=US,
+            )
+        )
+    if shuffle:
+        rng.shuffle(records)  # log lines arrive interleaved across tracks
+    return records
+
+
+def oracle_analysis(records):
+    with analysis_engine("records"):
+        return analyze_trace(list(records))
+
+
+def assert_analysis_parity(records):
+    """Every public surface of the two engines must agree exactly."""
+    assert current_engine() == "columnar"
+    columnar = analyze_trace(TraceColumns.from_records(records))
+    oracle = oracle_analysis(records)
+
+    assert columnar.num_batches() == oracle.num_batches()
+    assert columnar.batches == oracle.batches
+    assert columnar.op_durations == oracle.op_durations
+    assert columnar.op_batch_ids == oracle.op_batch_ids
+    assert columnar.op_names() == oracle.op_names()
+    assert columnar.op_total_cpu_ns() == oracle.op_total_cpu_ns()
+    assert columnar.total_preprocess_cpu_ns() == oracle.total_preprocess_cpu_ns()
+    assert columnar.preprocess_times_ns() == oracle.preprocess_times_ns()
+    assert columnar.wait_times_ns() == oracle.wait_times_ns()
+    assert columnar.delay_times_ns() == oracle.delay_times_ns()
+    assert out_of_order_events(columnar) == out_of_order_events(oracle)
+    if columnar.preprocess_times_ns():
+        assert columnar.preprocess_summary() == oracle.preprocess_summary()
+    for name in oracle.op_names():
+        assert columnar.op_summary(name) == oracle.op_summary(name)
+    if columnar.wait_times_ns():
+        for threshold in (0, 100 * US, 10_000 * US):
+            assert columnar.fraction_waits_over(
+                threshold
+            ) == oracle.fraction_waits_over(threshold)
+    return columnar, oracle
+
+
+class TestAnalysisParity:
+    def test_multi_worker(self):
+        assert_analysis_parity(synthetic_trace(seed=1))
+
+    def test_single_worker_in_order(self):
+        assert_analysis_parity(
+            synthetic_trace(
+                n_workers=1, ooo_fraction=0.0, seed=2, shuffle=False
+            )
+        )
+
+    def test_every_batch_out_of_order(self):
+        assert_analysis_parity(synthetic_trace(ooo_fraction=1.0, seed=3))
+
+    def test_multi_epoch_duplicate_batch_ids(self):
+        # Two epochs in one log reuse batch ids 0..n; the engines must
+        # agree on last-record-wins per (batch, kind).
+        epoch_a = synthetic_trace(n_batches=15, seed=4, shuffle=False)
+        epoch_b = synthetic_trace(n_batches=15, seed=5, shuffle=False)
+        assert_analysis_parity(epoch_a + epoch_b)
+
+    def test_empty_trace(self):
+        columnar, oracle = assert_analysis_parity([])
+        assert columnar.num_batches() == 0 == oracle.num_batches()
+
+    def test_ops_only(self):
+        records = [
+            TraceRecord(
+                kind=KIND_OP, name="Loader", batch_id=-1, worker_id=0,
+                pid=1, start_ns=10, duration_ns=5,
+            )
+        ]
+        columnar, oracle = assert_analysis_parity(records)
+        assert columnar.op_batch_ids == {"Loader": [-1]} == oracle.op_batch_ids
+
+    def test_batch_records_only(self):
+        records = [
+            TraceRecord(
+                kind=KIND_BATCH_WAIT, name="wait", batch_id=0,
+                worker_id=MAIN_PROCESS_WORKER_ID, pid=1, start_ns=10,
+                duration_ns=5,
+            )
+        ]
+        assert_analysis_parity(records)
+
+    def test_identical_timestamps(self):
+        # Several spans and ops sharing one start time exercise the
+        # stable tie-breaks in both engines.
+        records = []
+        for batch in range(4):
+            records.append(
+                TraceRecord(
+                    kind=KIND_BATCH_PREPROCESSED, name="fetch",
+                    batch_id=batch, worker_id=0, pid=1, start_ns=100,
+                    duration_ns=50,
+                )
+            )
+            records.append(
+                TraceRecord(
+                    kind=KIND_OP, name="Op", batch_id=-1, worker_id=0,
+                    pid=1, start_ns=100, duration_ns=50,
+                )
+            )
+        assert_analysis_parity(records)
+
+
+class TestChromeTraceParity:
+    @pytest.mark.parametrize("coarse", [False, True])
+    def test_byte_identical_json(self, coarse):
+        records = synthetic_trace(seed=7)
+        cols = TraceColumns.from_records(records)
+        columnar = json.dumps(to_chrome_trace(cols, coarse=coarse))
+        with analysis_engine("records"):
+            oracle = json.dumps(to_chrome_trace(records, coarse=coarse))
+        assert columnar == oracle
+
+    def test_byte_identical_with_custom_start_id(self):
+        records = synthetic_trace(n_batches=8, seed=8)
+        columnar = json.dumps(
+            to_chrome_trace(TraceColumns.from_records(records), start_id=-500)
+        )
+        with analysis_engine("records"):
+            oracle = json.dumps(to_chrome_trace(records, start_id=-500))
+        assert columnar == oracle
+
+    def test_record_input_uses_columnar_emitter(self):
+        # Same JSON whether the caller hands records or columns.
+        records = synthetic_trace(n_batches=8, seed=9)
+        by_records = json.dumps(to_chrome_trace(records))
+        by_columns = json.dumps(
+            to_chrome_trace(TraceColumns.from_records(records))
+        )
+        assert by_records == by_columns
+
+
+class TestReportAndCompareParity:
+    def test_report_identical(self):
+        records = synthetic_trace(seed=10)
+        cols = TraceColumns.from_records(records)
+        columnar = generate_report(cols).format()
+        with analysis_engine("records"):
+            oracle = generate_report(records).format()
+        assert columnar == oracle
+
+    def test_compare_identical(self):
+        base = synthetic_trace(seed=11)
+        cand = synthetic_trace(seed=12)
+        columnar = compare_traces(
+            TraceColumns.from_records(base), TraceColumns.from_records(cand)
+        ).format()
+        with analysis_engine("records"):
+            oracle = compare_traces(base, cand).format()
+        assert columnar == oracle
+
+
+class TestFileRoundTripParity:
+    def test_parse_engines_agree(self, tmp_path):
+        records = synthetic_trace(seed=13)
+        path = tmp_path / "trace.log"
+        path.write_text("".join(r.to_line() + "\n" for r in records))
+        cols = parse_trace_file_columns(path)
+        with analysis_engine("records"):
+            oracle_records = parse_trace_file(path)
+        assert cols.to_records() == oracle_records
+        assert_analysis_parity(oracle_records)
+
+    def test_to_records_round_trip(self):
+        records = synthetic_trace(n_batches=10, seed=14)
+        assert TraceColumns.from_records(records).to_records() == records
