@@ -10,13 +10,15 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/bench_substrate.py \
-		benchmarks/bench_trace_analysis.py --benchmark-only \
+		benchmarks/bench_trace_analysis.py \
+		benchmarks/bench_preprocessing.py --benchmark-only \
 		--benchmark-disable-gc --benchmark-json=$(BENCH_JSON) -q
 
 # Fail if the microbenchmarks (entropy decode, sample replay, DataLoader
-# epoch, trace parse/analyze/export) regressed >25% vs
-# benchmarks/BENCH_baseline.json, or if a vectorized path dropped below
-# its floor over the retained reference (3x decode/replay, 10x trace).
+# epoch, trace parse/analyze/export, batched preprocessing) regressed
+# >25% vs benchmarks/BENCH_baseline.json, or if a vectorized path
+# dropped below its floor over the retained reference (3x decode/replay,
+# 10x trace, 3x batched preprocessing engine).
 bench-check: bench
 	$(PYTHON) benchmarks/check_regression.py $(BENCH_JSON)
 

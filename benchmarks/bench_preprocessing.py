@@ -1,0 +1,99 @@
+"""Preprocessing-engine benchmarks: batched fast path vs per-sample oracle.
+
+Measures one full fetch of an image-classification batch (transform
+chain + collate, through the real instrumented fetcher with an active
+trace sink) under both execution engines on the *same* pre-decoded
+dataset. Decode is excluded on purpose: it is the Loader op, shared
+verbatim by both engines, and at SMOKE scale it would swamp the
+transform work the batched engine actually accelerates.
+
+``check_regression.py`` enforces the ISSUE 3 acceptance floor — the
+batched engine must stay >= 3x faster than the per-sample oracle at
+batch size 64 — as a same-run ratio (robust to machine load where
+absolute times are not). A bit-parity assertion runs once per session
+so the ratio can never be "won" by drifting off the oracle's pixels.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.lotustrace.context import batch_scope
+from repro.core.lotustrace.logfile import open_trace_log
+from repro.data.dataset import BlobImageDataset
+from repro.data.fetcher import create_fetcher
+from repro.datasets.synthetic import SizeDistribution, SyntheticImageNet
+from repro.imaging.image import Image
+from repro.tensor.collate import default_collate
+from repro.transforms import (
+    Compose,
+    Normalize,
+    RandomHorizontalFlip,
+    RandomResizedCrop,
+    ToTensor,
+)
+from repro.workloads.pipelines import IMAGENET_MEAN, IMAGENET_STD
+
+BATCH_SIZE = 64
+MEDIAN_SIDE = 80
+CROP = 48
+
+
+@pytest.fixture(scope="module")
+def decoded_dataset():
+    """Pre-decoded RGB images + labels (decode happens once, untimed)."""
+    ds = SyntheticImageNet(
+        BATCH_SIZE, sizes=SizeDistribution(median_side=MEDIAN_SIDE), seed=7
+    )
+    images = [Image.open(blob).convert("RGB") for blob in ds.blobs]
+    return images, ds.labels
+
+
+def _make_fetcher(decoded_dataset, tmp_path, batched):
+    images, labels = decoded_dataset
+    log = open_trace_log(tmp_path / f"trace-{batched}.log")
+    transform = Compose(
+        [
+            RandomResizedCrop(CROP, seed=1),
+            RandomHorizontalFlip(seed=2),
+            ToTensor(),
+            Normalize(IMAGENET_MEAN, IMAGENET_STD),
+        ],
+        log_transform_elapsed_time=log,
+    )
+    data = BlobImageDataset(
+        images,
+        labels=labels,
+        transform=transform,
+        loader=lambda image: image,
+        log_file=log,
+    )
+    return create_fetcher(
+        data, default_collate, batched=batched, reuse_buffers=True
+    )
+
+
+def _fetch(fetcher):
+    with batch_scope(0):
+        return fetcher.fetch(list(range(BATCH_SIZE)))
+
+
+@pytest.fixture(scope="module")
+def parity(decoded_dataset, tmp_path_factory):
+    """Both engines must produce bit-identical batches before timing."""
+    tmp = tmp_path_factory.mktemp("parity")
+    batched = _fetch(_make_fetcher(decoded_dataset, tmp, True))
+    oracle = _fetch(_make_fetcher(decoded_dataset, tmp, False))
+    np.testing.assert_array_equal(batched[0].numpy(), oracle[0].numpy())
+    np.testing.assert_array_equal(batched[1].numpy(), oracle[1].numpy())
+
+
+def test_bench_preprocess_batched(benchmark, decoded_dataset, parity, tmp_path):
+    fetcher = _make_fetcher(decoded_dataset, tmp_path, True)
+    _fetch(fetcher)  # warm the arena + coefficient caches
+    benchmark(_fetch, fetcher)
+
+
+def test_bench_preprocess_persample(benchmark, decoded_dataset, parity, tmp_path):
+    fetcher = _make_fetcher(decoded_dataset, tmp_path, False)
+    _fetch(fetcher)
+    benchmark(_fetch, fetcher)

@@ -37,6 +37,7 @@ TRACKED = (
     "test_bench_dataloader_epoch",
     "test_bench_trace_pipeline_columnar",
     "test_bench_trace_export_columnar",
+    "test_bench_preprocess_batched",
 )
 
 #: (vectorized, reference, required speedup floor) triples, measured in
@@ -49,6 +50,9 @@ SPEEDUP_PAIRS = (
         "test_bench_trace_pipeline_records",
         10.0,
     ),
+    # ISSUE 3 acceptance floor: batched preprocessing engine vs the
+    # per-sample oracle on the IC chain at batch size 64.
+    ("test_bench_preprocess_batched", "test_bench_preprocess_persample", 3.0),
 )
 
 DEFAULT_BASELINE = os.path.join(os.path.dirname(__file__), "BENCH_baseline.json")

@@ -26,6 +26,11 @@ _KINDS = frozenset(
 #: ``worker_id`` used for records emitted by the main process.
 MAIN_PROCESS_WORKER_ID = -1
 
+#: Op-record name for batch collation (Table II's C(k) column). Lives
+#: here (not in the dataloader) so the batched fetcher can emit the same
+#: record without importing the dataloader module.
+COLLATION_OP_NAME = "Collation"
+
 #: Out-of-order batches were already cached when the main process asked for
 #: them; the paper marks their wait records with a 1 us duration.
 OOO_MARKER_DURATION_NS = 1 * NS_PER_US

@@ -29,6 +29,7 @@ from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple, Union
 from repro.core.lotustrace.context import batch_scope, current_pid
 from repro.core.lotustrace.logfile import PathLike, TraceSink, open_trace_log
 from repro.core.lotustrace.records import (
+    COLLATION_OP_NAME,
     KIND_BATCH_CONSUMED,
     KIND_BATCH_PREPROCESSED,
     KIND_BATCH_WAIT,
@@ -61,9 +62,6 @@ from repro.tensor.collate import default_collate
 from repro.tensor.tensor import Tensor
 
 DEFAULT_WORKER_JOIN_TIMEOUT_S = 5.0
-
-#: Op-record name for batch collation (Table II's C(k) column).
-COLLATION_OP_NAME = "Collation"
 
 
 class _InstrumentedCollate:
@@ -139,6 +137,19 @@ class DataLoader:
         seed: shuffling seed.
         worker_timeout_s: how long ``_next_data`` waits on the data queue
             before checking worker liveness.
+        batched_execution: True forces the batched preprocessing engine,
+            False forces the per-sample oracle, None (default) defers to
+            the ambient ``batch_engine()`` selection (batched wherever
+            the transform chain supports it).
+        reuse_batch_buffers: reuse the fetcher's preallocated batch
+            output arrays across batches. None (default) enables reuse
+            only when it is alias-safe without consumer cooperation
+            (``num_workers == 0 and pin_memory``, where pinning copies
+            the batch out of the arena before the consumer sees it).
+            Explicit True opts in elsewhere — consumers must then not
+            hold a produced batch across ``next()`` (DESIGN.md §7);
+            worker arenas cycle ``prefetch_factor + 2`` buffer
+            generations so in-flight batches are never overwritten.
     """
 
     def __init__(
@@ -156,6 +167,8 @@ class DataLoader:
         worker_timeout_s: float = 60.0,
         worker_backend: str = THREAD_BACKEND,
         persistent_workers: bool = False,
+        batched_execution: Optional[bool] = None,
+        reuse_batch_buffers: Optional[bool] = None,
     ) -> None:
         if num_workers < 0:
             raise DataLoaderError(f"num_workers must be >= 0, got {num_workers}")
@@ -188,6 +201,17 @@ class DataLoader:
         self.pin_memory = pin_memory
         self.drop_last = drop_last
         self.prefetch_factor = prefetch_factor
+        self.batched_execution = batched_execution
+        if reuse_batch_buffers is None:
+            # Auto-reuse only where aliasing cannot bite without consumer
+            # cooperation: synchronous loading with pin_memory copies the
+            # batch out of the arena before the consumer sees it.
+            reuse_batch_buffers = num_workers == 0 and pin_memory
+        self.reuse_batch_buffers = reuse_batch_buffers
+        # Worker arenas must survive the data queue plus OOO caching:
+        # replenish-on-consume bounds each worker's in-flight batches by
+        # prefetch_factor, so prefetch_factor + 2 generations suffice.
+        self.batch_buffer_depth = 1 if num_workers == 0 else prefetch_factor + 2
         self.seed = seed
         self.worker_timeout_s = worker_timeout_s
         if isinstance(dataset, IterableDataset):
@@ -245,7 +269,13 @@ class _SingleProcessIter:
 
     def __init__(self, loader: DataLoader) -> None:
         self._loader = loader
-        self._fetcher = create_fetcher(loader.dataset, loader.collate_fn)
+        self._fetcher = create_fetcher(
+            loader.dataset,
+            loader.collate_fn,
+            batched=loader.batched_execution,
+            reuse_buffers=loader.reuse_batch_buffers,
+            buffer_depth=loader.batch_buffer_depth,
+        )
         self._batches = iter(loader.batch_sampler)
         self._batch_id = 0
         self._pid = current_pid()
@@ -334,6 +364,9 @@ class _WorkerPool:
                     "log_target": worker_log,
                     "is_process_worker": self.backend.is_process,
                     "num_workers": loader.num_workers,
+                    "batched_execution": loader.batched_execution,
+                    "reuse_batch_buffers": loader.reuse_batch_buffers,
+                    "batch_buffer_depth": loader.batch_buffer_depth,
                 },
                 name=f"repro-dataloader-worker-{worker_id}",
             )

@@ -140,6 +140,12 @@ class ImageFolder(_LoaderLogging, Dataset):
             image = self.transform(image)
         return image, label
 
+    def load_untransformed(self, index: int) -> Tuple[Any, int]:
+        """(image, label) with the Loader timed but the transform
+        skipped — the batched fetcher applies the chain per batch."""
+        path, label = self.samples[index]
+        return self._timed_load(lambda: self.loader(path)), label
+
     def __len__(self) -> int:
         return len(self.samples)
 
@@ -178,6 +184,12 @@ class BlobImageDataset(_LoaderLogging, Dataset):
         if self.transform is not None:
             image = self.transform(image)
         return image, self._labels[index]
+
+    def load_untransformed(self, index: int) -> Tuple[Any, int]:
+        """(image, label) with the Loader timed but the transform
+        skipped — the batched fetcher applies the chain per batch."""
+        blob = self._blobs[index]
+        return self._timed_load(lambda: self.loader(blob)), self._labels[index]
 
     def __len__(self) -> int:
         return len(self._blobs)

@@ -73,6 +73,9 @@ def worker_loop(
     log_target: Union[PathLike, TraceSink, None] = None,
     is_process_worker: bool = False,
     num_workers: int = 1,
+    batched_execution: Optional[bool] = None,
+    reuse_batch_buffers: bool = False,
+    batch_buffer_depth: int = 1,
 ) -> None:
     """Run one DataLoader worker until a shutdown sentinel arrives.
 
@@ -80,7 +83,10 @@ def worker_loop(
     which must reopen the log file in the child) or a shared sink for
     thread-backed workers. ``num_workers`` is exposed to dataset code via
     :func:`~repro.data.worker_info.get_worker_info` so iterable datasets
-    can shard their streams.
+    can shard their streams. The ``batched_execution`` /
+    ``reuse_batch_buffers`` / ``batch_buffer_depth`` triple configures
+    this worker's fetcher fast path (each worker owns its own buffer
+    arena).
     """
     if is_process_worker:
         set_process_worker_id(worker_id)
@@ -88,7 +94,13 @@ def worker_loop(
     with worker_identity(worker_id), worker_info_scope(
         WorkerInfo(worker_id=worker_id, num_workers=num_workers)
     ):
-        fetcher = create_fetcher(dataset, collate_fn)
+        fetcher = create_fetcher(
+            dataset,
+            collate_fn,
+            batched=batched_execution,
+            reuse_buffers=reuse_batch_buffers,
+            buffer_depth=batch_buffer_depth,
+        )
         pid = current_pid()
         while True:
             task = index_queue.get()

@@ -101,6 +101,8 @@ def run_amd_analysis(
     dataset = SyntheticImageNet(images, seed=seed)
     for workers in worker_counts:
         log = InMemoryTraceLog()
+        # Characterize the per-sample pipeline, not the batched fast
+        # path (DESIGN.md §7).
         bundle = build_ic_pipeline(
             dataset=dataset,
             profile=profile,
@@ -111,6 +113,7 @@ def run_amd_analysis(
             seed=seed + workers,
             remote_latency_s=0.012,
             remote_bandwidth_mb_s=10.0,
+            batched_execution=False,
         )
         profiler = scaled_uprof(seed=seed + 100 + workers)
         profiler.start()

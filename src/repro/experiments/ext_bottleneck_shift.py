@@ -78,6 +78,8 @@ def _bundle(dataset, profile, workers, gpus, log, seed, model_scale=3.0):
         log_transform_elapsed_time=log,
     )
     dataset.transform = transform
+    # Characterize the per-sample pipeline, not the batched fast path
+    # (DESIGN.md §7).
     loader = DataLoader(
         dataset,
         batch_size=profile.ic_batch_size,
@@ -85,6 +87,7 @@ def _bundle(dataset, profile, workers, gpus, log, seed, model_scale=3.0):
         num_workers=workers,
         log_file=log,
         seed=seed,
+        batched_execution=False,
     )
     model = ResNet18Like(profile.model_scale * model_scale)
     return PipelineBundle("ic-variant", loader, Trainer(make_gpus(gpus), model), model, log)

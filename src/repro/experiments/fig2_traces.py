@@ -88,6 +88,8 @@ def run_fig2(
 ) -> Fig2Result:
     """Run the three pipelines and build their Figure 2 panels."""
     result = Fig2Result()
+    # The paper characterizes the stock per-sample pipeline; keep the
+    # batched fast path off so the reproduced regimes match (DESIGN.md §7).
     result.panels["IC"] = _panel(
         "IC",
         build_ic_pipeline(
@@ -96,6 +98,7 @@ def run_fig2(
             n_gpus=n_gpus,
             log_file=InMemoryTraceLog(),
             seed=seed,
+            batched_execution=False,
         ),
     )
     result.panels["IS"] = _panel(
@@ -106,6 +109,7 @@ def run_fig2(
             n_gpus=n_gpus,
             log_file=InMemoryTraceLog(),
             seed=seed,
+            batched_execution=False,
         ),
     )
     result.panels["OD"] = _panel(
@@ -116,6 +120,7 @@ def run_fig2(
             n_gpus=n_gpus,
             log_file=InMemoryTraceLog(),
             seed=seed,
+            batched_execution=False,
         ),
     )
     return result

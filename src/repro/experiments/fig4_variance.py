@@ -78,6 +78,8 @@ def run_fig4(
     for n_gpus in gpu_counts:
         for batch_size in batch_sizes:
             log = InMemoryTraceLog()
+            # Characterize the per-sample pipeline, not the batched fast
+            # path (DESIGN.md §7).
             bundle = build_ic_pipeline(
                 dataset=dataset,
                 profile=profile,
@@ -86,6 +88,7 @@ def run_fig4(
                 n_gpus=n_gpus,
                 log_file=log,
                 seed=seed + batch_size + n_gpus,
+                batched_execution=False,
             )
             analysis = run_traced_epoch(bundle)
             times = analysis.preprocess_times_ns()

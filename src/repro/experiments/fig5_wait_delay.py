@@ -55,6 +55,8 @@ def run_fig5(
     result = Fig5Result()
     for workers, gpus in configs:
         log = InMemoryTraceLog()
+        # Characterize the per-sample pipeline, not the batched fast
+        # path (DESIGN.md §7).
         bundle = build_ic_pipeline(
             dataset=dataset,
             profile=profile,
@@ -63,6 +65,7 @@ def run_fig5(
             n_gpus=gpus,
             log_file=log,
             seed=seed + workers,
+            batched_execution=False,
         )
         analysis = run_traced_epoch(bundle)
         report = analysis.epoch_report

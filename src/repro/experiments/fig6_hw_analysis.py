@@ -120,6 +120,8 @@ def run_fig6(
     result = Fig6Result(mapping=mapping)
     for workers in worker_counts:
         log = InMemoryTraceLog()
+        # Characterize the per-sample pipeline, not the batched fast
+        # path (DESIGN.md §7).
         bundle = build_ic_pipeline(
             dataset=dataset,
             profile=profile,
@@ -130,6 +132,7 @@ def run_fig6(
             seed=seed + workers,
             remote_latency_s=remote_latency_s,
             remote_bandwidth_mb_s=10.0,
+            batched_execution=False,
         )
         profiler = scaled_vtune(seed=seed + 100 + workers)
         profiler.start()

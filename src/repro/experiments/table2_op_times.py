@@ -74,15 +74,29 @@ def run_table2(
 ) -> Table2Result:
     """Run IC/IS/OD traced epochs and compute Table II rows."""
     result = Table2Result()
+    # Table II is per-operation-per-sample timing — run the per-sample
+    # engine, not the batched fast path (DESIGN.md §7).
     builders = {
         "IC": lambda log: build_ic_pipeline(
-            profile=profile, num_workers=num_workers, log_file=log, seed=seed
+            profile=profile,
+            num_workers=num_workers,
+            log_file=log,
+            seed=seed,
+            batched_execution=False,
         ),
         "IS": lambda log: build_is_pipeline(
-            profile=profile, num_workers=num_workers, log_file=log, seed=seed
+            profile=profile,
+            num_workers=num_workers,
+            log_file=log,
+            seed=seed,
+            batched_execution=False,
         ),
         "OD": lambda log: build_od_pipeline(
-            profile=profile, num_workers=num_workers, log_file=log, seed=seed
+            profile=profile,
+            num_workers=num_workers,
+            log_file=log,
+            seed=seed,
+            batched_execution=False,
         ),
     }
     for name, builder in builders.items():

@@ -71,6 +71,8 @@ def run_ic_epoch_under(
     if profiler is not None:
         profiler.start()
     try:
+        # Characterize the per-sample pipeline, not the batched fast
+        # path (DESIGN.md §7).
         bundle = build_ic_pipeline(
             dataset=dataset,
             profile=profile,
@@ -78,6 +80,7 @@ def run_ic_epoch_under(
             log_file=log_file,
             seed=seed,
             pin_memory=True,
+            batched_execution=False,
         )
         iterator = iter(bundle.loader)
         while True:

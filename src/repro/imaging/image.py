@@ -120,19 +120,36 @@ class Image:
 
     # -- raster operations ----------------------------------------------------
     def resize(self, size: Tuple[int, int]) -> "Image":
-        """Bilinear resize to (width, height) via separable passes."""
+        """Bilinear resize to (width, height) via separable passes.
+
+        Pixels move through channels-first float32 so each pass is one
+        reshape-view GEMM (no transpose copy inside the contraction) —
+        the identical per-image calls the batched engine loops over,
+        which is what pins the two engines' outputs bit-together
+        (DESIGN.md §7).
+        """
         width, height = size
         if width <= 0 or height <= 0:
             raise ImageError(f"invalid resize target: {size}")
-        array = self._decoded_array().astype(np.float32)
-        h_bounds, h_weights = kernels.precompute_coeffs(array.shape[1], width)
-        array = kernels.imaging_resample_horizontal(array, h_bounds, h_weights)
-        v_bounds, v_weights = kernels.precompute_coeffs(array.shape[0], height)
-        array = kernels.imaging_resample_vertical(array, v_bounds, v_weights)
+        source = self._decoded_array()
+        h_bounds, h_weights = kernels.precompute_coeffs(source.shape[1], width)
+        v_bounds, v_weights = kernels.precompute_coeffs(source.shape[0], height)
+        if source.ndim == 3:
+            array = source.transpose(2, 0, 1).astype(np.float32)
+        else:
+            array = source.astype(np.float32)
+        array = kernels.imaging_resample_horizontal(
+            array, h_bounds, h_weights, channels_first=True
+        )
+        array = kernels.imaging_resample_vertical(
+            array, v_bounds, v_weights, channels_first=True
+        )
         # Intel-visible allocator traffic from the two temporary passes.
         kernels.memmove_gather(array, np.arange(array.shape[0]))
         kernels.int_free(array)
         out = np.clip(np.round(array), 0, 255).astype(np.uint8)
+        if out.ndim == 3:
+            out = np.ascontiguousarray(out.transpose(1, 2, 0))
         return Image(out, mode=self.mode)
 
     def crop(self, box: Tuple[int, int, int, int]) -> "Image":

@@ -121,6 +121,106 @@ def imaging_unpack_rgb(planes: Tuple[np.ndarray, np.ndarray, np.ndarray]) -> np.
     return out
 
 
+# Coefficient rows keyed by (in_size, out_size, support). A batch of
+# randomly cropped images repeats the same integer sizes constantly —
+# within a batch and across batches — so the batched overload memoizes
+# per-size rows. The scalar path stays uncached on purpose: it models
+# Pillow's per-call recompute, which is exactly the per-sample overhead
+# the batched engine amortizes.
+_COEFFS_CACHE: dict = {}
+_COEFFS_CACHE_CAP = 4096
+
+
+def _precompute_coeffs_batch(
+    in_sizes: np.ndarray, out_size: int, support: float
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Memoized vectorized coefficient pass over N input sizes.
+
+    Returns ``(bounds (N, out_size), weights (N, out_size, kmax))`` with
+    weights zero-padded past each image's true window (zero columns add
+    exact +0.0 terms downstream, so consumers need no masking). Rows come
+    from :data:`_COEFFS_CACHE`; misses are computed in one vectorized
+    pass over the batch's novel sizes.
+    """
+    if np.any(in_sizes <= 0) or out_size <= 0:
+        raise ImageError(
+            f"invalid resample sizes: {in_sizes.tolist()} -> {out_size}"
+        )
+    unique_sizes, inverse = np.unique(in_sizes, return_inverse=True)
+    size_list = unique_sizes.tolist()
+    missing = [
+        size for size in size_list
+        if (size, out_size, support) not in _COEFFS_CACHE
+    ]
+    if missing:
+        if len(_COEFFS_CACHE) + len(missing) > _COEFFS_CACHE_CAP:
+            _COEFFS_CACHE.clear()
+        m_sizes = np.asarray(missing, dtype=np.int64)
+        m_bounds, m_weights = _precompute_coeffs_uncached(
+            m_sizes, out_size, support
+        )
+        m_windows = (
+            np.ceil(support * np.maximum(m_sizes / out_size, 1.0)).astype(
+                np.int64
+            )
+            * 2
+            + 1
+        )
+        for i, size in enumerate(missing):
+            _COEFFS_CACHE[(size, out_size, support)] = (
+                m_bounds[i],
+                m_weights[i, :, : m_windows[i]],
+            )
+    rows = [_COEFFS_CACHE[(size, out_size, support)] for size in size_list]
+    kmax = max(row_weights.shape[1] for _, row_weights in rows)
+    u_bounds = np.stack([row_bounds for row_bounds, _ in rows])
+    u_weights = np.zeros((len(rows), out_size, kmax), dtype=np.float64)
+    for u, (_, row_weights) in enumerate(rows):
+        u_weights[u, :, : row_weights.shape[1]] = row_weights
+    return u_bounds[inverse], u_weights[inverse]
+
+
+def _precompute_coeffs_uncached(
+    in_sizes: np.ndarray, out_size: int, support: float
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorized coefficient pass over N input sizes (one output size).
+
+    Images are grouped by filter window so every group's per-row math —
+    including the window-length normalization sum — runs on rows of the
+    same length as the scalar call, making each image's coefficients
+    bit-identical to its own ``precompute_coeffs(in_size, out_size)``.
+    """
+    scale = in_sizes / out_size
+    filterscale = np.maximum(scale, 1.0)
+    radius = support * filterscale
+    windows = np.ceil(radius).astype(np.int64) * 2 + 1
+    bounds = np.empty((in_sizes.size, out_size), dtype=np.int64)
+    weights = np.zeros(
+        (in_sizes.size, out_size, int(windows.max())), dtype=np.float64
+    )
+    for window in np.unique(windows).tolist():
+        group = np.flatnonzero(windows == window)
+        g_in = in_sizes[group][:, None]
+        centers = (np.arange(out_size) + 0.5)[None, :] * scale[group][:, None]
+        first = np.clip(
+            np.floor(centers - radius[group][:, None]).astype(np.int64),
+            0,
+            np.maximum(g_in - window, 0),
+        )
+        positions = first[:, :, None] + np.arange(window)[None, None, :]
+        distance = (
+            np.abs(positions + 0.5 - centers[:, :, None])
+            / filterscale[group][:, None, None]
+        )
+        w = np.clip(1.0 - distance, 0.0, None)
+        w = w * (positions < g_in[:, :, None])
+        norm = w.sum(axis=2, keepdims=True)
+        norm[norm == 0.0] = 1.0
+        bounds[group] = first
+        weights[group, :, :window] = w / norm
+    return bounds, weights
+
+
 @native(
     "precompute_coeffs",
     library=PILLOW,
@@ -128,14 +228,24 @@ def imaging_unpack_rgb(planes: Tuple[np.ndarray, np.ndarray, np.ndarray]) -> np.
     vendors=("amd",),
 )
 def precompute_coeffs(
-    in_size: int, out_size: int, support: float = 1.0
+    in_size, out_size: int, support: float = 1.0
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Triangle-filter resampling windows (Pillow's coefficient pass).
 
     Returns ``(bounds, weights)`` where ``bounds[i]`` is the first source
     index contributing to output pixel ``i`` and ``weights[i]`` the filter
     weights over a fixed-width window.
+
+    Batched form: an array/sequence ``in_size`` computes all N images'
+    coefficients in one vectorized pass (grouped by window internally so
+    each image's rows are bit-identical to its scalar call), returning
+    ``(N, out_size)`` bounds and ``(N, out_size, kmax)`` zero-padded
+    weights.
     """
+    if isinstance(in_size, (list, tuple, np.ndarray)):
+        return _precompute_coeffs_batch(
+            np.asarray(in_size, dtype=np.int64), out_size, support
+        )
     if in_size <= 0 or out_size <= 0:
         raise ImageError(f"invalid resample sizes: {in_size} -> {out_size}")
     scale = in_size / out_size
@@ -155,24 +265,160 @@ def precompute_coeffs(
     return first, (weights / norm).astype(np.float64)
 
 
+def _filter_matrix(
+    bounds: np.ndarray, weights: np.ndarray, in_size: int, dtype
+) -> np.ndarray:
+    """Dense ``(out_size, in_size)`` filter matrix from a coefficient row.
+
+    Entry ``[i, bounds[i] + k] = weights[i, k]`` for every in-range tap;
+    out-of-range taps carry zero weight by construction (the coefficient
+    pass masks them), so dropping them loses nothing. The dense matrix
+    turns each resample pass into one BLAS contraction — deterministic
+    per (shape, dtype, values), which is what the batched engine's
+    bit-parity with the per-image path rests on (both run the identical
+    per-image GEMM).
+    """
+    out_size, window = weights.shape
+    matrix = np.zeros((out_size, in_size), dtype=dtype)
+    taps = bounds[:, None] + np.arange(window)[None, :]
+    valid = taps < in_size
+    rows = np.broadcast_to(np.arange(out_size)[:, None], taps.shape)
+    matrix[rows[valid], taps[valid]] = weights[valid]
+    return matrix
+
+
+# Dense filter matrices keyed by (in_size, out_size, support, dtype). A
+# matrix is a pure function of that key — it is built from the scalar
+# coefficient row for the same sizes — and random crop sizes repeat
+# heavily within and across batches, so after warmup the batched
+# resample passes skip both the coefficient pass and the scatter and
+# GEMM against cached read-only matrices.
+_MATRIX_CACHE: dict = {}
+_MATRIX_CACHE_CAP = 2048
+
+
+def resample_filter_matrix(
+    in_size: int, out_size: int, support: float = 1.0, dtype=np.float32
+) -> np.ndarray:
+    """The memoized dense ``(out_size, in_size)`` resample filter matrix.
+
+    Holds exactly the values the scalar :func:`precompute_coeffs` +
+    :func:`_filter_matrix` pair produces for the same sizes, so a GEMM
+    against it is bit-identical to the per-sample build-then-contract
+    path. Callers must treat the matrix as read-only.
+    """
+    dtype = np.dtype(dtype)
+    key = (int(in_size), int(out_size), float(support), dtype.str)
+    matrix = _MATRIX_CACHE.get(key)
+    if matrix is None:
+        if len(_MATRIX_CACHE) >= _MATRIX_CACHE_CAP:
+            _MATRIX_CACHE.clear()
+        bounds, weights = precompute_coeffs(int(in_size), out_size, support)
+        matrix = _filter_matrix(bounds, weights, int(in_size), dtype)
+        _MATRIX_CACHE[key] = matrix
+    return matrix
+
+
+def _filter_matrices(
+    bounds: np.ndarray,
+    weights: np.ndarray,
+    in_sizes: np.ndarray,
+    dtype,
+):
+    """Per-image dense filter matrices for a batched resample pass."""
+    return [
+        _filter_matrix(bounds[n], weights[n], int(in_sizes[n]), dtype)
+        for n in range(weights.shape[0])
+    ]
+
+
+def _resample_width(
+    array: np.ndarray, matrix: np.ndarray, channels_first: bool
+) -> np.ndarray:
+    """Contract the width axis of one image with ``matrix`` (outW, W).
+
+    ``channels_first`` input is ``(C, H, W)`` (or ``(H, W)``), where the
+    contracted axis is last — so the pass is one reshape-view GEMM with
+    no internal transpose copy. The channels-last form keeps the
+    ``(H, W, C)`` convention (tensordot transposes internally).
+    """
+    if array.ndim == 2:
+        return array @ matrix.T
+    if channels_first:
+        c, h, w = array.shape
+        return (array.reshape(c * h, w) @ matrix.T).reshape(c, h, -1)
+    return np.tensordot(array, matrix, axes=([1], [1])).transpose(0, 2, 1)
+
+
+def _resample_height(
+    array: np.ndarray, matrix: np.ndarray, channels_first: bool
+) -> np.ndarray:
+    """Contract the height axis of one image with ``matrix`` (outH, H)."""
+    if array.ndim == 2:
+        return matrix @ array
+    if channels_first:
+        return np.matmul(matrix, array)
+    return np.tensordot(matrix, array, axes=([1], [0]))
+
+
 @native(
     "ImagingResampleHorizontal_8bpc",
     library=PILLOW,
     signature=COMPUTE_BOUND,
 )
 def imaging_resample_horizontal(
-    array: np.ndarray, bounds: np.ndarray, weights: np.ndarray
+    array,
+    bounds: np.ndarray,
+    weights: np.ndarray,
+    channels_first: bool = False,
+    out=None,
+    matrices=None,
 ) -> np.ndarray:
-    """Horizontal resampling pass over (H, W[, C]) uint8/float arrays."""
-    window = weights.shape[1]
-    offsets = np.arange(window)[None, :]
-    cols = np.minimum(bounds[:, None] + offsets, array.shape[1] - 1)
-    gathered = array[:, cols]  # (H, out_w, window[, C])
-    if array.ndim == 3:
-        result = np.einsum("hwkc,wk->hwc", gathered, weights, optimize=True)
-    else:
-        result = np.einsum("hwk, wk -> hw", gathered, weights, optimize=True)
-    return result
+    """Horizontal resampling pass over one image or a ragged batch.
+
+    Each image is contracted with its dense filter matrix in one BLAS
+    call (see :func:`_filter_matrix`); ``channels_first`` selects the
+    ``(C, H, W)`` layout whose width contraction needs no transpose
+    copy (the per-sample ``Image.resize`` hot path), the default keeps
+    the ``(H, W[, C])`` convention. Batched form: ``array`` is a *list*
+    of per-image arrays (ragged sizes allowed) with stacked ``bounds``
+    ``(N, out_w)`` / zero-padded ``weights`` ``(N, out_w, kmax)``; the
+    kernel loops the *identical* per-image contraction internally
+    (against memoized dense filter matrices), so batched output is
+    bit-identical to N per-image calls while the whole pass stays one
+    kernel invocation — one @native span, one symbol-bucket hit — per
+    batch. ``out`` (batched channels-first only) is a list of per-image
+    ``(C, H_n, out_w)`` destination views, typically carved from a
+    reused arena slab so the pass makes no fresh allocations; ``matrices``
+    supplies per-image dense filter matrices (typically memoized via
+    :func:`resample_filter_matrix`) instead of building them from
+    ``bounds``/``weights``.
+    """
+    if isinstance(array, (list, tuple)):
+        if matrices is None:
+            axis = 2 if channels_first else 1
+            in_sizes = np.array(
+                [img.shape[axis] for img in array], dtype=np.int64
+            )
+            matrices = _filter_matrices(
+                bounds, weights, in_sizes, array[0].dtype
+            )
+        if out is not None and channels_first:
+            for n, img in enumerate(array):
+                c, h, w = img.shape
+                np.matmul(
+                    img.reshape(c * h, w),
+                    matrices[n].T,
+                    out=out[n].reshape(c * h, -1),
+                )
+            return out
+        return [
+            _resample_width(img, matrices[n], channels_first)
+            for n, img in enumerate(array)
+        ]
+    axis = array.ndim - 1 if channels_first else 1
+    matrix = _filter_matrix(bounds, weights, array.shape[axis], array.dtype)
+    return _resample_width(array, matrix, channels_first)
 
 
 @native(
@@ -181,18 +427,46 @@ def imaging_resample_horizontal(
     signature=COMPUTE_BOUND,
 )
 def imaging_resample_vertical(
-    array: np.ndarray, bounds: np.ndarray, weights: np.ndarray
+    array,
+    bounds: np.ndarray,
+    weights: np.ndarray,
+    channels_first: bool = False,
+    out: np.ndarray = None,
+    matrices=None,
 ) -> np.ndarray:
-    """Vertical resampling pass over (H, W[, C]) arrays."""
-    window = weights.shape[1]
-    offsets = np.arange(window)[None, :]
-    rows = np.minimum(bounds[:, None] + offsets, array.shape[0] - 1)
-    gathered = array[rows]  # (out_h, window, W[, C])
-    if array.ndim == 3:
-        result = np.einsum("hkwc, hk -> hwc", gathered, weights, optimize=True)
-    else:
-        result = np.einsum("hkw, hk -> hw", gathered, weights, optimize=True)
-    return result
+    """Vertical resampling pass over one image or a ragged batch.
+
+    Same dense-matrix GEMM scheme and batched *list* calling convention
+    as the horizontal pass. After the vertical pass every image has the
+    uniform output shape, so the batched channels-first form runs each
+    GEMM straight into ``out`` (an ``(N, ...)`` stack, typically an
+    arena buffer) when provided — no per-image temporary.
+    """
+    if isinstance(array, (list, tuple)):
+        if matrices is None:
+            axis = 1 if channels_first else 0
+            in_sizes = np.array(
+                [img.shape[axis] for img in array], dtype=np.int64
+            )
+            matrices = _filter_matrices(
+                bounds, weights, in_sizes, array[0].dtype
+            )
+        if out is not None and channels_first:
+            for n, img in enumerate(array):
+                np.matmul(matrices[n], img, out=out[n])
+            return out
+        results = [
+            _resample_height(img, matrices[n], channels_first)
+            for n, img in enumerate(array)
+        ]
+        if out is None:
+            return np.stack(results)
+        for n, result in enumerate(results):
+            out[n] = result
+        return out
+    axis = array.ndim - 2 if channels_first else 0
+    matrix = _filter_matrix(bounds, weights, array.shape[axis], array.dtype)
+    return _resample_height(array, matrix, channels_first)
 
 
 @native(
@@ -200,8 +474,19 @@ def imaging_resample_vertical(
     library=PILLOW,
     signature=MEMORY_BOUND,
 )
-def imaging_flip_left_right(array: np.ndarray) -> np.ndarray:
-    """Horizontal mirror returning a contiguous copy."""
+def imaging_flip_left_right(
+    array: np.ndarray, channels_first: bool = False
+) -> np.ndarray:
+    """Horizontal mirror returning a contiguous copy.
+
+    A 4-D input is treated as an image stack — ``(N, H, W, C)``, or
+    ``(N, C, H, W)`` with ``channels_first`` — and every image is
+    mirrored in one pass (callers pre-select the subset to flip).
+    """
+    if array.ndim == 4:
+        if channels_first:
+            return np.ascontiguousarray(array[..., ::-1])
+        return np.ascontiguousarray(array[:, :, ::-1])
     return np.ascontiguousarray(array[:, ::-1])
 
 
@@ -210,8 +495,32 @@ def imaging_flip_left_right(array: np.ndarray) -> np.ndarray:
     library=PILLOW,
     signature=MEMORY_BOUND,
 )
-def imaging_crop(array: np.ndarray, top: int, left: int, height: int, width: int) -> np.ndarray:
-    """Copy-out a (height, width) region with bounds checking."""
+def imaging_crop(array, top, left, height, width):
+    """Copy-out a (height, width) region with bounds checking.
+
+    Batched form: ``array`` is a *list* of per-image ``(H, W, C)`` arrays
+    and ``top``/``left``/``height``/``width`` are per-image sequences;
+    returns a ragged list of per-image crop *views* (same pixel values as
+    the per-image call, no padding to the batch-max box). The copy the
+    scalar call makes is deferred: the batched engine's next pass casts
+    every crop into its channels-first float working layout anyway, so an
+    eager contiguous copy here would only be thrown away.
+    """
+    if isinstance(array, (list, tuple)):
+        tops = np.asarray(top, dtype=np.int64)
+        lefts = np.asarray(left, dtype=np.int64)
+        heights = np.asarray(height, dtype=np.int64)
+        widths = np.asarray(width, dtype=np.int64)
+        crops = []
+        for n, img in enumerate(array):
+            t, l, h, w = int(tops[n]), int(lefts[n]), int(heights[n]), int(widths[n])
+            if t < 0 or l < 0 or t + h > img.shape[0] or l + w > img.shape[1]:
+                raise ImageError(
+                    f"crop box ({t},{l},{h},{w}) outside image "
+                    f"{img.shape[:2]}"
+                )
+            crops.append(img[t : t + h, l : l + w])
+        return crops
     if top < 0 or left < 0 or top + height > array.shape[0] or left + width > array.shape[1]:
         raise ImageError(
             f"crop box ({top},{left},{height},{width}) outside image "

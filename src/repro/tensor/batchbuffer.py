@@ -1,0 +1,78 @@
+"""Preallocated batch-output arenas for the zero-copy collate path.
+
+The batched fetcher writes each batch directly into ``(N, ...)`` output
+arrays drawn from a :class:`BatchBuffer` instead of building a list of
+per-sample Tensors and re-stacking them (two full copies). With
+``reuse=True`` the arena hands back the *same* backing storage every
+``depth`` batches, eliminating allocator traffic from the worker hot
+loop entirely — at the cost of the aliasing contract documented in
+DESIGN.md §7: consumers must not hold a produced batch across ``next()``
+while reuse is on.
+
+Buffers are keyed by a caller-chosen stage name and carved out of flat
+per-stage byte pools, so a request whose shape changes between batches
+(e.g. a trailing partial batch, or a ragged crop stack) reuses the same
+pool as long as it fits; the pool grows monotonically to the largest
+request seen.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+class BatchBuffer:
+    """Arena of reusable output arrays for batched collation.
+
+    Args:
+        reuse: when False, every :meth:`get` returns a fresh array (the
+            arena degenerates to ``np.empty``, still one-write zero-copy
+            relative to list-collate-stack, but alias-free).
+        depth: number of independent buffer generations cycled by
+            :meth:`advance`. ``depth=1`` reuses the same storage every
+            batch (single-consumer discipline); multi-worker loaders use
+            ``prefetch_factor + 2`` so a batch is never overwritten while
+            it can still be in flight on the data queue or held by the
+            consumer.
+    """
+
+    def __init__(self, reuse: bool = True, depth: int = 1) -> None:
+        if depth < 1:
+            raise ReproError(f"BatchBuffer depth must be >= 1, got {depth}")
+        self.reuse = reuse
+        self.depth = depth
+        self._pools: Dict[Tuple[str, int, str], np.ndarray] = {}
+        self._batch_index = 0
+        self.hits = 0
+        self.misses = 0
+
+    def advance(self) -> None:
+        """Start a new batch: rotate to the next buffer generation."""
+        self._batch_index += 1
+
+    def get(self, key: str, shape: Tuple[int, ...], dtype) -> np.ndarray:
+        """A writable C-contiguous array of ``shape``/``dtype`` for ``key``.
+
+        With reuse on, the same flat pool backs every request for
+        ``key`` within the same generation, growing to the largest size
+        seen; the returned view aliases previous batches' output.
+        """
+        dtype = np.dtype(dtype)
+        count = 1
+        for dim in shape:
+            count *= int(dim)
+        if not self.reuse:
+            return np.empty(shape, dtype)
+        slot = (key, self._batch_index % self.depth, dtype.str)
+        pool = self._pools.get(slot)
+        if pool is None or pool.size < count:
+            pool = np.empty(count, dtype)
+            self._pools[slot] = pool
+            self.misses += 1
+        else:
+            self.hits += 1
+        return pool[:count].reshape(shape)

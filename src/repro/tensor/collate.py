@@ -7,7 +7,7 @@ from typing import Any, List, Mapping, Sequence
 import numpy as np
 
 from repro.errors import ReproError
-from repro.tensor.tensor import Tensor, stack
+from repro.tensor.tensor import Tensor, _tensor_stack, stack
 
 
 def default_collate(samples: Sequence[Any]) -> Any:
@@ -29,12 +29,19 @@ def default_collate(samples: Sequence[Any]) -> Any:
     if isinstance(first, Tensor):
         return stack(samples)
     if isinstance(first, np.ndarray):
-        return stack([Tensor(np.asarray(s)) for s in samples])
+        # One stacking copy straight from the source arrays — wrapping
+        # each in a Tensor only for stack() to unwrap again would add a
+        # second full pass of Python-level indirection per batch.
+        return Tensor(_tensor_stack(samples))
     if isinstance(first, (int, float, np.integer, np.floating)):
         return Tensor(np.asarray(samples))
     if isinstance(first, Mapping):
-        keys = set(first)
-        if any(set(s) != keys for s in samples):
+        # Collate in the first sample's key order: set iteration order
+        # varies across runs (hash randomization), which made collated
+        # dict layouts nondeterministic.
+        keys = list(first)
+        key_set = set(keys)
+        if any(set(s) != key_set for s in samples):
             raise ReproError("dict samples with mismatched keys")
         return {key: default_collate([s[key] for s in samples]) for key in keys}
     if isinstance(first, (tuple, list)):

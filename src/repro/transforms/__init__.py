@@ -7,6 +7,12 @@ volumetric (image segmentation), and detection (object detection).
 """
 
 from repro.transforms.base import RandomTransform, Transform
+from repro.transforms.batch import (
+    BatchCompose,
+    ImageBatch,
+    batch_engine,
+    current_batch_engine,
+)
 from repro.transforms.compose import Compose
 from repro.transforms.detection import (
     DetectionCompose,
@@ -35,9 +41,13 @@ from repro.transforms.volumetric import (
 )
 
 __all__ = [
+    "BatchCompose",
     "Cast",
     "CenterCrop",
     "Compose",
+    "ImageBatch",
+    "batch_engine",
+    "current_batch_engine",
     "Grayscale",
     "Lambda",
     "Pad",

@@ -15,8 +15,10 @@ import numpy as np
 from repro.clib.costmodel import MEMORY_BOUND
 from repro.clib.registry import LIBTENSOR, native
 from repro.errors import ReproError
+from repro.imaging import kernels
 from repro.imaging.image import FLIP_LEFT_RIGHT, Image
 from repro.tensor.tensor import Tensor
+from repro.transforms import batch
 from repro.transforms.base import RandomTransform, Transform
 
 SizeLike = Union[int, Tuple[int, int]]
@@ -34,8 +36,12 @@ def _as_size(size: SizeLike) -> Tuple[int, int]:
     library=LIBTENSOR,
     signature=MEMORY_BOUND,
 )
-def _tensor_div(array: np.ndarray, divisor: np.ndarray) -> np.ndarray:
-    return array / divisor
+def _tensor_div(
+    array: np.ndarray, divisor: np.ndarray, out: np.ndarray = None
+) -> np.ndarray:
+    if out is None:
+        return array / divisor
+    return np.divide(array, divisor, out=out)
 
 
 @native(
@@ -43,8 +49,12 @@ def _tensor_div(array: np.ndarray, divisor: np.ndarray) -> np.ndarray:
     library=LIBTENSOR,
     signature=MEMORY_BOUND,
 )
-def _tensor_sub(array: np.ndarray, value: np.ndarray) -> np.ndarray:
-    return array - value
+def _tensor_sub(
+    array: np.ndarray, value: np.ndarray, out: np.ndarray = None
+) -> np.ndarray:
+    if out is None:
+        return array - value
+    return np.subtract(array, value, out=out)
 
 
 class RandomResizedCrop(RandomTransform):
@@ -101,6 +111,33 @@ class RandomResizedCrop(RandomTransform):
         box = self._sample_box(width, height)
         return image.crop(box).resize(self.size)
 
+    batch_stage = batch.STAGE_IMAGE
+
+    def batch_apply(self, batch_in, arena):
+        """Crop+resize all N images in one fused pass.
+
+        Boxes are drawn per sample *in sample order* before any pixel
+        work: this transform owns its own RNG stream, so drawing its N
+        parameter sets up front consumes that stream exactly as the
+        interleaved per-sample loop does (DESIGN.md §7).
+        """
+        widths, heights = batch_in.image_sizes()
+        boxes = [
+            self._sample_box(int(widths[i]), int(heights[i]))
+            for i in range(batch_in.n)
+        ]
+        lefts = np.array([b[0] for b in boxes], dtype=np.int64)
+        tops = np.array([b[1] for b in boxes], dtype=np.int64)
+        crop_ws = np.array([b[2] - b[0] for b in boxes], dtype=np.int64)
+        crop_hs = np.array([b[3] - b[1] for b in boxes], dtype=np.int64)
+        crops = kernels.imaging_crop(
+            batch_in.image_arrays(), tops, lefts, crop_hs, crop_ws
+        )
+        resized = batch.batch_resample(
+            crops, crop_ws, crop_hs, self.size, arena, key="rrc"
+        )
+        return batch.ImageBatch("chw8", stack=resized)
+
     def __repr__(self) -> str:
         return f"RandomResizedCrop(size={self.size})"
 
@@ -119,6 +156,26 @@ class RandomHorizontalFlip(RandomTransform):
             return image.transpose(FLIP_LEFT_RIGHT)
         return image
 
+    batch_stage = batch.STAGE_IMAGE
+
+    def batch_apply(self, batch_in, arena):
+        # One vectorized draw of N coins consumes the PCG64 stream
+        # exactly as N scalar random() calls would (DESIGN.md §7).
+        coins = self._rng().random(batch_in.n)
+        flip = np.nonzero(coins < self.p)[0]
+        if flip.size == 0:
+            return batch_in
+        if batch_in.layout in ("hwc", "chw8"):
+            batch_in.stack[flip] = kernels.imaging_flip_left_right(
+                batch_in.stack[flip],
+                channels_first=batch_in.layout == "chw8",
+            )
+            return batch_in
+        arrays = list(batch_in.arrays)
+        for i in flip:
+            arrays[int(i)] = kernels.imaging_flip_left_right(arrays[int(i)])
+        return batch.ImageBatch.from_arrays(arrays)
+
     def __repr__(self) -> str:
         return f"RandomHorizontalFlip(p={self.p})"
 
@@ -131,6 +188,16 @@ class Resize(Transform):
 
     def __call__(self, image: Image) -> Image:
         return image.resize(self.size)
+
+    batch_stage = batch.STAGE_IMAGE
+
+    def batch_apply(self, batch_in, arena):
+        widths, heights = batch_in.image_sizes()
+        resized = batch.batch_resample(
+            batch_in.image_arrays(), widths, heights, self.size, arena,
+            key="resize",
+        )
+        return batch.ImageBatch("chw8", stack=resized)
 
     def __repr__(self) -> str:
         return f"Resize(size={self.size})"
@@ -146,6 +213,25 @@ class ToTensor(Transform):
         chw = np.ascontiguousarray(array.transpose(2, 0, 1)).astype(np.float32)
         scaled = _tensor_div(chw, np.float32(255.0))
         return Tensor(scaled)
+
+    batch_stage = batch.STAGE_TO_TENSOR
+
+    def batch_apply(self, batch_in, arena):
+        # uint8 / float32-scalar divides straight into the float32 batch
+        # buffer — bit-identical to the oracle's astype-then-divide, one
+        # pass instead of transpose-copy + cast + divide per sample. A
+        # chw8 batch (the resample core's native layout) needs no
+        # transpose at all.
+        if batch_in.layout == "chw8":
+            stack = batch_in.stack
+            out = arena.get("tensor", stack.shape, np.float32)
+            _tensor_div(stack, np.float32(255.0), out=out)
+            return batch.ImageBatch("chw", stack=out)
+        stack = batch_in.require_hwc_stack()
+        n, height, width, channels = stack.shape
+        out = arena.get("tensor", (n, channels, height, width), np.float32)
+        _tensor_div(stack.transpose(0, 3, 1, 2), np.float32(255.0), out=out)
+        return batch.ImageBatch("chw", stack=out)
 
 
 class Normalize(Transform):
@@ -170,6 +256,21 @@ class Normalize(Transform):
             )
         centered = _tensor_sub(array, self.mean)
         return Tensor(_tensor_div(centered, self.std))
+
+    batch_stage = batch.STAGE_TENSOR
+
+    def batch_apply(self, batch_in, arena):
+        array = batch_in.require_chw()
+        if array.shape[1] != self.mean.shape[0]:
+            raise ReproError(
+                f"channel mismatch: tensor has {array.shape[1]}, "
+                f"normalize configured for {self.mean.shape[0]}"
+            )
+        # In place on the batch buffer: float32 sub/div give the same
+        # bits whether or not they allocate a destination.
+        _tensor_sub(array, self.mean, out=array)
+        _tensor_div(array, self.std, out=array)
+        return batch_in
 
     def __repr__(self) -> str:
         return (

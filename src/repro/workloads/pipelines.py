@@ -80,6 +80,7 @@ def build_ic_pipeline(
     pin_memory: bool = True,
     remote_latency_s: float = 0.0,
     remote_bandwidth_mb_s: float = 0.0,
+    batched_execution: Optional[bool] = None,
 ) -> PipelineBundle:
     """Image classification: the paper's Listing 1 pipeline.
 
@@ -90,9 +91,7 @@ def build_ic_pipeline(
     sweep).
     """
     if dataset is None:
-        dataset = SyntheticImageNet(
-            profile.ic_images, seed=seed,
-        )
+        dataset = SyntheticImageNet(profile.ic_images, seed=seed)
     # One shared sink for transforms, dataset, and loader: buffered
     # writers flush at epoch boundaries, and a single writer per process
     # keeps the flush atomic per chunk of whole lines.
@@ -126,6 +125,7 @@ def build_ic_pipeline(
         pin_memory=pin_memory,
         log_file=log_file,
         seed=seed,
+        batched_execution=batched_execution,
     )
     model = ResNet18Like(profile.model_scale)
     trainer = Trainer(make_gpus(n_gpus), model)
@@ -139,6 +139,7 @@ def build_is_pipeline(
     n_gpus: int = 1,
     log_file: Union[PathLike, TraceSink, None] = None,
     seed: int = 0,
+    batched_execution: Optional[bool] = None,
 ) -> PipelineBundle:
     """Image segmentation: KiTS19-style volumes through the MLPerf chain."""
     if cases is None:
@@ -166,6 +167,7 @@ def build_is_pipeline(
         pin_memory=False,
         log_file=log_file,
         seed=seed,
+        batched_execution=batched_execution,
     )
     model = UNet3DLike(profile.model_scale)
     trainer = Trainer(make_gpus(n_gpus), model)
@@ -179,6 +181,7 @@ def build_od_pipeline(
     n_gpus: int = 1,
     log_file: Union[PathLike, TraceSink, None] = None,
     seed: int = 0,
+    batched_execution: Optional[bool] = None,
 ) -> PipelineBundle:
     """Object detection: like IC but Resize instead of resize-and-crop."""
     if dataset is None:
@@ -221,6 +224,7 @@ def build_od_pipeline(
         collate_fn=detection_collate,
         log_file=log_file,
         seed=seed,
+        batched_execution=batched_execution,
     )
     model = GeneralizedRCNNLike(profile.model_scale)
     trainer = Trainer(make_gpus(n_gpus), model)

@@ -1,0 +1,535 @@
+"""Parity suite for the batched preprocessing fast path (DESIGN.md §7).
+
+The batched engine is held to three contracts against the per-sample
+oracle: bit-identical pixels, identical RNG draw order, and equivalent
+[T3] trace structure (one record per transform per batch instead of one
+per sample). Chains or samples the batch engine cannot represent must
+fall back to the per-sample path with unchanged results.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.lotustrace import InMemoryTraceLog, KIND_OP
+from repro.core.lotustrace.records import COLLATION_OP_NAME
+from repro.clib.events import EventRecorder, attach_recorder, detach_recorder
+from repro.data.dataloader import DataLoader
+from repro.data.dataset import LOADER_OP_NAME, BlobImageDataset
+from repro.data.fetcher import _MapDatasetFetcher, create_fetcher
+from repro.datasets.synthetic import SyntheticImageNet
+from repro.errors import ReproError
+from repro.imaging.image import Image
+from repro.tensor.batchbuffer import BatchBuffer
+from repro.tensor.collate import default_collate
+from repro.transforms import (
+    BatchCompose,
+    Compose,
+    Grayscale,
+    ImageBatch,
+    Lambda,
+    Normalize,
+    RandomHorizontalFlip,
+    RandomResizedCrop,
+    Resize,
+    ToTensor,
+    batch_engine,
+    current_batch_engine,
+)
+from tests.conftest import make_test_image
+
+MEAN = (0.485, 0.456, 0.406)
+STD = (0.229, 0.224, 0.225)
+
+
+def ic_transform(seed, log_file=None):
+    """The paper's Listing 1 chain, freshly seeded."""
+    return Compose(
+        [
+            RandomResizedCrop(32, seed=seed),
+            RandomHorizontalFlip(seed=seed + 1),
+            ToTensor(),
+            Normalize(MEAN, STD),
+        ],
+        log_transform_elapsed_time=log_file,
+    )
+
+
+def det_transform(log_file=None):
+    """RNG-free chain: safe for cross-thread parity checks."""
+    return Compose(
+        [Resize(24), ToTensor(), Normalize(MEAN, STD)],
+        log_transform_elapsed_time=log_file,
+    )
+
+
+def make_loader(
+    transform,
+    n_images=8,
+    batch_size=4,
+    seed=0,
+    log_file=None,
+    **loader_kwargs,
+):
+    source = SyntheticImageNet(n_images, seed=seed)
+    dataset = BlobImageDataset(
+        source.blobs, labels=source.labels, transform=transform, log_file=log_file
+    )
+    return DataLoader(
+        dataset,
+        batch_size=batch_size,
+        seed=seed,
+        log_file=log_file,
+        **loader_kwargs,
+    )
+
+
+def epoch_arrays(loader):
+    """[(images ndarray, labels ndarray)] with contents copied out."""
+    return [
+        (images.numpy().copy(), labels.numpy().copy())
+        for images, labels in loader
+    ]
+
+
+def assert_epochs_identical(batched, oracle):
+    assert len(batched) == len(oracle)
+    for (b_img, b_lab), (o_img, o_lab) in zip(batched, oracle):
+        np.testing.assert_array_equal(b_lab, o_lab)
+        assert b_img.dtype == o_img.dtype
+        np.testing.assert_array_equal(b_img, o_img)
+
+
+class TestPixelParity:
+    def test_ic_epoch_bit_identical_single_process(self):
+        batched = epoch_arrays(
+            make_loader(ic_transform(seed=3), shuffle=True, batched_execution=True)
+        )
+        oracle = epoch_arrays(
+            make_loader(ic_transform(seed=3), shuffle=True, batched_execution=False)
+        )
+        assert_epochs_identical(batched, oracle)
+
+    def test_partial_final_batch(self):
+        batched = epoch_arrays(
+            make_loader(ic_transform(seed=1), n_images=10, batched_execution=True)
+        )
+        oracle = epoch_arrays(
+            make_loader(ic_transform(seed=1), n_images=10, batched_execution=False)
+        )
+        assert batched[-1][0].shape[0] == 2
+        assert_epochs_identical(batched, oracle)
+
+    def test_engine_context_selects_oracle(self):
+        loader_a = make_loader(ic_transform(seed=5))
+        loader_b = make_loader(ic_transform(seed=5))
+        with batch_engine("persample"):
+            oracle = epoch_arrays(loader_a)
+        batched = epoch_arrays(loader_b)
+        assert_epochs_identical(batched, oracle)
+
+    def test_multiworker_deterministic_chain(self):
+        # Random transforms derive per-thread streams, so worker threads
+        # of two loaders cannot share draws; the RNG-free chain must be
+        # bit-identical across engines even with thread workers.
+        batched = epoch_arrays(
+            make_loader(
+                det_transform(), n_images=12, num_workers=2,
+                batched_execution=True,
+            )
+        )
+        oracle = epoch_arrays(
+            make_loader(
+                det_transform(), n_images=12, num_workers=2,
+                batched_execution=False,
+            )
+        )
+        assert_epochs_identical(batched, oracle)
+
+    def test_resize_chain_parity(self):
+        batched = epoch_arrays(
+            make_loader(det_transform(), batched_execution=True)
+        )
+        oracle = epoch_arrays(
+            make_loader(det_transform(), batched_execution=False)
+        )
+        assert_epochs_identical(batched, oracle)
+
+    def test_pinned_batches_match(self):
+        batched = epoch_arrays(
+            make_loader(
+                ic_transform(seed=2), pin_memory=True, batched_execution=True
+            )
+        )
+        oracle = epoch_arrays(
+            make_loader(
+                ic_transform(seed=2), pin_memory=True, batched_execution=False
+            )
+        )
+        assert_epochs_identical(batched, oracle)
+
+
+class TestRngDrawOrder:
+    def test_streams_aligned_after_epoch(self):
+        # After a full epoch both engines must leave every random
+        # transform's stream at the same position: the next scalar draw
+        # is the proof.
+        compose_a = ic_transform(seed=11)
+        compose_b = ic_transform(seed=11)
+        epoch_arrays(make_loader(compose_a, batched_execution=True))
+        epoch_arrays(make_loader(compose_b, batched_execution=False))
+        for t_a, t_b in zip(compose_a.transforms[:2], compose_b.transforms[:2]):
+            assert t_a._rng().random() == t_b._rng().random()
+
+    def test_vector_draw_matches_scalar_draws(self):
+        # The flip transform replaces N scalar random() calls with one
+        # random(N); PCG64 must hand back the identical stream.
+        a = np.random.default_rng(123)
+        b = np.random.default_rng(123)
+        np.testing.assert_array_equal(
+            a.random(16), np.array([b.random() for _ in range(16)])
+        )
+
+    def test_transform_level_parity(self):
+        # batch_apply on a fresh instance == per-sample loop on a fresh
+        # instance with the same seed (identical derived streams).
+        images = [
+            Image(make_test_image(h, w, seed=40 + i))
+            for i, (h, w) in enumerate([(60, 80), (72, 72), (96, 50), (64, 64)])
+        ]
+        per_sample = RandomResizedCrop(24, seed=7)
+        batched = RandomResizedCrop(24, seed=7)
+        oracle = [per_sample(image).to_array() for image in images]
+        out = batched.batch_apply(
+            ImageBatch.from_arrays([image.to_array() for image in images]),
+            BatchBuffer(reuse=True, depth=1),
+        )
+        np.testing.assert_array_equal(out.require_hwc_stack(), np.stack(oracle))
+
+    def test_flip_parity_ragged(self):
+        images = [
+            Image(make_test_image(40, 48, seed=60 + i)) for i in range(6)
+        ]
+        per_sample = RandomHorizontalFlip(seed=9)
+        batched = RandomHorizontalFlip(seed=9)
+        oracle = [per_sample(image).to_array() for image in images]
+        out = batched.batch_apply(
+            ImageBatch.from_arrays([image.to_array() for image in images]),
+            BatchBuffer(reuse=False),
+        )
+        for got, want in zip(out.image_arrays(), oracle):
+            np.testing.assert_array_equal(got, want)
+
+
+class TestTraceStructure:
+    OP_NAMES = ("RandomResizedCrop", "RandomHorizontalFlip", "ToTensor", "Normalize")
+
+    def run_epoch(self, batched, n_images=8, batch_size=4):
+        log = InMemoryTraceLog()
+        loader = make_loader(
+            ic_transform(seed=4, log_file=log),
+            n_images=n_images,
+            batch_size=batch_size,
+            log_file=log,
+            batched_execution=batched,
+        )
+        list(loader)
+        return log.records()
+
+    def test_batched_one_op_record_per_transform_per_batch(self):
+        records = self.run_epoch(batched=True)
+        ops = [r for r in records if r.kind == KIND_OP and r.name in self.OP_NAMES]
+        assert len(ops) == len(self.OP_NAMES) * 2
+        for name in self.OP_NAMES:
+            named = [r for r in ops if r.name == name]
+            assert [r.batch_id for r in named] == [0, 1]
+
+    def test_oracle_one_op_record_per_transform_per_sample(self):
+        records = self.run_epoch(batched=False)
+        ops = [r for r in records if r.kind == KIND_OP and r.name in self.OP_NAMES]
+        assert len(ops) == len(self.OP_NAMES) * 8
+        # The paper's Listing 3 logs no batch id; analysis recovers it by
+        # span containment.
+        assert {r.batch_id for r in ops} == {-1}
+
+    def test_op_name_sets_equal_across_engines(self):
+        batched = {
+            r.name for r in self.run_epoch(batched=True) if r.kind == KIND_OP
+        }
+        oracle = {
+            r.name for r in self.run_epoch(batched=False) if r.kind == KIND_OP
+        }
+        assert batched == oracle
+
+    def test_loader_and_collation_counts_match(self):
+        for engine in (True, False):
+            records = self.run_epoch(batched=engine)
+            loads = [
+                r for r in records
+                if r.kind == KIND_OP and r.name == LOADER_OP_NAME
+            ]
+            collations = [
+                r for r in records
+                if r.kind == KIND_OP and r.name == COLLATION_OP_NAME
+            ]
+            assert len(loads) == 8
+            assert len(collations) == 2
+
+    def test_batched_records_carry_identity(self):
+        records = self.run_epoch(batched=True)
+        ops = [r for r in records if r.kind == KIND_OP and r.name in self.OP_NAMES]
+        for record in ops:
+            assert record.worker_id >= -1
+            assert record.pid > 0
+            assert record.duration_ns >= 0
+            assert record.start_ns > 0
+
+
+class TestFallback:
+    def test_lambda_chain_stays_per_sample(self):
+        compose = Compose(
+            [Resize(16), Lambda(lambda x: x), ToTensor(), Normalize(MEAN, STD)]
+        )
+        assert not BatchCompose.supports(compose)
+        source = SyntheticImageNet(4, seed=0)
+        dataset = BlobImageDataset(
+            source.blobs, labels=source.labels, transform=compose
+        )
+        fetcher = create_fetcher(dataset, default_collate, batched=True)
+        assert fetcher._plan is None
+        images, labels = fetcher.fetch([0, 1, 2, 3])
+        assert images.shape == (4, 3, 16, 16)
+
+    def test_custom_collate_stays_per_sample(self):
+        source = SyntheticImageNet(4, seed=0)
+        dataset = BlobImageDataset(
+            source.blobs, labels=source.labels, transform=ic_transform(seed=0)
+        )
+        fetcher = create_fetcher(dataset, lambda samples: samples, batched=True)
+        assert fetcher._plan is None
+
+    def test_unbatchable_samples_fall_back_with_parity(self):
+        # String labels defeat the int64 label buffer; the plan resolves
+        # but fetch must detour through the per-sample chain — with the
+        # same pixels as the oracle loader.
+        source = SyntheticImageNet(6, seed=2)
+        labels = [f"class-{i}" for i in range(6)]
+
+        def run(batched):
+            dataset = BlobImageDataset(
+                source.blobs, labels=labels, transform=ic_transform(seed=8)
+            )
+            fetcher = create_fetcher(
+                dataset, default_collate, batched=batched
+            )
+            if batched:
+                assert fetcher._plan is not None
+            images, got_labels = fetcher.fetch([0, 1, 2, 3, 4, 5])
+            return images.numpy().copy(), got_labels
+
+        batched_images, batched_labels = run(batched=True)
+        oracle_images, oracle_labels = run(batched=False)
+        np.testing.assert_array_equal(batched_images, oracle_images)
+        assert batched_labels == labels
+        assert oracle_labels == labels
+
+    def test_grayscale_chain_unsupported(self):
+        compose = Compose([Grayscale(), ToTensor(), Normalize((0.5,), (0.5,))])
+        assert not BatchCompose.supports(compose)
+
+    def test_dataset_without_load_untransformed(self):
+        class Plain:
+            def __getitem__(self, index):
+                return np.ones(3)
+
+            def __len__(self):
+                return 4
+
+        fetcher = create_fetcher(Plain(), default_collate, batched=True)
+        assert isinstance(fetcher, _MapDatasetFetcher)
+        assert fetcher._plan is None
+
+
+class TestEngineSelection:
+    def test_default_engine_is_batched(self):
+        assert current_batch_engine() == "batched"
+
+    def test_context_restores_previous(self):
+        with batch_engine("persample"):
+            assert current_batch_engine() == "persample"
+            with batch_engine("batched"):
+                assert current_batch_engine() == "batched"
+            assert current_batch_engine() == "persample"
+        assert current_batch_engine() == "batched"
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            with batch_engine("turbo"):
+                pass
+
+    def test_context_switches_trace_shape(self):
+        log = InMemoryTraceLog()
+        loader = make_loader(
+            ic_transform(seed=6, log_file=log), n_images=4, log_file=log
+        )
+        with batch_engine("persample"):
+            list(loader)
+        per_sample_ops = [
+            r for r in log.records()
+            if r.kind == KIND_OP and r.name == "ToTensor"
+        ]
+        assert len(per_sample_ops) == 4
+        list(loader)
+        batched_ops = [
+            r for r in log.records()
+            if r.kind == KIND_OP and r.name == "ToTensor"
+        ]
+        assert len(batched_ops) == 4 + 1
+
+    def test_explicit_flag_overrides_context(self):
+        log = InMemoryTraceLog()
+        loader = make_loader(
+            ic_transform(seed=6, log_file=log),
+            n_images=4,
+            log_file=log,
+            batched_execution=True,
+        )
+        with batch_engine("persample"):
+            list(loader)
+        ops = [
+            r for r in log.records()
+            if r.kind == KIND_OP and r.name == "ToTensor"
+        ]
+        assert len(ops) == 1
+
+
+class TestBatchComposeSupports:
+    def test_ic_chain_supported(self):
+        assert BatchCompose.supports(ic_transform(seed=0))
+
+    def test_requires_exactly_one_to_tensor(self):
+        assert not BatchCompose.supports(Compose([Resize(8)]))
+        assert not BatchCompose.supports(
+            Compose([ToTensor(), ToTensor()])
+        )
+
+    def test_stage_order_enforced(self):
+        assert not BatchCompose.supports(
+            Compose([ToTensor(), Resize(8)])
+        )
+        assert not BatchCompose.supports(
+            Compose([Normalize(MEAN, STD), ToTensor()])
+        )
+
+    def test_empty_chain_unsupported(self):
+        assert not BatchCompose.supports(Compose([]))
+
+    def test_ctor_rejects_unsupported(self):
+        with pytest.raises(ReproError):
+            BatchCompose(Compose([Resize(8)]))
+
+
+class TestBufferReuse:
+    def test_reuse_aliases_consecutive_batches(self):
+        loader = make_loader(
+            ic_transform(seed=0),
+            batched_execution=True,
+            reuse_batch_buffers=True,
+        )
+        held = [batch for batch, _ in loader]
+        addresses = {batch.numpy().ctypes.data for batch in held}
+        assert len(addresses) == 1
+
+    def test_no_reuse_by_default_without_pin(self):
+        loader = make_loader(ic_transform(seed=0), batched_execution=True)
+        assert loader.reuse_batch_buffers is False
+        held = [batch for batch, _ in loader]
+        addresses = {batch.numpy().ctypes.data for batch in held}
+        assert len(addresses) == len(held)
+
+    def test_pin_memory_enables_reuse_safely(self):
+        # pin_memory copies each batch out of the arena, so reuse
+        # defaults on and earlier batches survive later ones.
+        loader = make_loader(
+            ic_transform(seed=0), pin_memory=True, batched_execution=True
+        )
+        assert loader.reuse_batch_buffers is True
+        held = []
+        snapshots = []
+        for images, _ in loader:
+            held.append(images)
+            snapshots.append(images.numpy().copy())
+        for tensor, snapshot in zip(held, snapshots):
+            np.testing.assert_array_equal(tensor.numpy(), snapshot)
+
+    def test_worker_ring_depth(self):
+        loader = make_loader(
+            ic_transform(seed=0), num_workers=2, prefetch_factor=2
+        )
+        assert loader.batch_buffer_depth == 4
+        single = make_loader(ic_transform(seed=0))
+        assert single.batch_buffer_depth == 1
+
+
+class TestBatchBuffer:
+    def test_same_slot_reused_across_generations(self):
+        arena = BatchBuffer(reuse=True, depth=1)
+        first = arena.get("x", (2, 3), np.float32)
+        arena.advance()
+        second = arena.get("x", (2, 3), np.float32)
+        assert first.ctypes.data == second.ctypes.data
+        assert arena.hits == 1 and arena.misses == 1
+
+    def test_depth_separates_generations(self):
+        arena = BatchBuffer(reuse=True, depth=2)
+        first = arena.get("x", (4,), np.float32)
+        arena.advance()
+        second = arena.get("x", (4,), np.float32)
+        assert first.ctypes.data != second.ctypes.data
+        arena.advance()
+        third = arena.get("x", (4,), np.float32)
+        assert third.ctypes.data == first.ctypes.data
+
+    def test_pool_grows_and_shrinks_views(self):
+        arena = BatchBuffer(reuse=True, depth=1)
+        big = arena.get("x", (8, 8), np.uint8)
+        arena.advance()
+        small = arena.get("x", (4, 4), np.uint8)
+        assert small.ctypes.data == big.ctypes.data
+        assert small.shape == (4, 4)
+
+    def test_reuse_off_returns_fresh(self):
+        arena = BatchBuffer(reuse=False)
+        first = arena.get("x", (4,), np.float64)
+        second = arena.get("x", (4,), np.float64)
+        assert first.ctypes.data != second.ctypes.data
+
+    def test_invalid_depth(self):
+        with pytest.raises(ReproError):
+            BatchBuffer(depth=0)
+
+
+class TestSymbolBuckets:
+    def test_batched_symbols_subset_of_oracle(self):
+        # LotusMap attribution buckets: the batched engine must not
+        # introduce C symbols the per-sample oracle never exercises
+        # (it may *drop* some — at::native::stack disappears with the
+        # preallocated collate).
+        def capture(batched):
+            recorder = EventRecorder()
+            source = SyntheticImageNet(4, seed=1)
+            dataset = BlobImageDataset(
+                source.blobs, labels=source.labels,
+                transform=ic_transform(seed=1),
+            )
+            fetcher = create_fetcher(dataset, default_collate, batched=batched)
+            attach_recorder(recorder)
+            try:
+                fetcher.fetch([0, 1, 2, 3])
+            finally:
+                detach_recorder(recorder)
+            return {(e.function, e.library) for e in recorder.events()}
+
+        batched_symbols = capture(batched=True)
+        oracle_symbols = capture(batched=False)
+        assert batched_symbols
+        assert batched_symbols <= oracle_symbols

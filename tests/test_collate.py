@@ -69,3 +69,25 @@ class TestDefaultCollate:
         out = default_collate([{"name": "a", "v": 1}, {"name": "b", "v": 2}])
         assert out["name"] == ["a", "b"]
         assert out["v"].numpy().tolist() == [1, 2]
+
+    def test_dict_key_order_follows_first_sample(self):
+        # Insertion order of the first sample is the batch's order —
+        # not sorted, not set-iteration order (which varies per process
+        # with hash randomization).
+        samples = [{"b": 1, "a": 2, "c": 3}, {"b": 4, "a": 5, "c": 6}]
+        out = default_collate(samples)
+        assert list(out) == ["b", "a", "c"]
+
+    def test_dict_same_keys_different_order_collates(self):
+        out = default_collate([{"x": 1, "y": 2}, {"y": 3, "x": 4}])
+        assert list(out) == ["x", "y"]
+        assert out["x"].numpy().tolist() == [1, 4]
+
+    def test_arrays_single_stack_no_per_sample_copy(self):
+        # ndarray samples go through one stack into the batch; the batch
+        # owns fresh storage (mutating it must not touch the inputs).
+        samples = [np.zeros(3), np.zeros(3)]
+        batch = default_collate(samples)
+        batch.numpy()[:] = 7.0
+        assert samples[0].tolist() == [0.0, 0.0, 0.0]
+        assert batch.numpy().dtype == samples[0].dtype

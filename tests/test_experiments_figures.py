@@ -18,9 +18,12 @@ from repro.workloads import SMOKE
 @pytest.fixture(scope="module")
 def fig2():
     # Larger model scale widens the regime margins against single-core
-    # timing jitter: IS/OD GPU steps tower over any inflated waits.
+    # timing jitter: IS/OD GPU steps tower over any inflated waits. One
+    # worker keeps IC preprocessing-bound at test scale now that the
+    # channels-first resample sped up the per-sample substrate — two
+    # workers at SMOKE scale leave the regime balanced on the threshold.
     return run_fig2(
-        profile=SMOKE.scaled(model_scale=1.2), num_workers=2, n_gpus=1, seed=0
+        profile=SMOKE.scaled(model_scale=1.2), num_workers=1, n_gpus=1, seed=0
     )
 
 
