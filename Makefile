@@ -3,10 +3,16 @@ export PYTHONPATH := src
 
 BENCH_JSON := .bench_current.json
 
-.PHONY: test bench bench-check bench-baseline
+.PHONY: test bench bench-check bench-baseline fault-check
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Fault-tolerance gate: deterministic FaultPlan chaos tests (failure
+# policies, worker crash/hang recovery, queue protocol) on both worker
+# backends, plus the trace-side fault-record checks.
+fault-check:
+	$(PYTHON) -m pytest tests/test_failure_injection.py -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks/bench_substrate.py \

@@ -55,10 +55,15 @@ from repro.core.lotustrace.logfile import (
     parse_trace_lines,
 )
 from repro.core.lotustrace.records import (
+    FAULT_KINDS,
     KIND_BATCH_CONSUMED,
     KIND_BATCH_PREPROCESSED,
     KIND_BATCH_WAIT,
     KIND_OP,
+    KIND_SAMPLE_RETRIED,
+    KIND_SAMPLE_SKIPPED,
+    KIND_WORKER_HEARTBEAT,
+    KIND_WORKER_RESTART,
     MAIN_PROCESS_WORKER_ID,
     OOO_MARKER_DURATION_NS,
     TraceRecord,
@@ -80,10 +85,15 @@ __all__ = [
     "parse_trace_file_columns",
     "TraceReport",
     "generate_report",
+    "FAULT_KINDS",
     "KIND_BATCH_CONSUMED",
     "KIND_BATCH_PREPROCESSED",
     "KIND_BATCH_WAIT",
     "KIND_OP",
+    "KIND_SAMPLE_RETRIED",
+    "KIND_SAMPLE_SKIPPED",
+    "KIND_WORKER_HEARTBEAT",
+    "KIND_WORKER_RESTART",
     "LotusLogWriter",
     "MAIN_PROCESS_WORKER_ID",
     "OOO_MARKER_DURATION_NS",

@@ -30,18 +30,23 @@ from typing import Dict, Iterable, List, Optional, Sequence, Union
 import numpy as np
 
 from repro.core.lotustrace.columns import (
+    FAULT_KIND_CODES,
     KIND_CODE_CONSUMED,
     KIND_CODE_OP,
     KIND_CODE_PREPROCESSED,
     KIND_CODE_WAIT,
+    KIND_CODE_WORKER_RESTART,
+    KIND_STRINGS,
     TraceColumns,
 )
 from repro.core.lotustrace.engine import ENGINE_RECORDS, current_engine
 from repro.core.lotustrace.records import (
+    FAULT_KINDS,
     KIND_BATCH_CONSUMED,
     KIND_BATCH_PREPROCESSED,
     KIND_BATCH_WAIT,
     KIND_OP,
+    KIND_SAMPLE_SKIPPED,
     TraceRecord,
 )
 from repro.errors import TraceError
@@ -91,6 +96,9 @@ class TraceAnalysis:
     batches: Dict[int, BatchFlow]
     op_durations: Dict[str, List[int]]
     op_batch_ids: Dict[str, List[int]] = field(default_factory=dict)
+    #: Fault-tolerance records (restarts, skips, retries, heartbeats) in
+    #: record order; they never contribute to the batch flows above.
+    fault_records: List[TraceRecord] = field(default_factory=list)
 
     # -- per-batch series ------------------------------------------------------
     def preprocess_times_ns(self) -> List[int]:
@@ -157,6 +165,24 @@ class TraceAnalysis:
         """Total CPU time per operation across the trace (Figure 6b/6e)."""
         return {name: sum(values) for name, values in self.op_durations.items()}
 
+    # -- fault-tolerance records (DESIGN.md §8) ------------------------------
+    def fault_counts(self) -> Dict[str, int]:
+        """Count of fault records per kind (kinds absent from the trace
+        are absent from the dict, so clean traces give ``{}``)."""
+        counts: Dict[str, int] = {}
+        for record in self.fault_records:
+            counts[record.kind] = counts.get(record.kind, 0) + 1
+        return counts
+
+    def skipped_sample_indices(self) -> List[int]:
+        """Dataset indices dropped by the ``skip_sample`` policy, in
+        record order (the index rides in the record name, ``sample=N``)."""
+        return [
+            int(record.name.partition("=")[2])
+            for record in self.fault_records
+            if record.kind == KIND_SAMPLE_SKIPPED
+        ]
+
 
 class _SpanIndex:
     """Bisection index over one worker's fetch spans, sorted by start.
@@ -195,11 +221,18 @@ def _analyze_records(records: List[TraceRecord]) -> TraceAnalysis:
     """The record-list engine (parity oracle for the columnar path)."""
     batches: Dict[int, BatchFlow] = {}
     op_records: List[TraceRecord] = []
+    fault_records: List[TraceRecord] = []
     fetch_spans: Dict[int, List[TraceRecord]] = {}
 
     for record in records:
         if record.kind == KIND_OP:
             op_records.append(record)
+            continue
+        if record.kind in FAULT_KINDS:
+            # Restarts/skips/retries/heartbeats describe the recovery
+            # machinery, not a batch's journey — routing them into the
+            # flows would fabricate phantom batches (e.g. batch -1).
+            fault_records.append(record)
             continue
         flow = batches.setdefault(record.batch_id, BatchFlow(record.batch_id))
         if record.kind == KIND_BATCH_PREPROCESSED:
@@ -227,7 +260,10 @@ def _analyze_records(records: List[TraceRecord]) -> TraceAnalysis:
             ).containing_batch(record)
         )
     return TraceAnalysis(
-        batches=batches, op_durations=op_durations, op_batch_ids=op_batch_ids
+        batches=batches,
+        op_durations=op_durations,
+        op_batch_ids=op_batch_ids,
+        fault_records=fault_records,
     )
 
 
@@ -416,6 +452,25 @@ class ColumnarTraceAnalysis(TraceAnalysis):
             }
             self.__dict__["_op_batch_ids_cache"] = cached
         return cached
+
+    @property
+    def fault_records(self) -> List[TraceRecord]:  # type: ignore[override]
+        cached = self.__dict__.get("_fault_records_cache")
+        if cached is None:
+            cols = self.columns
+            # All fault codes sit above the four base codes.
+            rows = np.flatnonzero(cols.kind >= KIND_CODE_WORKER_RESTART)
+            cached = [cols.record_at(int(row)) for row in rows.tolist()]
+            self.__dict__["_fault_records_cache"] = cached
+        return cached
+
+    def fault_counts(self) -> Dict[str, int]:
+        counts = np.bincount(self.columns.kind, minlength=len(KIND_STRINGS))
+        return {
+            KIND_STRINGS[code]: int(counts[code])
+            for code in FAULT_KIND_CODES
+            if counts[code]
+        }
 
     # -- vectorized series -----------------------------------------------------
     def num_batches(self) -> int:

@@ -23,6 +23,9 @@ from repro.core.lotustrace.analysis import (
 from repro.core.lotustrace.columns import KIND_CODE_PREPROCESSED, TraceColumns
 from repro.core.lotustrace.records import (
     KIND_BATCH_PREPROCESSED,
+    KIND_SAMPLE_RETRIED,
+    KIND_SAMPLE_SKIPPED,
+    KIND_WORKER_RESTART,
     TraceRecord,
 )
 from repro.errors import TraceError
@@ -277,6 +280,42 @@ def generate_report(
                     f"longer than {format_ns(threshold)}",
                 )
             )
+
+    # Fault-tolerance activity (DESIGN.md §8): clean traces carry no
+    # fault records, so these findings never appear for them.
+    fault_counts = analysis.fault_counts()
+    restarts = fault_counts.get(KIND_WORKER_RESTART, 0)
+    skipped = fault_counts.get(KIND_SAMPLE_SKIPPED, 0)
+    retried = fault_counts.get(KIND_SAMPLE_RETRIED, 0)
+    if restarts:
+        findings.append(
+            Finding(
+                SEVERITY_WARNING,
+                "worker-restarts",
+                f"{restarts} worker restart(s) during the epoch; replayed "
+                f"batches inflate wait times and may hide systematic "
+                f"worker crashes or hangs",
+            )
+        )
+    if skipped:
+        findings.append(
+            Finding(
+                SEVERITY_WARNING,
+                "skipped-samples",
+                f"{skipped} sample(s) dropped by the skip_sample policy; "
+                f"epoch statistics cover fewer samples than the dataset",
+            )
+        )
+    if retried:
+        findings.append(
+            Finding(
+                SEVERITY_NOTICE,
+                "sample-retries",
+                f"{retried} per-sample retry(ies) absorbed transient input "
+                f"faults; retry backoff is included in the affected "
+                f"batches' preprocessing time",
+            )
+        )
 
     return TraceReport(
         regime=regime,

@@ -33,6 +33,10 @@ from repro.core.lotustrace.records import (
     KIND_BATCH_PREPROCESSED,
     KIND_BATCH_WAIT,
     KIND_OP,
+    KIND_SAMPLE_RETRIED,
+    KIND_SAMPLE_SKIPPED,
+    KIND_WORKER_HEARTBEAT,
+    KIND_WORKER_RESTART,
     TraceRecord,
 )
 from repro.errors import TraceError
@@ -44,15 +48,33 @@ KIND_CODE_OP = 0
 KIND_CODE_PREPROCESSED = 1
 KIND_CODE_WAIT = 2
 KIND_CODE_CONSUMED = 3
+KIND_CODE_WORKER_RESTART = 4
+KIND_CODE_SAMPLE_SKIPPED = 5
+KIND_CODE_SAMPLE_RETRIED = 6
+KIND_CODE_HEARTBEAT = 7
 
 #: code -> kind string, index-aligned with the ``KIND_CODE_*`` constants.
+#: The original four codes must keep their values: persisted analyses and
+#: the parity tests rely on them.
 KIND_STRINGS = (
     KIND_OP,
     KIND_BATCH_PREPROCESSED,
     KIND_BATCH_WAIT,
     KIND_BATCH_CONSUMED,
+    KIND_WORKER_RESTART,
+    KIND_SAMPLE_SKIPPED,
+    KIND_SAMPLE_RETRIED,
+    KIND_WORKER_HEARTBEAT,
 )
 KIND_TO_CODE = {name: code for code, name in enumerate(KIND_STRINGS)}
+
+#: Fault-kind codes as an array, for vectorized ``isin`` filters.
+FAULT_KIND_CODES = (
+    KIND_CODE_WORKER_RESTART,
+    KIND_CODE_SAMPLE_SKIPPED,
+    KIND_CODE_SAMPLE_RETRIED,
+    KIND_CODE_HEARTBEAT,
+)
 
 #: Chunk size for the streaming file parser. Small enough that every
 #: per-chunk intermediate (separator indices, SWAR words, digit-gather
@@ -66,13 +88,13 @@ _NEWLINE = np.uint8(10)
 _MINUS = 45
 _ZERO = np.uint8(48)
 
-# The four kind strings have pairwise-distinct lengths (2/18/10/14), so a
-# field-length lookup picks the candidate code and one masked compare
-# against the "<kind>," byte pattern verifies it.
-_KIND_LEN_TO_CODE = np.full(32, -1, dtype=np.int8)
-for _kind, _code in KIND_TO_CODE.items():
-    _KIND_LEN_TO_CODE[len(_kind)] = _code
-_KIND_PATTERN_WIDTH = max(len(k) for k in KIND_STRINGS) + 1
+# Kind strings no longer have pairwise-distinct lengths (the three
+# 14-byte fault kinds collide with ``batch_consumed``), so the general
+# parser matches each candidate kind with one masked byte compare
+# against its "<kind>," pattern; a handful of kinds keeps this a short
+# fixed loop over the chunk rows still unmatched.
+_KIND_LENGTHS = tuple(len(k) for k in KIND_STRINGS)
+_KIND_PATTERN_WIDTH = max(_KIND_LENGTHS) + 1
 _KIND_PATTERNS = np.zeros((len(KIND_STRINGS), _KIND_PATTERN_WIDTH), dtype=np.uint8)
 for _kind, _code in KIND_TO_CODE.items():
     _encoded = (_kind + ",").encode("ascii")
@@ -716,20 +738,27 @@ def _parse_chunk(data: bytes) -> _Chunk:
     le = line_end[good_idx]
     bad = np.zeros(n, dtype=bool)
 
-    # kind: length lookup + masked byte compare against "<kind>,".
+    # kind: per-candidate masked byte compare against "<kind>," (kind
+    # lengths collide, so each row may be tested against every kind of
+    # its length — at most a few comparisons per row).
     kind_len = commas[:, 0] - ls if n else np.zeros(0, dtype=np.int64)
-    code = _KIND_LEN_TO_CODE[np.minimum(kind_len, 31)]
-    np.logical_or(bad, code < 0, out=bad)
-    safe_code = np.maximum(code, 0)
+    code = np.full(n, -1, dtype=np.int8)
     if n:
         offsets = np.arange(_KIND_PATTERN_WIDTH, dtype=np.int64)
         kind_bytes = buf[
             np.minimum(ls[:, None] + offsets, buf.shape[0] - 1)
         ]
-        mismatch = (kind_bytes != _KIND_PATTERNS[safe_code]) & (
-            offsets <= kind_len[:, None]
-        )
-        np.logical_or(bad, mismatch.any(axis=1), out=bad)
+        for cand, cand_len in enumerate(_KIND_LENGTHS):
+            rows = np.flatnonzero((kind_len == cand_len) & (code < 0))
+            if rows.size == 0:
+                continue
+            width = cand_len + 1  # include the trailing comma
+            hit = (
+                kind_bytes[rows, :width] == _KIND_PATTERNS[cand, :width]
+            ).all(axis=1)
+            code[rows[hit]] = cand
+    np.logical_or(bad, code < 0, out=bad)
+    safe_code = np.maximum(code, 0)
 
     int_starts = np.empty((6, n), dtype=np.int64)
     int_ends = np.empty((6, n), dtype=np.int64)

@@ -19,8 +19,29 @@ KIND_BATCH_PREPROCESSED = "batch_preprocessed"
 KIND_BATCH_WAIT = "batch_wait"
 KIND_BATCH_CONSUMED = "batch_consumed"
 
-_KINDS = frozenset(
-    (KIND_OP, KIND_BATCH_PREPROCESSED, KIND_BATCH_WAIT, KIND_BATCH_CONSUMED)
+# Fault-tolerance record kinds (DESIGN.md §8). Clean runs never emit
+# them, so pre-existing traces and the [T1]/[T2]/[T3] hot paths are
+# untouched; fault-injected runs carry their recovery history in-band.
+KIND_WORKER_RESTART = "worker_restart"
+KIND_SAMPLE_SKIPPED = "sample_skipped"
+KIND_SAMPLE_RETRIED = "sample_retried"
+KIND_WORKER_HEARTBEAT = "heartbeat"
+
+#: Record kinds emitted only by the fault-tolerance layer.
+FAULT_KINDS = frozenset(
+    (
+        KIND_WORKER_RESTART,
+        KIND_SAMPLE_SKIPPED,
+        KIND_SAMPLE_RETRIED,
+        KIND_WORKER_HEARTBEAT,
+    )
+)
+
+_KINDS = (
+    frozenset(
+        (KIND_OP, KIND_BATCH_PREPROCESSED, KIND_BATCH_WAIT, KIND_BATCH_CONSUMED)
+    )
+    | FAULT_KINDS
 )
 
 #: ``worker_id`` used for records emitted by the main process.

@@ -20,6 +20,10 @@ from repro.core.lotustrace.records import (
     KIND_BATCH_PREPROCESSED,
     KIND_BATCH_WAIT,
     KIND_OP,
+    KIND_SAMPLE_RETRIED,
+    KIND_SAMPLE_SKIPPED,
+    KIND_WORKER_HEARTBEAT,
+    KIND_WORKER_RESTART,
     MAIN_PROCESS_WORKER_ID,
     TraceRecord,
 )
@@ -29,6 +33,13 @@ _KIND_PREFIX = {
     KIND_BATCH_PREPROCESSED: "SBatchPreprocessed",
     KIND_BATCH_WAIT: "SBatchWait",
     KIND_BATCH_CONSUMED: "SBatchConsumed",
+    # Fault-tolerance spans (DESIGN.md §8): zero-width markers on the
+    # affected track, labeled like the batch spans so Chrome Trace sorts
+    # them alongside the batch they interrupted.
+    KIND_WORKER_RESTART: "SWorkerRestart",
+    KIND_SAMPLE_SKIPPED: "SSampleSkipped",
+    KIND_SAMPLE_RETRIED: "SSampleRetried",
+    KIND_WORKER_HEARTBEAT: "SHeartbeat",
 }
 
 

@@ -16,6 +16,13 @@ LotusTrace hooks live at exactly the points the paper identifies:
 """
 
 from repro.data.dataloader import DataLoader
+from repro.data.faults import (
+    FaultInjectingDataset,
+    FaultPlan,
+    FaultSite,
+)
+from repro.data.resilience import FailurePolicy, FaultStats
+from repro.data.worker import PartialBatch, WorkerHeartbeat
 from repro.data.dataset import (
     BlobImageDataset,
     Dataset,
@@ -41,7 +48,14 @@ __all__ = [
     "BlobImageDataset",
     "DataLoader",
     "Dataset",
+    "FailurePolicy",
+    "FaultInjectingDataset",
+    "FaultPlan",
+    "FaultSite",
+    "FaultStats",
     "ImageFolder",
+    "PartialBatch",
+    "WorkerHeartbeat",
     "IterableDataset",
     "RandomSampler",
     "SequentialSampler",

@@ -6,6 +6,14 @@ workers — identical queueing structure, visible to the in-process
 simulated PMU — and offers a fork-based process backend for fidelity
 (each worker is a real OS process with its own pid, and LotusTrace logs
 must go to a file the children can append to).
+
+Every started worker is wrapped in a :class:`WorkerHandle` that carries
+the backend's cooperative *cancellation flag* alongside the raw
+thread/process. ``terminate`` has real semantics on both backends:
+threads are cancelled cooperatively (the worker loop polls the flag
+between tasks and before shipping a finished batch), processes get the
+flag set *and* a hard ``terminate()`` — the flag still matters there as
+a best-effort courtesy for forked children mid-fetch.
 """
 
 from __future__ import annotations
@@ -22,6 +30,19 @@ PROCESS_BACKEND = "process"
 BACKENDS = (THREAD_BACKEND, PROCESS_BACKEND)
 
 
+class WorkerHandle:
+    """A started worker plus its cooperative cancellation flag."""
+
+    __slots__ = ("raw", "cancel_flag")
+
+    def __init__(self, raw: Any, cancel_flag: Any) -> None:
+        self.raw = raw
+        self.cancel_flag = cancel_flag
+
+    def __repr__(self) -> str:
+        return f"WorkerHandle({self.raw!r})"
+
+
 class ThreadWorkerBackend:
     """Workers as daemon threads in the current process."""
 
@@ -33,21 +54,28 @@ class ThreadWorkerBackend:
 
     def start_worker(
         self, target: Callable, args: tuple, kwargs: dict, name: str
-    ) -> threading.Thread:
+    ) -> WorkerHandle:
+        flag = threading.Event()
+        kwargs = dict(kwargs, cancel_flag=flag)
         thread = threading.Thread(
             target=target, args=args, kwargs=kwargs, name=name, daemon=True
         )
         thread.start()
-        return thread
+        return WorkerHandle(thread, flag)
 
-    def is_alive(self, handle: threading.Thread) -> bool:
-        return handle.is_alive()
+    def is_alive(self, handle: WorkerHandle) -> bool:
+        return handle.raw.is_alive()
 
-    def join(self, handle: threading.Thread, timeout: float) -> None:
-        handle.join(timeout=timeout)
+    def join(self, handle: WorkerHandle, timeout: float) -> None:
+        handle.raw.join(timeout=timeout)
 
-    def terminate(self, handle: threading.Thread) -> None:
-        pass  # daemon threads die with the process
+    def terminate(self, handle: WorkerHandle) -> None:
+        """Cooperative cancellation: the worker loop polls the flag
+        between tasks (and before shipping a finished batch) and exits.
+        A thread blocked in an un-timed queue ``get`` also needs a
+        sentinel on its index queue to wake up — the pool's shutdown and
+        restart paths send one."""
+        handle.cancel_flag.set()
 
 
 class ProcessWorkerBackend:
@@ -72,24 +100,29 @@ class ProcessWorkerBackend:
     def make_queue(self):
         return self._ctx.Queue()
 
-    def start_worker(self, target: Callable, args: tuple, kwargs: dict, name: str):
+    def start_worker(
+        self, target: Callable, args: tuple, kwargs: dict, name: str
+    ) -> WorkerHandle:
+        flag = self._ctx.Event()
+        kwargs = dict(kwargs, cancel_flag=flag)
         process = self._ctx.Process(
             target=target, args=args, kwargs=kwargs, name=name, daemon=True
         )
         process.start()
-        return process
+        return WorkerHandle(process, flag)
 
-    def is_alive(self, handle) -> bool:
-        return handle.is_alive()
+    def is_alive(self, handle: WorkerHandle) -> bool:
+        return handle.raw.is_alive()
 
-    def join(self, handle, timeout: float) -> None:
-        handle.join(timeout=timeout)
-        if handle.is_alive():
-            handle.terminate()
+    def join(self, handle: WorkerHandle, timeout: float) -> None:
+        handle.raw.join(timeout=timeout)
+        if handle.raw.is_alive():
+            handle.raw.terminate()
 
-    def terminate(self, handle) -> None:
-        if handle.is_alive():
-            handle.terminate()
+    def terminate(self, handle: WorkerHandle) -> None:
+        handle.cancel_flag.set()
+        if handle.raw.is_alive():
+            handle.raw.terminate()
 
 
 def create_backend(name: str):

@@ -21,10 +21,11 @@ the batch.
 from __future__ import annotations
 
 import itertools
+import logging
 import queue as queue_module
 import threading
 import time
-from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple, Union
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.core.lotustrace.context import batch_scope, current_pid
 from repro.core.lotustrace.logfile import PathLike, TraceSink, open_trace_log
@@ -33,6 +34,7 @@ from repro.core.lotustrace.records import (
     KIND_BATCH_CONSUMED,
     KIND_BATCH_PREPROCESSED,
     KIND_BATCH_WAIT,
+    KIND_WORKER_RESTART,
     MAIN_PROCESS_WORKER_ID,
     OOO_MARKER_DURATION_NS,
     TraceRecord,
@@ -45,6 +47,7 @@ from repro.core.lotustrace.logfile import (
 from repro.data.backends import THREAD_BACKEND, create_backend
 from repro.data.dataset import IterableDataset
 from repro.data.fetcher import create_fetcher
+from repro.data.resilience import FailurePolicy, FaultStats, fetch_with_policy
 from repro.data.sampler import (
     BatchSampler,
     InfiniteBatchSampler,
@@ -52,16 +55,26 @@ from repro.data.sampler import (
     SequentialSampler,
 )
 from repro.data.worker import (
+    HEARTBEAT_BATCH_ID,
     SHUTDOWN_SENTINEL,
     IterableStreamEnd,
+    PartialBatch,
     WorkerFailure,
+    WorkerHeartbeat,
     worker_loop,
 )
-from repro.errors import DataLoaderError, WorkerCrashError
+from repro.errors import DataLoaderError, WorkerCrashError, WorkerHungError
 from repro.tensor.collate import default_collate
 from repro.tensor.tensor import Tensor
 
+logger = logging.getLogger(__name__)
+
 DEFAULT_WORKER_JOIN_TIMEOUT_S = 5.0
+
+#: Bounded join used when replacing a crashed/hung worker; a thread that
+#: stays hung past this is logged as leaked and left to die with the
+#: process (it is daemonic and its output is deduplicated away).
+RESTART_JOIN_TIMEOUT_S = 1.0
 
 
 class _InstrumentedCollate:
@@ -150,6 +163,26 @@ class DataLoader:
             hold a produced batch across ``next()`` (DESIGN.md §7);
             worker arenas cycle ``prefetch_factor + 2`` buffer
             generations so in-flight batches are never overwritten.
+        failure_policy: what workers do when a sample read raises — a
+            :class:`~repro.data.resilience.FailurePolicy`, a policy name
+            (``"raise"`` | ``"skip_sample"`` | ``"retry"``), or None for
+            today's behavior (``raise``). Requires a map-style dataset
+            when active. See DESIGN.md §8.
+        max_worker_restarts: total dead/hung workers the supervisor may
+            replace per epoch before escalating (0 = never restart,
+            surface :class:`WorkerCrashError` / :class:`WorkerHungError`
+            as before). Replacement workers inherit the worker id and
+            seed stream, and in-flight index batches are re-dispatched,
+            so replayed batches stay bit-identical.
+        hang_timeout_s: with workers supervised, a worker holding
+            in-flight work with no activity (payload or heartbeat) for
+            this long is declared hung and handled like a crash. Must
+            comfortably exceed the worst-case single fetch. None
+            disables hang detection.
+        heartbeat_interval_s: how often idle workers ship liveness
+            beacons (and ``heartbeat`` trace records). Defaults to
+            ``hang_timeout_s / 4`` when hang detection is on, else off —
+            the fault-free hot path keeps today's untimed blocking wait.
     """
 
     def __init__(
@@ -169,6 +202,10 @@ class DataLoader:
         persistent_workers: bool = False,
         batched_execution: Optional[bool] = None,
         reuse_batch_buffers: Optional[bool] = None,
+        failure_policy: Union[FailurePolicy, str, None] = None,
+        max_worker_restarts: int = 0,
+        hang_timeout_s: Optional[float] = None,
+        heartbeat_interval_s: Optional[float] = None,
     ) -> None:
         if num_workers < 0:
             raise DataLoaderError(f"num_workers must be >= 0, got {num_workers}")
@@ -186,6 +223,40 @@ class DataLoader:
                     "persistent_workers is not supported for iterable "
                     "datasets (each worker's stream is consumed once)"
                 )
+        self.failure_policy = FailurePolicy.resolve(failure_policy)
+        if max_worker_restarts < 0:
+            raise DataLoaderError(
+                f"max_worker_restarts must be >= 0, got {max_worker_restarts}"
+            )
+        if hang_timeout_s is not None and hang_timeout_s <= 0:
+            raise DataLoaderError(
+                f"hang_timeout_s must be > 0, got {hang_timeout_s}"
+            )
+        if heartbeat_interval_s is not None and heartbeat_interval_s <= 0:
+            raise DataLoaderError(
+                f"heartbeat_interval_s must be > 0, got {heartbeat_interval_s}"
+            )
+        if isinstance(dataset, IterableDataset):
+            if self.failure_policy.active:
+                raise DataLoaderError(
+                    "failure policies require a map-style dataset (the "
+                    "per-sample skip/retry path reads dataset[index])"
+                )
+            if max_worker_restarts > 0:
+                raise DataLoaderError(
+                    "max_worker_restarts is not supported for iterable "
+                    "datasets (a replacement worker cannot replay a "
+                    "consumed stream position)"
+                )
+        self.max_worker_restarts = max_worker_restarts
+        self.hang_timeout_s = hang_timeout_s
+        if heartbeat_interval_s is None and hang_timeout_s is not None:
+            # Idle workers must beacon well inside the hang window or an
+            # empty index queue would read as a hang.
+            heartbeat_interval_s = hang_timeout_s / 4.0
+        self.heartbeat_interval_s = heartbeat_interval_s
+        #: Per-epoch fault accounting; reset by each ``__iter__``.
+        self.fault_stats = FaultStats()
         self.persistent_workers = persistent_workers
         self._pool: Optional["_WorkerPool"] = None
         self.worker_backend = worker_backend
@@ -239,6 +310,7 @@ class DataLoader:
         return len(self.batch_sampler)
 
     def __iter__(self) -> Iterator[Any]:
+        self.fault_stats = FaultStats()
         if self.num_workers == 0:
             return _SingleProcessIter(self)
         if not self.persistent_workers:
@@ -284,30 +356,55 @@ class _SingleProcessIter:
         return self
 
     def __next__(self) -> Any:
-        try:
-            indices = next(self._batches)
-        except StopIteration:
-            # Epoch over: spill any buffered trace lines so readers see a
-            # complete log without waiting for the writers to close.
-            flush_all_writers()
-            raise
         loader = self._loader
-        start = time.time_ns()
-        with batch_scope(self._batch_id):
-            data = self._fetcher.fetch(indices)
-        duration = time.time_ns() - start
-        if loader._sink is not None:
-            loader._sink.write(
-                TraceRecord(
-                    kind=KIND_BATCH_PREPROCESSED,
-                    name="fetch",
-                    batch_id=self._batch_id,
-                    worker_id=MAIN_PROCESS_WORKER_ID,
-                    pid=self._pid,
-                    start_ns=start,
-                    duration_ns=duration,
+        policy = loader.failure_policy
+        stats = loader.fault_stats
+        while True:
+            try:
+                indices = next(self._batches)
+            except StopIteration:
+                # Epoch over: spill any buffered trace lines so readers
+                # see a complete log without waiting for writer close.
+                flush_all_writers()
+                raise
+            start = time.time_ns()
+            skipped: Tuple[int, ...] = ()
+            retried = 0
+            with batch_scope(self._batch_id):
+                if policy.active:
+                    data, skipped_list, retried = fetch_with_policy(
+                        loader.dataset,
+                        indices,
+                        loader.collate_fn,
+                        policy,
+                        loader._sink,
+                    )
+                    skipped = tuple(skipped_list)
+                else:
+                    data = self._fetcher.fetch(indices)
+            duration = time.time_ns() - start
+            if loader._sink is not None:
+                loader._sink.write(
+                    TraceRecord(
+                        kind=KIND_BATCH_PREPROCESSED,
+                        name="fetch",
+                        batch_id=self._batch_id,
+                        worker_id=MAIN_PROCESS_WORKER_ID,
+                        pid=self._pid,
+                        start_ns=start,
+                        duration_ns=duration,
+                    )
                 )
-            )
+            stats.delivered_samples += len(indices) - len(skipped)
+            stats.skipped_samples += len(skipped)
+            stats.skipped_indices.extend(skipped)
+            stats.retried_samples += retried
+            if data is None:
+                # Every sample skipped: nothing to yield or consume —
+                # move straight to the next index batch.
+                self._batch_id += 1
+                continue
+            break
         if loader.pin_memory:
             data = _pin_structure(data)
         if loader._sink is not None:
@@ -338,6 +435,7 @@ class _WorkerPool:
     """
 
     def __init__(self, loader: "DataLoader") -> None:
+        self._loader = loader
         self.backend = create_backend(loader.worker_backend)
         self.num_workers = loader.num_workers
         self.index_queues = [
@@ -346,32 +444,58 @@ class _WorkerPool:
         self.data_queue = self.backend.make_queue()
         self.dirty = False
         self._closed = False
+        #: Restart generation per worker id; bumped by :meth:`respawn` so
+        #: stale payloads/failures from replaced incarnations can be
+        #: recognized and dropped.
+        self.generations = [0] * loader.num_workers
         # Spill buffered trace lines before spawning: a forked worker must
         # not inherit (and later re-write) the parent's pending lines.
         flush_all_writers()
-        worker_log = self._worker_log_target(loader)
+        self._worker_log = self._worker_log_target(loader)
         self.workers = [
-            self.backend.start_worker(
-                worker_loop,
-                args=(
-                    worker_id,
-                    loader.dataset,
-                    self.index_queues[worker_id],
-                    self.data_queue,
-                    loader.collate_fn,
-                ),
-                kwargs={
-                    "log_target": worker_log,
-                    "is_process_worker": self.backend.is_process,
-                    "num_workers": loader.num_workers,
-                    "batched_execution": loader.batched_execution,
-                    "reuse_batch_buffers": loader.reuse_batch_buffers,
-                    "batch_buffer_depth": loader.batch_buffer_depth,
-                },
-                name=f"repro-dataloader-worker-{worker_id}",
-            )
-            for worker_id in range(loader.num_workers)
+            self._start(worker_id) for worker_id in range(loader.num_workers)
         ]
+
+    def _start(self, worker_id: int):
+        """Start (or restart) the worker for ``worker_id`` on its
+        current index queue and generation."""
+        loader = self._loader
+        return self.backend.start_worker(
+            worker_loop,
+            args=(
+                worker_id,
+                loader.dataset,
+                self.index_queues[worker_id],
+                self.data_queue,
+                loader.collate_fn,
+            ),
+            kwargs={
+                "log_target": self._worker_log,
+                "is_process_worker": self.backend.is_process,
+                "num_workers": loader.num_workers,
+                "batched_execution": loader.batched_execution,
+                "reuse_batch_buffers": loader.reuse_batch_buffers,
+                "batch_buffer_depth": loader.batch_buffer_depth,
+                "failure_policy": loader.failure_policy,
+                "heartbeat_interval_s": loader.heartbeat_interval_s,
+                "restart_generation": self.generations[worker_id],
+            },
+            name=f"repro-dataloader-worker-{worker_id}",
+        )
+
+    def respawn(self, worker_id: int) -> int:
+        """Replace a dead/hung worker with a fresh incarnation.
+
+        The replacement keeps the worker id (and therefore the RNG seed
+        stream) but gets a *new* index queue — the old queue may hold
+        tasks a hung worker will eventually drain — and a bumped
+        generation. Returns the new generation.
+        """
+        self.generations[worker_id] += 1
+        self.index_queues[worker_id] = self.backend.make_queue()
+        flush_all_writers()
+        self.workers[worker_id] = self._start(worker_id)
+        return self.generations[worker_id]
 
     def _worker_log_target(self, loader: "DataLoader"):
         """What workers log to: the shared sink for threads, the file
@@ -390,14 +514,25 @@ class _WorkerPool:
         )
 
     def shutdown(self) -> None:
-        """Send sentinels and join every worker (idempotent)."""
+        """Send sentinels, join every worker, terminate stragglers, and
+        log any worker that still refuses to die (idempotent)."""
         if self._closed:
             return
         self._closed = True
         for index_queue in self.index_queues:
             index_queue.put(SHUTDOWN_SENTINEL)
-        for handle in self.workers:
+        for worker_id, handle in enumerate(self.workers):
             self.backend.join(handle, timeout=DEFAULT_WORKER_JOIN_TIMEOUT_S)
+            if self.backend.is_alive(handle):
+                self.backend.terminate(handle)
+                self.backend.join(handle, timeout=RESTART_JOIN_TIMEOUT_S)
+            if self.backend.is_alive(handle):
+                logger.warning(
+                    "dataloader worker %d leaked at shutdown (still alive "
+                    "after sentinel + terminate; daemonic, will die with "
+                    "the process)",
+                    worker_id,
+                )
 
     @property
     def closed(self) -> bool:
@@ -425,9 +560,16 @@ class _MultiWorkerIter:
         # batch_id -> (worker_id,) while outstanding, (worker_id, data)
         # once arrived ahead of need.
         self._task_info: Dict[int, Tuple] = {}
+        # batch_id -> dispatched indices, kept until the batch is yielded
+        # (or skipped) so a replacement worker can replay in-flight work.
+        self._inflight_indices: Dict[int, Sequence[int]] = {}
         self._worker_cycle = itertools.cycle(range(loader.num_workers))
         self._exhausted_workers: set = set()
         self._shutdown = False
+        self._stats = loader.fault_stats
+        self._restarts_used = 0
+        now = time.monotonic()
+        self._last_activity = [now] * loader.num_workers
         # Startup prefetch: prefetch_factor index batches per worker.
         for _ in range(loader.prefetch_factor):
             for worker_id in range(loader.num_workers):
@@ -451,15 +593,105 @@ class _MultiWorkerIter:
         except StopIteration:
             return False
         self._task_info[self._send_idx] = (worker_id,)
+        self._inflight_indices[self._send_idx] = indices
         self._index_queues[worker_id].put((self._send_idx, indices))
         self._send_idx += 1
         return True
 
+    # -- supervision -------------------------------------------------------------
+    def _note_activity(self, worker_id: int) -> None:
+        if 0 <= worker_id < len(self._last_activity):
+            self._last_activity[worker_id] = time.monotonic()
+
+    def _outstanding_for(self, worker_id: int) -> List[int]:
+        """Batch ids dispatched to ``worker_id`` with no payload yet."""
+        return sorted(
+            batch_id
+            for batch_id, info in self._task_info.items()
+            if len(info) == 1 and info[0] == worker_id
+        )
+
+    def _check_workers(self) -> None:
+        """Supervise every worker once: dead or hung workers holding
+        in-flight batches are restarted (restart budget permitting) or
+        escalated. Called on *every* data-queue poll iteration, not just
+        timeouts, so a crash is never masked by a busy queue."""
+        if self._shutdown:
+            return
+        hang_timeout = self._loader.hang_timeout_s
+        now = time.monotonic()
+        for worker_id, handle in enumerate(self._workers):
+            if not self._outstanding_for(worker_id):
+                continue
+            if not self._backend.is_alive(handle):
+                self._handle_worker_death(worker_id, "crash")
+            elif (
+                hang_timeout is not None
+                and now - self._last_activity[worker_id] > hang_timeout
+            ):
+                self._handle_worker_death(worker_id, "hang")
+
+    def _handle_worker_death(self, worker_id: int, reason: str) -> None:
+        if self._restarts_used >= self._loader.max_worker_restarts:
+            self._shutdown_workers()
+            if reason == "hang":
+                raise WorkerHungError(worker_id, self._loader.hang_timeout_s)
+            raise WorkerCrashError(worker_id, "worker died")
+        self._restart_worker(worker_id, reason)
+
+    def _restart_worker(self, worker_id: int, reason: str) -> None:
+        """Replace ``worker_id`` and replay its in-flight index batches.
+
+        The old incarnation is cooperatively cancelled (and hard-killed
+        on the process backend); its index queue is abandoned with a
+        sentinel so a blocked thread wakes and exits. The replacement
+        keeps the worker id and seed stream and receives the in-flight
+        batches in batch-id order, so the replayed batches are
+        bit-identical to what the dead worker would have produced.
+        """
+        self._restarts_used += 1
+        self._stats.worker_restarts += 1
+        old_handle = self._workers[worker_id]
+        old_queue = self._index_queues[worker_id]
+        self._backend.terminate(old_handle)
+        old_queue.put(SHUTDOWN_SENTINEL)
+        self._backend.join(old_handle, timeout=RESTART_JOIN_TIMEOUT_S)
+        if self._backend.is_alive(old_handle):
+            logger.warning(
+                "dataloader worker %d (%s) leaked during restart; its "
+                "cancel flag is set so any late payload is dropped",
+                worker_id,
+                reason,
+            )
+        self._pool.respawn(worker_id)
+        replay = self._outstanding_for(worker_id)
+        for batch_id in replay:
+            self._index_queues[worker_id].put(
+                (batch_id, self._inflight_indices[batch_id])
+            )
+        if self._sink is not None:
+            self._sink.write(
+                TraceRecord(
+                    kind=KIND_WORKER_RESTART,
+                    name=reason,
+                    batch_id=-1,
+                    worker_id=worker_id,
+                    pid=self._pid,
+                    start_ns=time.time_ns(),
+                    duration_ns=0,
+                )
+            )
+        self._note_activity(worker_id)
+
     # -- data receipt ------------------------------------------------------------
     def _get_data(self) -> Tuple[int, Any]:
-        """Blocking data-queue read with worker liveness checks."""
+        """Blocking data-queue read with per-iteration worker supervision.
+
+        Heartbeat payloads are consumed here (they refresh the sending
+        worker's activity clock and never reach ``_next_data``)."""
         deadline = time.monotonic() + self._loader.worker_timeout_s
         while True:
+            self._check_workers()
             remaining = deadline - time.monotonic()
             if remaining <= 0:
                 self._shutdown_workers()
@@ -468,17 +700,18 @@ class _MultiWorkerIter:
                     f"for batch {self._rcvd_idx}"
                 )
             try:
-                return self._data_queue.get(timeout=min(0.1, max(remaining, 0.01)))
+                batch_id, payload = self._data_queue.get(
+                    timeout=min(0.1, max(remaining, 0.01))
+                )
             except queue_module.Empty:
-                for worker_id, handle in enumerate(self._workers):
-                    if not self._backend.is_alive(handle) and not self._shutdown:
-                        outstanding = any(
-                            len(info) == 1 and info[0] == worker_id
-                            for info in self._task_info.values()
-                        )
-                        if outstanding:
-                            self._shutdown_workers()
-                            raise WorkerCrashError(worker_id, "worker died")
+                continue
+            if batch_id == HEARTBEAT_BATCH_ID and isinstance(
+                payload, WorkerHeartbeat
+            ):
+                self._stats.heartbeats += 1
+                self._note_activity(payload.worker_id)
+                continue
+            return batch_id, payload
 
     def _next_data(self) -> Tuple[int, Any, int]:
         """Return (worker_id, data, wait_record_written) for _rcvd_idx.
@@ -501,8 +734,23 @@ class _MultiWorkerIter:
         while True:
             batch_id, payload = self._get_data()
             if isinstance(payload, WorkerFailure):
+                if payload.generation < self._pool.generations[payload.worker_id]:
+                    # A replaced incarnation's dying words; its batch was
+                    # already re-dispatched.
+                    self._stats.stale_batches += 1
+                    continue
+                self._note_activity(payload.worker_id)
                 self._shutdown_workers()
                 raise WorkerCrashError(payload.worker_id, payload.describe())
+            info = self._task_info.get(batch_id)
+            if info is None or len(info) == 2:
+                # Unknown or already-delivered batch id: a late duplicate
+                # from a worker that was declared hung, then woke up and
+                # shipped before noticing its cancel flag. Drop it — the
+                # replayed copy is the one we account.
+                self._stats.stale_batches += 1
+                continue
+            self._note_activity(info[0])
             if isinstance(payload, IterableStreamEnd):
                 # This worker's iterable shard is exhausted; stop feeding
                 # it and skip the unfillable batch id when its turn comes.
@@ -523,7 +771,10 @@ class _MultiWorkerIter:
             # Out-of-order arrival: pin it now (occupying the main
             # process) and cache it for its turn.
             if self._loader.pin_memory:
-                payload = _pin_structure(payload)
+                if isinstance(payload, PartialBatch):
+                    payload.data = _pin_structure(payload.data)
+                else:
+                    payload = _pin_structure(payload)
             worker_id = self._task_info[batch_id][0]
             self._task_info[batch_id] = (worker_id, payload)
 
@@ -550,15 +801,33 @@ class _MultiWorkerIter:
         return self
 
     def __next__(self) -> Any:
+        stats = self._stats
         while True:
             if self._rcvd_idx >= self._send_idx:
                 self._shutdown_workers()
                 raise StopIteration
             worker_id, data = self._next_data()
+            dispatched = self._inflight_indices.pop(self._rcvd_idx, ())
             if isinstance(data, IterableStreamEnd):
                 # Unfillable batch id: skip it without yielding.
                 self._rcvd_idx += 1
                 continue
+            batch_size = len(dispatched) if hasattr(dispatched, "__len__") else 0
+            if isinstance(data, PartialBatch):
+                stats.skipped_samples += len(data.skipped_indices)
+                stats.skipped_indices.extend(data.skipped_indices)
+                stats.retried_samples += data.retried
+                stats.delivered_samples += batch_size - len(data.skipped_indices)
+                payload = data.data
+                if payload is None:
+                    # Every sample skipped: replenish the worker and move
+                    # on without a consumed record (nothing was consumed).
+                    self._try_put_index(worker_id)
+                    self._rcvd_idx += 1
+                    continue
+                data = payload
+            else:
+                stats.delivered_samples += batch_size
             break
         consumed_start = time.time_ns()
         if self._loader.pin_memory:

@@ -1,0 +1,322 @@
+"""Deterministic fault injection for the DataLoader (DESIGN.md §8).
+
+A :class:`FaultPlan` is a seeded, pure-function description of where the
+input pipeline misbehaves: transient ``IOError`` s that clear after a
+bounded number of attempts, persistently corrupt samples, hangs, and
+hard worker crashes — either at explicit ``(worker, sample)``
+coordinates via :class:`FaultSite` or at a seeded per-sample rate.
+
+Determinism contract: rate-based decisions depend only on
+``(plan seed, sample index)`` through a splitmix64 integer mix — *not*
+on Python's salted ``hash()``, thread identity, or scheduling — so the
+same plan injects the same fault set on the thread and the process
+backend, across processes, and across runs. One-shot faults (hangs and
+crashes) fire only for workers at restart generation 0, so a replayed
+batch on a freshly restarted worker does not re-trigger the fault that
+killed its predecessor (process workers fork from the pristine parent
+image and would otherwise loop forever).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.lotustrace.context import current_worker_id
+from repro.errors import CodecError, DataLoaderError
+
+FAULT_TRANSIENT = "transient"
+FAULT_CORRUPT = "corrupt"
+FAULT_HANG = "hang"
+FAULT_CRASH = "crash"
+
+INJECTABLE_FAULTS = (FAULT_TRANSIENT, FAULT_CORRUPT, FAULT_HANG, FAULT_CRASH)
+
+#: One-shot fault kinds: suppressed for restart generations > 0 so the
+#: replacement worker can replay the batch that killed its predecessor.
+_ONE_SHOT_FAULTS = frozenset((FAULT_HANG, FAULT_CRASH))
+
+_MASK64 = (1 << 64) - 1
+
+
+class WorkerCrashInjection(BaseException):
+    """Injected hard worker death.
+
+    Deliberately a ``BaseException`` so no ``except Exception`` handler
+    in dataset code or the failure-policy retry loop can absorb it: it
+    propagates to :func:`~repro.data.worker.worker_loop`, which converts
+    it into a real worker death (``os._exit`` for process workers, a
+    silent return for thread workers) that ships no failure payload —
+    exactly the crash mode the supervisor must detect by liveness.
+    """
+
+
+# -- worker restart generations -----------------------------------------------
+# The worker loop registers its restart generation here at startup; fault
+# decisions read it through ``current_worker_id()`` so one-shot faults
+# stay one-shot across restarts on both backends (a forked replacement
+# worker inherits the parent's pristine module state, so the kwarg-driven
+# registration below is what carries the generation into the child).
+_generation_lock = threading.Lock()
+_worker_generations: Dict[int, int] = {}
+
+
+def set_worker_generation(worker_id: int, generation: int) -> None:
+    """Register the calling worker's restart generation (0 = original)."""
+    with _generation_lock:
+        if generation == 0:
+            _worker_generations.pop(worker_id, None)
+        else:
+            _worker_generations[worker_id] = generation
+
+
+def worker_generation(worker_id: int) -> int:
+    """Restart generation registered for ``worker_id`` (0 if never set)."""
+    with _generation_lock:
+        return _worker_generations.get(worker_id, 0)
+
+
+def _splitmix64(value: int) -> int:
+    """One splitmix64 avalanche step — pure integer math, identical on
+    every interpreter and run (unlike salted ``hash()``)."""
+    value = (value + 0x9E3779B97F4A7C15) & _MASK64
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return value ^ (value >> 31)
+
+
+def _mix(seed: int, *values: int) -> int:
+    acc = _splitmix64(seed & _MASK64)
+    for value in values:
+        acc = _splitmix64(acc ^ (value & _MASK64))
+    return acc
+
+
+@dataclass(frozen=True)
+class FaultSite:
+    """One explicit fault coordinate.
+
+    ``sample_index`` / ``worker_id`` of ``None`` match any sample /
+    worker. ``attempts`` bounds how many consecutive read attempts a
+    transient fault spoils before clearing (so ``retry`` policies can
+    succeed); ``hang_s`` is how long an injected hang sleeps.
+    """
+
+    kind: str
+    sample_index: Optional[int] = None
+    worker_id: Optional[int] = None
+    attempts: int = 1
+    hang_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in INJECTABLE_FAULTS:
+            raise DataLoaderError(
+                f"unknown fault kind {self.kind!r}; choose from "
+                f"{INJECTABLE_FAULTS}"
+            )
+        if self.attempts < 1:
+            raise DataLoaderError(f"attempts must be >= 1, got {self.attempts}")
+        if self.hang_s < 0:
+            raise DataLoaderError(f"hang_s must be >= 0, got {self.hang_s}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seeded description of the faults to inject into one run.
+
+    Args:
+        seed: the plan seed; rate-based decisions mix it with the sample
+            index only, so the injected fault set is independent of the
+            worker backend and of scheduling.
+        transient_rate: fraction of samples whose reads raise a
+            transient ``IOError`` for the first ``transient_attempts``
+            attempts, then succeed.
+        corrupt_rate: fraction of samples that are persistently corrupt
+            (every attempt fails — the ``skip_sample`` path's food).
+        transient_attempts: failing attempts before a transient clears.
+        sites: explicit :class:`FaultSite` coordinates, checked before
+            the rate draws.
+    """
+
+    seed: int = 0
+    transient_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    transient_attempts: int = 1
+    sites: Tuple[FaultSite, ...] = ()
+    _attempts: Dict[Tuple[str, int], int] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+    _lock: Any = field(default_factory=threading.Lock, repr=False, compare=False)
+    _injected: List[Tuple[str, int]] = field(
+        default_factory=list, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        for name in ("transient_rate", "corrupt_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise DataLoaderError(f"{name} must be in [0, 1], got {rate}")
+        if self.transient_attempts < 1:
+            raise DataLoaderError(
+                f"transient_attempts must be >= 1, got {self.transient_attempts}"
+            )
+        sites = tuple(self.sites)
+        object.__setattr__(self, "sites", sites)
+
+    # -- pure decision functions ------------------------------------------------
+    def _rate_hit(self, stream: int, index: int, rate: float) -> bool:
+        if rate <= 0.0:
+            return False
+        return _mix(self.seed, stream, index) / float(1 << 64) < rate
+
+    def transient_indices(self, dataset_len: int) -> List[int]:
+        """Sample indices whose first reads fail transiently (rate draws
+        plus explicit transient sites) — pure, for cross-process test
+        assertions."""
+        explicit = {
+            site.sample_index
+            for site in self.sites
+            if site.kind == FAULT_TRANSIENT and site.sample_index is not None
+        }
+        return [
+            index
+            for index in range(dataset_len)
+            if index in explicit or self._rate_hit(1, index, self.transient_rate)
+        ]
+
+    def corrupt_indices(self, dataset_len: int) -> List[int]:
+        """Sample indices that are persistently corrupt — pure."""
+        explicit = {
+            site.sample_index
+            for site in self.sites
+            if site.kind == FAULT_CORRUPT and site.sample_index is not None
+        }
+        return [
+            index
+            for index in range(dataset_len)
+            if index in explicit or self._rate_hit(2, index, self.corrupt_rate)
+        ]
+
+    @property
+    def injected(self) -> List[Tuple[str, int]]:
+        """(kind, sample index) pairs actually fired, in firing order.
+
+        Process-backed workers fire in the child, so this list only sees
+        in-process (thread backend / num_workers=0) injections; use the
+        pure ``*_indices`` functions for cross-process assertions.
+        """
+        with self._lock:
+            return list(self._injected)
+
+    # -- the injection point ----------------------------------------------------
+    def _match(self, index: int, worker_id: int, generation: int
+               ) -> Optional[FaultSite]:
+        for site in self.sites:
+            if site.sample_index is not None and site.sample_index != index:
+                continue
+            if site.worker_id is not None and site.worker_id != worker_id:
+                continue
+            if site.kind in _ONE_SHOT_FAULTS and generation > 0:
+                continue
+            if site.kind == FAULT_TRANSIENT and not self._transient_pending(
+                index, site.attempts
+            ):
+                continue
+            return site
+        if self._rate_hit(2, index, self.corrupt_rate):
+            return FaultSite(FAULT_CORRUPT, sample_index=index)
+        if self._rate_hit(1, index, self.transient_rate) and (
+            self._transient_pending(index, self.transient_attempts)
+        ):
+            return FaultSite(
+                FAULT_TRANSIENT, sample_index=index,
+                attempts=self.transient_attempts,
+            )
+        return None
+
+    def _transient_pending(self, index: int, attempts: int) -> bool:
+        """Consume one failing attempt for ``index`` if any remain."""
+        key = (FAULT_TRANSIENT, index)
+        with self._lock:
+            used = self._attempts.get(key, 0)
+            if used >= attempts:
+                return False
+            self._attempts[key] = used + 1
+            return True
+
+    def apply(self, index: int) -> Optional[str]:
+        """Run the fault decision for one read of sample ``index``.
+
+        Raises ``IOError`` (transient) or :class:`WorkerCrashInjection`
+        (crash), sleeps through an injected hang, and returns
+        ``FAULT_CORRUPT`` when the caller should corrupt the payload
+        (``None`` = read is clean).
+        """
+        worker_id = current_worker_id()
+        site = self._match(index, worker_id, worker_generation(worker_id))
+        if site is None:
+            return None
+        with self._lock:
+            self._injected.append((site.kind, index))
+        if site.kind == FAULT_TRANSIENT:
+            raise IOError(
+                f"injected transient fault reading sample {index} "
+                f"(worker {worker_id})"
+            )
+        if site.kind == FAULT_CRASH:
+            raise WorkerCrashInjection(
+                f"injected crash at sample {index} (worker {worker_id})"
+            )
+        if site.kind == FAULT_HANG:
+            if site.hang_s > 0:
+                time.sleep(site.hang_s)
+            return None
+        return FAULT_CORRUPT
+
+    def reset(self) -> None:
+        """Forget consumed transient attempts and the injection log, so
+        one plan instance can drive a fresh epoch."""
+        with self._lock:
+            self._attempts.clear()
+            del self._injected[:]
+
+
+def corrupt_blob(blob: bytes) -> bytes:
+    """Deterministically corrupt an encoded blob (truncate to half), so
+    downstream decodes fail with a real :class:`~repro.errors.CodecError`."""
+    return blob[: max(1, len(blob) // 2)]
+
+
+class FaultInjectingDataset:
+    """Map-style dataset wrapper that runs a :class:`FaultPlan` before
+    each read.
+
+    Corrupt faults surface as :class:`~repro.errors.CodecError` (the
+    wrapper has no blob to damage, unlike
+    :class:`~repro.datasets.filestore.SimulatedRemoteStore`); transient
+    faults as ``IOError``; hangs sleep inside ``__getitem__``; crashes
+    raise :class:`WorkerCrashInjection`.
+
+    Deliberately *not* a transparent proxy: it exposes only
+    ``__getitem__``/``__len__``, so the batched execution plan (which
+    needs ``load_untransformed``) cannot resolve around it and silently
+    bypass the injection point.
+    """
+
+    def __init__(self, dataset: Any, plan: FaultPlan) -> None:
+        if not hasattr(dataset, "__getitem__"):
+            raise DataLoaderError(
+                "FaultInjectingDataset wraps map-style datasets only"
+            )
+        self._dataset = dataset
+        self.plan = plan
+
+    def __getitem__(self, index: int) -> Any:
+        if self.plan.apply(index) == FAULT_CORRUPT:
+            raise CodecError(f"injected corrupt sample {index}")
+        return self._dataset[index]
+
+    def __len__(self) -> int:
+        return len(self._dataset)

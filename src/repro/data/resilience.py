@@ -1,0 +1,211 @@
+"""Failure policies and the policy-aware per-sample fetch (DESIGN.md §8).
+
+A :class:`FailurePolicy` decides what a worker does when reading one
+sample raises: re-raise (today's behavior and the default), drop the
+index and deliver a smaller batch with exact accounting
+(``skip_sample``), or retry with exponential backoff and then escalate
+(``retry``). The policy-active fetch is the per-sample oracle path —
+``dataset[index]`` per index, then collate — so successful samples are
+bit-identical to a policy-free run (the batched engine's per-sample
+parity is already guaranteed by DESIGN.md §7).
+
+Every recovery action is recorded in-band: one ``sample_retried``
+record per failed-then-retried attempt and one ``sample_skipped``
+record per dropped index, both carrying ``sample=<index>`` in the name
+and the real batch/worker ids.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.lotustrace.context import (
+    current_batch_id,
+    current_pid,
+    current_worker_id,
+)
+from repro.core.lotustrace.logfile import TraceSink
+from repro.core.lotustrace.records import (
+    KIND_SAMPLE_RETRIED,
+    KIND_SAMPLE_SKIPPED,
+    TraceRecord,
+)
+from repro.errors import DataLoaderError, RetryExhaustedError
+
+POLICY_RAISE = "raise"
+POLICY_SKIP = "skip_sample"
+POLICY_RETRY = "retry"
+POLICIES = (POLICY_RAISE, POLICY_SKIP, POLICY_RETRY)
+
+#: Marker for a sample dropped by the skip path (``None`` is a valid
+#: sample value, so identity is the only safe signal).
+_SKIPPED = object()
+
+
+@dataclass(frozen=True)
+class FailurePolicy:
+    """What to do when fetching one sample raises.
+
+    Args:
+        mode: ``raise`` | ``skip_sample`` | ``retry``.
+        max_retries: for ``retry``, failed attempts retried per sample
+            before escalating.
+        backoff_base_s: first retry delay; doubles per attempt.
+        backoff_cap_s: upper bound on any single retry delay.
+        on_exhausted: for ``retry``, what to do after the last attempt —
+            ``raise`` (default, surfaces :class:`RetryExhaustedError`)
+            or ``skip_sample``.
+    """
+
+    mode: str = POLICY_RAISE
+    max_retries: int = 3
+    backoff_base_s: float = 0.005
+    backoff_cap_s: float = 0.25
+    on_exhausted: str = POLICY_RAISE
+
+    def __post_init__(self) -> None:
+        if self.mode not in POLICIES:
+            raise DataLoaderError(
+                f"unknown failure policy {self.mode!r}; choose from {POLICIES}"
+            )
+        if self.on_exhausted not in (POLICY_RAISE, POLICY_SKIP):
+            raise DataLoaderError(
+                f"on_exhausted must be {POLICY_RAISE!r} or {POLICY_SKIP!r}, "
+                f"got {self.on_exhausted!r}"
+            )
+        if self.max_retries < 0:
+            raise DataLoaderError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.backoff_base_s < 0 or self.backoff_cap_s < 0:
+            raise DataLoaderError("backoff delays must be >= 0")
+
+    @classmethod
+    def resolve(
+        cls, value: Union["FailurePolicy", str, None]
+    ) -> "FailurePolicy":
+        """Normalize a ``failure_policy=`` argument (None = ``raise``)."""
+        if value is None:
+            return cls()
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            return cls(mode=value)
+        raise DataLoaderError(
+            f"failure_policy must be a FailurePolicy or policy name, "
+            f"got {type(value)!r}"
+        )
+
+    @property
+    def active(self) -> bool:
+        """Whether this policy changes the fetch path at all."""
+        return self.mode != POLICY_RAISE
+
+    def backoff_s(self, attempt: int) -> float:
+        """Delay before retry ``attempt`` (1-based), capped exponential."""
+        return min(self.backoff_cap_s, self.backoff_base_s * (2 ** (attempt - 1)))
+
+
+@dataclass
+class FaultStats:
+    """Exact per-epoch sample accounting, exposed as
+    ``DataLoader.fault_stats`` after iteration.
+
+    Invariant under any completing epoch over a map-style dataset:
+    ``delivered_samples + skipped_samples == dataset size`` (retries and
+    restarts change *when* a sample arrives, never whether it does).
+    """
+
+    delivered_samples: int = 0
+    skipped_samples: int = 0
+    retried_samples: int = 0
+    worker_restarts: int = 0
+    stale_batches: int = 0
+    heartbeats: int = 0
+    skipped_indices: List[int] = field(default_factory=list)
+
+
+def _emit_sample_record(
+    sink: Optional[TraceSink],
+    kind: str,
+    index: int,
+    start_ns: int,
+    duration_ns: int,
+) -> None:
+    if sink is None:
+        return
+    sink.write(
+        TraceRecord(
+            kind=kind,
+            name=f"sample={index}",
+            batch_id=current_batch_id(),
+            worker_id=current_worker_id(),
+            pid=current_pid(),
+            start_ns=start_ns,
+            duration_ns=max(0, duration_ns),
+        )
+    )
+
+
+def fetch_with_policy(
+    dataset: Any,
+    indices: Sequence[int],
+    collate_fn: Callable,
+    policy: FailurePolicy,
+    sink: Optional[TraceSink],
+) -> Tuple[Optional[Any], List[int], int]:
+    """Per-sample fetch with retry/skip handling.
+
+    Returns ``(batch, skipped_indices, retried_count)`` where ``batch``
+    is ``None`` if every sample was skipped. Samples that succeed are
+    read exactly like the per-sample oracle (``dataset[index]`` in index
+    order, then ``collate_fn``), so delivered tensors are bit-identical
+    to a fault-free run. ``WorkerCrashInjection`` is a ``BaseException``
+    and deliberately punches through the ``except Exception`` below.
+    """
+    samples: List[Any] = []
+    skipped: List[int] = []
+    retried = 0
+    for index in indices:
+        attempt = 0
+        while True:
+            start = time.time_ns()
+            try:
+                sample = dataset[index]
+                break
+            except Exception as exc:
+                elapsed = time.time_ns() - start
+                if policy.mode == POLICY_RETRY and attempt < policy.max_retries:
+                    attempt += 1
+                    retried += 1
+                    _emit_sample_record(
+                        sink, KIND_SAMPLE_RETRIED, index, start, elapsed
+                    )
+                    delay = policy.backoff_s(attempt)
+                    if delay > 0:
+                        time.sleep(delay)
+                    continue
+                escalation = (
+                    policy.on_exhausted
+                    if policy.mode == POLICY_RETRY
+                    else policy.mode
+                )
+                if escalation == POLICY_SKIP:
+                    _emit_sample_record(
+                        sink, KIND_SAMPLE_SKIPPED, index, start, elapsed
+                    )
+                    skipped.append(index)
+                    sample = _SKIPPED
+                    break
+                if policy.mode == POLICY_RETRY:
+                    raise RetryExhaustedError(
+                        index, attempt + 1, f"{type(exc).__name__}: {exc}"
+                    ) from exc
+                raise
+        if sample is not _SKIPPED:
+            samples.append(sample)
+    if not samples:
+        return None, skipped, retried
+    return collate_fn(samples), skipped, retried

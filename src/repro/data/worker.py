@@ -3,7 +3,19 @@
 The main process forks/starts workers that each run :func:`worker_loop`:
 create a dataset fetcher once, then repeatedly take ``(batch_id,
 indices)`` tasks from this worker's index queue, fetch-and-collate, and
-put ``(batch_id, data)`` on the shared data queue.
+put ``(batch_id, payload)`` on the shared data queue.
+
+Queue protocol (main -> worker): ``(batch_id, indices)`` tuples, or the
+dedicated :data:`SHUTDOWN_SENTINEL` object to stop the worker — a
+sentinel *instance*, not ``None``, so a legitimate ``None`` task payload
+can never shut a worker down, and pickled across a
+``multiprocessing.Queue`` it still resolves to the module singleton.
+
+Queue protocol (worker -> main): ``(batch_id, payload)`` where payload
+is the collated batch, a :class:`PartialBatch` (skip/retry policies were
+exercised), a :class:`WorkerFailure` (exception surrogate), an
+:class:`IterableStreamEnd`, or — with ``batch_id`` of
+:data:`HEARTBEAT_BATCH_ID` — a :class:`WorkerHeartbeat` liveness beacon.
 
 LotusTrace's [T1] hook lives here: the ``fetch`` call is wrapped with two
 timestamps and one ``batch_preprocessed`` record — the paper's chosen
@@ -12,10 +24,12 @@ instrumentation point because every fetcher class shares ``fetch``.
 
 from __future__ import annotations
 
+import os
+import queue as queue_module
 import time
 import traceback
 from dataclasses import dataclass
-from typing import Any, Callable, Optional, Union
+from typing import Any, Callable, Optional, Tuple, Union
 
 from repro.core.lotustrace.context import (
     batch_scope,
@@ -29,12 +43,42 @@ from repro.core.lotustrace.logfile import (
     flush_all_writers,
     open_trace_log,
 )
-from repro.core.lotustrace.records import KIND_BATCH_PREPROCESSED, TraceRecord
+from repro.core.lotustrace.records import (
+    KIND_BATCH_PREPROCESSED,
+    KIND_WORKER_HEARTBEAT,
+    TraceRecord,
+)
+from repro.data.faults import WorkerCrashInjection, set_worker_generation
 from repro.data.fetcher import create_fetcher
+from repro.data.resilience import FailurePolicy, fetch_with_policy
 from repro.data.worker_info import WorkerInfo, worker_info_scope
 
+#: ``batch_id`` carried by heartbeat payloads on the data queue.
+HEARTBEAT_BATCH_ID = -1
+
+
+class _ShutdownSentinel:
+    """Dedicated shutdown token for the index queues.
+
+    ``multiprocessing.Queue`` pickles payloads, which would break ``is``
+    identity for a plain ``object()``; ``__reduce__`` resolves every
+    unpickle back to the module singleton.
+    """
+
+    def __reduce__(self):
+        return (_shutdown_sentinel, ())
+
+    def __repr__(self) -> str:
+        return "SHUTDOWN_SENTINEL"
+
+
+def _shutdown_sentinel() -> "_ShutdownSentinel":
+    """Unpickle target: the module-level singleton."""
+    return SHUTDOWN_SENTINEL
+
+
 #: Sentinel placed on an index queue to stop its worker.
-SHUTDOWN_SENTINEL = None
+SHUTDOWN_SENTINEL = _ShutdownSentinel()
 
 
 @dataclass
@@ -46,6 +90,9 @@ class WorkerFailure:
     exc_type: str
     message: str
     traceback_text: str
+    #: Restart generation of the emitting worker; the main process drops
+    #: failures from generations it has already replaced.
+    generation: int = 0
 
     def describe(self) -> str:
         return f"{self.exc_type}: {self.message}\n{self.traceback_text}"
@@ -64,6 +111,31 @@ class IterableStreamEnd:
     batch_id: int
 
 
+@dataclass(frozen=True)
+class WorkerHeartbeat:
+    """Liveness beacon a worker ships while idle between tasks."""
+
+    worker_id: int
+    generation: int
+    sent_ns: int
+
+
+@dataclass
+class PartialBatch:
+    """A batch whose fetch exercised the skip/retry policies.
+
+    ``data`` is ``None`` when every sample was skipped. Plain batches
+    ship unwrapped, so the fault-free payload path is byte-identical to
+    a policy-free run.
+    """
+
+    worker_id: int
+    batch_id: int
+    data: Any
+    skipped_indices: Tuple[int, ...]
+    retried: int
+
+
 def worker_loop(
     worker_id: int,
     dataset: Any,
@@ -76,6 +148,10 @@ def worker_loop(
     batched_execution: Optional[bool] = None,
     reuse_batch_buffers: bool = False,
     batch_buffer_depth: int = 1,
+    failure_policy: Union[FailurePolicy, str, None] = None,
+    heartbeat_interval_s: Optional[float] = None,
+    cancel_flag: Any = None,
+    restart_generation: int = 0,
 ) -> None:
     """Run one DataLoader worker until a shutdown sentinel arrives.
 
@@ -87,9 +163,21 @@ def worker_loop(
     ``reuse_batch_buffers`` / ``batch_buffer_depth`` triple configures
     this worker's fetcher fast path (each worker owns its own buffer
     arena).
+
+    Fault tolerance (DESIGN.md §8): an active ``failure_policy`` routes
+    the fetch through the per-sample policy path; with
+    ``heartbeat_interval_s`` set the idle wait becomes a timed poll that
+    ships :class:`WorkerHeartbeat` beacons (and heartbeat trace records);
+    ``cancel_flag`` is the backend's cooperative cancellation flag,
+    checked between tasks and again before shipping a finished batch so a
+    cancelled (hung, later woken) worker never ships stale payloads;
+    ``restart_generation`` identifies this incarnation of the worker id —
+    it stamps failures and suppresses one-shot injected faults on replay.
     """
     if is_process_worker:
         set_process_worker_id(worker_id)
+    set_worker_generation(worker_id, restart_generation)
+    policy = FailurePolicy.resolve(failure_policy)
     sink: Optional[TraceSink] = open_trace_log(log_target)
     with worker_identity(worker_id), worker_info_scope(
         WorkerInfo(worker_id=worker_id, num_workers=num_workers)
@@ -103,19 +191,61 @@ def worker_loop(
         )
         pid = current_pid()
         while True:
-            task = index_queue.get()
-            if task is SHUTDOWN_SENTINEL:
+            if cancel_flag is not None and cancel_flag.is_set():
+                break
+            if heartbeat_interval_s is None:
+                task = index_queue.get()
+            else:
+                try:
+                    task = index_queue.get(timeout=heartbeat_interval_s)
+                except queue_module.Empty:
+                    sent_ns = time.time_ns()
+                    if sink is not None:
+                        sink.write(
+                            TraceRecord(
+                                kind=KIND_WORKER_HEARTBEAT,
+                                name="alive",
+                                batch_id=HEARTBEAT_BATCH_ID,
+                                worker_id=worker_id,
+                                pid=pid,
+                                start_ns=sent_ns,
+                                duration_ns=0,
+                            )
+                        )
+                    data_queue.put(
+                        (
+                            HEARTBEAT_BATCH_ID,
+                            WorkerHeartbeat(worker_id, restart_generation, sent_ns),
+                        )
+                    )
+                    continue
+            if isinstance(task, _ShutdownSentinel):
                 break
             batch_id, indices = task
             start = time.time_ns()
+            skipped: Tuple[int, ...] = ()
+            retried = 0
             try:
                 with batch_scope(batch_id):
-                    data = fetcher.fetch(indices)
+                    if policy.active:
+                        data, skipped_list, retried = fetch_with_policy(
+                            dataset, indices, collate_fn, policy, sink
+                        )
+                        skipped = tuple(skipped_list)
+                    else:
+                        data = fetcher.fetch(indices)
             except StopIteration:
                 # Iterable shard exhausted; tell the main process and
                 # keep serving (only the shutdown sentinel ends the loop).
                 data_queue.put((batch_id, IterableStreamEnd(worker_id, batch_id)))
                 continue
+            except WorkerCrashInjection:
+                # Injected hard death: die without shipping any payload,
+                # exactly like a real crash — process workers exit hard,
+                # thread workers fall off the loop.
+                if is_process_worker:
+                    os._exit(1)
+                return
             except Exception as exc:  # ship to main process, keep serving
                 data_queue.put(
                     (
@@ -126,11 +256,16 @@ def worker_loop(
                             exc_type=type(exc).__name__,
                             message=str(exc),
                             traceback_text=traceback.format_exc(),
+                            generation=restart_generation,
                         ),
                     )
                 )
                 continue
             duration = time.time_ns() - start
+            if cancel_flag is not None and cancel_flag.is_set():
+                # Cancelled mid-fetch (hang recovery): the batch was
+                # re-dispatched elsewhere — drop it, do not ship stale data.
+                break
             if sink is not None:
                 sink.write(
                     TraceRecord(
@@ -143,7 +278,13 @@ def worker_loop(
                         duration_ns=duration,
                     )
                 )
-            data_queue.put((batch_id, data))
+            if skipped or retried:
+                payload: Any = PartialBatch(
+                    worker_id, batch_id, data, skipped, retried
+                )
+            else:
+                payload = data
+            data_queue.put((batch_id, payload))
     if is_process_worker:
         # Spill every buffered writer in this child — including writers the
         # dataset or transform chain inherited across the fork — before the

@@ -10,8 +10,9 @@ without real remote storage.
 from __future__ import annotations
 
 import time
-from typing import Sequence
+from typing import Optional, Sequence
 
+from repro.data.faults import FAULT_CORRUPT, FaultPlan, corrupt_blob
 from repro.errors import ReproError
 
 
@@ -22,6 +23,11 @@ class SimulatedRemoteStore:
         blobs: the stored payloads.
         base_latency_s: per-read round-trip latency.
         bandwidth_mb_s: transfer bandwidth in MB/s (0 = infinite).
+        fault_plan: optional :class:`~repro.data.faults.FaultPlan`
+            consumed per read — transient faults raise ``IOError``
+            mid-flight, hangs stall the read, and corrupt faults return
+            a deterministically damaged blob (so the downstream decode
+            fails with a real codec error, like a torn remote transfer).
     """
 
     def __init__(
@@ -29,6 +35,7 @@ class SimulatedRemoteStore:
         blobs: Sequence[bytes],
         base_latency_s: float = 0.0005,
         bandwidth_mb_s: float = 400.0,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         if base_latency_s < 0:
             raise ReproError(f"latency must be >= 0, got {base_latency_s}")
@@ -37,6 +44,7 @@ class SimulatedRemoteStore:
         self._blobs = list(blobs)
         self.base_latency_s = base_latency_s
         self.bandwidth_mb_s = bandwidth_mb_s
+        self.fault_plan = fault_plan
         self._reads = 0
         self._bytes_read = 0
 
@@ -44,6 +52,9 @@ class SimulatedRemoteStore:
         return len(self._blobs)
 
     def __getitem__(self, index: int) -> bytes:
+        fault = (
+            self.fault_plan.apply(index) if self.fault_plan is not None else None
+        )
         blob = self._blobs[index]
         delay = self.base_latency_s
         if self.bandwidth_mb_s > 0:
@@ -52,6 +63,8 @@ class SimulatedRemoteStore:
             time.sleep(delay)
         self._reads += 1
         self._bytes_read += len(blob)
+        if fault == FAULT_CORRUPT:
+            return corrupt_blob(blob)
         return blob
 
     @property

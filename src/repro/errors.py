@@ -32,6 +32,39 @@ class WorkerCrashError(DataLoaderError):
         self.cause = cause
 
 
+class WorkerHungError(DataLoaderError):
+    """Raised when a worker stopped making progress past its hang timeout.
+
+    Distinct from :class:`WorkerCrashError`: the worker is still alive
+    but has neither produced a batch nor heartbeaten within
+    ``hang_timeout_s`` while holding in-flight work (DESIGN.md §8).
+    """
+
+    def __init__(self, worker_id: int, timeout_s: float) -> None:
+        super().__init__(
+            f"DataLoader worker {worker_id} hung: no progress for more "
+            f"than {timeout_s}s with in-flight batches"
+        )
+        self.worker_id = worker_id
+        self.timeout_s = timeout_s
+
+
+class RetryExhaustedError(DataLoaderError):
+    """Raised when the ``retry`` failure policy runs out of attempts.
+
+    Carries the failing dataset index and the attempt count so chaos
+    tests (and callers) can tie the escalation back to the fault site.
+    """
+
+    def __init__(self, index: int, attempts: int, cause: str) -> None:
+        super().__init__(
+            f"sample {index} failed after {attempts} attempt(s): {cause}"
+        )
+        self.index = index
+        self.attempts = attempts
+        self.cause = cause
+
+
 class TraceError(ReproError):
     """Raised for malformed LotusTrace logs or inconsistent span data."""
 

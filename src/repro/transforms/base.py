@@ -7,6 +7,7 @@ from typing import Any, Optional
 
 import numpy as np
 
+from repro.core.lotustrace.context import current_batch_id, current_worker_id
 from repro.utils.rng import derive_rng
 
 
@@ -26,11 +27,17 @@ class Transform:
 
 
 class RandomTransform(Transform):
-    """Transform with per-thread seeded randomness.
+    """Transform with seeded, replay-deterministic randomness.
 
     Transform instances are shared across DataLoader workers; numpy
-    Generators are not thread-safe, so each worker thread derives its own
-    stream from the instance seed and its thread identity.
+    Generators are not thread-safe, so every execution context derives
+    its own stream from the instance seed. Inside a fetch (an ambient
+    ``batch_scope``) the stream is keyed by ``(worker_id, batch_id)``
+    rather than thread identity: a batch replayed by a restarted
+    worker — a different thread or process, same worker id — draws the
+    identical randomness, which is what makes fault recovery
+    bit-identical (DESIGN.md §8). Outside any batch scope the key falls
+    back to thread identity, preserving direct-call behavior.
     """
 
     def __init__(self, seed: Optional[int] = None) -> None:
@@ -38,11 +45,15 @@ class RandomTransform(Transform):
         self._local = threading.local()
 
     def _rng(self) -> np.random.Generator:
-        rng = getattr(self._local, "rng", None)
-        if rng is None:
-            rng = derive_rng(self._seed, type(self).__name__, threading.get_ident())
-            self._local.rng = rng
-        return rng
+        batch_id = current_batch_id()
+        if batch_id >= 0:
+            key = ("batch", current_worker_id(), batch_id)
+        else:
+            key = ("thread", threading.get_ident())
+        if getattr(self._local, "key", None) != key:
+            self._local.rng = derive_rng(self._seed, type(self).__name__, *key)
+            self._local.key = key
+        return self._local.rng
 
     def reseed(self, seed: Optional[int]) -> None:
         """Reset the seed; existing per-thread streams are discarded."""
