@@ -2,8 +2,9 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 BENCH_JSON := .bench_current.json
+DECODE_BENCH_JSON := .bench_decode.json
 
-.PHONY: test bench bench-check bench-baseline fault-check
+.PHONY: test bench bench-check bench-baseline decode-bench fault-check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -17,17 +18,28 @@ fault-check:
 bench:
 	$(PYTHON) -m pytest benchmarks/bench_substrate.py \
 		benchmarks/bench_trace_analysis.py \
-		benchmarks/bench_preprocessing.py --benchmark-only \
+		benchmarks/bench_preprocessing.py \
+		benchmarks/bench_decode_batch.py --benchmark-only \
 		--benchmark-disable-gc --benchmark-json=$(BENCH_JSON) -q
 
 # Fail if the microbenchmarks (entropy decode, sample replay, DataLoader
-# epoch, trace parse/analyze/export, batched preprocessing) regressed
-# >25% vs benchmarks/BENCH_baseline.json, or if a vectorized path
-# dropped below its floor over the retained reference (3x decode/replay,
-# 10x trace, 3x batched preprocessing engine).
+# epoch, trace parse/analyze/export, batched preprocessing, whole-batch
+# decode) regressed >25% vs benchmarks/BENCH_baseline.json, or if a
+# vectorized path dropped below its floor over the retained reference
+# (3x decode/replay, 10x trace, 1.8x batched preprocessing with decode
+# included, 2.5x whole-batch decode, 5x warm cache lookup).
 bench-check: bench
 	$(PYTHON) benchmarks/check_regression.py $(BENCH_JSON)
 
 # Refresh the committed baseline after an intentional perf change.
 bench-baseline: bench
 	$(PYTHON) benchmarks/check_regression.py $(BENCH_JSON) --update
+
+# Standalone ISSUE 6 gate: cold whole-batch decode vs per-image loop
+# (>= 2.5x at batch 64) and warm CachingLoader batch lookup, without
+# rerunning the full bench suite.
+decode-bench:
+	$(PYTHON) -m pytest benchmarks/bench_decode_batch.py --benchmark-only \
+		--benchmark-disable-gc --benchmark-json=$(DECODE_BENCH_JSON) -q
+	$(PYTHON) benchmarks/check_regression.py $(DECODE_BENCH_JSON) \
+		--only decode_batch,decode_cache

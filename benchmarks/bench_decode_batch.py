@@ -1,0 +1,68 @@
+"""Whole-batch SJPG decode benchmarks: stacked engine vs per-image loop.
+
+Measures a cold decode of one fetch batch (64 shape/quality-homogeneous
+blobs, the grouping the batched engine exploits) through
+``decode_sjpg_batch``'s stacked kernel passes against the per-image
+``decode_sjpg`` loop, plus the warm path — a ``CachingLoader.load_batch``
+whole-batch lookup after the cache is filled, which is what steady-state
+epochs pay.
+
+``check_regression.py`` enforces the ISSUE 6 acceptance floor — the
+batched decode must stay >= 2.5x faster than the per-image loop at batch
+size 64 — as a same-run ratio (robust to machine load where absolute
+times are not). The bench uses thumbnail-scale images on purpose: that
+is the regime where the per-image dispatch overhead the batch engine
+amortizes dominates the (identical, already plane-vectorized) DCT and
+color math. A bit-parity assertion runs once per session so the ratio
+can never be "won" by drifting off the per-image pixels.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.cache import CachingLoader
+from repro.datasets.synthetic import SizeDistribution, SyntheticImageNet
+from repro.imaging.jpeg import codec
+
+BATCH_SIZE = 64
+SIDE = 32
+QUALITY = 85
+
+
+@pytest.fixture(scope="module")
+def blobs():
+    """One homogeneous fetch batch: fixed shape and quality, one group."""
+    ds = SyntheticImageNet(
+        BATCH_SIZE,
+        sizes=SizeDistribution(
+            median_side=SIDE, sigma=0.0, min_side=SIDE, max_side=SIDE
+        ),
+        quality_range=(QUALITY, QUALITY),
+        seed=11,
+    )
+    return list(ds.blobs)
+
+
+@pytest.fixture(scope="module")
+def parity(blobs):
+    """The batched decode must be bitwise-identical before it is timed."""
+    per_image = [codec.decode_sjpg(blob) for blob in blobs]
+    batched = codec.decode_sjpg_batch(blobs)
+    for reference, candidate in zip(per_image, batched):
+        np.testing.assert_array_equal(reference, candidate)
+
+
+def test_bench_decode_per_image(benchmark, blobs, parity):
+    benchmark(lambda: [codec.decode_sjpg(blob) for blob in blobs])
+
+
+def test_bench_decode_batch(benchmark, blobs, parity):
+    codec.decode_sjpg_batch(blobs)  # warm the YCC scratch slab
+    benchmark(codec.decode_sjpg_batch, blobs)
+
+
+def test_bench_decode_cache_warm(benchmark, blobs, parity):
+    cache = CachingLoader()
+    cache.load_batch(blobs)  # cold epoch: one stacked decode of all misses
+    assert cache.stats() == (0, BATCH_SIZE)
+    benchmark(cache.load_batch, blobs)

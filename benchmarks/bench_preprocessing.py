@@ -1,17 +1,23 @@
 """Preprocessing-engine benchmarks: batched fast path vs per-sample oracle.
 
-Measures one full fetch of an image-classification batch (transform
-chain + collate, through the real instrumented fetcher with an active
-trace sink) under both execution engines on the *same* pre-decoded
-dataset. Decode is excluded on purpose: it is the Loader op, shared
-verbatim by both engines, and at SMOKE scale it would swamp the
-transform work the batched engine actually accelerates.
+Measures one full fetch of an image-classification batch — decode
+(the Loader op), transform chain, and collate — through the real
+instrumented fetcher with an active trace sink, under both execution
+engines on the *same* encoded blobs. Since ISSUE 6 the Loader op is
+covered too: the batched engine decodes the whole batch through
+``decode_sjpg_batch``'s stacked kernel passes while the oracle decodes
+per image, so this ratio is the end-to-end worker-loop speedup with no
+"decode excluded" asterisk. The blobs are shape/quality-homogeneous so
+the batch forms one decode group (the regime the batched decoder is
+built for; heterogeneous stragglers fall back per-image).
 
-``check_regression.py`` enforces the ISSUE 3 acceptance floor — the
-batched engine must stay >= 3x faster than the per-sample oracle at
-batch size 64 — as a same-run ratio (robust to machine load where
-absolute times are not). A bit-parity assertion runs once per session
-so the ratio can never be "won" by drifting off the oracle's pixels.
+``check_regression.py`` enforces the acceptance floor — the batched
+engine must stay >= 1.8x faster than the per-sample oracle at batch
+size 64 with decode included (the transform-only floor was 3x; decode
+adds identical plane-vectorized DCT/color math to both sides, which
+dilutes the ratio) — as a same-run ratio (robust to machine load where
+absolute times are not). A bit-parity assertion runs once per session so the
+ratio can never be "won" by drifting off the oracle's pixels.
 """
 
 import numpy as np
@@ -22,7 +28,6 @@ from repro.core.lotustrace.logfile import open_trace_log
 from repro.data.dataset import BlobImageDataset
 from repro.data.fetcher import create_fetcher
 from repro.datasets.synthetic import SizeDistribution, SyntheticImageNet
-from repro.imaging.image import Image
 from repro.tensor.collate import default_collate
 from repro.transforms import (
     Compose,
@@ -34,22 +39,27 @@ from repro.transforms import (
 from repro.workloads.pipelines import IMAGENET_MEAN, IMAGENET_STD
 
 BATCH_SIZE = 64
-MEDIAN_SIDE = 80
+SIDE = 64
+QUALITY = 85
 CROP = 48
 
 
 @pytest.fixture(scope="module")
-def decoded_dataset():
-    """Pre-decoded RGB images + labels (decode happens once, untimed)."""
+def blob_dataset():
+    """Encoded blobs + labels; decode is part of the measured fetch."""
     ds = SyntheticImageNet(
-        BATCH_SIZE, sizes=SizeDistribution(median_side=MEDIAN_SIDE), seed=7
+        BATCH_SIZE,
+        sizes=SizeDistribution(
+            median_side=SIDE, sigma=0.0, min_side=SIDE, max_side=SIDE
+        ),
+        quality_range=(QUALITY, QUALITY),
+        seed=7,
     )
-    images = [Image.open(blob).convert("RGB") for blob in ds.blobs]
-    return images, ds.labels
+    return list(ds.blobs), ds.labels
 
 
-def _make_fetcher(decoded_dataset, tmp_path, batched):
-    images, labels = decoded_dataset
+def _make_fetcher(blob_dataset, tmp_path, batched):
+    blobs, labels = blob_dataset
     log = open_trace_log(tmp_path / f"trace-{batched}.log")
     transform = Compose(
         [
@@ -61,10 +71,9 @@ def _make_fetcher(decoded_dataset, tmp_path, batched):
         log_transform_elapsed_time=log,
     )
     data = BlobImageDataset(
-        images,
+        blobs,
         labels=labels,
         transform=transform,
-        loader=lambda image: image,
         log_file=log,
     )
     return create_fetcher(
@@ -78,22 +87,22 @@ def _fetch(fetcher):
 
 
 @pytest.fixture(scope="module")
-def parity(decoded_dataset, tmp_path_factory):
+def parity(blob_dataset, tmp_path_factory):
     """Both engines must produce bit-identical batches before timing."""
     tmp = tmp_path_factory.mktemp("parity")
-    batched = _fetch(_make_fetcher(decoded_dataset, tmp, True))
-    oracle = _fetch(_make_fetcher(decoded_dataset, tmp, False))
+    batched = _fetch(_make_fetcher(blob_dataset, tmp, True))
+    oracle = _fetch(_make_fetcher(blob_dataset, tmp, False))
     np.testing.assert_array_equal(batched[0].numpy(), oracle[0].numpy())
     np.testing.assert_array_equal(batched[1].numpy(), oracle[1].numpy())
 
 
-def test_bench_preprocess_batched(benchmark, decoded_dataset, parity, tmp_path):
-    fetcher = _make_fetcher(decoded_dataset, tmp_path, True)
+def test_bench_preprocess_batched(benchmark, blob_dataset, parity, tmp_path):
+    fetcher = _make_fetcher(blob_dataset, tmp_path, True)
     _fetch(fetcher)  # warm the arena + coefficient caches
     benchmark(_fetch, fetcher)
 
 
-def test_bench_preprocess_persample(benchmark, decoded_dataset, parity, tmp_path):
-    fetcher = _make_fetcher(decoded_dataset, tmp_path, False)
+def test_bench_preprocess_persample(benchmark, blob_dataset, parity, tmp_path):
+    fetcher = _make_fetcher(blob_dataset, tmp_path, False)
     _fetch(fetcher)
     benchmark(_fetch, fetcher)

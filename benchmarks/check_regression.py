@@ -39,6 +39,10 @@ TRACKED = (
     "test_bench_trace_export_columnar",
     "test_bench_preprocess_batched",
 )
+# The whole-batch decode benches are enforced through SPEEDUP_PAIRS
+# only: their absolute medians are a few ms and swing >40% with machine
+# load, while the same-run ratios (batched vs per-image, warm cache vs
+# cold decode) are stable.
 
 #: (vectorized, reference, required speedup floor) triples, measured in
 #: the same run — the ratio is robust where absolute times are not.
@@ -50,9 +54,16 @@ SPEEDUP_PAIRS = (
         "test_bench_trace_pipeline_records",
         10.0,
     ),
-    # ISSUE 3 acceptance floor: batched preprocessing engine vs the
-    # per-sample oracle on the IC chain at batch size 64.
-    ("test_bench_preprocess_batched", "test_bench_preprocess_persample", 3.0),
+    # Batched preprocessing engine vs the per-sample oracle on the IC
+    # chain at batch size 64.  Decode is included since ISSUE 6 (the
+    # Loader op shares the identical plane-vectorized DCT/color math on
+    # both sides, which dilutes the transform-only 3x ratio).
+    ("test_bench_preprocess_batched", "test_bench_preprocess_persample", 1.8),
+    # ISSUE 6 acceptance floor: whole-batch SJPG decode vs the per-image
+    # loop at batch size 64 on one shape/quality-homogeneous group.
+    ("test_bench_decode_batch", "test_bench_decode_per_image", 2.5),
+    # Warm CachingLoader batch lookup vs redoing the cold stacked decode.
+    ("test_bench_decode_cache_warm", "test_bench_decode_batch", 5.0),
 )
 
 DEFAULT_BASELINE = os.path.join(os.path.dirname(__file__), "BENCH_baseline.json")
@@ -68,12 +79,19 @@ def load_medians(path: str) -> dict:
     return {b["name"]: b["stats"]["median"] for b in benchmarks}
 
 
-def check(current_path: str, baseline_path: str) -> list:
+def check(current_path: str, baseline_path: str, only: str = "") -> list:
     current = load_medians(current_path)
     baseline = load_medians(baseline_path)
     failures = []
 
-    for name in TRACKED:
+    terms = [term for term in only.split(",") if term]
+    matches = lambda name: not terms or any(term in name for term in terms)
+    tracked = [name for name in TRACKED if matches(name)]
+    pairs = [pair for pair in SPEEDUP_PAIRS if matches(pair[0])]
+    if not tracked and not pairs:
+        failures.append(f"--only {only!r} matches no tracked benchmark")
+
+    for name in tracked:
         if name not in current:
             failures.append(f"{name}: missing from current run {current_path}")
             continue
@@ -92,7 +110,7 @@ def check(current_path: str, baseline_path: str) -> list:
                 f"(tolerance {1.0 + TOLERANCE:.2f}x)"
             )
 
-    for fast, reference, floor in SPEEDUP_PAIRS:
+    for fast, reference, floor in pairs:
         if fast not in current or reference not in current:
             failures.append(f"speedup {fast}: pair missing from current run")
             continue
@@ -150,12 +168,23 @@ def main(argv=None) -> int:
         action="store_true",
         help="rewrite the baseline from the current run instead of checking",
     )
+    parser.add_argument(
+        "--only",
+        default="",
+        metavar="SUBSTRING",
+        help=(
+            "check only tracked benchmarks / speedup pairs whose name "
+            "contains one of the comma-separated SUBSTRINGs (e.g. "
+            "`--only decode_batch,decode_cache` for the standalone "
+            "`make decode-bench` run)"
+        ),
+    )
     args = parser.parse_args(argv)
     try:
         if args.update:
             update_baseline(args.current, args.baseline)
             return 0
-        failures = check(args.current, args.baseline)
+        failures = check(args.current, args.baseline, only=args.only)
     except FileNotFoundError as exc:
         print(
             f"error: {exc.filename} not found -- run `make bench` first, or "

@@ -31,7 +31,7 @@ import numpy as np
 from repro.core.lotustrace.logfile import PathLike, TraceSink
 from repro.data.dataset import BlobImageDataset, pil_loader
 from repro.errors import DataLoaderError
-from repro.imaging.image import Image
+from repro.imaging.image import Image, load_rgb_batch
 
 
 class CachingLoader:
@@ -41,6 +41,14 @@ class CachingLoader:
     loads are a cache hit. With ``capacity`` set, least-recently-used
     entries are evicted (a partial-cache configuration, as studied by the
     caching systems in the paper's related work).
+
+    Misses are *single-flight*: concurrent loads of the same key decode
+    once — the first thread to claim the key decodes it while the others
+    wait on its per-key event and then read the inserted entry as a hit.
+    :meth:`load_batch` is the cache-aware bulk form the batched fetcher
+    uses: whole-batch lookup, one stacked decode over only the misses,
+    bulk insert — warm epochs pay zero decode, cold epochs the amortized
+    batched cost.
     """
 
     def __init__(
@@ -54,6 +62,7 @@ class CachingLoader:
         self._capacity = capacity
         self._cache: "OrderedDict[Tuple[str, Union[bytes, str]], object]" = OrderedDict()
         self._lock = threading.Lock()
+        self._inflight: "dict[Tuple[str, Union[bytes, str]], threading.Event]" = {}
         self.hits = 0
         self.misses = 0
 
@@ -70,26 +79,123 @@ class CachingLoader:
             return ("blob", hashlib.blake2b(source, digest_size=16).digest())
         return ("path", str(source))
 
+    # -- internals (lock held) ------------------------------------------------
+    def _lookup_hit(self, key) -> Tuple[bool, object]:
+        if key in self._cache:
+            self._cache.move_to_end(key)
+            self.hits += 1
+            return True, self._cache[key]
+        return False, None
+
+    def _insert_miss(self, key, value) -> None:
+        self._cache[key] = value
+        self.misses += 1
+        if self._capacity is not None:
+            while len(self._cache) > self._capacity:
+                self._cache.popitem(last=False)
+
+    def _release(self, keys) -> None:
+        """Drop in-flight claims (after insert or on loader failure)."""
+        with self._lock:
+            events = [self._inflight.pop(key, None) for key in keys]
+        for event in events:
+            if event is not None:
+                event.set()
+
+    def _load_sources(self, sources: List) -> List[object]:
+        """Decode claimed misses — in one stacked pass when the wrapped
+        loader is the stock ``pil_loader``, per source otherwise."""
+        if self._loader is pil_loader and len(sources) > 1:
+            return load_rgb_batch(sources)
+        return [self._loader(source) for source in sources]
+
     def __call__(self, source) -> object:
         key = self.cache_key(source)
+        while True:
+            with self._lock:
+                hit, value = self._lookup_hit(key)
+                if hit:
+                    return value
+                pending = self._inflight.get(key)
+                if pending is None:
+                    self._inflight[key] = threading.Event()
+                    break
+            # Another thread is decoding this key: wait for it, then
+            # re-check — its insert becomes our hit. If it failed, the
+            # claim is gone and we take over the decode.
+            pending.wait()
+        try:
+            value = self._loader(source)
+        except BaseException:
+            self._release([key])
+            raise
         with self._lock:
-            if key in self._cache:
-                self._cache.move_to_end(key)
-                self.hits += 1
-                return self._cache[key]
-        value = self._loader(source)
-        with self._lock:
-            self._cache[key] = value
-            self.misses += 1
-            if self._capacity is not None:
-                while len(self._cache) > self._capacity:
-                    self._cache.popitem(last=False)
+            self._insert_miss(key, value)
+        self._release([key])
         return value
+
+    def load_batch(self, sources: Sequence) -> List[object]:
+        """Cache-aware whole-batch load (the bulk-loader protocol).
+
+        Looks up every source, claims the distinct missing keys, decodes
+        only those in one stacked pass, and inserts them; duplicate
+        sources within the batch and keys already being decoded by
+        another thread resolve to single decodes. Returns decoded values
+        in source order.
+        """
+        keys = [self.cache_key(source) for source in sources]
+        results: List[object] = [None] * len(sources)
+        claimed: "OrderedDict[Tuple[str, Union[bytes, str]], int]" = OrderedDict()
+        duplicates: List[Tuple[int, int]] = []  # (position, claimed position)
+        waiting: List[int] = []  # positions in flight on other threads
+        with self._lock:
+            for position, key in enumerate(keys):
+                hit, value = self._lookup_hit(key)
+                if hit:
+                    results[position] = value
+                elif key in claimed:
+                    duplicates.append((position, claimed[key]))
+                elif key in self._inflight:
+                    waiting.append(position)
+                else:
+                    self._inflight[key] = threading.Event()
+                    claimed[key] = position
+        claim_positions = list(claimed.values())
+        try:
+            values = self._load_sources(
+                [sources[position] for position in claim_positions]
+            )
+        except BaseException:
+            self._release(claimed.keys())
+            raise
+        with self._lock:
+            for key, position, value in zip(
+                claimed.keys(), claim_positions, values
+            ):
+                results[position] = value
+                self._insert_miss(key, value)
+            for position, source_position in duplicates:
+                # Same source twice in one batch: decoded once, the
+                # second occurrence is a hit on the just-inserted entry.
+                results[position] = results[source_position]
+                self.hits += 1
+        self._release(claimed.keys())
+        # Keys another thread was decoding: take the single-source path,
+        # which waits on that thread's event (or redoes a failed decode).
+        for position in waiting:
+            results[position] = self(sources[position])
+        return results
 
     @property
     def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        hits, misses = self.stats()
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    def stats(self) -> Tuple[int, int]:
+        """A consistent (hits, misses) snapshot taken under the lock."""
+        with self._lock:
+            return self.hits, self.misses
 
     def clear(self) -> None:
         with self._lock:
@@ -98,13 +204,24 @@ class CachingLoader:
             self.misses = 0
 
 
-def materialize_decoded(blobs: Sequence[bytes]) -> List[np.ndarray]:
+def materialize_decoded(
+    blobs: Sequence[bytes], batch_size: int = 64
+) -> List[np.ndarray]:
     """Offline preprocessing: decode every blob to a raw RGB array.
 
     This is the one-time cost IS/OD pay before training in MLPerf; the
-    returned arrays feed a :class:`DecodedArrayDataset`.
+    returned arrays feed a :class:`DecodedArrayDataset`. Decoding runs
+    ``batch_size`` blobs at a time through the stacked batch decoder —
+    bit-identical to per-blob ``pil_loader`` (DESIGN.md §9), at the
+    amortized batched cost.
     """
-    return [pil_loader(blob).to_array() for blob in blobs]
+    if batch_size < 1:
+        raise DataLoaderError(f"batch_size must be >= 1, got {batch_size}")
+    arrays: List[np.ndarray] = []
+    for start in range(0, len(blobs), batch_size):
+        chunk = [blobs[index] for index in range(start, min(start + batch_size, len(blobs)))]
+        arrays.extend(image.to_array() for image in load_rgb_batch(chunk))
+    return arrays
 
 
 class DecodedArrayDataset(BlobImageDataset):

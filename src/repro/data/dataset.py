@@ -12,11 +12,15 @@ import os
 import time
 from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple, Union
 
-from repro.core.lotustrace.context import current_pid, current_worker_id
+from repro.core.lotustrace.context import (
+    current_batch_id,
+    current_pid,
+    current_worker_id,
+)
 from repro.core.lotustrace.logfile import PathLike, TraceSink, open_trace_log
 from repro.core.lotustrace.records import KIND_OP, TraceRecord
 from repro.errors import DataLoaderError
-from repro.imaging.image import Image
+from repro.imaging.image import Image, load_rgb_batch
 
 LOADER_OP_NAME = "Loader"
 
@@ -65,6 +69,19 @@ def pil_loader(source: Union[str, bytes, os.PathLike]) -> Image:
     return Image.open(source).convert("RGB")
 
 
+def _resolve_batch_loader(loader: Callable) -> Optional[Callable]:
+    """The bulk form of a per-sample loader, or None when there is none.
+
+    The stock ``pil_loader`` maps to :func:`load_rgb_batch`; any other
+    loader may advertise a ``load_batch`` attribute (duck-typed — e.g.
+    ``CachingLoader``, which this module must not import). Loaders with
+    neither keep the per-sample path (custom/grayscale loaders).
+    """
+    if loader is pil_loader:
+        return load_rgb_batch
+    return getattr(loader, "load_batch", None)
+
+
 class _LoaderLogging:
     """Mixin handling the instrumented Loader timing."""
 
@@ -92,6 +109,29 @@ class _LoaderLogging:
             )
         )
         return sample
+
+    def _timed_load_batch(self, load: Callable[[], Any]) -> Any:
+        """One Loader [T3] record for a whole-batch load, carrying the
+        real batch id from the ambient ``batch_scope`` (the duration is
+        what the per-sample path's N records would sum to)."""
+        sink = self._sink
+        if sink is None:
+            return load()
+        start = time.time_ns()
+        samples = load()
+        duration = time.time_ns() - start
+        sink.write(
+            TraceRecord(
+                kind=KIND_OP,
+                name=LOADER_OP_NAME,
+                batch_id=current_batch_id(),
+                worker_id=current_worker_id(),
+                pid=current_pid(),
+                start_ns=start,
+                duration_ns=duration,
+            )
+        )
+        return samples
 
 
 class ImageFolder(_LoaderLogging, Dataset):
@@ -146,6 +186,22 @@ class ImageFolder(_LoaderLogging, Dataset):
         path, label = self.samples[index]
         return self._timed_load(lambda: self.loader(path)), label
 
+    def load_untransformed_batch(
+        self, indices: Sequence[int]
+    ) -> Optional[List[Tuple[Any, int]]]:
+        """Whole-batch load through the loader's bulk form, or None when
+        the loader has no bulk form (the fetcher then takes the
+        per-sample loop)."""
+        batch_loader = _resolve_batch_loader(self.loader)
+        if batch_loader is None:
+            return None
+        paths = [self.samples[index][0] for index in indices]
+        images = self._timed_load_batch(lambda: batch_loader(paths))
+        return [
+            (image, self.samples[index][1])
+            for image, index in zip(images, indices)
+        ]
+
     def __len__(self) -> int:
         return len(self.samples)
 
@@ -190,6 +246,22 @@ class BlobImageDataset(_LoaderLogging, Dataset):
         skipped — the batched fetcher applies the chain per batch."""
         blob = self._blobs[index]
         return self._timed_load(lambda: self.loader(blob)), self._labels[index]
+
+    def load_untransformed_batch(
+        self, indices: Sequence[int]
+    ) -> Optional[List[Tuple[Any, int]]]:
+        """Whole-batch load through the loader's bulk form, or None when
+        the loader has no bulk form (the fetcher then takes the
+        per-sample loop)."""
+        batch_loader = _resolve_batch_loader(self.loader)
+        if batch_loader is None:
+            return None
+        blobs = [self._blobs[index] for index in indices]
+        images = self._timed_load_batch(lambda: batch_loader(blobs))
+        return [
+            (image, self._labels[index])
+            for image, index in zip(images, indices)
+        ]
 
     def __len__(self) -> int:
         return len(self._blobs)

@@ -117,7 +117,17 @@ class _BatchExecutionPlan:
         return True
 
     def fetch(self, indices: Sequence[int]) -> Any:
-        samples = [self.dataset.load_untransformed(index) for index in indices]
+        # Whole-batch load first: one stacked decode pass and one Loader
+        # record per batch. Datasets (or loaders) without a bulk form
+        # return None and keep the per-sample load loop.
+        samples = None
+        load_batch = getattr(self.dataset, "load_untransformed_batch", None)
+        if load_batch is not None:
+            samples = load_batch(indices)
+        if samples is None:
+            samples = [
+                self.dataset.load_untransformed(index) for index in indices
+            ]
         if not self._batchable(samples):
             # Per-sample fallback over the *already loaded* images: the
             # transforms run in the oracle's order (preserving RNG

@@ -9,7 +9,7 @@ the paper attributes decode cost to the *Loader* operation.
 from __future__ import annotations
 
 import os
-from typing import Optional, Tuple, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -182,3 +182,29 @@ class Image:
     def __repr__(self) -> str:
         state = "decoded" if self.is_decoded else "lazy"
         return f"Image(mode={self.mode!r}, size={self.size}, {state})"
+
+
+def load_rgb_batch(
+    sources: Sequence[Union[str, bytes, os.PathLike]]
+) -> List[Image]:
+    """Open + decode a whole batch of SJPG sources to RGB images.
+
+    The bulk form of ``pil_loader`` (``Image.open(...).convert("RGB")``
+    per source): all blobs go through :func:`codec.decode_sjpg_batch`'s
+    stacked kernel passes, then each image takes the same unpack +
+    Pillow-copy finishing steps ``convert`` makes — so every returned
+    image is bit-identical to its per-sample counterpart (DESIGN.md §9).
+    """
+    blobs: List[bytes] = []
+    for source in sources:
+        if isinstance(source, (str, os.PathLike)):
+            with open(source, "rb") as handle:
+                blobs.append(handle.read())
+        else:
+            blobs.append(bytes(source))
+    images = []
+    for rgb in codec.decode_sjpg_batch(blobs):
+        rgb = kernels.imaging_unpack_rgb((rgb[..., 0], rgb[..., 1], rgb[..., 2]))
+        rgb = kernels.pillow_copy(rgb)
+        images.append(Image(np.ascontiguousarray(rgb), mode="RGB"))
+    return images

@@ -1,5 +1,10 @@
 """Simplified JPEG ("SJPG") codec: DCT, quantization, entropy coding, 4:2:0."""
 
-from repro.imaging.jpeg.codec import decode_sjpg, encode_sjpg, peek_header
+from repro.imaging.jpeg.codec import (
+    decode_sjpg,
+    decode_sjpg_batch,
+    encode_sjpg,
+    peek_header,
+)
 
-__all__ = ["decode_sjpg", "encode_sjpg", "peek_header"]
+__all__ = ["decode_sjpg", "decode_sjpg_batch", "encode_sjpg", "peek_header"]

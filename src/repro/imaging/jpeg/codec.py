@@ -21,7 +21,9 @@ operation contain the same symbol set as the paper's Table I.
 from __future__ import annotations
 
 import struct
+import threading
 from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -36,6 +38,7 @@ from repro.imaging.jpeg.tables import (
     quant_table,
 )
 from repro.imaging import kernels
+from repro.tensor.batchbuffer import BatchBuffer
 
 MAGIC = b"SJPG"
 VERSION = 1
@@ -126,6 +129,8 @@ def peek_header(blob: bytes) -> SjpgHeader:
         raise CodecError(f"bad magic: {magic!r}")
     if version != VERSION:
         raise CodecError(f"unsupported SJPG version: {version}")
+    if mode not in (MODE_FUSED_IDCT, MODE_SEPARATE_UPSAMPLE):
+        raise CodecError(f"unknown SJPG mode byte: {mode}")
     return SjpgHeader(
         width=width,
         height=height,
@@ -215,3 +220,184 @@ def process_data_simple_main(blob: bytes) -> np.ndarray:
 def decode_sjpg(blob: bytes) -> np.ndarray:
     """Decode SJPG bytes to an (H, W, 3) uint8 RGB array."""
     return process_data_simple_main(blob)
+
+
+# Scratch arena for the stacked YCC buffer of the batched decode: the
+# float32 (B, H, W, 3) staging slab is reused across batches (per
+# thread), so the decode hot loop makes no MB-scale allocation for it.
+# Only the staging buffer lives here — the returned RGB arrays are the
+# fresh output of ycc_rgb_convert, so callers may hold them across
+# batches.
+_scratch = threading.local()
+
+
+def _decode_arena() -> BatchBuffer:
+    arena = getattr(_scratch, "arena", None)
+    if arena is None:
+        arena = BatchBuffer(reuse=True, depth=1)
+        _scratch.arena = arena
+    return arena
+
+
+def _split_plane_payloads(
+    blob: bytes, header: SjpgHeader
+) -> "List[Tuple[Tuple[int, int], bytes]]":
+    """The three ((padded_h, padded_w), payload) plane entries of a blob."""
+    offset = _HEADER.size
+    planes = []
+    for _ in range(3):
+        if offset + _PLANE_HEADER.size > len(blob):
+            raise CodecError("truncated SJPG plane header")
+        ph, pw, payload_len = _PLANE_HEADER.unpack_from(blob, offset)
+        offset += _PLANE_HEADER.size
+        if offset + payload_len > len(blob):
+            raise CodecError("truncated SJPG plane payload")
+        if ph == 0 or pw == 0 or ph % BLOCK or pw % BLOCK:
+            raise CodecError(f"corrupt SJPG plane dimensions: {ph}x{pw}")
+        planes.append(((ph, pw), blob[offset : offset + payload_len]))
+        offset += payload_len
+    return planes
+
+
+def _decode_group(blobs: Sequence[bytes], header: SjpgHeader) -> List[np.ndarray]:
+    """Decode a shape/quality/mode-homogeneous group in stacked passes.
+
+    One entropy scan over every plane payload of every image, one
+    dequantize over all blocks with repeat-broadcast quant tables, one
+    (or two, in the fused-chroma case) inverse-DCT GEMM, and one color
+    conversion over the stacked ``(B, H, W, 3)`` YCC buffer. Raises
+    :class:`CodecError` when any blob violates the group invariants —
+    the caller then falls back to per-image :func:`decode_sjpg`, which
+    reproduces the per-image error exactly.
+    """
+    count = len(blobs)
+    plane_sets = [_split_plane_payloads(blob, header) for blob in blobs]
+    # Same padded dims for every image of the group, per channel; a
+    # crafted blob can violate this even with an identical header.
+    plane_dims = [dims for dims, _ in plane_sets[0]]
+    for planes in plane_sets[1:]:
+        if [dims for dims, _ in planes] != plane_dims:
+            raise CodecError("heterogeneous plane dimensions within group")
+
+    # The same simulated working-buffer allocations the per-image decode
+    # makes, amortized to one batch-sized call each.
+    kernels.libc_calloc((count, header.height, header.width, 3), dtype=np.float32)
+    kernels.memset_zero((count, header.height, header.width, 3), dtype=np.uint8)
+
+    # Channel-major concatenation: [all luma][all cb][all cr], so the
+    # quant-table broadcast and the luma/chroma IDCT split are plain
+    # slices of the block stack.
+    blocks_per_plane = [
+        (ph // BLOCK) * (pw // BLOCK) for ph, pw in plane_dims
+    ]
+    payloads = [
+        plane_sets[image][channel][1]
+        for channel in range(3)
+        for image in range(count)
+    ]
+    counts = [
+        blocks_per_plane[channel] for channel in range(3) for _ in range(count)
+    ]
+    quantized = entropy.decode_mcu(payloads, counts)
+
+    # Dequantize per channel segment: every image of the group shares
+    # the quality, so each segment broadcasts one (8, 8) table over all
+    # its blocks — the same per-block multiply as N per-plane calls,
+    # without materializing a block-count-sized table stack.
+    luma_table = quant_table(LUMA_QUANT_BASE, header.quality)
+    chroma_table = quant_table(CHROMA_QUANT_BASE, header.quality)
+    n_luma = count * blocks_per_plane[0]
+    luma_coeffs = dct.dequantize_blocks(quantized[:n_luma], luma_table)
+    chroma_coeffs = dct.dequantize_blocks(quantized[n_luma:], chroma_table)
+
+    plane_stacks = []
+    luma_spatial = dct.jpeg_idct_islow(luma_coeffs)
+    if header.subsampled and header.mode == MODE_FUSED_IDCT:
+        chroma_spatial = dct.jpeg_idct_16x16(chroma_coeffs)
+    else:
+        chroma_spatial = dct.jpeg_idct_islow(chroma_coeffs)
+    ph, pw = plane_dims[0]
+    plane_stacks.append(dct.blocks_to_planes(luma_spatial, count, ph, pw))
+    chroma_split = count * blocks_per_plane[1]
+    for channel, chroma_blocks in enumerate(
+        (chroma_spatial[:chroma_split], chroma_spatial[chroma_split:]), start=1
+    ):
+        ph, pw = plane_dims[channel]
+        if header.subsampled:
+            if header.mode == MODE_FUSED_IDCT:
+                stack = dct.blocks_to_planes(chroma_blocks, count, ph * 2, pw * 2)
+            else:
+                stack = dct.blocks_to_planes(chroma_blocks, count, ph, pw)
+                stack = color.sep_upsample(stack)
+        else:
+            stack = dct.blocks_to_planes(chroma_blocks, count, ph, pw)
+        plane_stacks.append(stack)
+
+    arena = _decode_arena()
+    arena.advance()
+    ycc = arena.get(
+        "decode-ycc", (count, header.height, header.width, 3), np.float32
+    )
+    for channel, stack in enumerate(plane_stacks):
+        # Crop every padded plane to true size in one bulk copy (the
+        # per-image path's memcpy, once per channel per batch).
+        cropped = kernels.memcpy_copy(
+            stack[:, : header.height, : header.width]
+        )
+        if cropped.shape != (count, header.height, header.width):
+            raise CodecError(
+                f"corrupt SJPG: plane {channel} decodes to {cropped.shape[1:]}, "
+                f"header says {(header.height, header.width)}"
+            )
+        np.copyto(ycc[..., channel], cropped, casting="unsafe")
+    rgb = color.ycc_rgb_convert(ycc)
+    return [rgb[image] for image in range(count)]
+
+
+def decode_sjpg_batch(blobs: Sequence[bytes]) -> List[np.ndarray]:
+    """Decode a batch of SJPG blobs to (H, W, 3) uint8 RGB arrays.
+
+    Blobs are grouped by ``(width, height, quality, subsampled, mode)``
+    and each multi-image group runs through :func:`_decode_group`'s
+    stacked kernel passes; singletons, blobs whose header fails to
+    parse, and groups whose stacked decode raises fall back to per-image
+    :func:`decode_sjpg`. Output is bit-identical to N per-image decodes;
+    a corrupt blob raises the same :class:`CodecError` the per-image
+    path raises for it (though a mixed batch may surface a later blob's
+    error first, since groups decode group-by-group).
+    """
+    results: List[np.ndarray] = [None] * len(blobs)  # type: ignore[list-item]
+    groups: "Dict[tuple, List[int]]" = {}
+    singles: List[int] = []
+    headers: List[SjpgHeader] = [None] * len(blobs)  # type: ignore[list-item]
+    for index, blob in enumerate(blobs):
+        try:
+            header = peek_header(blob)
+        except CodecError:
+            singles.append(index)
+            continue
+        headers[index] = header
+        key = (
+            header.width,
+            header.height,
+            header.quality,
+            header.subsampled,
+            header.mode,
+        )
+        groups.setdefault(key, []).append(index)
+    for indices in groups.values():
+        if len(indices) == 1:
+            singles.extend(indices)
+            continue
+        try:
+            decoded = _decode_group(
+                [blobs[i] for i in indices], headers[indices[0]]
+            )
+        except CodecError:
+            singles.extend(indices)
+            continue
+        for index, rgb in zip(indices, decoded):
+            results[index] = rgb
+    for index in singles:
+        results[index] = decode_sjpg(blobs[index])
+    return results

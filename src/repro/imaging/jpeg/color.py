@@ -46,9 +46,16 @@ def rgb_ycc_convert(rgb: np.ndarray) -> np.ndarray:
     ),
 )
 def ycc_rgb_convert(ycc: np.ndarray) -> np.ndarray:
-    """YCbCr float32 (H, W, 3) -> RGB uint8, BT.601 full range."""
-    if ycc.ndim != 3 or ycc.shape[2] != 3:
-        raise ValueError(f"expected (H, W, 3) array, got shape {ycc.shape}")
+    """YCbCr float32 (H, W, 3) -> RGB uint8, BT.601 full range.
+
+    Also accepts a stacked ``(B, H, W, 3)`` batch — the conversion is
+    purely elementwise, so one call over a whole decode group produces
+    bit-identical pixels to B per-image calls.
+    """
+    if ycc.ndim not in (3, 4) or ycc.shape[-1] != 3:
+        raise ValueError(
+            f"expected (..., H, W, 3) array, got shape {ycc.shape}"
+        )
     y = ycc[..., 0]
     cb = ycc[..., 1] - 128.0
     cr = ycc[..., 2] - 128.0
@@ -88,5 +95,7 @@ def sep_upsample(plane: np.ndarray) -> np.ndarray:
 
     Listed as AMD-specific in the paper's Table I: Intel's driver does not
     resolve this short symbol, so it only shows up in uProf profiles.
+    Upsampling runs over the trailing two axes, so a stacked ``(B, H, W)``
+    plane batch upsamples in one call.
     """
-    return np.repeat(np.repeat(plane, 2, axis=0), 2, axis=1)
+    return np.repeat(np.repeat(plane, 2, axis=-2), 2, axis=-1)

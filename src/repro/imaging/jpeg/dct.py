@@ -56,6 +56,43 @@ def blocks_to_plane(blocks: np.ndarray, height: int, width: int) -> np.ndarray:
     return grid.reshape(height, width)
 
 
+def blocks_to_planes(
+    blocks: np.ndarray, count: int, height: int, width: int
+) -> np.ndarray:
+    """(count * blocks_per_plane, B, B) -> (count, height, width) stack.
+
+    The batched form of :func:`blocks_to_plane`: every plane of a
+    shape-homogeneous decode group detiles in one transpose-reshape,
+    with each plane's slice laid out exactly as its per-plane call
+    would produce.
+    """
+    b = blocks.shape[-1]
+    rows, cols = height // b, width // b
+    if count * rows * cols != blocks.shape[0]:
+        raise ValueError(
+            f"{blocks.shape[0]} blocks cannot tile {count} {height}x{width} planes"
+        )
+    grid = blocks.reshape(count, rows, cols, b, b).transpose(0, 1, 3, 2, 4)
+    return grid.reshape(count, height, width)
+
+
+def repeat_quant_tables(
+    tables: "tuple[np.ndarray, ...]", repeats: "tuple[int, ...]"
+) -> np.ndarray:
+    """Stack 8x8 quant tables broadcast by per-table block repeat counts.
+
+    Produces the ``(sum(repeats), 8, 8)`` table stack that lets one
+    :func:`dequantize_blocks` call cover every block of a whole decode
+    group — numpy broadcasting makes the batched multiply elementwise-
+    identical to N per-plane calls.
+    """
+    return np.repeat(
+        np.stack([np.asarray(t) for t in tables]),
+        np.asarray(repeats, dtype=np.int64),
+        axis=0,
+    )
+
+
 @native(
     "forward_DCT",
     library=LIBJPEG,

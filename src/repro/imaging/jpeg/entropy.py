@@ -271,20 +271,188 @@ def _decode_mcu_vectorized(payload: bytes, n_blocks: int) -> np.ndarray:
     return zz[:, UNZIGZAG].reshape(n_blocks, BLOCK, BLOCK)
 
 
+def _block_starts_batch(
+    nnz_at: np.ndarray,
+    n_cells: int,
+    base_cells: np.ndarray,
+    counts: np.ndarray,
+    first_block: np.ndarray,
+) -> np.ndarray:
+    """Every plane's block-header cell indices in one multi-seed scan.
+
+    The same pointer-jumping recurrence as :func:`_block_starts`, but
+    seeded at *every* plane's base cell simultaneously: planes with the
+    same block count form a ``(planes, blocks)`` matrix whose columns
+    double per pass, so the scan needs only ``O(log max_blocks_per_
+    plane)`` squarings of the shared jump table — the per-plane pass
+    count — instead of ``O(log total_blocks)`` for one chain threaded
+    through all planes. Sentinel-absorbed chains (truncated payloads)
+    surface as starts ``>= n_cells``; the caller validates.
+    """
+    total_blocks = int(first_block[-1])
+    starts = np.empty(total_blocks, dtype=np.int64)
+    step = np.append(
+        np.minimum(np.arange(n_cells, dtype=np.int64) + 1 + nnz_at, n_cells),
+        n_cells,  # sentinel absorbs further jumps
+    )
+    by_count: "dict[int, List[int]]" = {}
+    for plane, count in enumerate(counts.tolist()):
+        if count > 0:
+            by_count.setdefault(count, []).append(plane)
+    mats = {
+        count: np.empty((len(planes), count), dtype=np.int64)
+        for count, planes in by_count.items()
+    }
+    for count, planes in by_count.items():
+        mats[count][:, 0] = base_cells[planes]
+    known = 1
+    max_count = max(by_count) if by_count else 0
+    while known < max_count:
+        for count, mat in mats.items():
+            if known < count:
+                hi = min(2 * known, count)
+                mat[:, known:hi] = step[mat[:, : hi - known]]
+        known *= 2
+        if known < max_count:
+            step = step[step]
+    for count, planes in by_count.items():
+        mat = mats[count]
+        for row, plane in enumerate(planes):
+            starts[first_block[plane] : first_block[plane + 1]] = mat[row]
+    return starts
+
+
+def _decode_mcu_batch_vectorized(
+    payloads: List[bytes], n_blocks: List[int]
+) -> np.ndarray:
+    """One structured-cell scan over the concatenated plane payloads.
+
+    All planes' block starts come from one multi-seed pointer-jumping
+    scan over the concatenated cell array; exact consumption of every
+    payload is validated by checking each plane's last block ends
+    exactly at the next plane's base cell. Any violation (truncation,
+    trailing garbage, a payload that is not whole cells) drops to the
+    per-plane decode loop, which raises the same :class:`CodecError`
+    the per-image path would.
+
+    DC prediction resets per plane: the global int64 cumulative sum
+    minus each plane's running base equals the per-plane cumulative sum
+    exactly, so the int16 wrap-around is bit-identical to N independent
+    decodes (DESIGN.md §9).
+    """
+    n_planes = len(payloads)
+    counts = np.asarray(n_blocks, dtype=np.int64)
+    total_blocks = int(counts.sum())
+    cells_per = np.array([len(p) // _CELL for p in payloads], dtype=np.int64)
+    base_cells = np.concatenate(([0], np.cumsum(cells_per)))
+    first_block = np.concatenate(([0], np.cumsum(counts)))
+
+    def fallback() -> np.ndarray:
+        planes = [
+            _decode_mcu_vectorized(payload, int(count))
+            for payload, count in zip(payloads, n_blocks)
+        ]
+        return np.concatenate(planes) if planes else np.zeros(
+            (0, BLOCK, BLOCK), dtype=np.int16
+        )
+
+    if any(len(p) % _CELL for p in payloads) or total_blocks == 0:
+        return fallback()
+    # A zero-block plane must have an empty payload (else: garbage).
+    if np.any((counts == 0) & (cells_per != 0)):
+        return fallback()
+    blob = b"".join(payloads)
+    n_cells = int(base_cells[-1])
+    if n_cells == 0:
+        return fallback()
+    cells = np.frombuffer(blob, dtype=_CELL_DTYPE, count=n_cells)
+    nnz_at = cells["b"].astype(np.int64)
+    starts = _block_starts_batch(nnz_at, n_cells, base_cells, counts, first_block)
+    # Exact-consumption validation: each plane's chain is strictly
+    # increasing, so its last block ending exactly at the plane's end
+    # cell pins every start inside the plane's own payload. A sentinel
+    # (truncated) start indexes the padded nnz as 0 and fails the check.
+    nnz_ext = np.append(nnz_at, 0)
+    with_blocks = counts > 0
+    last_start = starts[first_block[1:][with_blocks] - 1]
+    plane_ends = last_start + 1 + nnz_ext[last_start]
+    if not np.array_equal(plane_ends, base_cells[1:][with_blocks]):
+        return fallback()
+
+    # The refill traffic, amortized: one jpeg_fill_bit_buffer call per
+    # plane payload instead of one per _REFILL_PERIOD blocks — the
+    # batched engine's usual once-per-batch treatment of simulated
+    # native calls (DESIGN.md §7/§9); the symbol set stays a subset of
+    # the per-image path's.
+    for payload in payloads:
+        jpeg_fill_bit_buffer(payload, 0, len(payload))
+
+    nnz = nnz_at[starts]
+    values = cells["v"]
+    # Per-plane DC cumsum via one global cumsum minus each plane's base.
+    dc_global = np.cumsum(values[starts].astype(np.int64))
+    dc_base = np.concatenate(([0], dc_global))[
+        np.repeat(first_block[:n_planes], counts)
+    ]
+    dc = (dc_global - dc_base).astype(np.int16)
+    ac_mask = np.ones(n_cells, dtype=bool)
+    ac_mask[starts] = False
+    block_id = np.repeat(np.arange(total_blocks), nnz)
+    indices = nnz_at[ac_mask] + 1
+    if indices.size and int(indices.max()) >= BLOCK * BLOCK:
+        return fallback()
+    zz = np.zeros((total_blocks, BLOCK * BLOCK), dtype=np.int16)
+    zz[block_id, indices] = values[ac_mask]
+    zz[:, 0] = dc
+    return zz[:, UNZIGZAG].reshape(total_blocks, BLOCK, BLOCK)
+
+
 @native(
     "decode_mcu",
     library=LIBJPEG,
     signature=BRANCHY,
 )
-def decode_mcu(payload: bytes, n_blocks: int) -> np.ndarray:
+def decode_mcu(payload, n_blocks) -> np.ndarray:
     """Entropy-decode ``n_blocks`` blocks; returns (n, 8, 8) int16.
 
     Raises :class:`CodecError` on truncated, corrupt, or over-long
     payloads (any bytes remaining after the last block are rejected).
+
+    Batched form: a *list* of payloads with a matching list of block
+    counts decodes every plane in one block-parallel pass under this
+    same ``decode_mcu`` symbol (the kernels' batched-list idiom), and
+    returns the concatenated ``(sum(n_blocks), 8, 8)`` stack.
     """
+    if isinstance(payload, (list, tuple)):
+        if len(payload) != len(n_blocks):
+            raise CodecError(
+                f"{len(payload)} payloads but {len(n_blocks)} block counts"
+            )
+        if _scalar_mode():
+            planes = [
+                _decode_mcu_scalar(item, int(count))
+                for item, count in zip(payload, n_blocks)
+            ]
+            return np.concatenate(planes) if planes else np.zeros(
+                (0, BLOCK, BLOCK), dtype=np.int16
+            )
+        return _decode_mcu_batch_vectorized(list(payload), list(n_blocks))
     if _scalar_mode():
         return _decode_mcu_scalar(payload, n_blocks)
     return _decode_mcu_vectorized(payload, n_blocks)
+
+
+def decode_mcu_batch(payloads: List[bytes], n_blocks: List[int]) -> np.ndarray:
+    """Entropy-decode many plane payloads in one block-parallel pass.
+
+    Returns the ``(sum(n_blocks), 8, 8)`` int16 stack of every plane's
+    blocks in payload order — bit-identical to concatenating N
+    independent :func:`decode_mcu` results. A payload that fails the
+    whole-batch scan's exact-consumption invariants is re-decoded plane
+    by plane so the raised :class:`CodecError` matches the per-image
+    path's message.
+    """
+    return decode_mcu(list(payloads), list(n_blocks))
 
 
 def encoded_length(quant_blocks: np.ndarray) -> int:

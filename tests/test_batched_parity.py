@@ -261,7 +261,10 @@ class TestTraceStructure:
         assert batched == oracle
 
     def test_loader_and_collation_counts_match(self):
-        for engine in (True, False):
+        # Batched: one whole-batch Loader record per batch with the real
+        # batch id (the decode engine, DESIGN.md §9). Oracle: one record
+        # per sample with the -1 placeholder (the paper's Listing 3).
+        for engine, expected_loads in ((True, 2), (False, 8)):
             records = self.run_epoch(batched=engine)
             loads = [
                 r for r in records
@@ -271,8 +274,12 @@ class TestTraceStructure:
                 r for r in records
                 if r.kind == KIND_OP and r.name == COLLATION_OP_NAME
             ]
-            assert len(loads) == 8
+            assert len(loads) == expected_loads
             assert len(collations) == 2
+            if engine:
+                assert [r.batch_id for r in loads] == [0, 1]
+            else:
+                assert {r.batch_id for r in loads} == {-1}
 
     def test_batched_records_carry_identity(self):
         records = self.run_epoch(batched=True)

@@ -1,0 +1,448 @@
+"""Parity suite for the whole-batch SJPG decode engine (DESIGN.md §9).
+
+The batch decoder is held to the same bar as the batched transform
+engine: bitwise-identical pixels to N per-image ``decode_sjpg`` calls on
+any mix of shapes, qualities, modes, and subsampling; identical errors
+on corrupt input; and an equivalent [T3] Loader trace shape (one record
+per batch carrying the real batch id instead of one per sample with the
+-1 placeholder). The cache-aware bulk path on top of it must keep exact
+hit/miss accounting, including under concurrency.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.lotustrace import (
+    KIND_OP,
+    InMemoryTraceLog,
+    analysis_engine,
+    analyze_trace,
+)
+from repro.data.cache import CachingLoader, materialize_decoded
+from repro.data.dataset import LOADER_OP_NAME, BlobImageDataset, pil_loader
+from repro.data.dataloader import DataLoader
+from repro.datasets.synthetic import SizeDistribution, SyntheticImageNet
+from repro.errors import CodecError, DataLoaderError
+from repro.imaging.image import Image, load_rgb_batch
+from repro.imaging.jpeg import codec, color, dct, entropy
+from repro.transforms import Compose, Normalize, Resize, ToTensor
+from tests.conftest import make_test_image
+
+
+def encode(height, width, quality=85, subsample=True, seed=0):
+    return codec.encode_sjpg(
+        make_test_image(height, width, seed=seed),
+        quality=quality,
+        subsample=subsample,
+    )
+
+
+def assert_batch_matches_per_image(blobs):
+    per_image = [codec.decode_sjpg(blob) for blob in blobs]
+    batched = codec.decode_sjpg_batch(blobs)
+    assert len(batched) == len(per_image)
+    for reference, candidate in zip(per_image, batched):
+        assert candidate.dtype == reference.dtype
+        np.testing.assert_array_equal(candidate, reference)
+
+
+class TestBatchDecodeParity:
+    def test_homogeneous_group_bit_identical(self):
+        blobs = [encode(40, 56, seed=i) for i in range(6)]
+        assert_batch_matches_per_image(blobs)
+
+    def test_mixed_quality_mode_shape_subsampling(self):
+        # Crosses the FUSED_QUALITY_THRESHOLD both ways, mixes separate/
+        # fused modes, subsampled and full-resolution chroma, and odd
+        # dimensions that exercise the padding crop — the grouping must
+        # keep every combination on its bit-identical path.
+        blobs = [
+            encode(32, 32, quality=55, seed=1),
+            encode(32, 32, quality=95, seed=2),
+            encode(33, 47, quality=85, seed=3),
+            encode(33, 47, quality=85, seed=4),
+            encode(64, 24, quality=70, subsample=False, seed=5),
+            encode(16, 16, quality=60, seed=6),
+            encode(32, 32, quality=55, seed=7),
+        ]
+        assert_batch_matches_per_image(blobs)
+
+    def test_scalar_entropy_mode_parity(self):
+        blobs = [encode(24, 24, seed=i) for i in range(4)]
+        with entropy.entropy_mode("scalar"):
+            assert_batch_matches_per_image(blobs)
+
+    def test_singleton_and_empty_batches(self):
+        assert_batch_matches_per_image([encode(20, 28, seed=9)])
+        assert codec.decode_sjpg_batch([]) == []
+
+    def test_each_output_owns_its_pixels(self):
+        # The group decode stages through a reused arena slab; the
+        # returned arrays must survive a subsequent batch decode.
+        blobs = [encode(24, 24, seed=i) for i in range(3)]
+        first = codec.decode_sjpg_batch(blobs)
+        snapshots = [array.copy() for array in first]
+        codec.decode_sjpg_batch([encode(24, 24, seed=99 + i) for i in range(3)])
+        for array, snapshot in zip(first, snapshots):
+            np.testing.assert_array_equal(array, snapshot)
+
+    def test_truncated_blob_raises_same_error(self):
+        good = [encode(24, 24, seed=i) for i in range(3)]
+        truncated = good[1][:-8]
+        with pytest.raises(CodecError) as per_image:
+            codec.decode_sjpg(truncated)
+        with pytest.raises(CodecError) as batched:
+            codec.decode_sjpg_batch([good[0], truncated, good[2]])
+        assert str(batched.value) == str(per_image.value)
+
+    def test_trailing_garbage_raises_same_error(self):
+        # Inflate the last plane's payload_len and append bytes: the
+        # entropy layer's exact-consumption check must reject it on the
+        # grouped path too, even when every blob in the group is bad.
+        import struct
+
+        blob = encode(24, 24, seed=8)
+        offset = struct.calcsize("<4sBBBBII")
+        for _ in range(3):
+            ph, pw, plen = struct.unpack_from("<HHI", blob, offset)
+            header_offset = offset
+            offset += struct.calcsize("<HHI") + plen
+        bad = bytearray(blob + b"\x00" * 9)
+        struct.pack_into("<HHI", bad, header_offset, ph, pw, plen + 9)
+        bad = bytes(bad)
+        with pytest.raises(CodecError, match="trailing garbage") as per_image:
+            codec.decode_sjpg(bad)
+        for batch in ([encode(24, 24, seed=1), bad], [bad, bad]):
+            with pytest.raises(CodecError, match="trailing garbage") as got:
+                codec.decode_sjpg_batch(batch)
+            assert str(got.value) == str(per_image.value)
+
+    def test_bad_magic_blob_raises_same_error(self):
+        good = encode(24, 24, seed=0)
+        garbage = b"nope" + good[4:]
+        with pytest.raises(CodecError) as per_image:
+            codec.decode_sjpg(garbage)
+        with pytest.raises(CodecError) as batched:
+            codec.decode_sjpg_batch([good, garbage])
+        assert str(batched.value) == str(per_image.value)
+
+
+class TestPeekHeader:
+    def test_valid_modes_accepted(self):
+        separate = encode(24, 24, quality=55)  # below the fused threshold
+        fused = encode(24, 24, quality=95)
+        assert codec.peek_header(separate).mode == codec.MODE_SEPARATE_UPSAMPLE
+        assert codec.peek_header(fused).mode == codec.MODE_FUSED_IDCT
+
+    def test_unknown_mode_byte_rejected(self):
+        blob = bytearray(encode(24, 24))
+        blob[7] = 2  # mode byte: only 0 (separate) and 1 (fused) exist
+        with pytest.raises(CodecError, match="unknown SJPG mode byte: 2"):
+            codec.peek_header(bytes(blob))
+
+
+class TestStackedKernels:
+    def test_entropy_batch_matches_per_payload(self):
+        rng = np.random.default_rng(5)
+        payloads, counts = [], []
+        for n_blocks in (1, 3, 7):
+            blocks = rng.integers(-40, 40, size=(n_blocks, 8, 8)).astype(
+                np.int16
+            )
+            payloads.append(entropy.encode_mcu_huff(blocks))
+            counts.append(n_blocks)
+        stacked = entropy.decode_mcu_batch(payloads, counts)
+        reference = np.concatenate(
+            [
+                entropy.decode_mcu(payload, count)
+                for payload, count in zip(payloads, counts)
+            ]
+        )
+        np.testing.assert_array_equal(stacked, reference)
+
+    def test_entropy_batch_rejects_corrupt_payload(self):
+        blocks = np.zeros((2, 8, 8), dtype=np.int16)
+        payload = entropy.encode_mcu_huff(blocks)
+        with pytest.raises(CodecError):
+            entropy.decode_mcu_batch([payload, payload[:-1]], [2, 2])
+
+    def test_blocks_to_planes_matches_per_plane(self):
+        rng = np.random.default_rng(6)
+        blocks = rng.normal(size=(3 * 2 * 3, 8, 8))
+        stacked = dct.blocks_to_planes(blocks, 3, 16, 24)
+        for index in range(3):
+            np.testing.assert_array_equal(
+                stacked[index],
+                dct.blocks_to_plane(blocks[index * 6 : (index + 1) * 6], 16, 24),
+            )
+
+    def test_blocks_to_planes_rejects_mismatched_tiling(self):
+        with pytest.raises(ValueError):
+            dct.blocks_to_planes(np.zeros((5, 8, 8)), 3, 16, 24)
+
+    def test_repeat_quant_tables_broadcast_equivalence(self):
+        rng = np.random.default_rng(7)
+        luma = rng.integers(1, 50, size=(8, 8)).astype(np.float64)
+        chroma = rng.integers(1, 50, size=(8, 8)).astype(np.float64)
+        quantized = rng.integers(-30, 30, size=(5, 8, 8)).astype(np.int16)
+        stacked_tables = dct.repeat_quant_tables((luma, chroma), (2, 3))
+        assert stacked_tables.shape == (5, 8, 8)
+        stacked = dct.dequantize_blocks(quantized, stacked_tables)
+        reference = np.concatenate(
+            [
+                dct.dequantize_blocks(quantized[:2], luma),
+                dct.dequantize_blocks(quantized[2:], chroma),
+            ]
+        )
+        np.testing.assert_array_equal(stacked, reference)
+
+    def test_ycc_convert_batched_matches_per_image(self):
+        rng = np.random.default_rng(8)
+        ycc = rng.uniform(-32, 287, size=(4, 10, 12, 3))
+        stacked = color.ycc_rgb_convert(ycc)
+        for index in range(4):
+            np.testing.assert_array_equal(
+                stacked[index], color.ycc_rgb_convert(ycc[index])
+            )
+
+
+class TestCachingLoaderBatch:
+    def setup_method(self):
+        self.blobs = [encode(24, 24, seed=20 + i) for i in range(6)]
+
+    def test_cold_then_warm_accounting(self):
+        cache = CachingLoader()
+        cold = cache.load_batch(self.blobs)
+        assert cache.stats() == (0, 6)
+        warm = cache.load_batch(self.blobs)
+        assert cache.stats() == (6, 6)
+        for a, b in zip(cold, warm):
+            assert a is b
+
+    def test_batch_values_match_per_source_loader(self):
+        batch = CachingLoader().load_batch(self.blobs)
+        for blob, image in zip(self.blobs, batch):
+            np.testing.assert_array_equal(
+                image.to_array(), pil_loader(blob).to_array()
+            )
+
+    def test_partial_hit_decodes_only_misses(self):
+        cache = CachingLoader()
+        for blob in self.blobs[:2]:
+            cache(blob)
+        assert cache.stats() == (0, 2)
+        cache.load_batch(self.blobs)
+        assert cache.stats() == (2, 6)
+
+    def test_duplicates_within_batch_decode_once(self):
+        cache = CachingLoader()
+        results = cache.load_batch([self.blobs[0], self.blobs[0], self.blobs[1]])
+        assert cache.stats() == (1, 2)
+        assert results[0] is results[1]
+
+    def test_capacity_evicts_lru_across_batches(self):
+        cache = CachingLoader(capacity=2)
+        cache.load_batch(self.blobs[:3])
+        assert cache.stats() == (0, 3)
+        cache(self.blobs[0])  # evicted by the batch overflow: a miss
+        assert cache.stats() == (0, 4)
+
+    def test_hit_rate(self):
+        cache = CachingLoader()
+        cache.load_batch(self.blobs)
+        cache.load_batch(self.blobs)
+        assert cache.hit_rate == 0.5
+
+    def test_single_flight_under_concurrency(self):
+        decodes = []
+        gate = threading.Event()
+
+        def slow_loader(blob):
+            decodes.append(blob)
+            gate.wait(timeout=5.0)
+            return pil_loader(blob)
+
+        cache = CachingLoader(loader=slow_loader)
+        results = {}
+
+        def load(slot):
+            results[slot] = cache(self.blobs[0])
+
+        first = threading.Thread(target=load, args=("a",))
+        first.start()
+        while not decodes:  # first thread holds the in-flight claim
+            pass
+        second = threading.Thread(target=load, args=("b",))
+        second.start()
+        gate.set()
+        first.join(timeout=5.0)
+        second.join(timeout=5.0)
+        assert len(decodes) == 1
+        assert results["a"] is results["b"]
+        assert cache.stats() == (1, 1)
+
+    def test_failed_decode_releases_claim(self):
+        attempts = []
+
+        def flaky_loader(blob):
+            attempts.append(blob)
+            if len(attempts) == 1:
+                raise CodecError("transient")
+            return pil_loader(blob)
+
+        cache = CachingLoader(loader=flaky_loader)
+        with pytest.raises(CodecError):
+            cache(self.blobs[0])
+        image = cache(self.blobs[0])  # the claim must not be stuck
+        assert len(attempts) == 2
+        np.testing.assert_array_equal(
+            image.to_array(), pil_loader(self.blobs[0]).to_array()
+        )
+
+    def test_batch_loader_failure_releases_claims(self):
+        calls = []
+
+        def flaky_batch(blobs):
+            calls.append(len(blobs))
+            if len(calls) == 1:
+                raise CodecError("batch decode failed")
+            return load_rgb_batch(blobs)
+
+        cache = CachingLoader()
+        cache._load_sources = flaky_batch
+        with pytest.raises(CodecError):
+            cache.load_batch(self.blobs)
+        assert cache.stats() == (0, 0)
+        # The claims were released, so a retry decodes every source.
+        assert len(cache.load_batch(self.blobs)) == 6
+        assert calls == [6, 6]
+        assert cache.stats() == (0, 6)
+
+
+class TestLoaderTraceParity:
+    def run_epoch(self, batched):
+        source = SyntheticImageNet(8, seed=3)
+        log = InMemoryTraceLog()
+        transform = Compose(
+            [Resize(16), ToTensor(), Normalize((0.5,) * 3, (0.5,) * 3)],
+            log_transform_elapsed_time=log,
+        )
+        dataset = BlobImageDataset(
+            source.blobs,
+            labels=source.labels,
+            transform=transform,
+            log_file=log,
+        )
+        loader = DataLoader(
+            dataset, batch_size=4, log_file=log, batched_execution=batched
+        )
+        list(loader)
+        return log.records()
+
+    def test_batched_loader_records_carry_batch_id(self):
+        records = self.run_epoch(batched=True)
+        loads = [
+            r for r in records if r.kind == KIND_OP and r.name == LOADER_OP_NAME
+        ]
+        assert [r.batch_id for r in loads] == [0, 1]
+
+    def test_attribution_identical_across_analysis_engines(self):
+        # Batched: one Loader op per batch with the id on the record.
+        # Oracle: one per sample with -1, recovered by span containment.
+        # Both analysis engines must agree on both shapes.
+        for batched, expected in ((True, [0, 1]), (False, [0] * 4 + [1] * 4)):
+            records = self.run_epoch(batched=batched)
+            attributions = {}
+            for engine in ("columnar", "records"):
+                with analysis_engine(engine):
+                    analysis = analyze_trace(records)
+                    attributions[engine] = analysis.op_batch_ids[LOADER_OP_NAME]
+            assert attributions["columnar"] == attributions["records"]
+            assert sorted(attributions["columnar"]) == expected
+
+    def test_custom_loader_keeps_per_sample_records(self):
+        # A loader without a bulk form (e.g. grayscale) must keep the
+        # per-sample Loader path even under the batched engine.
+        source = SyntheticImageNet(4, seed=4)
+        dataset = BlobImageDataset(
+            source.blobs,
+            loader=lambda blob: Image.open(blob).convert("L").convert("RGB"),
+        )
+        assert dataset.load_untransformed_batch([0, 1]) is None
+        log = InMemoryTraceLog()
+        logged = BlobImageDataset(
+            source.blobs,
+            loader=lambda blob: Image.open(blob).convert("L").convert("RGB"),
+            log_file=log,
+        )
+        assert logged.load_untransformed_batch([0, 1, 2]) is None
+        samples = [logged.load_untransformed(i) for i in range(4)]
+        loads = [
+            r
+            for r in log.records()
+            if r.kind == KIND_OP and r.name == LOADER_OP_NAME
+        ]
+        assert len(loads) == 4
+        assert len(samples) == 4
+
+    def test_caching_loader_joins_the_batched_path(self):
+        source = SyntheticImageNet(4, seed=5)
+        cache = CachingLoader()
+        dataset = BlobImageDataset(source.blobs, loader=cache)
+        samples = dataset.load_untransformed_batch([0, 1, 2, 3])
+        assert samples is not None
+        assert cache.stats() == (0, 4)
+        again = dataset.load_untransformed_batch([0, 1, 2, 3])
+        assert cache.stats() == (4, 4)
+        for (image, _), (cached, _) in zip(samples, again):
+            assert image is cached
+
+
+class TestMaterializeDecoded:
+    def test_matches_per_blob_loader(self):
+        blobs = [encode(20, 24, seed=30 + i) for i in range(5)]
+        arrays = materialize_decoded(blobs, batch_size=2)
+        assert len(arrays) == 5
+        for blob, array in zip(blobs, arrays):
+            np.testing.assert_array_equal(array, pil_loader(blob).to_array())
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(DataLoaderError):
+            materialize_decoded([encode(16, 16)], batch_size=0)
+
+
+class TestLoadRgbBatch:
+    def test_matches_pil_loader_on_blobs(self):
+        blobs = [encode(24, 40, seed=40 + i) for i in range(3)]
+        for blob, image in zip(blobs, load_rgb_batch(blobs)):
+            reference = pil_loader(blob)
+            assert image.size == reference.size
+            np.testing.assert_array_equal(
+                image.to_array(), reference.to_array()
+            )
+
+    def test_reads_paths(self, tmp_path):
+        blobs = [encode(16, 16, seed=50 + i) for i in range(2)]
+        paths = []
+        for index, blob in enumerate(blobs):
+            path = tmp_path / f"img_{index}.sjpg"
+            path.write_bytes(blob)
+            paths.append(str(path))
+        images = load_rgb_batch(paths)
+        for blob, image in zip(blobs, images):
+            np.testing.assert_array_equal(
+                image.to_array(), pil_loader(blob).to_array()
+            )
+
+    def test_heterogeneous_with_size_distribution(self):
+        ds = SyntheticImageNet(
+            6,
+            sizes=SizeDistribution(median_side=48, min_side=24, max_side=96),
+            seed=6,
+        )
+        for blob, image in zip(ds.blobs, load_rgb_batch(list(ds.blobs))):
+            np.testing.assert_array_equal(
+                image.to_array(), pil_loader(blob).to_array()
+            )
