@@ -3,8 +3,10 @@ export PYTHONPATH := src
 
 BENCH_JSON := .bench_current.json
 DECODE_BENCH_JSON := .bench_decode.json
+TRANSPORT_BENCH_JSON := .bench_transport.json
 
-.PHONY: test bench bench-check bench-baseline decode-bench fault-check
+.PHONY: test bench bench-check bench-baseline decode-bench transport-bench \
+	fault-check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -19,7 +21,8 @@ bench:
 	$(PYTHON) -m pytest benchmarks/bench_substrate.py \
 		benchmarks/bench_trace_analysis.py \
 		benchmarks/bench_preprocessing.py \
-		benchmarks/bench_decode_batch.py --benchmark-only \
+		benchmarks/bench_decode_batch.py \
+		benchmarks/bench_ipc_transport.py --benchmark-only \
 		--benchmark-disable-gc --benchmark-json=$(BENCH_JSON) -q
 
 # Fail if the microbenchmarks (entropy decode, sample replay, DataLoader
@@ -27,7 +30,8 @@ bench:
 # decode) regressed >25% vs benchmarks/BENCH_baseline.json, or if a
 # vectorized path dropped below its floor over the retained reference
 # (3x decode/replay, 10x trace, 1.8x batched preprocessing with decode
-# included, 2.5x whole-batch decode, 5x warm cache lookup).
+# included, 2.5x whole-batch decode, 5x warm cache lookup, 2x shm
+# transport over the pickle oracle).
 bench-check: bench
 	$(PYTHON) benchmarks/check_regression.py $(BENCH_JSON)
 
@@ -43,3 +47,11 @@ decode-bench:
 		--benchmark-disable-gc --benchmark-json=$(DECODE_BENCH_JSON) -q
 	$(PYTHON) benchmarks/check_regression.py $(DECODE_BENCH_JSON) \
 		--only decode_batch,decode_cache
+
+# Standalone ISSUE 7 gate: shm slab hand-off vs the pickle oracle
+# (>= 2x at batch 64), without rerunning the full bench suite.
+transport-bench:
+	$(PYTHON) -m pytest benchmarks/bench_ipc_transport.py --benchmark-only \
+		--benchmark-disable-gc --benchmark-json=$(TRANSPORT_BENCH_JSON) -q
+	$(PYTHON) benchmarks/check_regression.py $(TRANSPORT_BENCH_JSON) \
+		--only transport

@@ -1,0 +1,125 @@
+"""IPC transport benchmarks: shm slab carrier vs the pickle oracle.
+
+Measures one batch hand-off through the transport *primitives* in a
+single process — no worker pool, no queue scheduling — so the ratio
+isolates exactly what DESIGN.md §10 claims the shm carrier removes:
+the per-byte copies between the worker's collate output and a
+device-staging-ready (pinned) tensor in the consumer.
+
+* ``pickle`` round trip: ``pickle.dumps`` + ``pickle.loads`` of the
+  collated batch (the two copies the mp queue's feeder/reader threads
+  perform per batch on the legacy path) followed by ``pin_memory()``
+  (the main-process staging copy of § V-C2) — three copies of every
+  tensor byte;
+* ``shm`` round trip: :meth:`ShmWorkerTransport.publish` (one
+  ``np.copyto`` into the slab slot) + :meth:`ShmMainTransport.resolve`
+  (zero-copy ``frombuffer`` views, already pinned: the slab *is* the
+  staging area, so ``pin_memory()`` is a no-op alias) + the slot ack —
+  one copy.
+
+Both cycles end at the same place — a pinned batch the trainer can
+hand to the device — so the ratio is the honest hand-off cost, not a
+partial path. The payload is a batch-64 image batch (64x3x64x64
+float32 pixels + int64 labels, ~3.1 MiB), matching the preprocessing
+benches. ``check_regression.py`` enforces the acceptance floor — shm
+must stay >= 2x faster than pickle — as a same-run ratio (robust to
+machine load where absolute medians are not). A bit-parity assertion
+runs once per session so the ratio can never be "won" by resolving
+different pixels.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.data.transport import (
+    ShmMainTransport,
+    ShmWorkerTransport,
+    TransportSpec,
+    unlink_worker_generation,
+)
+from repro.core.lotustrace.records import TRANSPORT_SHM
+from repro.tensor import Tensor
+
+BATCH_SIZE = 64
+SHAPE = (BATCH_SIZE, 3, 64, 64)
+DEPTH = 4
+
+
+def _payload():
+    rng = np.random.default_rng(11)
+    pixels = rng.random(SHAPE, dtype=np.float32)
+    labels = np.arange(BATCH_SIZE, dtype=np.int64)
+    return [Tensor(pixels), Tensor(labels)]
+
+
+class _AckRing:
+    """Single-process stand-in for the mp ack queue: slot tokens flow
+    resolve -> publish with plain list semantics (no locking cost)."""
+
+    def __init__(self):
+        self._tokens = []
+
+    def put(self, token):
+        self._tokens.append(token)
+
+    def get(self, timeout=None):
+        return self._tokens.pop(0)
+
+
+@pytest.fixture(scope="module")
+def shm_pair():
+    """A worker/main transport pair sharing one in-process ack ring."""
+    import os
+
+    ack = _AckRing()
+    spec = TransportSpec(
+        mode=TRANSPORT_SHM,
+        main_pid=os.getpid(),
+        nonce=997,  # far above any live pool nonce in this process
+        depth=DEPTH,
+        ack_queue=ack,
+    )
+    worker = ShmWorkerTransport(worker_id=0, generation=0, spec=spec)
+    main = ShmMainTransport()
+    yield worker, main, ack
+    main.close()
+    worker.close()
+    unlink_worker_generation(os.getpid(), 997, 0, 0, DEPTH)
+
+
+def _shm_round_trip(worker, main, ack, payload):
+    ref, mode, _bytes, _copies = worker.publish(payload)
+    resolved = main.resolve(ref)
+    ack.put(ref.slot)
+    return [tensor.pin_memory() for tensor in resolved]
+
+
+def _pickle_round_trip(payload):
+    arrived = pickle.loads(pickle.dumps(payload, pickle.HIGHEST_PROTOCOL))
+    return [tensor.pin_memory() for tensor in arrived]
+
+
+@pytest.fixture(scope="module")
+def parity(shm_pair):
+    """Both carriers must hand over bit-identical tensors before timing."""
+    worker, main, ack = shm_pair
+    payload = _payload()
+    via_shm = _shm_round_trip(worker, main, ack, payload)
+    via_pickle = _pickle_round_trip(payload)
+    for got, want in zip(via_shm, via_pickle):
+        np.testing.assert_array_equal(got.numpy(), want.numpy())
+    assert via_shm[0].pinned
+
+
+def test_bench_transport_shm(benchmark, shm_pair, parity):
+    worker, main, ack = shm_pair
+    payload = _payload()
+    _shm_round_trip(worker, main, ack, payload)  # warm the slab ring
+    benchmark(_shm_round_trip, worker, main, ack, payload)
+
+
+def test_bench_transport_pickle(benchmark, parity):
+    payload = _payload()
+    benchmark(_pickle_round_trip, payload)

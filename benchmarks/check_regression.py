@@ -64,6 +64,10 @@ SPEEDUP_PAIRS = (
     ("test_bench_decode_batch", "test_bench_decode_per_image", 2.5),
     # Warm CachingLoader batch lookup vs redoing the cold stacked decode.
     ("test_bench_decode_cache_warm", "test_bench_decode_batch", 5.0),
+    # ISSUE 7 acceptance floor: the shm slab carrier's full hand-off
+    # cycle (publish + zero-copy resolve + slot ack) vs the pickle
+    # oracle's dumps+loads on the same batch-64 image payload.
+    ("test_bench_transport_shm", "test_bench_transport_pickle", 2.0),
 )
 
 DEFAULT_BASELINE = os.path.join(os.path.dirname(__file__), "BENCH_baseline.json")

@@ -20,6 +20,7 @@ from repro.core.lotustrace.analysis import (
     BatchFlow,
     ColumnarTraceAnalysis,
     TraceAnalysis,
+    TransportStats,
     analyze_trace,
     out_of_order_events,
     per_op_stats,
@@ -58,6 +59,7 @@ from repro.core.lotustrace.records import (
     FAULT_KINDS,
     KIND_BATCH_CONSUMED,
     KIND_BATCH_PREPROCESSED,
+    KIND_BATCH_TRANSPORT,
     KIND_BATCH_WAIT,
     KIND_OP,
     KIND_SAMPLE_RETRIED,
@@ -66,7 +68,12 @@ from repro.core.lotustrace.records import (
     KIND_WORKER_RESTART,
     MAIN_PROCESS_WORKER_ID,
     OOO_MARKER_DURATION_NS,
+    TRANSPORT_INLINE,
+    TRANSPORT_PICKLE,
+    TRANSPORT_SHM,
     TraceRecord,
+    format_transport_name,
+    parse_transport_name,
 )
 from repro.core.lotustrace.spans import Span, build_spans, span_name
 
@@ -88,6 +95,7 @@ __all__ = [
     "FAULT_KINDS",
     "KIND_BATCH_CONSUMED",
     "KIND_BATCH_PREPROCESSED",
+    "KIND_BATCH_TRANSPORT",
     "KIND_BATCH_WAIT",
     "KIND_OP",
     "KIND_SAMPLE_RETRIED",
@@ -101,9 +109,15 @@ __all__ = [
     "Span",
     "TraceComparison",
     "compare_traces",
+    "TRANSPORT_INLINE",
+    "TRANSPORT_PICKLE",
+    "TRANSPORT_SHM",
     "TraceAnalysis",
     "TraceRecord",
+    "TransportStats",
     "analyze_trace",
+    "format_transport_name",
+    "parse_transport_name",
     "augment_profiler_trace",
     "build_spans",
     "open_trace_log",

@@ -31,7 +31,9 @@ import numpy as np
 
 from repro.core.lotustrace.columns import (
     FAULT_KIND_CODES,
+    KIND_CODE_BATCH_TRANSPORT,
     KIND_CODE_CONSUMED,
+    KIND_CODE_HEARTBEAT,
     KIND_CODE_OP,
     KIND_CODE_PREPROCESSED,
     KIND_CODE_WAIT,
@@ -44,10 +46,12 @@ from repro.core.lotustrace.records import (
     FAULT_KINDS,
     KIND_BATCH_CONSUMED,
     KIND_BATCH_PREPROCESSED,
+    KIND_BATCH_TRANSPORT,
     KIND_BATCH_WAIT,
     KIND_OP,
     KIND_SAMPLE_SKIPPED,
     TraceRecord,
+    parse_transport_name,
 )
 from repro.errors import TraceError
 from repro.utils.stats import Summary, fraction_below, summarize
@@ -89,6 +93,21 @@ class BatchFlow:
         return bool(self.wait and self.wait.out_of_order)
 
 
+@dataclass(frozen=True)
+class TransportStats:
+    """Aggregated batch hand-off cost for one carrier mode."""
+
+    transport: str
+    batches: int
+    payload_bytes: int
+    copies: int
+    publish_time_ns: int
+
+    @property
+    def bytes_per_batch(self) -> float:
+        return self.payload_bytes / self.batches if self.batches else 0.0
+
+
 @dataclass
 class TraceAnalysis:
     """Aggregated view over one trace."""
@@ -99,6 +118,10 @@ class TraceAnalysis:
     #: Fault-tolerance records (restarts, skips, retries, heartbeats) in
     #: record order; they never contribute to the batch flows above.
     fault_records: List[TraceRecord] = field(default_factory=list)
+    #: Batch-transport records (DESIGN.md §10) in record order; like
+    #: fault records they describe the hand-off machinery, not a batch's
+    #: preprocessing journey, so they stay out of the flows.
+    transport_records: List[TraceRecord] = field(default_factory=list)
 
     # -- per-batch series ------------------------------------------------------
     def preprocess_times_ns(self) -> List[int]:
@@ -183,6 +206,30 @@ class TraceAnalysis:
             if record.kind == KIND_SAMPLE_SKIPPED
         ]
 
+    # -- batch transport (DESIGN.md §10) -------------------------------------
+    def transport_stats(self) -> Dict[str, TransportStats]:
+        """Per-carrier hand-off totals, keyed by transport mode.
+
+        One ``batch_transport`` record per shipped batch carries the
+        mode, payload bytes, and copy count in its name (see
+        :func:`~repro.core.lotustrace.records.parse_transport_name`);
+        ``duration_ns`` is the worker-side publish cost. Traces without
+        transport records (single-process loaders, pre-§10 logs) give
+        ``{}``.
+        """
+        totals: Dict[str, List[int]] = {}
+        for record in self.transport_records:
+            mode, payload_bytes, copies = parse_transport_name(record.name)
+            acc = totals.setdefault(mode, [0, 0, 0, 0])
+            acc[0] += 1
+            acc[1] += payload_bytes
+            acc[2] += copies
+            acc[3] += record.duration_ns
+        return {
+            mode: TransportStats(mode, n, nbytes, copies, time_ns)
+            for mode, (n, nbytes, copies, time_ns) in totals.items()
+        }
+
 
 class _SpanIndex:
     """Bisection index over one worker's fetch spans, sorted by start.
@@ -222,6 +269,7 @@ def _analyze_records(records: List[TraceRecord]) -> TraceAnalysis:
     batches: Dict[int, BatchFlow] = {}
     op_records: List[TraceRecord] = []
     fault_records: List[TraceRecord] = []
+    transport_records: List[TraceRecord] = []
     fetch_spans: Dict[int, List[TraceRecord]] = {}
 
     for record in records:
@@ -233,6 +281,11 @@ def _analyze_records(records: List[TraceRecord]) -> TraceAnalysis:
             # machinery, not a batch's journey — routing them into the
             # flows would fabricate phantom batches (e.g. batch -1).
             fault_records.append(record)
+            continue
+        if record.kind == KIND_BATCH_TRANSPORT:
+            # Hand-off cost records: kept aside like fault records so a
+            # transport record alone never fabricates a batch flow.
+            transport_records.append(record)
             continue
         flow = batches.setdefault(record.batch_id, BatchFlow(record.batch_id))
         if record.kind == KIND_BATCH_PREPROCESSED:
@@ -264,6 +317,7 @@ def _analyze_records(records: List[TraceRecord]) -> TraceAnalysis:
         op_durations=op_durations,
         op_batch_ids=op_batch_ids,
         fault_records=fault_records,
+        transport_records=transport_records,
     )
 
 
@@ -458,11 +512,56 @@ class ColumnarTraceAnalysis(TraceAnalysis):
         cached = self.__dict__.get("_fault_records_cache")
         if cached is None:
             cols = self.columns
-            # All fault codes sit above the four base codes.
-            rows = np.flatnonzero(cols.kind >= KIND_CODE_WORKER_RESTART)
+            # The fault codes are the contiguous band between the four
+            # base codes and the transport code.
+            rows = np.flatnonzero(
+                (cols.kind >= KIND_CODE_WORKER_RESTART)
+                & (cols.kind <= KIND_CODE_HEARTBEAT)
+            )
             cached = [cols.record_at(int(row)) for row in rows.tolist()]
             self.__dict__["_fault_records_cache"] = cached
         return cached
+
+    @property
+    def transport_records(self) -> List[TraceRecord]:  # type: ignore[override]
+        cached = self.__dict__.get("_transport_records_cache")
+        if cached is None:
+            cols = self.columns
+            rows = np.flatnonzero(cols.kind == KIND_CODE_BATCH_TRANSPORT)
+            cached = [cols.record_at(int(row)) for row in rows.tolist()]
+            self.__dict__["_transport_records_cache"] = cached
+        return cached
+
+    def transport_stats(self) -> Dict[str, "TransportStats"]:
+        """Vectorized per-mode totals over the interned transport names.
+
+        Bytes and copy counts are constant per interned name, so the
+        groupby runs over name ids (one parse per distinct name) with
+        ``np.bincount`` sums — same totals as the record loop.
+        """
+        cols = self.columns
+        rows = np.flatnonzero(cols.kind == KIND_CODE_BATCH_TRANSPORT)
+        if rows.size == 0:
+            return {}
+        name_ids = cols.name_id[rows]
+        counts = np.bincount(name_ids, minlength=len(cols.names))
+        durations = np.bincount(
+            name_ids, weights=cols.duration_ns[rows].astype(np.float64),
+            minlength=len(cols.names),
+        ).astype(np.int64)
+        totals: Dict[str, List[int]] = {}
+        for nid in np.flatnonzero(counts).tolist():
+            mode, payload_bytes, copies = parse_transport_name(cols.names[nid])
+            n = int(counts[nid])
+            acc = totals.setdefault(mode, [0, 0, 0, 0])
+            acc[0] += n
+            acc[1] += payload_bytes * n
+            acc[2] += copies * n
+            acc[3] += int(durations[nid])
+        return {
+            mode: TransportStats(mode, n, nbytes, copies, time_ns)
+            for mode, (n, nbytes, copies, time_ns) in totals.items()
+        }
 
     def fault_counts(self) -> Dict[str, int]:
         counts = np.bincount(self.columns.kind, minlength=len(KIND_STRINGS))

@@ -26,6 +26,7 @@ from repro.core.lotustrace.records import (
     KIND_SAMPLE_RETRIED,
     KIND_SAMPLE_SKIPPED,
     KIND_WORKER_RESTART,
+    TRANSPORT_PICKLE,
     TraceRecord,
 )
 from repro.errors import TraceError
@@ -280,6 +281,34 @@ def generate_report(
                     f"longer than {format_ns(threshold)}",
                 )
             )
+
+    # Batch transport (DESIGN.md §10): traces without transport records
+    # (single-process loaders, pre-§10 logs) produce no finding.
+    transport = analysis.transport_stats()
+    for stats in transport.values():
+        mib = stats.payload_bytes / (1024.0 * 1024.0)
+        findings.append(
+            Finding(
+                SEVERITY_INFO,
+                "transport",
+                f"{stats.batches} batches shipped over the {stats.transport} "
+                f"carrier ({mib:.1f} MiB, {stats.copies} copies, publish "
+                f"time {format_ns(stats.publish_time_ns)})",
+            )
+        )
+    pickle_stats = transport.get(TRANSPORT_PICKLE)
+    if pickle_stats is not None and pickle_stats.payload_bytes > 0:
+        findings.append(
+            Finding(
+                SEVERITY_NOTICE,
+                "transport",
+                f"the process backend pickled "
+                f"{pickle_stats.payload_bytes / (1024.0 * 1024.0):.1f} MiB "
+                f"of batch payload through multiprocessing queues; "
+                f"transport='shm' ships descriptors over shared-memory "
+                f"slabs and removes the serialize/deserialize tax",
+            )
+        )
 
     # Fault-tolerance activity (DESIGN.md §8): clean traces carry no
     # fault records, so these findings never appear for them.

@@ -31,6 +31,7 @@ import numpy as np
 from repro.core.lotustrace.records import (
     KIND_BATCH_CONSUMED,
     KIND_BATCH_PREPROCESSED,
+    KIND_BATCH_TRANSPORT,
     KIND_BATCH_WAIT,
     KIND_OP,
     KIND_SAMPLE_RETRIED,
@@ -52,10 +53,12 @@ KIND_CODE_WORKER_RESTART = 4
 KIND_CODE_SAMPLE_SKIPPED = 5
 KIND_CODE_SAMPLE_RETRIED = 6
 KIND_CODE_HEARTBEAT = 7
+KIND_CODE_BATCH_TRANSPORT = 8
 
 #: code -> kind string, index-aligned with the ``KIND_CODE_*`` constants.
 #: The original four codes must keep their values: persisted analyses and
-#: the parity tests rely on them.
+#: the parity tests rely on them. The fault codes (4-7) must also stay
+#: contiguous — the analysis engines filter them as a closed range.
 KIND_STRINGS = (
     KIND_OP,
     KIND_BATCH_PREPROCESSED,
@@ -65,6 +68,7 @@ KIND_STRINGS = (
     KIND_SAMPLE_SKIPPED,
     KIND_SAMPLE_RETRIED,
     KIND_WORKER_HEARTBEAT,
+    KIND_BATCH_TRANSPORT,
 )
 KIND_TO_CODE = {name: code for code, name in enumerate(KIND_STRINGS)}
 

@@ -15,7 +15,11 @@ from typing import Dict, Iterable, List, Optional
 
 from typing import Union
 
-from repro.core.lotustrace.analysis import TraceAnalysis, analyze_trace
+from repro.core.lotustrace.analysis import (
+    TraceAnalysis,
+    TransportStats,
+    analyze_trace,
+)
 from repro.core.lotustrace.columns import TraceColumns
 from repro.core.lotustrace.records import TraceRecord
 from repro.errors import TraceError
@@ -53,6 +57,10 @@ class TraceComparison:
     candidate_median_wait_ns: float = 0.0
     baseline_median_delay_ns: float = 0.0
     candidate_median_delay_ns: float = 0.0
+    #: Per-carrier hand-off totals (DESIGN.md §10), keyed by transport
+    #: mode; empty for traces predating the transport record.
+    baseline_transport: Dict[str, TransportStats] = field(default_factory=dict)
+    candidate_transport: Dict[str, TransportStats] = field(default_factory=dict)
 
     def delta_for(self, op: str) -> OpDelta:
         for delta in self.op_deltas:
@@ -88,7 +96,33 @@ class TraceComparison:
             f"median delay: {format_ns(self.baseline_median_delay_ns)} -> "
             f"{format_ns(self.candidate_median_delay_ns)}"
         )
+        lines.extend(self._format_transport())
         return "\n".join(lines)
+
+    def _format_transport(self) -> List[str]:
+        """One line per transport mode seen in either run, so the
+        hand-off cost of (say) the pickle process backend and the shm or
+        thread inline carriers can be read side by side."""
+        modes = sorted(set(self.baseline_transport) | set(self.candidate_transport))
+        lines = []
+        for mode in modes:
+            base = self.baseline_transport.get(mode)
+            cand = self.candidate_transport.get(mode)
+            lines.append(
+                f"transport[{mode}]: {_describe_transport(base)} -> "
+                f"{_describe_transport(cand)}"
+            )
+        return lines
+
+
+def _describe_transport(stats: Optional[TransportStats]) -> str:
+    if stats is None:
+        return "absent"
+    mib = stats.payload_bytes / (1024.0 * 1024.0)
+    return (
+        f"{stats.batches} batches, {mib:.1f} MiB, {stats.copies} copies, "
+        f"{format_ns(stats.publish_time_ns)} publish"
+    )
 
 
 def _median(values: List[int]) -> float:
@@ -130,4 +164,6 @@ def compare_traces(
         candidate_median_wait_ns=_median(cand.wait_times_ns()),
         baseline_median_delay_ns=_median(base.delay_times_ns()),
         candidate_median_delay_ns=_median(cand.delay_times_ns()),
+        baseline_transport=base.transport_stats(),
+        candidate_transport=cand.transport_stats(),
     )

@@ -27,6 +27,13 @@ KIND_SAMPLE_SKIPPED = "sample_skipped"
 KIND_SAMPLE_RETRIED = "sample_retried"
 KIND_WORKER_HEARTBEAT = "heartbeat"
 
+# Batch-transport record kind (DESIGN.md §10): one record per batch
+# hand-off from a worker to the main process, carrying the carrier mode,
+# payload bytes, and copy count in the name field (see
+# :func:`format_transport_name`). Emitted by multi-worker loaders on
+# every backend so per-backend transport cost is directly comparable.
+KIND_BATCH_TRANSPORT = "batch_transport"
+
 #: Record kinds emitted only by the fault-tolerance layer.
 FAULT_KINDS = frozenset(
     (
@@ -42,7 +49,42 @@ _KINDS = (
         (KIND_OP, KIND_BATCH_PREPROCESSED, KIND_BATCH_WAIT, KIND_BATCH_CONSUMED)
     )
     | FAULT_KINDS
+    | frozenset((KIND_BATCH_TRANSPORT,))
 )
+
+#: Transport-mode tokens carried in ``batch_transport`` record names.
+TRANSPORT_INLINE = "inline"
+TRANSPORT_PICKLE = "pickle"
+TRANSPORT_SHM = "shm"
+
+
+def format_transport_name(transport: str, payload_bytes: int, copies: int) -> str:
+    """Encode a transport record's payload into the record name field.
+
+    The CSV record schema has no spare integer columns, so the carrier
+    mode, bytes moved, and copy count ride in the name as
+    ``mode;b<bytes>;c<copies>`` — comma-free, so the line format and
+    both parsers are untouched. Names intern well in the columnar
+    store: a steady-state epoch produces one name per (mode, batch
+    shape), not one per record.
+    """
+    return f"{transport};b{int(payload_bytes)};c{int(copies)}"
+
+
+def parse_transport_name(name: str) -> "tuple[str, int, int]":
+    """Decode ``(transport, payload_bytes, copies)`` from a record name.
+
+    Raises :class:`TraceError` on names not produced by
+    :func:`format_transport_name`.
+    """
+    parts = name.split(";")
+    try:
+        mode, raw_bytes, raw_copies = parts
+        if not (raw_bytes.startswith("b") and raw_copies.startswith("c")):
+            raise ValueError(name)
+        return mode, int(raw_bytes[1:]), int(raw_copies[1:])
+    except ValueError as exc:
+        raise TraceError(f"malformed transport record name: {name!r}") from exc
 
 #: ``worker_id`` used for records emitted by the main process.
 MAIN_PROCESS_WORKER_ID = -1

@@ -18,6 +18,7 @@ from repro.core.lotustrace.columns import KIND_TO_CODE, TraceColumns
 from repro.core.lotustrace.records import (
     KIND_BATCH_CONSUMED,
     KIND_BATCH_PREPROCESSED,
+    KIND_BATCH_TRANSPORT,
     KIND_BATCH_WAIT,
     KIND_OP,
     KIND_SAMPLE_RETRIED,
@@ -40,6 +41,9 @@ _KIND_PREFIX = {
     KIND_SAMPLE_SKIPPED: "SSampleSkipped",
     KIND_SAMPLE_RETRIED: "SSampleRetried",
     KIND_WORKER_HEARTBEAT: "SHeartbeat",
+    # Batch hand-off spans (DESIGN.md §10): the worker-side publish cost
+    # of moving one collated batch to the main process.
+    KIND_BATCH_TRANSPORT: "SBatchTransport",
 }
 
 

@@ -22,6 +22,13 @@ from repro.data.faults import (
     FaultSite,
 )
 from repro.data.resilience import FailurePolicy, FaultStats
+from repro.data.transport import (
+    TRANSPORT_AUTO,
+    TRANSPORT_CHOICES,
+    ShmBatchRef,
+    TensorDesc,
+    TransportSpec,
+)
 from repro.data.worker import PartialBatch, WorkerHeartbeat
 from repro.data.dataset import (
     BlobImageDataset,
@@ -55,6 +62,11 @@ __all__ = [
     "FaultStats",
     "ImageFolder",
     "PartialBatch",
+    "ShmBatchRef",
+    "TensorDesc",
+    "TransportSpec",
+    "TRANSPORT_AUTO",
+    "TRANSPORT_CHOICES",
     "WorkerHeartbeat",
     "IterableDataset",
     "RandomSampler",

@@ -77,6 +77,19 @@ class ThreadWorkerBackend:
         restart paths send one."""
         handle.cancel_flag.set()
 
+    def drain_queue(self, queue: queue_module.Queue) -> int:
+        """Discard everything currently readable from ``queue``."""
+        drained = 0
+        while True:
+            try:
+                queue.get_nowait()
+            except queue_module.Empty:
+                return drained
+            drained += 1
+
+    def close_queue(self, queue: queue_module.Queue) -> None:
+        """No-op: ``queue.Queue`` has no feeder thread or fd to release."""
+
 
 class ProcessWorkerBackend:
     """Workers as forked child processes (the paper's architecture).
@@ -115,14 +128,49 @@ class ProcessWorkerBackend:
         return handle.raw.is_alive()
 
     def join(self, handle: WorkerHandle, timeout: float) -> None:
+        """A bounded wait, nothing more. Joining used to hard-terminate
+        stragglers as a side effect, which turned every slow-but-clean
+        exit (e.g. a worker flushing its trace writer, or blocked in a
+        queue put the shutdown path is about to drain) into a kill;
+        escalation is now an explicit caller decision via
+        :meth:`terminate`."""
         handle.raw.join(timeout=timeout)
-        if handle.raw.is_alive():
-            handle.raw.terminate()
 
     def terminate(self, handle: WorkerHandle) -> None:
         handle.cancel_flag.set()
         if handle.raw.is_alive():
             handle.raw.terminate()
+
+    def drain_queue(self, queue: Any) -> int:
+        """Discard everything currently readable from ``queue``.
+
+        Shutdown calls this between join attempts so a worker blocked in
+        ``data_queue.put`` (queue full, main no longer consuming) can
+        finish the put, reach its sentinel, and exit cleanly instead of
+        being terminated with the payload half-shipped.
+        """
+        drained = 0
+        while True:
+            try:
+                queue.get_nowait()
+            except queue_module.Empty:
+                return drained
+            except (EOFError, OSError):
+                return drained
+            drained += 1
+
+    def close_queue(self, queue: Any) -> None:
+        """Release an mp queue's resources without blocking on its feeder.
+
+        ``cancel_join_thread`` first: a plain ``close`` would leave the
+        feeder thread joining at interpreter exit until every buffered
+        pickle is flushed to a pipe nobody reads anymore.
+        """
+        try:
+            queue.cancel_join_thread()
+            queue.close()
+        except (OSError, ValueError):
+            pass
 
 
 def create_backend(name: str):

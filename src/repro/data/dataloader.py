@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import itertools
 import logging
+import os
 import queue as queue_module
 import threading
 import time
@@ -44,8 +45,19 @@ from repro.core.lotustrace.logfile import (
     LotusLogWriter,
     flush_all_writers,
 )
+from repro.core.lotustrace.records import TRANSPORT_SHM
 from repro.data.backends import THREAD_BACKEND, create_backend
 from repro.data.dataset import IterableDataset
+from repro.data.transport import (
+    TRANSPORT_AUTO,
+    ShmBatchRef,
+    ShmMainTransport,
+    TransportSpec,
+    next_pool_nonce,
+    resolve_transport,
+    unlink_worker_generation,
+    validate_transport,
+)
 from repro.data.fetcher import create_fetcher
 from repro.data.resilience import FailurePolicy, FaultStats, fetch_with_policy
 from repro.data.sampler import (
@@ -64,7 +76,7 @@ from repro.data.worker import (
     worker_loop,
 )
 from repro.errors import DataLoaderError, WorkerCrashError, WorkerHungError
-from repro.tensor.collate import default_collate
+from repro.tensor.collate import default_collate, iter_tensors
 from repro.tensor.tensor import Tensor
 
 logger = logging.getLogger(__name__)
@@ -119,14 +131,22 @@ class _InstrumentedCollate:
 
 
 def _pin_structure(data: Any) -> Any:
-    """Recursively pin tensors in a collated batch."""
+    """Recursively pin tensors in a collated batch.
+
+    Subtrees with no Tensor leaves are returned by reference instead of
+    being rebuilt: pinning a tensor-free container can change nothing,
+    and the rebuild used to copy every label list / metadata dict on the
+    [T2] hot path for no effect.
+    """
     if isinstance(data, Tensor):
         return data.pin_memory()
-    if isinstance(data, tuple):
-        return tuple(_pin_structure(item) for item in data)
-    if isinstance(data, list):
-        return [_pin_structure(item) for item in data]
-    if isinstance(data, dict):
+    if isinstance(data, (tuple, list, dict)):
+        if next(iter_tensors(data), None) is None:
+            return data
+        if isinstance(data, tuple):
+            return tuple(_pin_structure(item) for item in data)
+        if isinstance(data, list):
+            return [_pin_structure(item) for item in data]
         return {key: _pin_structure(value) for key, value in data.items()}
     return data
 
@@ -183,6 +203,17 @@ class DataLoader:
             beacons (and ``heartbeat`` trace records). Defaults to
             ``hang_timeout_s / 4`` when hang detection is on, else off —
             the fault-free hot path keeps today's untimed blocking wait.
+        transport: how workers hand finished batches to the main
+            process (DESIGN.md §10). ``"auto"`` (default) picks
+            shared-memory slabs (``"shm"``) on the process backend and
+            the by-reference inline hand-off on the thread backend;
+            ``"pickle"`` keeps the classic mp-queue serialization as a
+            parity oracle. Explicit values require the process backend.
+            With ``"shm"``, yielded batches are zero-copy views into
+            worker-owned slabs recycled ``prefetch_factor + 2`` batches
+            deep — safe to hold across one ``next()`` (the current
+            batch is never recycled under the consumer), but consumers
+            retaining many batches should pick ``"pickle"``.
     """
 
     def __init__(
@@ -206,6 +237,7 @@ class DataLoader:
         max_worker_restarts: int = 0,
         hang_timeout_s: Optional[float] = None,
         heartbeat_interval_s: Optional[float] = None,
+        transport: str = TRANSPORT_AUTO,
     ) -> None:
         if num_workers < 0:
             raise DataLoaderError(f"num_workers must be >= 0, got {num_workers}")
@@ -260,7 +292,9 @@ class DataLoader:
         self.persistent_workers = persistent_workers
         self._pool: Optional["_WorkerPool"] = None
         self.worker_backend = worker_backend
-        create_backend(worker_backend)  # validate the name eagerly
+        backend = create_backend(worker_backend)  # validate the name eagerly
+        validate_transport(transport, num_workers, backend.is_process)
+        self.transport = transport
         self.dataset = dataset
         self.batch_size = batch_size
         self.num_workers = num_workers
@@ -448,6 +482,29 @@ class _WorkerPool:
         #: stale payloads/failures from replaced incarnations can be
         #: recognized and dropped.
         self.generations = [0] * loader.num_workers
+        # Batch transport (DESIGN.md §10): resolve the knob against the
+        # backend; the shm carrier additionally needs a per-worker ack
+        # ring (slot reclamation) and the main-side attachment cache.
+        self.transport_mode = resolve_transport(
+            loader.transport, self.backend.is_process
+        )
+        self.main_pid = os.getpid()
+        self.nonce = next_pool_nonce()
+        if self.transport_mode == TRANSPORT_SHM:
+            # Spawn the resource tracker *before* forking: children must
+            # inherit the parent's tracker or each would lazily start its
+            # own, and a private tracker outliving its worker unlinks
+            # (and warns about) segments the main process still owns.
+            from multiprocessing import resource_tracker
+
+            resource_tracker.ensure_running()
+            self.ack_queues: Optional[List[Any]] = [
+                self.backend.make_queue() for _ in range(loader.num_workers)
+            ]
+            self.main_transport: Optional[ShmMainTransport] = ShmMainTransport()
+        else:
+            self.ack_queues = None
+            self.main_transport = None
         # Spill buffered trace lines before spawning: a forked worker must
         # not inherit (and later re-write) the parent's pending lines.
         flush_all_writers()
@@ -455,6 +512,17 @@ class _WorkerPool:
         self.workers = [
             self._start(worker_id) for worker_id in range(loader.num_workers)
         ]
+
+    def _transport_spec(self, worker_id: int) -> TransportSpec:
+        if self.transport_mode == TRANSPORT_SHM:
+            return TransportSpec(
+                mode=TRANSPORT_SHM,
+                main_pid=self.main_pid,
+                nonce=self.nonce,
+                depth=self._loader.batch_buffer_depth,
+                ack_queue=self.ack_queues[worker_id],
+            )
+        return TransportSpec(mode=self.transport_mode)
 
     def _start(self, worker_id: int):
         """Start (or restart) the worker for ``worker_id`` on its
@@ -479,6 +547,7 @@ class _WorkerPool:
                 "failure_policy": loader.failure_policy,
                 "heartbeat_interval_s": loader.heartbeat_interval_s,
                 "restart_generation": self.generations[worker_id],
+                "transport_spec": self._transport_spec(worker_id),
             },
             name=f"repro-dataloader-worker-{worker_id}",
         )
@@ -489,10 +558,26 @@ class _WorkerPool:
         The replacement keeps the worker id (and therefore the RNG seed
         stream) but gets a *new* index queue — the old queue may hold
         tasks a hung worker will eventually drain — and a bumped
-        generation. Returns the new generation.
+        generation. The dead generation's shm slabs are unlinked here
+        (the supervisor is the single unlink owner; already-resolved
+        views stay valid through the main process's mappings) and the
+        replacement gets a fresh ack ring, since slot tokens of the old
+        incarnation mean nothing to the new one. Returns the new
+        generation.
         """
+        dead_generation = self.generations[worker_id]
         self.generations[worker_id] += 1
         self.index_queues[worker_id] = self.backend.make_queue()
+        if self.transport_mode == TRANSPORT_SHM:
+            unlink_worker_generation(
+                self.main_pid,
+                self.nonce,
+                worker_id,
+                dead_generation,
+                self._loader.batch_buffer_depth,
+            )
+            self.backend.close_queue(self.ack_queues[worker_id])
+            self.ack_queues[worker_id] = self.backend.make_queue()
         flush_all_writers()
         self.workers[worker_id] = self._start(worker_id)
         return self.generations[worker_id]
@@ -514,15 +599,31 @@ class _WorkerPool:
         )
 
     def shutdown(self) -> None:
-        """Send sentinels, join every worker, terminate stragglers, and
-        log any worker that still refuses to die (idempotent)."""
+        """Send sentinels, drain-and-join every worker, escalate only to
+        stragglers, then release queues and shared-memory (idempotent).
+
+        The data queue is drained *between* join attempts: a worker
+        blocked in ``data_queue.put`` (queue full, epoch abandoned) can
+        then complete the put, reach its sentinel, and exit cleanly —
+        previously it ate the hard ``terminate()`` fallback every time.
+        Afterwards the mp queues are released with ``cancel_join_thread``
+        + ``close`` so no feeder thread blocks interpreter exit, and
+        every worker's current slab generation is unlinked.
+        """
         if self._closed:
             return
         self._closed = True
         for index_queue in self.index_queues:
             index_queue.put(SHUTDOWN_SENTINEL)
         for worker_id, handle in enumerate(self.workers):
-            self.backend.join(handle, timeout=DEFAULT_WORKER_JOIN_TIMEOUT_S)
+            deadline = time.monotonic() + DEFAULT_WORKER_JOIN_TIMEOUT_S
+            while True:
+                self.backend.drain_queue(self.data_queue)
+                self.backend.join(handle, timeout=0.2)
+                if not self.backend.is_alive(handle):
+                    break
+                if time.monotonic() >= deadline:
+                    break
             if self.backend.is_alive(handle):
                 self.backend.terminate(handle)
                 self.backend.join(handle, timeout=RESTART_JOIN_TIMEOUT_S)
@@ -533,6 +634,27 @@ class _WorkerPool:
                     "the process)",
                     worker_id,
                 )
+        self._release_transport()
+
+    def _release_transport(self) -> None:
+        """Close queues and reclaim shm after the workers have quiesced."""
+        queues: List[Any] = list(self.index_queues) + [self.data_queue]
+        if self.ack_queues is not None:
+            queues.extend(self.ack_queues)
+        for q in queues:
+            self.backend.drain_queue(q)
+            self.backend.close_queue(q)
+        if self.transport_mode == TRANSPORT_SHM:
+            for worker_id in range(self.num_workers):
+                unlink_worker_generation(
+                    self.main_pid,
+                    self.nonce,
+                    worker_id,
+                    self.generations[worker_id],
+                    self._loader.batch_buffer_depth,
+                )
+            if self.main_transport is not None:
+                self.main_transport.close()
 
     @property
     def closed(self) -> bool:
@@ -563,6 +685,12 @@ class _MultiWorkerIter:
         # batch_id -> dispatched indices, kept until the batch is yielded
         # (or skipped) so a replacement worker can replay in-flight work.
         self._inflight_indices: Dict[int, Sequence[int]] = {}
+        # Shm transport bookkeeping: the slab descriptor behind each
+        # resolved-but-unyielded batch, and the descriptor of the batch
+        # the consumer currently holds (acked one yield late so the
+        # current batch's slab is never recycled under the consumer).
+        self._resolved_refs: Dict[int, ShmBatchRef] = {}
+        self._held_ref: Optional[ShmBatchRef] = None
         self._worker_cycle = itertools.cycle(range(loader.num_workers))
         self._exhausted_workers: set = set()
         self._shutdown = False
@@ -713,6 +841,65 @@ class _MultiWorkerIter:
                 continue
             return batch_id, payload
 
+    # -- shm transport (DESIGN.md §10) -----------------------------------------
+    def _resolve_payload(self, batch_id: int, payload: Any) -> Any:
+        """Materialize a slab descriptor into its zero-copy payload.
+
+        Returns the payload unchanged when no descriptor is involved
+        (pickle/inline carriers, control payloads), or ``None`` when the
+        descriptor is stale: shipped by a replaced worker generation, or
+        pointing at a segment the supervisor already unlinked. Stale
+        descriptors are safe to drop — the batch was (or will be)
+        replayed under the replacement generation.
+
+        Resolution is eager, at receipt: an out-of-order batch cached
+        for later must be attached *now*, while its segment is still
+        linked — a restart of its worker may unlink the name before the
+        batch's turn comes, and an existing mapping survives that where
+        a late attach would not.
+        """
+        ref: Optional[ShmBatchRef] = None
+        if isinstance(payload, ShmBatchRef):
+            ref = payload
+        elif isinstance(payload, PartialBatch) and isinstance(
+            payload.data, ShmBatchRef
+        ):
+            ref = payload.data
+        if ref is None:
+            return payload
+        transport = self._pool.main_transport
+        if (
+            transport is None
+            or ref.generation < self._pool.generations[ref.worker_id]
+        ):
+            return None
+        try:
+            data = transport.resolve(ref)
+        except FileNotFoundError:
+            return None
+        self._resolved_refs[batch_id] = ref
+        if isinstance(payload, PartialBatch):
+            payload.data = data
+            return payload
+        return data
+
+    def _ack_slab(self, batch_id: int) -> None:
+        """Deferred slot reclamation: release the *previously* yielded
+        batch's slab slot back to its worker's ack ring, then hold this
+        batch's descriptor until the next yield. Slots of replaced
+        generations are never acked — the fresh incarnation's ring
+        starts with all slots free, and a stale token would double-book
+        one."""
+        pool = self._pool
+        previous = self._held_ref
+        self._held_ref = self._resolved_refs.pop(batch_id, None)
+        if (
+            previous is not None
+            and pool.ack_queues is not None
+            and previous.generation == pool.generations[previous.worker_id]
+        ):
+            pool.ack_queues[previous.worker_id].put(previous.slot)
+
     def _next_data(self) -> Tuple[int, Any, int]:
         """Return (worker_id, data, wait_record_written) for _rcvd_idx.
 
@@ -751,6 +938,12 @@ class _MultiWorkerIter:
                 self._stats.stale_batches += 1
                 continue
             self._note_activity(info[0])
+            payload = self._resolve_payload(batch_id, payload)
+            if payload is None:
+                # A dead generation's descriptor whose slab is gone (or
+                # going); the replacement worker replays the batch.
+                self._stats.stale_batches += 1
+                continue
             if isinstance(payload, IterableStreamEnd):
                 # This worker's iterable shard is exhausted; stop feeding
                 # it and skip the unfillable batch id when its turn comes.
@@ -830,6 +1023,9 @@ class _MultiWorkerIter:
                 stats.delivered_samples += batch_size
             break
         consumed_start = time.time_ns()
+        # Shm transport: recycle the previous batch's slab slot and take
+        # custody of this one's (acked on the *next* yield).
+        self._ack_slab(self._rcvd_idx)
         if self._loader.pin_memory:
             data = _pin_structure(data)
         # Replenish the producing worker (paper § II-B: after the initial

@@ -45,12 +45,19 @@ from repro.core.lotustrace.logfile import (
 )
 from repro.core.lotustrace.records import (
     KIND_BATCH_PREPROCESSED,
+    KIND_BATCH_TRANSPORT,
     KIND_WORKER_HEARTBEAT,
     TraceRecord,
+    format_transport_name,
 )
 from repro.data.faults import WorkerCrashInjection, set_worker_generation
 from repro.data.fetcher import create_fetcher
 from repro.data.resilience import FailurePolicy, fetch_with_policy
+from repro.data.transport import (
+    TransportCancelled,
+    TransportSpec,
+    create_worker_transport,
+)
 from repro.data.worker_info import WorkerInfo, worker_info_scope
 
 #: ``batch_id`` carried by heartbeat payloads on the data queue.
@@ -152,6 +159,7 @@ def worker_loop(
     heartbeat_interval_s: Optional[float] = None,
     cancel_flag: Any = None,
     restart_generation: int = 0,
+    transport_spec: Optional[TransportSpec] = None,
 ) -> None:
     """Run one DataLoader worker until a shutdown sentinel arrives.
 
@@ -173,6 +181,13 @@ def worker_loop(
     cancelled (hung, later woken) worker never ships stale payloads;
     ``restart_generation`` identifies this incarnation of the worker id —
     it stamps failures and suppresses one-shot injected faults on replay.
+
+    Batch transport (DESIGN.md §10): ``transport_spec`` selects the
+    carrier that ships finished payloads to the main process — inline
+    reference hand-off, the pickle mp-queue path, or shared-memory slabs
+    — and every published batch gets a ``batch_transport`` trace record
+    naming the mode, bytes moved, and copy count. ``None`` (direct
+    callers, tests) keeps the legacy bare ``data_queue.put``.
     """
     if is_process_worker:
         set_process_worker_id(worker_id)
@@ -188,6 +203,9 @@ def worker_loop(
             batched=batched_execution,
             reuse_buffers=reuse_batch_buffers,
             buffer_depth=batch_buffer_depth,
+        )
+        transport = create_worker_transport(
+            transport_spec, worker_id, restart_generation, cancel_flag
         )
         pid = current_pid()
         while True:
@@ -284,7 +302,39 @@ def worker_loop(
                 )
             else:
                 payload = data
-            data_queue.put((batch_id, payload))
+            if transport is None:
+                data_queue.put((batch_id, payload))
+                continue
+            # Publish through the configured carrier. PartialBatch is a
+            # control wrapper, not payload: only its ``data`` rides the
+            # carrier, so the descriptor (or fallback) nests inside it.
+            inner = payload.data if isinstance(payload, PartialBatch) else payload
+            publish_start = time.time_ns()
+            try:
+                wire, mode, moved_bytes, copies = transport.publish(inner)
+            except TransportCancelled:
+                # Cancelled while waiting for a reclaimable slab slot:
+                # the batch was re-dispatched elsewhere — drop it.
+                break
+            if isinstance(payload, PartialBatch):
+                payload.data = wire
+                wire = payload
+            data_queue.put((batch_id, wire))
+            publish_duration = time.time_ns() - publish_start
+            if sink is not None:
+                sink.write(
+                    TraceRecord(
+                        kind=KIND_BATCH_TRANSPORT,
+                        name=format_transport_name(mode, moved_bytes, copies),
+                        batch_id=batch_id,
+                        worker_id=worker_id,
+                        pid=pid,
+                        start_ns=publish_start,
+                        duration_ns=publish_duration,
+                    )
+                )
+        if transport is not None:
+            transport.close()
     if is_process_worker:
         # Spill every buffered writer in this child — including writers the
         # dataset or transform chain inherited across the fork — before the

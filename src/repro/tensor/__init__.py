@@ -3,10 +3,35 @@
 Just enough of a tensor for preprocessing pipelines: numpy-backed storage,
 elementwise arithmetic, ``pin_memory`` (a real copy through the libc
 memcpy kernel, as PyTorch's pinned-memory staging is), device placement
-tags for the virtual GPUs, and ``default_collate``.
+tags for the virtual GPUs, ``default_collate``, and the shared-memory
+slab ring backing the process backend's zero-copy batch transport.
 """
 
-from repro.tensor.collate import default_collate
-from repro.tensor.tensor import Tensor, from_numpy, stack
+from repro.tensor.batchbuffer import (
+    BatchBuffer,
+    SharedSlabRing,
+    slab_ring_prefix,
+    unlink_slab_ring,
+)
+from repro.tensor.collate import (
+    default_collate,
+    iter_tensors,
+    map_tensors,
+    structure_nbytes,
+)
+from repro.tensor.tensor import Tensor, from_numpy, from_shared_buffer, stack
 
-__all__ = ["Tensor", "default_collate", "from_numpy", "stack"]
+__all__ = [
+    "BatchBuffer",
+    "SharedSlabRing",
+    "Tensor",
+    "default_collate",
+    "from_numpy",
+    "from_shared_buffer",
+    "iter_tensors",
+    "map_tensors",
+    "slab_ring_prefix",
+    "stack",
+    "structure_nbytes",
+    "unlink_slab_ring",
+]

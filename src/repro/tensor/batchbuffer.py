@@ -18,7 +18,8 @@ request seen.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from multiprocessing import shared_memory
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -76,3 +77,142 @@ class BatchBuffer:
         else:
             self.hits += 1
         return pool[:count].reshape(shape)
+
+
+# -- shared-memory slab ring (process-backend shm transport, DESIGN.md §10) --
+
+#: Slabs are sized in whole pages and never shrink; the floor keeps tiny
+#: first batches from triggering an immediate regrow.
+SLAB_PAGE_BYTES = 4096
+
+
+def slab_ring_prefix(main_pid: int, nonce: int, worker_id: int, generation: int) -> str:
+    """Deterministic shm segment-name prefix for one worker generation.
+
+    Every slot name a (worker, generation) pair can ever create is
+    ``{prefix}s{slot}`` for ``slot`` in ``range(depth)``, so the main
+    process can unlink a crashed worker's segments knowing only the
+    loader identity — it never needs the worker to report what it
+    allocated. Kept short (the POSIX shm name limit is 31 chars on some
+    platforms) and collision-free across concurrent loaders via the
+    per-loader ``nonce``.
+    """
+    return f"lt{main_pid}q{nonce}w{worker_id}g{generation}"
+
+
+def unlink_slab_ring(prefix: str, depth: int) -> int:
+    """Unlink every slot of a ring, tolerating absent or shared names.
+
+    Called by the supervisor for dead worker generations and at loader
+    shutdown; the fixed slot universe (``depth`` names) makes this safe
+    to run even if the owning worker died before creating all slots.
+    Returns the number of segments actually removed.
+    """
+    removed = 0
+    for slot in range(depth):
+        name = f"{prefix}s{slot}"
+        try:
+            segment = shared_memory.SharedMemory(name=name, create=False)
+        except FileNotFoundError:
+            continue
+        except OSError:
+            continue
+        segment.close()
+        try:
+            # unlink() also balances the resource tracker: CPython 3.11
+            # registers a segment on every create *and* attach (set
+            # semantics, so re-adds are idempotent) and unregisters
+            # exactly once here — the single-unlink-owner discipline
+            # keeps the tracker cache clean without manual untracking.
+            segment.unlink()
+            removed += 1
+        except FileNotFoundError:
+            pass
+    return removed
+
+
+class SharedSlabRing:
+    """Worker-side ring of named shared-memory slabs, one per in-flight batch.
+
+    The worker writes each collated batch into slab ``slot`` (cycled by
+    the ack/reclaim ring, depth = ``prefetch_factor + 2`` mirroring
+    :class:`BatchBuffer`) and ships only a descriptor; the main process
+    attaches by name and wraps zero-copy views. Slabs grow monotonically
+    by unlink-and-recreate under the *same* name, so a descriptor's
+    ``(name, size)`` pair is always enough for the consumer to detect a
+    stale attachment and re-attach.
+    """
+
+    def __init__(self, prefix: str, depth: int) -> None:
+        if depth < 1:
+            raise ReproError(f"SharedSlabRing depth must be >= 1, got {depth}")
+        self.prefix = prefix
+        self.depth = depth
+        self._segments: Dict[int, shared_memory.SharedMemory] = {}
+
+    def slot_name(self, slot: int) -> str:
+        return f"{self.prefix}s{slot}"
+
+    def acquire(self, slot: int, nbytes: int) -> shared_memory.SharedMemory:
+        """A slab for ``slot`` with capacity >= ``nbytes``.
+
+        Growth recreates the segment under the same name at double the
+        request (page-rounded), amortizing regrows across ragged batch
+        sizes the way :meth:`BatchBuffer.get` grows its pools.
+        """
+        if not 0 <= slot < self.depth:
+            raise ReproError(
+                f"slab slot {slot} out of range for depth {self.depth}"
+            )
+        segment = self._segments.get(slot)
+        if segment is not None and segment.size >= nbytes:
+            return segment
+        if segment is not None:
+            try:
+                segment.close()
+            except BufferError:
+                pass
+            try:
+                segment.unlink()
+            except FileNotFoundError:
+                pass
+        request = max(int(nbytes), 1)
+        if segment is not None:
+            request = max(request * 2, segment.size)
+        size = -(-request // SLAB_PAGE_BYTES) * SLAB_PAGE_BYTES
+        name = self.slot_name(slot)
+        try:
+            fresh = shared_memory.SharedMemory(name=name, create=True, size=size)
+        except FileExistsError:
+            # Leftover from a crashed predecessor generation that shares
+            # our name (should not happen: the prefix encodes the
+            # generation) or an unlink raced with us; reclaim it.
+            stale = shared_memory.SharedMemory(name=name, create=False)
+            stale.close()
+            try:
+                stale.unlink()
+            except FileNotFoundError:
+                pass
+            fresh = shared_memory.SharedMemory(name=name, create=True, size=size)
+        self._segments[slot] = fresh
+        return fresh
+
+    def get(self, slot: int) -> Optional[shared_memory.SharedMemory]:
+        return self._segments.get(slot)
+
+    def close(self) -> None:
+        """Drop this process's mappings; segments stay linked for readers."""
+        for segment in self._segments.values():
+            try:
+                segment.close()
+            except BufferError:
+                # A live numpy view still aliases the mapping; the view's
+                # buffer reference keeps it alive, and the OS reclaims it
+                # when the last reference dies.
+                pass
+        self._segments.clear()
+
+    def unlink(self) -> int:
+        """Close and unlink every slot this ring could have created."""
+        self.close()
+        return unlink_slab_ring(self.prefix, self.depth)

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Any, List, Mapping, Sequence
+from typing import Any, Callable, Iterator, List, Mapping, Sequence
 
 import numpy as np
 
@@ -51,3 +51,54 @@ def default_collate(samples: Sequence[Any]) -> Any:
         collated = [default_collate([s[i] for s in samples]) for i in range(length)]
         return tuple(collated) if isinstance(first, tuple) else collated
     raise ReproError(f"cannot collate samples of type {type(first)!r}")
+
+
+# -- structure walkers (pinning short-circuit and the shm transport) ---------
+#
+# Collated payloads are trees of dict/tuple/list nodes with Tensor (or
+# arbitrary opaque) leaves. The walkers below traverse them with the same
+# node taxonomy as default_collate so the transport and pinning layers
+# agree with collation about what a "leaf" is.
+
+
+def iter_tensors(structure: Any) -> Iterator[Tensor]:
+    """Yield every :class:`Tensor` leaf of a collated structure, in the
+    deterministic traversal order (dicts in key order as stored, which
+    default_collate fixes to the first sample's key order)."""
+    if isinstance(structure, Tensor):
+        yield structure
+    elif isinstance(structure, Mapping):
+        for value in structure.values():
+            yield from iter_tensors(value)
+    elif isinstance(structure, (tuple, list)):
+        for item in structure:
+            yield from iter_tensors(item)
+
+
+def structure_nbytes(structure: Any) -> int:
+    """Total bytes held by CPU Tensor leaves of ``structure``.
+
+    Non-tensor leaves contribute zero: the shm transport only moves
+    tensor storage through slabs, and a payload with ``structure_nbytes
+    == 0`` has nothing to place in shared memory, so the loader falls
+    back to the pickle carrier (DESIGN.md §10 fallback rules).
+    """
+    return sum(t.nbytes for t in iter_tensors(structure))
+
+
+def map_tensors(structure: Any, fn: Callable[[Tensor], Any]) -> Any:
+    """Rebuild ``structure`` with ``fn`` applied to each Tensor leaf.
+
+    Non-tensor leaves are passed through by reference; container types
+    are preserved (tuple stays tuple, list stays list, mappings become
+    plain dicts in iteration order, matching default_collate's output).
+    """
+    if isinstance(structure, Tensor):
+        return fn(structure)
+    if isinstance(structure, Mapping):
+        return {key: map_tensors(value, fn) for key, value in structure.items()}
+    if isinstance(structure, tuple):
+        return tuple(map_tensors(item, fn) for item in structure)
+    if isinstance(structure, list):
+        return [map_tensors(item, fn) for item in structure]
+    return structure

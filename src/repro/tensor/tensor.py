@@ -82,7 +82,10 @@ class Tensor:
 
         The main process pins out-of-order batches while polling the data
         queue (§ V-C2); the copy cost is why pinning occupies the single
-        main-process thread.
+        main-process thread. Tensors attached from shared-memory slabs
+        (DESIGN.md §10) arrive with ``pinned=True`` — the slab is the
+        page-locked staging area — so pinning them is a no-op alias and
+        the main-process copy disappears from the hot path.
         """
         if self.pinned:
             return self
@@ -141,6 +144,36 @@ class Tensor:
 def from_numpy(array: np.ndarray) -> Tensor:
     """Wrap ``array`` without copying."""
     return Tensor(array)
+
+
+def from_shared_buffer(
+    buf,
+    shape: Sequence[int],
+    dtype,
+    offset: int = 0,
+) -> Tensor:
+    """Wrap a region of a shared-memory slab as a pinned tensor, zero-copy.
+
+    ``buf`` is a buffer-protocol object (typically the ``.buf`` memoryview
+    of a ``multiprocessing.shared_memory.SharedMemory`` slab). The
+    returned tensor aliases the slab — no bytes move — and is tagged
+    ``pinned`` because the slab plays the role of the page-locked staging
+    area in the shm transport (DESIGN.md §10), so the main process's
+    ``pin_memory()`` call collapses to a no-op.
+
+    Built with ``np.frombuffer``, which keeps a live buffer export on
+    ``buf`` for the array's lifetime — so closing the shared-memory
+    mapping while any consumer still holds the tensor raises
+    ``BufferError`` instead of silently unmapping pages under the view
+    (``np.ndarray(buffer=...)`` releases its export after construction
+    and offers no such protection).
+    """
+    dtype = np.dtype(dtype)
+    count = 1
+    for dim in shape:
+        count *= int(dim)
+    flat = np.frombuffer(buf, dtype=dtype, count=count, offset=offset)
+    return Tensor(flat.reshape(tuple(shape)), pinned=True)
 
 
 def stack(tensors: Iterable[Tensor]) -> Tensor:

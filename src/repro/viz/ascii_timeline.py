@@ -38,7 +38,10 @@ _FILL = {
     KIND_BATCH_CONSUMED: "#",
     KIND_OP: "-",
 }
-# Painting priority when spans overlap a cell (higher wins).
+# Painting priority when spans overlap a cell (higher wins). Span kinds
+# outside this map (fault markers, batch-transport publishes) describe
+# the machinery around a batch rather than its preprocessing journey;
+# the timeline skips them, like analyze_trace keeps them out of flows.
 _PRIORITY = {
     KIND_OP: 0,
     KIND_BATCH_WAIT: 1,
@@ -65,7 +68,11 @@ def render_timeline(
     """
     if width < 10:
         raise TraceError(f"timeline width must be >= 10, got {width}")
-    spans = build_spans(records, include_ops=not coarse)
+    spans = [
+        span
+        for span in build_spans(records, include_ops=not coarse)
+        if span.kind in _PRIORITY
+    ]
     if not spans:
         raise TraceError("no spans to render")
     t0 = min(span.start_ns for span in spans)

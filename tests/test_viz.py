@@ -3,8 +3,10 @@ import pytest
 from repro.core.lotustrace.records import (
     KIND_BATCH_CONSUMED,
     KIND_BATCH_PREPROCESSED,
+    KIND_BATCH_TRANSPORT,
     KIND_BATCH_WAIT,
     KIND_OP,
+    KIND_WORKER_RESTART,
     MAIN_PROCESS_WORKER_ID,
     TraceRecord,
 )
@@ -55,6 +57,15 @@ class TestRenderTimeline:
         worker1 = next(l for l in text.splitlines() if l.startswith("worker:1"))
         assert "0" in worker0
         assert "1" in worker1
+
+    def test_auxiliary_spans_skipped(self):
+        """Transport and fault marker spans (machinery, not batch flow)
+        must not crash the renderer or alter the painted tracks."""
+        noisy = TRACE + [
+            rec(KIND_BATCH_TRANSPORT, 0, 49, 1, worker=0, name="shm;b64;c1"),
+            rec(KIND_WORKER_RESTART, -1, 52, 0, worker=1, name="w1:crash"),
+        ]
+        assert render_timeline(noisy, width=60) == render_timeline(TRACE, width=60)
 
     def test_constant_width(self):
         text = render_timeline(TRACE, width=40)
