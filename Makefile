@@ -4,9 +4,10 @@ export PYTHONPATH := src
 BENCH_JSON := .bench_current.json
 DECODE_BENCH_JSON := .bench_decode.json
 TRANSPORT_BENCH_JSON := .bench_transport.json
+CACHE_BENCH_JSON := .bench_cache.json
 
 .PHONY: test bench bench-check bench-baseline decode-bench transport-bench \
-	fault-check
+	cache-bench fault-check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -22,7 +23,8 @@ bench:
 		benchmarks/bench_trace_analysis.py \
 		benchmarks/bench_preprocessing.py \
 		benchmarks/bench_decode_batch.py \
-		benchmarks/bench_ipc_transport.py --benchmark-only \
+		benchmarks/bench_ipc_transport.py \
+		benchmarks/bench_shared_cache.py --benchmark-only \
 		--benchmark-disable-gc --benchmark-json=$(BENCH_JSON) -q
 
 # Fail if the microbenchmarks (entropy decode, sample replay, DataLoader
@@ -31,7 +33,8 @@ bench:
 # vectorized path dropped below its floor over the retained reference
 # (3x decode/replay, 10x trace, 1.8x batched preprocessing with decode
 # included, 2.5x whole-batch decode, 5x warm cache lookup, 2x shm
-# transport over the pickle oracle).
+# transport over the pickle oracle, 2x shared-arena warm epoch over
+# private per-worker caches).
 bench-check: bench
 	$(PYTHON) benchmarks/check_regression.py $(BENCH_JSON)
 
@@ -55,3 +58,12 @@ transport-bench:
 		--benchmark-disable-gc --benchmark-json=$(TRANSPORT_BENCH_JSON) -q
 	$(PYTHON) benchmarks/check_regression.py $(TRANSPORT_BENCH_JSON) \
 		--only transport
+
+# Standalone ISSUE 8 gate: warm epoch through the shared decoded-sample
+# arena vs private per-worker caches (>= 2x at 4 workers, equal
+# per-worker capacity), without rerunning the full bench suite.
+cache-bench:
+	$(PYTHON) -m pytest benchmarks/bench_shared_cache.py --benchmark-only \
+		--benchmark-disable-gc --benchmark-json=$(CACHE_BENCH_JSON) -q
+	$(PYTHON) benchmarks/check_regression.py $(CACHE_BENCH_JSON) \
+		--only shared_cache

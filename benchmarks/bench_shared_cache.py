@@ -1,0 +1,145 @@
+"""Shared decoded-sample cache benchmarks: one arena vs private caches.
+
+Models the DESIGN.md §11 claim in a single process — no worker pool, no
+transport — so the ratio isolates exactly what the shared arena removes:
+*redundant decode work across workers*. Four simulated workers each
+process a shuffled quarter of the dataset per epoch (the shuffle changes
+every epoch, as a real sampler's does):
+
+* ``private`` — each worker keeps its own :class:`CachingLoader` with
+  capacity for its quarter of the dataset. Because the shuffle reassigns
+  samples to workers every epoch, most lookups miss *some* worker's
+  cache even though every image is cached *somewhere* — the per-machine
+  decode count stays high forever (the §11 motivation);
+* ``shared`` — the same four workers bind reader ids on one
+  :class:`SharedSampleCache` arena sized to the same total byte budget
+  (4x the per-worker capacity). After the cold epoch every lookup is a
+  zero-copy pinned hit regardless of which worker decoded the entry, so
+  a warm epoch performs zero decodes.
+
+``check_regression.py`` enforces the ISSUE 8 acceptance floor — the
+shared warm epoch must stay >= 2x faster than the private warm epoch at
+equal per-worker capacity — as a same-run ratio (robust to machine load
+where absolute medians are not). A bit-parity assertion runs once per
+session so the ratio can never be "won" by decoding different pixels.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.data.cache import CachingLoader
+from repro.data.dataset import pil_loader
+from repro.data.shared_cache import SharedSampleCache
+from repro.imaging.jpeg.codec import encode_sjpg
+from repro.tensor.batchbuffer import round_to_pages
+from tests.conftest import make_test_image
+
+N_WORKERS = 4
+N_UNIQUE = 32
+SIDE = 48
+ENTRY_BYTES = round_to_pages(SIDE * SIDE * 3)
+#: Per-worker budget: twice a worker's per-epoch share — generous, yet
+#: the epoch reshuffle still routes most samples to workers that never
+#: decoded them when each cache is private.
+WORKER_ENTRIES = N_UNIQUE // N_WORKERS * 2
+N_EPOCH_PERMS = 8
+
+
+def _blobs():
+    return [
+        encode_sjpg(make_test_image(SIDE, SIDE, seed=500 + i), quality=85)
+        for i in range(N_UNIQUE)
+    ]
+
+
+def _epoch_perms():
+    """Deterministic per-epoch shuffles, cycled across benchmark reps."""
+    rng = np.random.default_rng(23)
+    return [rng.permutation(N_UNIQUE) for _ in range(N_EPOCH_PERMS)]
+
+
+class _Fleet:
+    """Four simulated workers sharing (or not sharing) decode state."""
+
+    def __init__(self, blobs, loaders):
+        self.blobs = blobs
+        self.loaders = loaders
+        self._perms = _epoch_perms()
+        self._epoch = itertools.count()
+
+    def run_epoch(self):
+        perm = self._perms[next(self._epoch) % N_EPOCH_PERMS]
+        for worker, loader in enumerate(self.loaders):
+            for index in perm[worker::N_WORKERS].tolist():
+                loader(self.blobs[index])
+            loader.advance_batch()
+        for loader in self.loaders:
+            loader.release_pins()
+
+
+@pytest.fixture(scope="module")
+def private_fleet():
+    blobs = _blobs()
+    return _Fleet(
+        blobs,
+        [CachingLoader(capacity=WORKER_ENTRIES) for _ in range(N_WORKERS)],
+    )
+
+
+@pytest.fixture(scope="module")
+def shared_fleet():
+    blobs = _blobs()
+    arena = SharedSampleCache(
+        capacity_bytes=N_WORKERS * WORKER_ENTRIES * ENTRY_BYTES,
+        max_readers=N_WORKERS,
+        nonce=993,  # distinct from every other bench's shm namespace
+    )
+    loaders = []
+    for reader in range(N_WORKERS):
+        loader = CachingLoader(pil_loader, shared=arena)
+        loader.bind_reader(reader)
+        loaders.append(loader)
+    yield _Fleet(blobs, loaders)
+    arena.unlink()
+
+
+@pytest.fixture(scope="module")
+def parity(private_fleet, shared_fleet):
+    """Both cache layouts must hand back bit-identical pixels, and the
+    warm shared arena must perform literally zero decodes per epoch."""
+    blob = private_fleet.blobs[0]
+    via_private = private_fleet.loaders[0](blob).to_array()
+    via_shared = shared_fleet.loaders[0](blob).to_array()
+    np.testing.assert_array_equal(via_private, via_shared)
+    shared_fleet.run_epoch()  # cold epoch fills the arena
+    before = shared_fleet.loaders[0].shared_cache.total_stats().misses
+    shared_fleet.run_epoch()
+    after = shared_fleet.loaders[0].shared_cache.total_stats().misses
+    assert after == before, "warm shared epoch must not decode"
+
+
+def test_bench_shared_cache_cold(benchmark, shared_fleet, parity):
+    arena = shared_fleet.loaders[0].shared_cache
+
+    def cold_epoch():
+        arena.clear()
+        shared_fleet.run_epoch()
+
+    benchmark(cold_epoch)
+    shared_fleet.run_epoch()  # leave the arena warm for the warm bench
+
+
+def test_bench_shared_cache_warm(benchmark, shared_fleet, parity):
+    shared_fleet.run_epoch()  # ensure warmth even when run standalone
+    benchmark(shared_fleet.run_epoch)
+
+
+def test_bench_private_cache_warm(benchmark, private_fleet, parity):
+    # "Warm" as warm as private caches ever get: every image is cached
+    # in some worker, but the epoch shuffle keeps handing samples to
+    # workers that never decoded them.
+    for _ in range(2):
+        private_fleet.run_epoch()
+    benchmark(private_fleet.run_epoch)

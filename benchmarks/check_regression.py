@@ -38,6 +38,7 @@ TRACKED = (
     "test_bench_trace_pipeline_columnar",
     "test_bench_trace_export_columnar",
     "test_bench_preprocess_batched",
+    "test_bench_shared_cache_cold",
 )
 # The whole-batch decode benches are enforced through SPEEDUP_PAIRS
 # only: their absolute medians are a few ms and swing >40% with machine
@@ -68,6 +69,12 @@ SPEEDUP_PAIRS = (
     # cycle (publish + zero-copy resolve + slot ack) vs the pickle
     # oracle's dumps+loads on the same batch-64 image payload.
     ("test_bench_transport_shm", "test_bench_transport_pickle", 2.0),
+    # ISSUE 8 acceptance floor: a warm epoch through the shared
+    # decoded-sample arena vs the same epoch over per-worker private
+    # caches at equal per-worker capacity (4 simulated workers; the
+    # epoch shuffle reroutes samples across workers, which defeats
+    # private caches but not the machine-global arena).
+    ("test_bench_shared_cache_warm", "test_bench_private_cache_warm", 2.0),
 )
 
 DEFAULT_BASELINE = os.path.join(os.path.dirname(__file__), "BENCH_baseline.json")

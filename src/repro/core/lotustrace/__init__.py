@@ -18,6 +18,7 @@ Trace Viewer JSON (:mod:`~repro.core.lotustrace.chrometrace`).
 
 from repro.core.lotustrace.analysis import (
     BatchFlow,
+    CacheTraceStats,
     ColumnarTraceAnalysis,
     TraceAnalysis,
     TransportStats,
@@ -56,11 +57,14 @@ from repro.core.lotustrace.logfile import (
     parse_trace_lines,
 )
 from repro.core.lotustrace.records import (
+    CACHE_PRIVATE,
+    CACHE_SHARED,
     FAULT_KINDS,
     KIND_BATCH_CONSUMED,
     KIND_BATCH_PREPROCESSED,
     KIND_BATCH_TRANSPORT,
     KIND_BATCH_WAIT,
+    KIND_CACHE_STATS,
     KIND_OP,
     KIND_SAMPLE_RETRIED,
     KIND_SAMPLE_SKIPPED,
@@ -72,13 +76,18 @@ from repro.core.lotustrace.records import (
     TRANSPORT_PICKLE,
     TRANSPORT_SHM,
     TraceRecord,
+    format_cache_stats_name,
     format_transport_name,
+    parse_cache_stats_name,
     parse_transport_name,
 )
 from repro.core.lotustrace.spans import Span, build_spans, span_name
 
 __all__ = [
     "BatchFlow",
+    "CACHE_PRIVATE",
+    "CACHE_SHARED",
+    "CacheTraceStats",
     "ColumnarTraceAnalysis",
     "ENGINE_COLUMNAR",
     "ENGINE_RECORDS",
@@ -97,6 +106,7 @@ __all__ = [
     "KIND_BATCH_PREPROCESSED",
     "KIND_BATCH_TRANSPORT",
     "KIND_BATCH_WAIT",
+    "KIND_CACHE_STATS",
     "KIND_OP",
     "KIND_SAMPLE_RETRIED",
     "KIND_SAMPLE_SKIPPED",
@@ -116,7 +126,9 @@ __all__ = [
     "TraceRecord",
     "TransportStats",
     "analyze_trace",
+    "format_cache_stats_name",
     "format_transport_name",
+    "parse_cache_stats_name",
     "parse_transport_name",
     "augment_profiler_trace",
     "build_spans",

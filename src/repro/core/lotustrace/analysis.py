@@ -32,6 +32,7 @@ import numpy as np
 from repro.core.lotustrace.columns import (
     FAULT_KIND_CODES,
     KIND_CODE_BATCH_TRANSPORT,
+    KIND_CODE_CACHE_STATS,
     KIND_CODE_CONSUMED,
     KIND_CODE_HEARTBEAT,
     KIND_CODE_OP,
@@ -48,9 +49,11 @@ from repro.core.lotustrace.records import (
     KIND_BATCH_PREPROCESSED,
     KIND_BATCH_TRANSPORT,
     KIND_BATCH_WAIT,
+    KIND_CACHE_STATS,
     KIND_OP,
     KIND_SAMPLE_SKIPPED,
     TraceRecord,
+    parse_cache_stats_name,
     parse_transport_name,
 )
 from repro.errors import TraceError
@@ -108,6 +111,30 @@ class TransportStats:
         return self.payload_bytes / self.batches if self.batches else 0.0
 
 
+@dataclass(frozen=True)
+class CacheTraceStats:
+    """Aggregated decoded-sample cache activity for one cache mode.
+
+    Each ``cache_stats`` record (DESIGN.md §11) carries per-batch hit,
+    miss, cross-worker-hit, and eviction counts plus a pinned-bytes
+    gauge in its name; this sums the counters across the trace and
+    keeps the gauge's maximum.
+    """
+
+    mode: str
+    batches: int
+    hits: int
+    misses: int
+    cross_worker_hits: int
+    evictions: int
+    max_pinned_bytes: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
 @dataclass
 class TraceAnalysis:
     """Aggregated view over one trace."""
@@ -122,6 +149,10 @@ class TraceAnalysis:
     #: fault records they describe the hand-off machinery, not a batch's
     #: preprocessing journey, so they stay out of the flows.
     transport_records: List[TraceRecord] = field(default_factory=list)
+    #: Decoded-sample cache records (DESIGN.md §11) in record order;
+    #: one per fetched batch per carrier, kept out of the flows for the
+    #: same reason as fault and transport records.
+    cache_records: List[TraceRecord] = field(default_factory=list)
 
     # -- per-batch series ------------------------------------------------------
     def preprocess_times_ns(self) -> List[int]:
@@ -230,6 +261,32 @@ class TraceAnalysis:
             for mode, (n, nbytes, copies, time_ns) in totals.items()
         }
 
+    # -- decoded-sample cache (DESIGN.md §11) --------------------------------
+    def cache_stats(self) -> Dict[str, "CacheTraceStats"]:
+        """Per-mode decoded-sample cache totals, keyed by cache mode.
+
+        One ``cache_stats`` record per fetched batch carries the mode
+        and per-batch counter deltas in its name (see
+        :func:`~repro.core.lotustrace.records.parse_cache_stats_name`).
+        Traces without cache records (no ``CachingLoader``) give ``{}``.
+        """
+        totals: Dict[str, List[int]] = {}
+        for record in self.cache_records:
+            mode, hits, misses, cross, evictions, pinned = (
+                parse_cache_stats_name(record.name)
+            )
+            acc = totals.setdefault(mode, [0, 0, 0, 0, 0, 0])
+            acc[0] += 1
+            acc[1] += hits
+            acc[2] += misses
+            acc[3] += cross
+            acc[4] += evictions
+            acc[5] = max(acc[5], pinned)
+        return {
+            mode: CacheTraceStats(mode, n, h, m, x, e, p)
+            for mode, (n, h, m, x, e, p) in totals.items()
+        }
+
 
 class _SpanIndex:
     """Bisection index over one worker's fetch spans, sorted by start.
@@ -270,6 +327,7 @@ def _analyze_records(records: List[TraceRecord]) -> TraceAnalysis:
     op_records: List[TraceRecord] = []
     fault_records: List[TraceRecord] = []
     transport_records: List[TraceRecord] = []
+    cache_records: List[TraceRecord] = []
     fetch_spans: Dict[int, List[TraceRecord]] = {}
 
     for record in records:
@@ -286,6 +344,11 @@ def _analyze_records(records: List[TraceRecord]) -> TraceAnalysis:
             # Hand-off cost records: kept aside like fault records so a
             # transport record alone never fabricates a batch flow.
             transport_records.append(record)
+            continue
+        if record.kind == KIND_CACHE_STATS:
+            # Decoded-sample cache counters (§11): zero-width bookkeeping
+            # records that would otherwise fabricate phantom flows.
+            cache_records.append(record)
             continue
         flow = batches.setdefault(record.batch_id, BatchFlow(record.batch_id))
         if record.kind == KIND_BATCH_PREPROCESSED:
@@ -318,6 +381,7 @@ def _analyze_records(records: List[TraceRecord]) -> TraceAnalysis:
         op_batch_ids=op_batch_ids,
         fault_records=fault_records,
         transport_records=transport_records,
+        cache_records=cache_records,
     )
 
 
@@ -531,6 +595,49 @@ class ColumnarTraceAnalysis(TraceAnalysis):
             cached = [cols.record_at(int(row)) for row in rows.tolist()]
             self.__dict__["_transport_records_cache"] = cached
         return cached
+
+    @property
+    def cache_records(self) -> List[TraceRecord]:  # type: ignore[override]
+        cached = self.__dict__.get("_cache_records_cache")
+        if cached is None:
+            cols = self.columns
+            rows = np.flatnonzero(cols.kind == KIND_CODE_CACHE_STATS)
+            cached = [cols.record_at(int(row)) for row in rows.tolist()]
+            self.__dict__["_cache_records_cache"] = cached
+        return cached
+
+    def cache_stats(self) -> Dict[str, "CacheTraceStats"]:
+        """Vectorized per-mode totals over the interned cache names.
+
+        The counter deltas are constant per interned name, so the
+        groupby runs over name ids (one parse per distinct name) with
+        ``np.bincount`` — same totals as the record loop. The pinned
+        gauge takes the max over distinct names, which equals the max
+        over records since every record of a name carries the same
+        gauge value.
+        """
+        cols = self.columns
+        rows = np.flatnonzero(cols.kind == KIND_CODE_CACHE_STATS)
+        if rows.size == 0:
+            return {}
+        counts = np.bincount(cols.name_id[rows], minlength=len(cols.names))
+        totals: Dict[str, List[int]] = {}
+        for nid in np.flatnonzero(counts).tolist():
+            mode, hits, misses, cross, evictions, pinned = (
+                parse_cache_stats_name(cols.names[nid])
+            )
+            n = int(counts[nid])
+            acc = totals.setdefault(mode, [0, 0, 0, 0, 0, 0])
+            acc[0] += n
+            acc[1] += hits * n
+            acc[2] += misses * n
+            acc[3] += cross * n
+            acc[4] += evictions * n
+            acc[5] = max(acc[5], pinned)
+        return {
+            mode: CacheTraceStats(mode, n, h, m, x, e, p)
+            for mode, (n, h, m, x, e, p) in totals.items()
+        }
 
     def transport_stats(self) -> Dict[str, "TransportStats"]:
         """Vectorized per-mode totals over the interned transport names.

@@ -22,12 +22,14 @@ from repro.core.lotustrace.analysis import (
 )
 from repro.core.lotustrace.columns import KIND_CODE_PREPROCESSED, TraceColumns
 from repro.core.lotustrace.records import (
+    CACHE_PRIVATE,
     KIND_BATCH_PREPROCESSED,
     KIND_SAMPLE_RETRIED,
     KIND_SAMPLE_SKIPPED,
     KIND_WORKER_RESTART,
     TRANSPORT_PICKLE,
     TraceRecord,
+    parse_cache_stats_name,
 )
 from repro.errors import TraceError
 from repro.utils.timeunits import format_ns
@@ -309,6 +311,42 @@ def generate_report(
                 f"slabs and removes the serialize/deserialize tax",
             )
         )
+
+    # Decoded-sample cache (DESIGN.md §11): traces without cache records
+    # (no CachingLoader) produce no finding.
+    cache = analysis.cache_stats()
+    for stats in cache.values():
+        pinned_mib = stats.max_pinned_bytes / (1024.0 * 1024.0)
+        findings.append(
+            Finding(
+                SEVERITY_INFO,
+                "decode-cache",
+                f"the {stats.mode} decoded-sample cache served "
+                f"{stats.hits} hits / {stats.misses} misses "
+                f"({stats.hit_rate:.0%} hit rate, "
+                f"{stats.cross_worker_hits} cross-worker) over "
+                f"{stats.batches} batches, with {stats.evictions} "
+                f"evictions and {pinned_mib:.1f} MiB peak pinned",
+            )
+        )
+    if CACHE_PRIVATE in cache:
+        private_workers = {
+            record.worker_id
+            for record in analysis.cache_records
+            if parse_cache_stats_name(record.name)[0] == CACHE_PRIVATE
+        }
+        if len(private_workers) >= 2:
+            findings.append(
+                Finding(
+                    SEVERITY_NOTICE,
+                    "decode-cache",
+                    f"{len(private_workers)} workers each keep a private "
+                    f"decoded-sample cache, so the same image may be "
+                    f"decoded once per worker; cache='shared' puts one "
+                    f"arena in shared memory and decodes each image once "
+                    f"per machine",
+                )
+            )
 
     # Fault-tolerance activity (DESIGN.md §8): clean traces carry no
     # fault records, so these findings never appear for them.

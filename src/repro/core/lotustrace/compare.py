@@ -16,6 +16,7 @@ from typing import Dict, Iterable, List, Optional
 from typing import Union
 
 from repro.core.lotustrace.analysis import (
+    CacheTraceStats,
     TraceAnalysis,
     TransportStats,
     analyze_trace,
@@ -61,6 +62,10 @@ class TraceComparison:
     #: mode; empty for traces predating the transport record.
     baseline_transport: Dict[str, TransportStats] = field(default_factory=dict)
     candidate_transport: Dict[str, TransportStats] = field(default_factory=dict)
+    #: Decoded-sample cache totals (DESIGN.md §11), keyed by cache mode;
+    #: empty for traces without a ``CachingLoader``.
+    baseline_cache: Dict[str, CacheTraceStats] = field(default_factory=dict)
+    candidate_cache: Dict[str, CacheTraceStats] = field(default_factory=dict)
 
     def delta_for(self, op: str) -> OpDelta:
         for delta in self.op_deltas:
@@ -97,6 +102,7 @@ class TraceComparison:
             f"{format_ns(self.candidate_median_delay_ns)}"
         )
         lines.extend(self._format_transport())
+        lines.extend(self._format_cache())
         return "\n".join(lines)
 
     def _format_transport(self) -> List[str]:
@@ -113,6 +119,34 @@ class TraceComparison:
                 f"{_describe_transport(cand)}"
             )
         return lines
+
+
+    def _format_cache(self) -> List[str]:
+        """One line per cache mode seen in either run, so (say) the
+        effect of switching a private per-process cache to the shared
+        arena can be read as a hit-rate and eviction shift."""
+        modes = sorted(set(self.baseline_cache) | set(self.candidate_cache))
+        lines = []
+        for mode in modes:
+            base = self.baseline_cache.get(mode)
+            cand = self.candidate_cache.get(mode)
+            lines.append(
+                f"cache[{mode}]: {_describe_cache(base)} -> "
+                f"{_describe_cache(cand)}"
+            )
+        return lines
+
+
+def _describe_cache(stats: Optional[CacheTraceStats]) -> str:
+    if stats is None:
+        return "absent"
+    pinned_mib = stats.max_pinned_bytes / (1024.0 * 1024.0)
+    return (
+        f"{stats.hits} hits / {stats.misses} misses "
+        f"({stats.hit_rate:.0%} hit rate, {stats.cross_worker_hits} "
+        f"cross-worker), {stats.evictions} evictions, "
+        f"{pinned_mib:.1f} MiB pinned peak"
+    )
 
 
 def _describe_transport(stats: Optional[TransportStats]) -> str:
@@ -166,4 +200,6 @@ def compare_traces(
         candidate_median_delay_ns=_median(cand.delay_times_ns()),
         baseline_transport=base.transport_stats(),
         candidate_transport=cand.transport_stats(),
+        baseline_cache=base.cache_stats(),
+        candidate_cache=cand.cache_stats(),
     )

@@ -34,6 +34,14 @@ KIND_WORKER_HEARTBEAT = "heartbeat"
 # every backend so per-backend transport cost is directly comparable.
 KIND_BATCH_TRANSPORT = "batch_transport"
 
+# Decoded-sample cache record kind (DESIGN.md §11): one record per batch
+# from every carrier (process/thread workers and the single-process
+# iterator) when the loader runs with ``cache=`` enabled, carrying the
+# cache mode and this batch's hit/miss/cross-hit/eviction deltas plus
+# the arena's pinned-byte gauge in the name field (see
+# :func:`format_cache_stats_name`).
+KIND_CACHE_STATS = "cache_stats"
+
 #: Record kinds emitted only by the fault-tolerance layer.
 FAULT_KINDS = frozenset(
     (
@@ -49,7 +57,7 @@ _KINDS = (
         (KIND_OP, KIND_BATCH_PREPROCESSED, KIND_BATCH_WAIT, KIND_BATCH_CONSUMED)
     )
     | FAULT_KINDS
-    | frozenset((KIND_BATCH_TRANSPORT,))
+    | frozenset((KIND_BATCH_TRANSPORT, KIND_CACHE_STATS))
 )
 
 #: Transport-mode tokens carried in ``batch_transport`` record names.
@@ -85,6 +93,53 @@ def parse_transport_name(name: str) -> "tuple[str, int, int]":
         return mode, int(raw_bytes[1:]), int(raw_copies[1:])
     except ValueError as exc:
         raise TraceError(f"malformed transport record name: {name!r}") from exc
+
+
+#: Cache-mode tokens carried in ``cache_stats`` record names.
+CACHE_PRIVATE = "private"
+CACHE_SHARED = "shared"
+
+
+def format_cache_stats_name(
+    mode: str,
+    hits: int,
+    misses: int,
+    cross_hits: int,
+    evictions: int,
+    pinned_bytes: int,
+) -> str:
+    """Encode one batch's cache accounting into the record name field.
+
+    Mirrors :func:`format_transport_name`: the CSV schema has no spare
+    integer columns, so the per-batch deltas ride in the name as
+    ``mode;h<hits>;m<misses>;x<cross>;e<evictions>;p<pinned>`` —
+    comma-free, so the line format and both parsers are untouched.
+    Steady warm epochs (all hits, constant pinned gauge) produce one
+    interned name per batch shape, like transport records.
+    """
+    return (
+        f"{mode};h{int(hits)};m{int(misses)};x{int(cross_hits)}"
+        f";e{int(evictions)};p{int(pinned_bytes)}"
+    )
+
+
+def parse_cache_stats_name(name: str) -> "tuple[str, int, int, int, int, int]":
+    """Decode ``(mode, hits, misses, cross_hits, evictions, pinned_bytes)``.
+
+    Raises :class:`TraceError` on names not produced by
+    :func:`format_cache_stats_name`.
+    """
+    parts = name.split(";")
+    try:
+        mode, raw_h, raw_m, raw_x, raw_e, raw_p = parts
+        prefixes = ("h", "m", "x", "e", "p")
+        raws = (raw_h, raw_m, raw_x, raw_e, raw_p)
+        if not all(raw.startswith(tag) for tag, raw in zip(prefixes, raws)):
+            raise ValueError(name)
+        return (mode,) + tuple(int(raw[1:]) for raw in raws)
+    except ValueError as exc:
+        raise TraceError(f"malformed cache_stats record name: {name!r}") from exc
+
 
 #: ``worker_id`` used for records emitted by the main process.
 MAIN_PROCESS_WORKER_ID = -1

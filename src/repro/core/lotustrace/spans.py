@@ -20,6 +20,7 @@ from repro.core.lotustrace.records import (
     KIND_BATCH_PREPROCESSED,
     KIND_BATCH_TRANSPORT,
     KIND_BATCH_WAIT,
+    KIND_CACHE_STATS,
     KIND_OP,
     KIND_SAMPLE_RETRIED,
     KIND_SAMPLE_SKIPPED,
@@ -44,6 +45,9 @@ _KIND_PREFIX = {
     # Batch hand-off spans (DESIGN.md §10): the worker-side publish cost
     # of moving one collated batch to the main process.
     KIND_BATCH_TRANSPORT: "SBatchTransport",
+    # Decoded-sample cache accounting spans (DESIGN.md §11): zero-width
+    # per-batch markers carrying the hit/miss deltas in their name.
+    KIND_CACHE_STATS: "SCacheStats",
 }
 
 

@@ -31,14 +31,18 @@ from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tupl
 from repro.core.lotustrace.context import batch_scope, current_pid
 from repro.core.lotustrace.logfile import PathLike, TraceSink, open_trace_log
 from repro.core.lotustrace.records import (
+    CACHE_PRIVATE,
+    CACHE_SHARED,
     COLLATION_OP_NAME,
     KIND_BATCH_CONSUMED,
     KIND_BATCH_PREPROCESSED,
     KIND_BATCH_WAIT,
+    KIND_CACHE_STATS,
     KIND_WORKER_RESTART,
     MAIN_PROCESS_WORKER_ID,
     OOO_MARKER_DURATION_NS,
     TraceRecord,
+    format_cache_stats_name,
 )
 from repro.core.lotustrace.logfile import (
     InMemoryTraceLog,
@@ -47,7 +51,12 @@ from repro.core.lotustrace.logfile import (
 )
 from repro.core.lotustrace.records import TRANSPORT_SHM
 from repro.data.backends import THREAD_BACKEND, create_backend
+from repro.data.cache import CachingLoader
 from repro.data.dataset import IterableDataset
+from repro.data.shared_cache import (
+    DEFAULT_CACHE_CAPACITY_BYTES,
+    SharedSampleCache,
+)
 from repro.data.transport import (
     TRANSPORT_AUTO,
     ShmBatchRef,
@@ -214,6 +223,21 @@ class DataLoader:
             deep — safe to hold across one ``next()`` (the current
             batch is never recycled under the consumer), but consumers
             retaining many batches should pick ``"pickle"``.
+        cache: decoded-sample caching mode (DESIGN.md §11). ``None``
+            (default) decodes every access as before. ``"private"``
+            wraps ``dataset.loader`` in a per-process
+            :class:`CachingLoader` — with the process backend every
+            worker decodes (and stores) its own copy of each image.
+            ``"shared"`` places decoded pixels in one fixed-capacity
+            shared-memory arena attached by every worker: each image is
+            decoded exactly once per machine per epoch set, hits are
+            zero-copy read-only views, and eviction is
+            CLOCK/second-chance gated by per-entry pin counts. Requires
+            a map-style dataset with a callable ``loader`` attribute
+            (which is wrapped in place); each batch emits a
+            ``cache_stats`` trace record when tracing is on.
+        cache_capacity_bytes: shared-arena size for ``cache="shared"``
+            (default 256 MiB; ignored otherwise).
     """
 
     def __init__(
@@ -238,6 +262,8 @@ class DataLoader:
         hang_timeout_s: Optional[float] = None,
         heartbeat_interval_s: Optional[float] = None,
         transport: str = TRANSPORT_AUTO,
+        cache: Optional[str] = None,
+        cache_capacity_bytes: int = DEFAULT_CACHE_CAPACITY_BYTES,
     ) -> None:
         if num_workers < 0:
             raise DataLoaderError(f"num_workers must be >= 0, got {num_workers}")
@@ -295,6 +321,55 @@ class DataLoader:
         backend = create_backend(worker_backend)  # validate the name eagerly
         validate_transport(transport, num_workers, backend.is_process)
         self.transport = transport
+        # Decoded-sample cache (DESIGN.md §11): wrap dataset.loader in a
+        # CachingLoader before any worker exists, so forked workers
+        # inherit the wrapper (and, in shared mode, the arena mappings
+        # and fork-shared locks inside it).
+        self.cache = cache
+        self._shared_cache: Optional[SharedSampleCache] = None
+        self._cache_loader: Optional[CachingLoader] = None
+        if cache is not None:
+            if cache not in (CACHE_PRIVATE, CACHE_SHARED):
+                raise DataLoaderError(
+                    f"cache must be None, {CACHE_PRIVATE!r}, or "
+                    f"{CACHE_SHARED!r}, got {cache!r}"
+                )
+            if isinstance(dataset, IterableDataset):
+                raise DataLoaderError(
+                    "cache= needs a map-style dataset with a loader "
+                    "attribute (iterable streams have no keyed sources)"
+                )
+            base_loader = getattr(dataset, "loader", None)
+            if not callable(base_loader):
+                raise DataLoaderError(
+                    "cache= needs a dataset with a callable .loader "
+                    "attribute to wrap (e.g. BlobImageDataset)"
+                )
+            if isinstance(base_loader, CachingLoader):
+                raise DataLoaderError(
+                    "dataset.loader is already a CachingLoader; pass "
+                    "cache=None and manage it yourself, or hand the "
+                    "DataLoader the unwrapped loader"
+                )
+            if cache == CACHE_SHARED:
+                # Same discipline as the shm transport: the resource
+                # tracker must exist before workers fork, or a child's
+                # private tracker would unlink segments the main process
+                # still owns.
+                from multiprocessing import resource_tracker
+
+                resource_tracker.ensure_running()
+                self._shared_cache = SharedSampleCache(
+                    capacity_bytes=cache_capacity_bytes,
+                    max_readers=num_workers + 1,
+                    nonce=next_pool_nonce(),
+                )
+                self._cache_loader = CachingLoader(
+                    base_loader, shared=self._shared_cache
+                )
+            else:
+                self._cache_loader = CachingLoader(base_loader)
+            dataset.loader = self._cache_loader
         self.dataset = dataset
         self.batch_size = batch_size
         self.num_workers = num_workers
@@ -345,6 +420,11 @@ class DataLoader:
 
     def __iter__(self) -> Iterator[Any]:
         self.fault_stats = FaultStats()
+        if self._shared_cache is not None and self._shared_cache.unlinked:
+            raise DataLoaderError(
+                "this DataLoader's shared cache arena was unlinked by "
+                "close(); create a new DataLoader to iterate again"
+            )
         if self.num_workers == 0:
             return _SingleProcessIter(self)
         if not self.persistent_workers:
@@ -354,10 +434,20 @@ class DataLoader:
         return _MultiWorkerIter(self, pool=self._pool)
 
     def close(self) -> None:
-        """Shut down a persistent worker pool, if one is alive."""
+        """Shut down a persistent worker pool and retire the shared cache.
+
+        The main process is the shared arena's single unlink owner
+        (DESIGN.md §11): segments are unlinked here, after the pool (and
+        with it every worker holding pins) has quiesced. The loader
+        cannot be iterated again once the arena is gone.
+        """
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None
+        if self._cache_loader is not None:
+            self._cache_loader.release_pins()
+        if self._shared_cache is not None:
+            self._shared_cache.unlink()
 
     def __del__(self) -> None:
         try:
@@ -385,6 +475,15 @@ class _SingleProcessIter:
         self._batches = iter(loader.batch_sampler)
         self._batch_id = 0
         self._pid = current_pid()
+        # Cache hooks (DESIGN.md §11), duck-typed off dataset.loader like
+        # the worker loop's — the main process is shared-cache reader 0
+        # (the CachingLoader default, so no bind is needed here).
+        cache_loader = getattr(loader.dataset, "loader", None)
+        self._consume_cache_stats = getattr(
+            cache_loader, "consume_batch_stats", None
+        )
+        self._advance_cache_batch = getattr(cache_loader, "advance_batch", None)
+        self._release_cache_pins = getattr(cache_loader, "release_pins", None)
 
     def __iter__(self) -> "_SingleProcessIter":
         return self
@@ -397,8 +496,12 @@ class _SingleProcessIter:
             try:
                 indices = next(self._batches)
             except StopIteration:
-                # Epoch over: spill any buffered trace lines so readers
-                # see a complete log without waiting for writer close.
+                # Epoch over: release this iterator's shared-cache pins
+                # (entries stay cached for the next epoch, now evictable)
+                # and spill any buffered trace lines so readers see a
+                # complete log without waiting for writer close.
+                if self._release_cache_pins is not None:
+                    self._release_cache_pins()
                 flush_all_writers()
                 raise
             start = time.time_ns()
@@ -406,6 +509,10 @@ class _SingleProcessIter:
             retried = 0
             with batch_scope(self._batch_id):
                 if policy.active:
+                    # The policy path bypasses the fetcher (and its
+                    # cache-pin scope rotation): rotate here.
+                    if self._advance_cache_batch is not None:
+                        self._advance_cache_batch()
                     data, skipped_list, retried = fetch_with_policy(
                         loader.dataset,
                         indices,
@@ -429,6 +536,20 @@ class _SingleProcessIter:
                         duration_ns=duration,
                     )
                 )
+                if self._consume_cache_stats is not None:
+                    loader._sink.write(
+                        TraceRecord(
+                            kind=KIND_CACHE_STATS,
+                            name=format_cache_stats_name(
+                                *self._consume_cache_stats()
+                            ),
+                            batch_id=self._batch_id,
+                            worker_id=MAIN_PROCESS_WORKER_ID,
+                            pid=self._pid,
+                            start_ns=start + duration,
+                            duration_ns=0,
+                        )
+                    )
             stats.delivered_samples += len(indices) - len(skipped)
             stats.skipped_samples += len(skipped)
             stats.skipped_indices.extend(skipped)
@@ -568,6 +689,13 @@ class _WorkerPool:
         dead_generation = self.generations[worker_id]
         self.generations[worker_id] += 1
         self.index_queues[worker_id] = self.backend.make_queue()
+        if self._loader._shared_cache is not None:
+            # Sweep the dead incarnation out of the shared cache before
+            # its replacement (same reader id, bumped generation) starts:
+            # release its pins and revoke its in-flight claims so entries
+            # it was reading stay evictable and keys it was decoding can
+            # be re-claimed (DESIGN.md §11).
+            self._loader._shared_cache.release_reader(worker_id + 1)
         if self.transport_mode == TRANSPORT_SHM:
             unlink_worker_generation(
                 self.main_pid,

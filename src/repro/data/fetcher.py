@@ -185,6 +185,14 @@ class _MapDatasetFetcher(_BaseDatasetFetcher):
             self._plan = _BatchExecutionPlan.resolve(
                 dataset, collate_fn, reuse_buffers, buffer_depth
             )
+        # Shared decoded-sample cache (DESIGN.md §11): the caching loader
+        # pins arena entries it hands out and releases them a fixed
+        # number of batches later — the fetch boundary is that batch
+        # clock. Duck-typed so datasets without a caching loader resolve
+        # to None once and pay nothing per fetch.
+        self._advance_cache_batch = getattr(
+            getattr(dataset, "loader", None), "advance_batch", None
+        )
 
     def _use_batched(self) -> bool:
         if self._plan is None:
@@ -194,6 +202,8 @@ class _MapDatasetFetcher(_BaseDatasetFetcher):
         return current_batch_engine() == ENGINE_BATCHED
 
     def fetch(self, indices: Sequence[int]) -> Any:
+        if self._advance_cache_batch is not None:
+            self._advance_cache_batch()
         if self._use_batched():
             return self._plan.fetch(indices)
         samples = [self.dataset[index] for index in indices]

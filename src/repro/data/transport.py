@@ -76,7 +76,7 @@ _ACK_POLL_S = 0.05
 #: within the same main process in slab segment names.
 _pool_nonce = itertools.count()
 
-def _abandon_mapping(segment: Any) -> None:
+def abandon_mapping(segment: Any) -> None:
     """Hand a mapping's lifetime over to the views that alias it.
 
     Called when ``segment.close()`` refuses with ``BufferError`` (a
@@ -87,6 +87,9 @@ def _abandon_mapping(segment: Any) -> None:
     ``__del__`` has nothing left to close (no BufferError noise at
     interpreter exit). The file descriptor is closed here; the mapping
     does not need it.
+
+    Public because the shared sample cache (DESIGN.md §11) applies the
+    same discipline to its arena mapping on ``close()``.
     """
     try:
         segment._buf = None
@@ -96,6 +99,10 @@ def _abandon_mapping(segment: Any) -> None:
         segment._mmap = None
     except (AttributeError, OSError):
         pass
+
+
+#: Backward-compatible alias for the pre-§11 private name.
+_abandon_mapping = abandon_mapping
 
 
 def next_pool_nonce() -> int:

@@ -46,8 +46,10 @@ from repro.core.lotustrace.logfile import (
 from repro.core.lotustrace.records import (
     KIND_BATCH_PREPROCESSED,
     KIND_BATCH_TRANSPORT,
+    KIND_CACHE_STATS,
     KIND_WORKER_HEARTBEAT,
     TraceRecord,
+    format_cache_stats_name,
     format_transport_name,
 )
 from repro.data.faults import WorkerCrashInjection, set_worker_generation
@@ -207,6 +209,19 @@ def worker_loop(
         transport = create_worker_transport(
             transport_spec, worker_id, restart_generation, cancel_flag
         )
+        # Decoded-sample cache hooks (DESIGN.md §11), duck-typed off
+        # ``dataset.loader`` so a dataset without a caching loader (or a
+        # fault-injection wrapper without a ``loader`` at all) costs one
+        # getattr here and nothing per batch. Worker ``w`` is shared-cache
+        # reader ``w + 1`` (the main process is reader 0); the restart
+        # generation stamps this incarnation's claims.
+        cache_loader = getattr(dataset, "loader", None)
+        bind_cache_reader = getattr(cache_loader, "bind_reader", None)
+        consume_cache_stats = getattr(cache_loader, "consume_batch_stats", None)
+        advance_cache_batch = getattr(cache_loader, "advance_batch", None)
+        release_cache_pins = getattr(cache_loader, "release_pins", None)
+        if bind_cache_reader is not None:
+            bind_cache_reader(worker_id + 1, restart_generation)
         pid = current_pid()
         while True:
             if cancel_flag is not None and cancel_flag.is_set():
@@ -246,6 +261,10 @@ def worker_loop(
             try:
                 with batch_scope(batch_id):
                     if policy.active:
+                        # The policy path bypasses the fetcher (and its
+                        # cache-pin scope rotation): rotate here.
+                        if advance_cache_batch is not None:
+                            advance_cache_batch()
                         data, skipped_list, retried = fetch_with_policy(
                             dataset, indices, collate_fn, policy, sink
                         )
@@ -296,6 +315,21 @@ def worker_loop(
                         duration_ns=duration,
                     )
                 )
+                if consume_cache_stats is not None:
+                    # One zero-width cache_stats record per batch, on
+                    # every carrier, draining this worker's hit/miss
+                    # deltas accumulated during the fetch above.
+                    sink.write(
+                        TraceRecord(
+                            kind=KIND_CACHE_STATS,
+                            name=format_cache_stats_name(*consume_cache_stats()),
+                            batch_id=batch_id,
+                            worker_id=worker_id,
+                            pid=pid,
+                            start_ns=start + duration,
+                            duration_ns=0,
+                        )
+                    )
             if skipped or retried:
                 payload: Any = PartialBatch(
                     worker_id, batch_id, data, skipped, retried
@@ -333,6 +367,11 @@ def worker_loop(
                         duration_ns=publish_duration,
                     )
                 )
+        if release_cache_pins is not None:
+            # Clean exit: drop this worker's shared-cache pins so entries
+            # it read stay evictable across epochs (a crashed worker's
+            # pins are swept by the supervisor's release_reader instead).
+            release_cache_pins()
         if transport is not None:
             transport.close()
     if is_process_worker:

@@ -88,6 +88,11 @@ def _bundle(dataset, profile, workers, gpus, log, seed, model_scale=3.0):
         log_file=log,
         seed=seed,
         batched_execution=False,
+        # Paper-facing numbers: the `cached` variant wraps its own
+        # private per-process CachingLoader below, so keep the loader's
+        # cache knob off — switching to the §11 shared arena would
+        # change the measured decode work and shift the figures.
+        cache=None,
     )
     model = ResNet18Like(profile.model_scale * model_scale)
     return PipelineBundle("ic-variant", loader, Trainer(make_gpus(gpus), model), model, log)
@@ -136,6 +141,9 @@ def run_bottleneck_shift(
 
     # Cached: first epoch warms the cache (unmeasured, uninstrumented),
     # second epoch measured against a fresh log.
+    # Explicitly the private per-process cache (the paper's decode-once
+    # optimization); the §11 shared-memory arena is exercised by its own
+    # benchmarks, not by this figure.
     cache = CachingLoader()
     warm_dataset = BlobImageDataset(
         source.blobs, labels=source.labels, loader=cache

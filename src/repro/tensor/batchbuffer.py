@@ -86,6 +86,18 @@ class BatchBuffer:
 SLAB_PAGE_BYTES = 4096
 
 
+def round_to_pages(nbytes: int) -> int:
+    """Smallest whole-page byte count covering ``nbytes`` (min one page).
+
+    The single page-rounding rule for every shared-memory sizing
+    decision: slab-ring growth here, and the decoded-sample cache's
+    arena and per-entry extents (DESIGN.md §11) — keeping them on one
+    granule means a cache extent freed back to the arena is always
+    reusable by any same-size entry with zero fragmentation slack.
+    """
+    return max(1, -(-int(nbytes) // SLAB_PAGE_BYTES)) * SLAB_PAGE_BYTES
+
+
 def slab_ring_prefix(main_pid: int, nonce: int, worker_id: int, generation: int) -> str:
     """Deterministic shm segment-name prefix for one worker generation.
 
@@ -179,7 +191,7 @@ class SharedSlabRing:
         request = max(int(nbytes), 1)
         if segment is not None:
             request = max(request * 2, segment.size)
-        size = -(-request // SLAB_PAGE_BYTES) * SLAB_PAGE_BYTES
+        size = round_to_pages(request)
         name = self.slot_name(slot)
         try:
             fresh = shared_memory.SharedMemory(name=name, create=True, size=size)

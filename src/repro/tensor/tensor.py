@@ -151,6 +151,7 @@ def from_shared_buffer(
     shape: Sequence[int],
     dtype,
     offset: int = 0,
+    readonly: bool = False,
 ) -> Tensor:
     """Wrap a region of a shared-memory slab as a pinned tensor, zero-copy.
 
@@ -160,6 +161,12 @@ def from_shared_buffer(
     ``pinned`` because the slab plays the role of the page-locked staging
     area in the shm transport (DESIGN.md §10), so the main process's
     ``pin_memory()`` call collapses to a no-op.
+
+    With ``readonly=True`` the backing array is marked non-writeable:
+    attempted writes raise instead of corrupting memory other processes
+    are reading. The shared decoded-sample cache (DESIGN.md §11) hands
+    out its pinned entry views this way, since one arena entry may be
+    aliased by several workers at once.
 
     Built with ``np.frombuffer``, which keeps a live buffer export on
     ``buf`` for the array's lifetime — so closing the shared-memory
@@ -173,6 +180,8 @@ def from_shared_buffer(
     for dim in shape:
         count *= int(dim)
     flat = np.frombuffer(buf, dtype=dtype, count=count, offset=offset)
+    if readonly:
+        flat.flags.writeable = False
     return Tensor(flat.reshape(tuple(shape)), pinned=True)
 
 
