@@ -5,12 +5,21 @@ BENCH_JSON := .bench_current.json
 DECODE_BENCH_JSON := .bench_decode.json
 TRANSPORT_BENCH_JSON := .bench_transport.json
 CACHE_BENCH_JSON := .bench_cache.json
+SCHED_BENCH_JSON := .bench_sched.json
 
 .PHONY: test bench bench-check bench-baseline decode-bench transport-bench \
-	cache-bench fault-check
+	cache-bench sched-bench fault-check help
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Self-describing gate table: every tracked median and same-run speedup
+# floor bench-check enforces, straight from check_regression.py.
+help:
+	@echo "targets: test fault-check bench bench-check bench-baseline"
+	@echo "         decode-bench transport-bench cache-bench sched-bench"
+	@echo ""
+	@$(PYTHON) benchmarks/check_regression.py --list
 
 # Fault-tolerance gate: deterministic FaultPlan chaos tests (failure
 # policies, worker crash/hang recovery, queue protocol) on both worker
@@ -24,7 +33,8 @@ bench:
 		benchmarks/bench_preprocessing.py \
 		benchmarks/bench_decode_batch.py \
 		benchmarks/bench_ipc_transport.py \
-		benchmarks/bench_shared_cache.py --benchmark-only \
+		benchmarks/bench_shared_cache.py \
+		benchmarks/bench_scheduler.py --benchmark-only \
 		--benchmark-disable-gc --benchmark-json=$(BENCH_JSON) -q
 
 # Fail if the microbenchmarks (entropy decode, sample replay, DataLoader
@@ -34,7 +44,8 @@ bench:
 # (3x decode/replay, 10x trace, 1.8x batched preprocessing with decode
 # included, 2.5x whole-batch decode, 5x warm cache lookup, 2x shm
 # transport over the pickle oracle, 2x shared-arena warm epoch over
-# private per-worker caches).
+# private per-worker caches, 1.5x work-stealing epoch over static
+# dispatch on both backends). Run `make help` to see the full table.
 bench-check: bench
 	$(PYTHON) benchmarks/check_regression.py $(BENCH_JSON)
 
@@ -67,3 +78,12 @@ cache-bench:
 		--benchmark-disable-gc --benchmark-json=$(CACHE_BENCH_JSON) -q
 	$(PYTHON) benchmarks/check_regression.py $(CACHE_BENCH_JSON) \
 		--only shared_cache
+
+# Standalone ISSUE 10 gate: work-stealing epoch vs static § II-B
+# dispatch on a skewed-decode-cost workload (>= 1.5x at 4 workers, both
+# backends), without rerunning the full bench suite.
+sched-bench:
+	$(PYTHON) -m pytest benchmarks/bench_scheduler.py --benchmark-only \
+		--benchmark-disable-gc --benchmark-json=$(SCHED_BENCH_JSON) -q
+	$(PYTHON) benchmarks/check_regression.py $(SCHED_BENCH_JSON) \
+		--only sched_stealing

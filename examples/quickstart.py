@@ -3,12 +3,19 @@
 Mirrors the paper's Listing 1: declare a preprocessing pipeline with
 ``Compose``, point the ``log_file`` hooks at one trace file, run an epoch,
 then analyze per-operation / per-batch timing and export a Chrome trace.
+A second section runs a skewed-cost workload under ``scheduler="static"``
+and ``scheduler="adaptive"`` and diffs the two traces — the per-batch
+``sched`` records (queue depth, steals, chosen prefetch depth) show the
+closed-loop dispatcher rerouting the heavy batches.
 
 Run:  python examples/quickstart.py
 """
 
 import os
 import tempfile
+import time
+
+import numpy as np
 
 from repro import (
     Compose,
@@ -22,8 +29,59 @@ from repro import (
     parse_trace_file,
     write_chrome_trace,
 )
+from repro.core.lotustrace import compare_traces
+from repro.data.dataset import Dataset
 from repro.datasets import SyntheticImageNet
 from repro.utils.timeunits import format_ns
+
+
+class SkewedCostDataset(Dataset):
+    """Heavy-tailed per-sample cost: every 4th batch of 4 costs ~10x,
+    the shape a corpus of mostly-small-plus-occasionally-huge JPEGs
+    produces. Values are a pure function of the index, so any scheduler
+    mode yields identical bytes (the DESIGN.md §12 parity-oracle rule)."""
+
+    def __len__(self):
+        return 64
+
+    def __getitem__(self, index):
+        heavy = (index // 4) % 4 == 0
+        time.sleep(0.01 if heavy else 0.001)
+        rng = np.random.default_rng(1000 + index)
+        return rng.standard_normal(16).astype(np.float32)
+
+
+def skewed_scheduler_demo(workdir: str) -> None:
+    """Run the same skewed workload under static and adaptive dispatch
+    and diff the traces: the ``sched[...]`` lines surface the per-batch
+    scheduler records either side emitted."""
+    logs = {}
+    for scheduler in ("static", "adaptive"):
+        logs[scheduler] = os.path.join(workdir, f"sched-{scheduler}.log")
+        loader = DataLoader(
+            SkewedCostDataset(),
+            batch_size=4,
+            num_workers=4,
+            prefetch_factor=2,
+            worker_backend="thread",
+            scheduler=scheduler,
+            seed=11,
+            log_file=logs[scheduler],
+        )
+        start = time.perf_counter()
+        for _batch in loader:
+            pass
+        print(f"  scheduler={scheduler!r:<11} epoch took "
+              f"{time.perf_counter() - start:.2f}s")
+
+    comparison = compare_traces(
+        parse_trace_file(logs["static"]),
+        parse_trace_file(logs["adaptive"]),
+    )
+    print("\ntrace diff (baseline=static -> candidate=adaptive):")
+    for line in comparison.format().splitlines():
+        if line.startswith(("sched[", "median wait")):
+            print(f"  {line}")
 
 
 def main() -> None:
@@ -81,6 +139,10 @@ def main() -> None:
     write_chrome_trace(parse_trace_file(custom_log_file), viz, coarse=True)
     print(f"\nChrome trace written to {viz}")
     print("open chrome://tracing and load it to see the data flow")
+
+    # -- DESIGN.md §12: closed-loop scheduling on a skewed workload ----------
+    print("\nskewed-cost workload, static vs adaptive dispatch ...")
+    skewed_scheduler_demo(workdir)
 
 
 if __name__ == "__main__":

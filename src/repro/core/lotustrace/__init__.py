@@ -20,6 +20,7 @@ from repro.core.lotustrace.analysis import (
     BatchFlow,
     CacheTraceStats,
     ColumnarTraceAnalysis,
+    SchedTraceStats,
     TraceAnalysis,
     TransportStats,
     analyze_trace,
@@ -68,17 +69,23 @@ from repro.core.lotustrace.records import (
     KIND_OP,
     KIND_SAMPLE_RETRIED,
     KIND_SAMPLE_SKIPPED,
+    KIND_SCHED,
     KIND_WORKER_HEARTBEAT,
     KIND_WORKER_RESTART,
     MAIN_PROCESS_WORKER_ID,
     OOO_MARKER_DURATION_NS,
+    SCHED_ADAPTIVE,
+    SCHED_STATIC,
+    SCHED_STEALING,
     TRANSPORT_INLINE,
     TRANSPORT_PICKLE,
     TRANSPORT_SHM,
     TraceRecord,
     format_cache_stats_name,
+    format_sched_name,
     format_transport_name,
     parse_cache_stats_name,
+    parse_sched_name,
     parse_transport_name,
 )
 from repro.core.lotustrace.spans import Span, build_spans, span_name
@@ -110,12 +117,17 @@ __all__ = [
     "KIND_OP",
     "KIND_SAMPLE_RETRIED",
     "KIND_SAMPLE_SKIPPED",
+    "KIND_SCHED",
     "KIND_WORKER_HEARTBEAT",
     "KIND_WORKER_RESTART",
     "LotusLogWriter",
     "MAIN_PROCESS_WORKER_ID",
     "OOO_MARKER_DURATION_NS",
     "OpDelta",
+    "SCHED_ADAPTIVE",
+    "SCHED_STATIC",
+    "SCHED_STEALING",
+    "SchedTraceStats",
     "Span",
     "TraceComparison",
     "compare_traces",
@@ -127,8 +139,10 @@ __all__ = [
     "TransportStats",
     "analyze_trace",
     "format_cache_stats_name",
+    "format_sched_name",
     "format_transport_name",
     "parse_cache_stats_name",
+    "parse_sched_name",
     "parse_transport_name",
     "augment_profiler_trace",
     "build_spans",

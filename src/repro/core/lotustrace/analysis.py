@@ -37,6 +37,7 @@ from repro.core.lotustrace.columns import (
     KIND_CODE_HEARTBEAT,
     KIND_CODE_OP,
     KIND_CODE_PREPROCESSED,
+    KIND_CODE_SCHED,
     KIND_CODE_WAIT,
     KIND_CODE_WORKER_RESTART,
     KIND_STRINGS,
@@ -52,8 +53,10 @@ from repro.core.lotustrace.records import (
     KIND_CACHE_STATS,
     KIND_OP,
     KIND_SAMPLE_SKIPPED,
+    KIND_SCHED,
     TraceRecord,
     parse_cache_stats_name,
+    parse_sched_name,
     parse_transport_name,
 )
 from repro.errors import TraceError
@@ -135,6 +138,31 @@ class CacheTraceStats:
         return self.hits / total if total else 0.0
 
 
+@dataclass(frozen=True)
+class SchedTraceStats:
+    """Aggregated batch-scheduler activity for one scheduler mode.
+
+    Each ``sched`` record (DESIGN.md §12) carries the dispatched-but-
+    unconsumed queue depth after a yield, that yield's steal delta, and
+    the controller's chosen per-worker in-flight depth in its name; this
+    sums the steal deltas, keeps the queue-depth extremum/total, and the
+    chosen-depth range (a static run reports a single-point range at
+    ``prefetch_factor``).
+    """
+
+    mode: str
+    batches: int
+    steals: int
+    max_queue_depth: int
+    total_queue_depth: int
+    min_chosen_depth: int
+    max_chosen_depth: int
+
+    @property
+    def mean_queue_depth(self) -> float:
+        return self.total_queue_depth / self.batches if self.batches else 0.0
+
+
 @dataclass
 class TraceAnalysis:
     """Aggregated view over one trace."""
@@ -153,6 +181,10 @@ class TraceAnalysis:
     #: one per fetched batch per carrier, kept out of the flows for the
     #: same reason as fault and transport records.
     cache_records: List[TraceRecord] = field(default_factory=list)
+    #: Batch-scheduler records (DESIGN.md §12) in record order; one per
+    #: yielded batch from the main process, kept out of the flows for
+    #: the same reason as the other bookkeeping kinds.
+    sched_records: List[TraceRecord] = field(default_factory=list)
 
     # -- per-batch series ------------------------------------------------------
     def preprocess_times_ns(self) -> List[int]:
@@ -287,6 +319,33 @@ class TraceAnalysis:
             for mode, (n, h, m, x, e, p) in totals.items()
         }
 
+    # -- batch scheduler (DESIGN.md §12) -------------------------------------
+    def sched_stats(self) -> Dict[str, "SchedTraceStats"]:
+        """Per-mode scheduler totals, keyed by scheduler mode.
+
+        One ``sched`` record per yielded batch carries the mode, queue
+        depth, steal delta, and chosen in-flight depth in its name (see
+        :func:`~repro.core.lotustrace.records.parse_sched_name`).
+        Traces without sched records (single-process loaders, pre-§12
+        logs) give ``{}``.
+        """
+        totals: Dict[str, List[int]] = {}
+        for record in self.sched_records:
+            mode, queue_depth, steals, chosen = parse_sched_name(record.name)
+            acc = totals.setdefault(
+                mode, [0, 0, 0, 0, chosen, chosen]
+            )
+            acc[0] += 1
+            acc[1] += steals
+            acc[2] = max(acc[2], queue_depth)
+            acc[3] += queue_depth
+            acc[4] = min(acc[4], chosen)
+            acc[5] = max(acc[5], chosen)
+        return {
+            mode: SchedTraceStats(mode, n, s, mq, tq, dmin, dmax)
+            for mode, (n, s, mq, tq, dmin, dmax) in totals.items()
+        }
+
 
 class _SpanIndex:
     """Bisection index over one worker's fetch spans, sorted by start.
@@ -328,6 +387,7 @@ def _analyze_records(records: List[TraceRecord]) -> TraceAnalysis:
     fault_records: List[TraceRecord] = []
     transport_records: List[TraceRecord] = []
     cache_records: List[TraceRecord] = []
+    sched_records: List[TraceRecord] = []
     fetch_spans: Dict[int, List[TraceRecord]] = {}
 
     for record in records:
@@ -349,6 +409,11 @@ def _analyze_records(records: List[TraceRecord]) -> TraceAnalysis:
             # Decoded-sample cache counters (§11): zero-width bookkeeping
             # records that would otherwise fabricate phantom flows.
             cache_records.append(record)
+            continue
+        if record.kind == KIND_SCHED:
+            # Scheduler bookkeeping (§12): one zero-width record per
+            # yield, kept aside like the other non-flow kinds.
+            sched_records.append(record)
             continue
         flow = batches.setdefault(record.batch_id, BatchFlow(record.batch_id))
         if record.kind == KIND_BATCH_PREPROCESSED:
@@ -382,6 +447,7 @@ def _analyze_records(records: List[TraceRecord]) -> TraceAnalysis:
         fault_records=fault_records,
         transport_records=transport_records,
         cache_records=cache_records,
+        sched_records=sched_records,
     )
 
 
@@ -605,6 +671,47 @@ class ColumnarTraceAnalysis(TraceAnalysis):
             cached = [cols.record_at(int(row)) for row in rows.tolist()]
             self.__dict__["_cache_records_cache"] = cached
         return cached
+
+    @property
+    def sched_records(self) -> List[TraceRecord]:  # type: ignore[override]
+        cached = self.__dict__.get("_sched_records_cache")
+        if cached is None:
+            cols = self.columns
+            rows = np.flatnonzero(cols.kind == KIND_CODE_SCHED)
+            cached = [cols.record_at(int(row)) for row in rows.tolist()]
+            self.__dict__["_sched_records_cache"] = cached
+        return cached
+
+    def sched_stats(self) -> Dict[str, "SchedTraceStats"]:
+        """Vectorized per-mode totals over the interned sched names.
+
+        Unlike transport/cache names, sched names vary per yield (the
+        queue depth moves), so interning buys less — but the groupby
+        over name ids with ``np.bincount`` is still exact: each distinct
+        name is parsed once and weighted by its record count.
+        """
+        cols = self.columns
+        rows = np.flatnonzero(cols.kind == KIND_CODE_SCHED)
+        if rows.size == 0:
+            return {}
+        counts = np.bincount(cols.name_id[rows], minlength=len(cols.names))
+        totals: Dict[str, List[int]] = {}
+        for nid in np.flatnonzero(counts).tolist():
+            mode, queue_depth, steals, chosen = parse_sched_name(
+                cols.names[nid]
+            )
+            n = int(counts[nid])
+            acc = totals.setdefault(mode, [0, 0, 0, 0, chosen, chosen])
+            acc[0] += n
+            acc[1] += steals * n
+            acc[2] = max(acc[2], queue_depth)
+            acc[3] += queue_depth * n
+            acc[4] = min(acc[4], chosen)
+            acc[5] = max(acc[5], chosen)
+        return {
+            mode: SchedTraceStats(mode, n, s, mq, tq, dmin, dmax)
+            for mode, (n, s, mq, tq, dmin, dmax) in totals.items()
+        }
 
     def cache_stats(self) -> Dict[str, "CacheTraceStats"]:
         """Vectorized per-mode totals over the interned cache names.

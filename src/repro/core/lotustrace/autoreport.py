@@ -27,6 +27,7 @@ from repro.core.lotustrace.records import (
     KIND_SAMPLE_RETRIED,
     KIND_SAMPLE_SKIPPED,
     KIND_WORKER_RESTART,
+    SCHED_STATIC,
     TRANSPORT_PICKLE,
     TraceRecord,
     parse_cache_stats_name,
@@ -37,6 +38,12 @@ from repro.utils.timeunits import format_ns
 SEVERITY_INFO = "info"
 SEVERITY_NOTICE = "notice"
 SEVERITY_WARNING = "warning"
+
+#: Share of the trace span the consumer may spend blocked in [T2] waits
+#: under ``scheduler="static"`` before the report recommends the
+#: stealing/adaptive dispatch modes (DESIGN.md §12) — the same 10%
+#: threshold the adaptive controller uses to raise its depth.
+STATIC_WAIT_NOTICE_SHARE = 0.10
 
 REGIME_PREPROCESSING = "preprocessing-bound"
 REGIME_CONSUMER = "consumer-bound"
@@ -152,6 +159,23 @@ def _worker_busy_fractions_columns(cols: TraceColumns) -> Dict[int, float]:
         int(worker): int(busy) / span
         for worker, busy in zip(workers_sorted[bounds].tolist(), totals.tolist())
     }
+
+
+def _trace_span_ns(records: Union[List[TraceRecord], TraceColumns]) -> int:
+    """Wall-clock span covered by the trace (first start to last end)."""
+    if isinstance(records, TraceColumns):
+        if len(records.start_ns) == 0:
+            return 0
+        ends = records.start_ns + records.duration_ns
+        return int(ends.max() - records.start_ns.min())
+    t_min: Optional[int] = None
+    t_max: Optional[int] = None
+    for record in records:
+        t_min = record.start_ns if t_min is None else min(t_min, record.start_ns)
+        t_max = record.end_ns if t_max is None else max(t_max, record.end_ns)
+    if t_min is None or t_max is None:
+        return 0
+    return t_max - t_min
 
 
 def generate_report(
@@ -345,6 +369,45 @@ def generate_report(
                     f"decoded once per worker; cache='shared' puts one "
                     f"arena in shared memory and decodes each image once "
                     f"per machine",
+                )
+            )
+
+    # Batch scheduler (DESIGN.md §12): traces without sched records
+    # (single-process loaders, pre-§12 logs) produce no finding.
+    sched = analysis.sched_stats()
+    for stats in sched.values():
+        if stats.min_chosen_depth == stats.max_chosen_depth:
+            depth = f"in-flight depth {stats.min_chosen_depth}"
+        else:
+            depth = (
+                f"in-flight depth {stats.min_chosen_depth}-"
+                f"{stats.max_chosen_depth}"
+            )
+        findings.append(
+            Finding(
+                SEVERITY_INFO,
+                "scheduler",
+                f"the {stats.mode} scheduler dispatched {stats.batches} "
+                f"batches with {stats.steals} steals (queue depth mean "
+                f"{stats.mean_queue_depth:.1f} / max "
+                f"{stats.max_queue_depth}, {depth})",
+            )
+        )
+    static_sched = sched.get(SCHED_STATIC)
+    if static_sched is not None and static_sched.batches > 0:
+        span = _trace_span_ns(records)
+        wait_total = sum(analysis.wait_times_ns())
+        if span > 0 and wait_total / span > STATIC_WAIT_NOTICE_SHARE:
+            findings.append(
+                Finding(
+                    SEVERITY_NOTICE,
+                    "scheduler",
+                    f"the consumer spent {wait_total / span:.0%} of the "
+                    f"epoch blocked in [T2] waits under scheduler="
+                    f"'static'; replenish-on-consume lets one straggler "
+                    f"freeze dispatch — scheduler='stealing' (or "
+                    f"'adaptive') keeps idle workers fed and yields "
+                    f"bit-identical batches",
                 )
             )
 

@@ -35,6 +35,7 @@ from repro.core.lotustrace.records import (
     KIND_BATCH_WAIT,
     KIND_CACHE_STATS,
     KIND_OP,
+    KIND_SCHED,
     KIND_SAMPLE_RETRIED,
     KIND_SAMPLE_SKIPPED,
     KIND_WORKER_HEARTBEAT,
@@ -56,6 +57,7 @@ KIND_CODE_SAMPLE_RETRIED = 6
 KIND_CODE_HEARTBEAT = 7
 KIND_CODE_BATCH_TRANSPORT = 8
 KIND_CODE_CACHE_STATS = 9
+KIND_CODE_SCHED = 10
 
 #: code -> kind string, index-aligned with the ``KIND_CODE_*`` constants.
 #: The original four codes must keep their values: persisted analyses and
@@ -72,6 +74,7 @@ KIND_STRINGS = (
     KIND_WORKER_HEARTBEAT,
     KIND_BATCH_TRANSPORT,
     KIND_CACHE_STATS,
+    KIND_SCHED,
 )
 KIND_TO_CODE = {name: code for code, name in enumerate(KIND_STRINGS)}
 

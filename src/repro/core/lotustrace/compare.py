@@ -17,6 +17,7 @@ from typing import Union
 
 from repro.core.lotustrace.analysis import (
     CacheTraceStats,
+    SchedTraceStats,
     TraceAnalysis,
     TransportStats,
     analyze_trace,
@@ -66,6 +67,10 @@ class TraceComparison:
     #: empty for traces without a ``CachingLoader``.
     baseline_cache: Dict[str, CacheTraceStats] = field(default_factory=dict)
     candidate_cache: Dict[str, CacheTraceStats] = field(default_factory=dict)
+    #: Scheduler totals (DESIGN.md §12), keyed by scheduler mode; empty
+    #: for single-process loaders and traces predating the sched record.
+    baseline_sched: Dict[str, SchedTraceStats] = field(default_factory=dict)
+    candidate_sched: Dict[str, SchedTraceStats] = field(default_factory=dict)
 
     def delta_for(self, op: str) -> OpDelta:
         for delta in self.op_deltas:
@@ -103,6 +108,7 @@ class TraceComparison:
         )
         lines.extend(self._format_transport())
         lines.extend(self._format_cache())
+        lines.extend(self._format_sched())
         return "\n".join(lines)
 
     def _format_transport(self) -> List[str]:
@@ -135,6 +141,36 @@ class TraceComparison:
                 f"{_describe_cache(cand)}"
             )
         return lines
+
+
+    def _format_sched(self) -> List[str]:
+        """One line per scheduler mode seen in either run, so (say) the
+        effect of moving a straggler-bound static run to stealing can be
+        read as a queue-depth and steal-count shift."""
+        modes = sorted(set(self.baseline_sched) | set(self.candidate_sched))
+        lines = []
+        for mode in modes:
+            base = self.baseline_sched.get(mode)
+            cand = self.candidate_sched.get(mode)
+            lines.append(
+                f"sched[{mode}]: {_describe_sched(base)} -> "
+                f"{_describe_sched(cand)}"
+            )
+        return lines
+
+
+def _describe_sched(stats: Optional[SchedTraceStats]) -> str:
+    if stats is None:
+        return "absent"
+    if stats.min_chosen_depth == stats.max_chosen_depth:
+        depth = f"depth {stats.min_chosen_depth}"
+    else:
+        depth = f"depth {stats.min_chosen_depth}-{stats.max_chosen_depth}"
+    return (
+        f"{stats.batches} batches, {stats.steals} steals, "
+        f"queue mean {stats.mean_queue_depth:.1f} / max "
+        f"{stats.max_queue_depth}, {depth}"
+    )
 
 
 def _describe_cache(stats: Optional[CacheTraceStats]) -> str:
@@ -202,4 +238,6 @@ def compare_traces(
         candidate_transport=cand.transport_stats(),
         baseline_cache=base.cache_stats(),
         candidate_cache=cand.cache_stats(),
+        baseline_sched=base.sched_stats(),
+        candidate_sched=cand.sched_stats(),
     )

@@ -174,11 +174,18 @@ def open_trace_log(target: Union[PathLike, TraceSink, None]) -> Optional[TraceSi
     """Normalize a user-supplied log target to a writer.
 
     Accepts a path (opens a :class:`LotusLogWriter`), an existing sink
-    (returned unchanged), or None (tracing disabled).
+    (returned unchanged), or None (tracing disabled). Sinks are matched
+    by protocol — ``write``/``flush``/``close`` — not by type, so
+    wrappers like the adaptive scheduler's record tap flow through
+    unchanged.
     """
     if target is None:
         return None
-    if isinstance(target, (LotusLogWriter, InMemoryTraceLog)):
+    if (
+        hasattr(target, "write")
+        and hasattr(target, "flush")
+        and hasattr(target, "close")
+    ):
         return target
     return LotusLogWriter(target)
 

@@ -42,6 +42,15 @@ KIND_BATCH_TRANSPORT = "batch_transport"
 # :func:`format_cache_stats_name`).
 KIND_CACHE_STATS = "cache_stats"
 
+# Batch-scheduler record kind (DESIGN.md §12): one record per *yielded*
+# batch, emitted by the main process under every scheduler mode
+# (``static`` included, so the autoreport can tell a straggler-bound
+# static run from one that already steals). The scheduler mode, the
+# dispatched-but-unconsumed queue depth after the yield, this yield's
+# steal delta, and the controller's chosen per-worker in-flight depth
+# ride in the name field (see :func:`format_sched_name`).
+KIND_SCHED = "sched"
+
 #: Record kinds emitted only by the fault-tolerance layer.
 FAULT_KINDS = frozenset(
     (
@@ -57,7 +66,7 @@ _KINDS = (
         (KIND_OP, KIND_BATCH_PREPROCESSED, KIND_BATCH_WAIT, KIND_BATCH_CONSUMED)
     )
     | FAULT_KINDS
-    | frozenset((KIND_BATCH_TRANSPORT, KIND_CACHE_STATS))
+    | frozenset((KIND_BATCH_TRANSPORT, KIND_CACHE_STATS, KIND_SCHED))
 )
 
 #: Transport-mode tokens carried in ``batch_transport`` record names.
@@ -139,6 +148,45 @@ def parse_cache_stats_name(name: str) -> "tuple[str, int, int, int, int, int]":
         return (mode,) + tuple(int(raw[1:]) for raw in raws)
     except ValueError as exc:
         raise TraceError(f"malformed cache_stats record name: {name!r}") from exc
+
+
+#: Scheduler-mode tokens carried in ``sched`` record names (and accepted
+#: by ``DataLoader(scheduler=...)``).
+SCHED_STATIC = "static"
+SCHED_STEALING = "stealing"
+SCHED_ADAPTIVE = "adaptive"
+
+
+def format_sched_name(
+    mode: str, queue_depth: int, steals: int, chosen_depth: int
+) -> str:
+    """Encode one yield's scheduler accounting into the record name field.
+
+    Mirrors :func:`format_cache_stats_name`: the CSV schema has no spare
+    integer columns, so the per-yield values ride in the name as
+    ``mode;q<queue_depth>;s<steals>;d<chosen_depth>`` — comma-free, so
+    the line format and both parsers are untouched. ``steals`` is this
+    yield's *delta* (batches dispatched off their round-robin home since
+    the previous yield), so totals aggregate by summation.
+    """
+    return f"{mode};q{int(queue_depth)};s{int(steals)};d{int(chosen_depth)}"
+
+
+def parse_sched_name(name: str) -> "tuple[str, int, int, int]":
+    """Decode ``(mode, queue_depth, steals, chosen_depth)``.
+
+    Raises :class:`TraceError` on names not produced by
+    :func:`format_sched_name`.
+    """
+    parts = name.split(";")
+    try:
+        mode, raw_q, raw_s, raw_d = parts
+        raws = (raw_q, raw_s, raw_d)
+        if not all(raw.startswith(tag) for tag, raw in zip("qsd", raws)):
+            raise ValueError(name)
+        return (mode,) + tuple(int(raw[1:]) for raw in raws)
+    except ValueError as exc:
+        raise TraceError(f"malformed sched record name: {name!r}") from exc
 
 
 #: ``worker_id`` used for records emitted by the main process.

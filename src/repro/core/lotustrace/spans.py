@@ -24,6 +24,7 @@ from repro.core.lotustrace.records import (
     KIND_OP,
     KIND_SAMPLE_RETRIED,
     KIND_SAMPLE_SKIPPED,
+    KIND_SCHED,
     KIND_WORKER_HEARTBEAT,
     KIND_WORKER_RESTART,
     MAIN_PROCESS_WORKER_ID,
@@ -48,6 +49,10 @@ _KIND_PREFIX = {
     # Decoded-sample cache accounting spans (DESIGN.md §11): zero-width
     # per-batch markers carrying the hit/miss deltas in their name.
     KIND_CACHE_STATS: "SCacheStats",
+    # Batch-scheduler accounting spans (DESIGN.md §12): zero-width
+    # per-yield markers on the main track carrying queue depth, steal
+    # delta, and chosen in-flight depth in their name.
+    KIND_SCHED: "SSched",
 }
 
 

@@ -3,16 +3,25 @@
 Reimplements the PyTorch DataLoader machinery the paper instruments, with
 the same internal structure: a ``worker_loop`` driving dataset *fetchers*,
 one index queue per worker, a single shared data queue, startup
-prefetching governed by ``prefetch_factor``, out-of-order arrival caching
-with pinning in the main process, and round-robin index replenishment to
-the worker that produced the consumed batch (§ II-B).
+prefetching governed by ``prefetch_factor``, and out-of-order arrival
+caching with pinning in the main process. Batch dispatch is pluggable
+(DESIGN.md §12): ``scheduler="static"`` keeps the paper's § II-B policy —
+round-robin index replenishment to the worker that produced the consumed
+batch — and is the bit-exact parity oracle for the other modes;
+``"stealing"`` dispatches the oldest undispatched batch to the first
+worker with a free claim slot at payload receipt; ``"adaptive"`` adds a
+closed-loop controller that tunes per-worker in-flight depth from the
+loader's own live trace stream. All modes yield bit-identical batches —
+batch→RNG keying makes results independent of which worker executes a
+batch.
 
 LotusTrace hooks live at exactly the points the paper identifies:
 
 * the worker loop wraps the fetcher's common ``fetch`` method ([T1]) —
   rather than subclassing per-fetcher;
 * the main process wraps ``_next_data`` ([T2]), marking out-of-order
-  batches with a 1 us wait.
+  batches with a 1 us wait — and emits one ``sched`` record per yielded
+  batch (queue depth, steals, chosen in-flight depth) for every mode.
 """
 
 from repro.data.dataloader import DataLoader
@@ -43,7 +52,17 @@ from repro.data.fetcher import (
     _MapDatasetFetcher,
     create_fetcher,
 )
-from repro.data.sampler import BatchSampler, RandomSampler, SequentialSampler
+from repro.data.sampler import (
+    BatchSampler,
+    DispatchOrderBook,
+    RandomSampler,
+    SequentialSampler,
+)
+from repro.data.scheduler import (
+    SCHEDULER_CHOICES,
+    PrefetchController,
+    StealingScheduler,
+)
 from repro.data.worker_info import (
     ShardedIterableDataset,
     WorkerInfo,
@@ -60,6 +79,10 @@ __all__ = [
     "FaultPlan",
     "FaultSite",
     "FaultStats",
+    "DispatchOrderBook",
+    "PrefetchController",
+    "SCHEDULER_CHOICES",
+    "StealingScheduler",
     "ImageFolder",
     "PartialBatch",
     "ShmBatchRef",

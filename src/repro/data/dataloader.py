@@ -4,18 +4,30 @@ Replicates the structure the paper instruments (§ II-B):
 
 * the main process coordinates; each worker owns an *index queue* (main →
   worker) and all workers share one *data queue* (worker → main);
-* at startup the main process prefetches ``prefetch_factor`` batches of
-  indices into every worker's queue; afterwards, consuming a batch sends
-  exactly one new index batch to the worker that produced it;
 * batches can arrive on the shared data queue out of order; the main
   process pins them to CPU memory, caches them, and keeps polling until
   the *desired* batch id is at hand — the source of the wait/delay
   pathologies of § V-C2.
 
+Dispatch is pluggable (``scheduler=``, DESIGN.md §12). The default
+``"static"`` mode is the policy the paper instruments and every parity
+test pins down: prefetch ``prefetch_factor`` index batches per worker at
+startup, then send exactly one new index batch to the worker that
+produced each consumed batch. ``"stealing"`` replaces that with
+receipt-driven dispatch from a main-process order book — the oldest
+undispatched batch goes to whichever worker frees a claim slot first,
+under a widened aggregate in-flight cap, so a straggler batch no longer
+starves the other workers of replenishment. ``"adaptive"`` adds a
+closed-loop controller that tunes the per-worker in-flight depth within
+``[1, prefetch_factor + 2]`` from the live [T2]/transport/cache trace
+stream. All three modes produce bit-identical batches (batch-keyed RNG;
+asserted by the parity suite) — ``static`` stays the bit-exact oracle.
+
 LotusTrace's [T2] hook wraps ``_next_data``: a ``batch_wait`` record per
 batch, with the 1 us out-of-order marker for batches already cached when
 requested; a ``batch_consumed`` record marks when the main process takes
-the batch.
+the batch, followed by a per-yield ``sched`` record carrying queue
+depth, steal delta, and chosen in-flight depth.
 """
 
 from __future__ import annotations
@@ -38,11 +50,15 @@ from repro.core.lotustrace.records import (
     KIND_BATCH_PREPROCESSED,
     KIND_BATCH_WAIT,
     KIND_CACHE_STATS,
+    KIND_SCHED,
     KIND_WORKER_RESTART,
     MAIN_PROCESS_WORKER_ID,
     OOO_MARKER_DURATION_NS,
+    SCHED_ADAPTIVE,
+    SCHED_STATIC,
     TraceRecord,
     format_cache_stats_name,
+    format_sched_name,
 )
 from repro.core.lotustrace.logfile import (
     InMemoryTraceLog,
@@ -71,15 +87,25 @@ from repro.data.fetcher import create_fetcher
 from repro.data.resilience import FailurePolicy, FaultStats, fetch_with_policy
 from repro.data.sampler import (
     BatchSampler,
+    DispatchOrderBook,
     InfiniteBatchSampler,
     RandomSampler,
     SequentialSampler,
 )
+from repro.data.scheduler import (
+    PrefetchController,
+    RecordTap,
+    StealingScheduler,
+    scheduler_buffer_depth,
+    validate_scheduler,
+)
 from repro.data.worker import (
+    CLAIM_BATCH_ID,
     HEARTBEAT_BATCH_ID,
     SHUTDOWN_SENTINEL,
     IterableStreamEnd,
     PartialBatch,
+    WorkerClaim,
     WorkerFailure,
     WorkerHeartbeat,
     worker_loop,
@@ -238,6 +264,20 @@ class DataLoader:
             ``cache_stats`` trace record when tracing is on.
         cache_capacity_bytes: shared-arena size for ``cache="shared"``
             (default 256 MiB; ignored otherwise).
+        scheduler: batch-dispatch policy (DESIGN.md §12). ``"static"``
+            (default) keeps the paper's round-robin prefetch +
+            replenish-on-consume dispatch, bit-exact with every earlier
+            release — it is the parity oracle for the other modes.
+            ``"stealing"`` dispatches the oldest undispatched batch to
+            the first worker with a free claim slot at payload receipt,
+            widening the aggregate in-flight cap to
+            ``num_workers * (prefetch_factor + 2)`` so stragglers stop
+            starving replenishment. ``"adaptive"`` is stealing plus a
+            closed-loop controller that tunes the per-worker in-flight
+            depth within ``[1, prefetch_factor + 2]`` from the loader's
+            own live trace stream ([T2] waits, transport bytes, cache
+            hits). Non-static modes require ``num_workers > 0`` and a
+            map-style dataset; all modes yield bit-identical batches.
     """
 
     def __init__(
@@ -264,6 +304,7 @@ class DataLoader:
         transport: str = TRANSPORT_AUTO,
         cache: Optional[str] = None,
         cache_capacity_bytes: int = DEFAULT_CACHE_CAPACITY_BYTES,
+        scheduler: str = SCHED_STATIC,
     ) -> None:
         if num_workers < 0:
             raise DataLoaderError(f"num_workers must be >= 0, got {num_workers}")
@@ -306,6 +347,9 @@ class DataLoader:
                     "datasets (a replacement worker cannot replay a "
                     "consumed stream position)"
                 )
+        self.scheduler = validate_scheduler(
+            scheduler, num_workers, isinstance(dataset, IterableDataset)
+        )
         self.max_worker_restarts = max_worker_restarts
         self.hang_timeout_s = hang_timeout_s
         if heartbeat_interval_s is None and hang_timeout_s is not None:
@@ -375,6 +419,17 @@ class DataLoader:
         self.num_workers = num_workers
         self._log_target = log_file
         self._sink: Optional[TraceSink] = open_trace_log(log_file)
+        # Adaptive scheduling (DESIGN.md §12): the controller rides the
+        # emit path — wrap the sink *before* anything captures it so
+        # every main-process record (and, on the thread backend, worker
+        # records sharing the sink object) feeds the ring online.
+        self._prefetch_controller: Optional[PrefetchController] = None
+        if self.scheduler == SCHED_ADAPTIVE:
+            self._prefetch_controller = PrefetchController(
+                num_workers, prefetch_factor
+            )
+            if self._sink is not None:
+                self._sink = RecordTap(self._sink, self._prefetch_controller)
         if self._sink is not None:
             collate_fn = _InstrumentedCollate(collate_fn, self._sink)
         self.collate_fn = collate_fn
@@ -388,10 +443,21 @@ class DataLoader:
             # batch out of the arena before the consumer sees it.
             reuse_batch_buffers = num_workers == 0 and pin_memory
         self.reuse_batch_buffers = reuse_batch_buffers
-        # Worker arenas must survive the data queue plus OOO caching:
-        # replenish-on-consume bounds each worker's in-flight batches by
-        # prefetch_factor, so prefetch_factor + 2 generations suffice.
-        self.batch_buffer_depth = 1 if num_workers == 0 else prefetch_factor + 2
+        # Worker arenas must survive the data queue plus OOO caching.
+        # Static dispatch bounds each worker's in-flight batches by
+        # prefetch_factor, so prefetch_factor + 2 generations suffice;
+        # under stealing a single worker can transiently own every
+        # in-flight batch, so the ring widens to the aggregate cap
+        # (slab slots are created lazily, so the wider universe costs
+        # memory only for concurrency that actually happens).
+        if num_workers == 0:
+            self.batch_buffer_depth = 1
+        elif self.scheduler == SCHED_STATIC:
+            self.batch_buffer_depth = prefetch_factor + 2
+        else:
+            self.batch_buffer_depth = scheduler_buffer_depth(
+                num_workers, prefetch_factor
+            )
         self.seed = seed
         self.worker_timeout_s = worker_timeout_s
         if isinstance(dataset, IterableDataset):
@@ -669,6 +735,7 @@ class _WorkerPool:
                 "heartbeat_interval_s": loader.heartbeat_interval_s,
                 "restart_generation": self.generations[worker_id],
                 "transport_spec": self._transport_spec(worker_id),
+                "emit_claims": loader.scheduler != SCHED_STATIC,
             },
             name=f"repro-dataloader-worker-{worker_id}",
         )
@@ -718,7 +785,14 @@ class _WorkerPool:
         if sink is None:
             return None
         if not self.backend.is_process:
+            # Thread workers share the main-process sink object — when a
+            # RecordTap wraps it, their records feed the controller too.
             return sink
+        if isinstance(sink, RecordTap):
+            # The tap only exists main-process-side; child processes log
+            # straight to the underlying file (the controller still sees
+            # every record the main process itself emits).
+            sink = sink.inner
         if isinstance(sink, LotusLogWriter):
             return sink.path
         raise DataLoaderError(
@@ -804,15 +878,27 @@ class _MultiWorkerIter:
         self._index_queues = self._pool.index_queues
         self._data_queue = self._pool.data_queue
         self._workers = self._pool.workers
-        self._batches = iter(loader.batch_sampler)
+        # The order book fronts the batch sampler for every scheduler
+        # mode: it stamps batch ids, retains dispatched indices until
+        # yield (restart replay / partial-batch accounting), and holds
+        # supervisor-requeued batches at the ready front (DESIGN.md §12).
+        self._book = DispatchOrderBook(loader.batch_sampler)
         self._send_idx = 0  # next batch id to dispatch
         self._rcvd_idx = 0  # next batch id to yield
         # batch_id -> (worker_id,) while outstanding, (worker_id, data)
         # once arrived ahead of need.
         self._task_info: Dict[int, Tuple] = {}
-        # batch_id -> dispatched indices, kept until the batch is yielded
-        # (or skipped) so a replacement worker can replay in-flight work.
-        self._inflight_indices: Dict[int, Sequence[int]] = {}
+        # batch_id -> confirmed executor (from WorkerClaim receipts);
+        # non-static modes only. Lets the supervisor count how many of a
+        # dead worker's swept claims had actually been picked up.
+        self._claims: Dict[int, int] = {}
+        self._sched: Optional[StealingScheduler] = None
+        if loader.scheduler != SCHED_STATIC:
+            self._sched = StealingScheduler(
+                loader.num_workers,
+                loader.prefetch_factor,
+                controller=loader._prefetch_controller,
+            )
         # Shm transport bookkeeping: the slab descriptor behind each
         # resolved-but-unyielded batch, and the descriptor of the batch
         # the consumer currently holds (acked one yield late so the
@@ -826,10 +912,16 @@ class _MultiWorkerIter:
         self._restarts_used = 0
         now = time.monotonic()
         self._last_activity = [now] * loader.num_workers
-        # Startup prefetch: prefetch_factor index batches per worker.
-        for _ in range(loader.prefetch_factor):
-            for worker_id in range(loader.num_workers):
-                self._try_put_index(worker_id)
+        # Startup prefetch. Static: prefetch_factor index batches per
+        # worker, round-robin (the paper's § II-B fill). Stealing: the
+        # pump produces the identical startup order — select_worker
+        # breaks least-loaded ties toward the lowest worker id.
+        if self._sched is None:
+            for _ in range(loader.prefetch_factor):
+                for worker_id in range(loader.num_workers):
+                    self._try_put_index(worker_id)
+        else:
+            self._pump()
 
     # -- index dispatch --------------------------------------------------------
     def _try_put_index(self, worker_id: Optional[int] = None) -> bool:
@@ -844,15 +936,41 @@ class _MultiWorkerIter:
                     break
             if worker_id is None:
                 return False
-        try:
-            indices = next(self._batches)
-        except StopIteration:
+        drawn = self._book.draw()
+        if drawn is None:
             return False
-        self._task_info[self._send_idx] = (worker_id,)
-        self._inflight_indices[self._send_idx] = indices
-        self._index_queues[worker_id].put((self._send_idx, indices))
-        self._send_idx += 1
+        batch_id, indices = drawn
+        self._task_info[batch_id] = (worker_id,)
+        self._index_queues[worker_id].put((batch_id, indices))
+        self._send_idx = batch_id + 1
         return True
+
+    def _pump(self) -> None:
+        """Receipt-driven dispatch for the stealing/adaptive modes.
+
+        Hands the oldest ready batch (supervisor requeues first) to the
+        first worker with a free claim slot, repeating until no worker
+        has capacity, the aggregate in-flight window is full, or the
+        book runs dry. Requeued batches bypass the aggregate cap — they
+        already sit inside the ``[rcvd, send)`` window."""
+        sched = self._sched
+        while True:
+            worker_id = sched.select_worker()
+            if worker_id is None:
+                return
+            if (
+                not self._book.has_requeued()
+                and self._send_idx - self._rcvd_idx >= sched.max_inflight
+            ):
+                return
+            drawn = self._book.draw()
+            if drawn is None:
+                return
+            batch_id, indices = drawn
+            self._task_info[batch_id] = (worker_id,)
+            sched.on_dispatch(worker_id, batch_id)
+            self._index_queues[worker_id].put((batch_id, indices))
+            self._send_idx = max(self._send_idx, batch_id + 1)
 
     # -- supervision -------------------------------------------------------------
     def _note_activity(self, worker_id: int) -> None:
@@ -921,10 +1039,27 @@ class _MultiWorkerIter:
             )
         self._pool.respawn(worker_id)
         replay = self._outstanding_for(worker_id)
-        for batch_id in replay:
-            self._index_queues[worker_id].put(
-                (batch_id, self._inflight_indices[batch_id])
+        if self._sched is None:
+            # Static replay: same worker id, batch-id order — identical
+            # to what the dead incarnation would have produced.
+            for batch_id in replay:
+                self._index_queues[worker_id].put(
+                    (batch_id, self._book.indices_for(batch_id))
+                )
+        else:
+            # Sweep the dead worker's claims back through the order
+            # book; the pump re-dispatches them oldest-first (the reset
+            # worker has free slots, so at least the oldest goes out
+            # immediately). RNG keys on batch id, so whoever ends up
+            # executing a swept batch reproduces it bit-exactly.
+            self._stats.stolen_claims_reclaimed += sum(
+                1 for b in replay if self._claims.pop(b, None) is not None
             )
+            for batch_id in replay:
+                del self._task_info[batch_id]
+            self._sched.on_worker_reset(worker_id)
+            self._book.requeue(replay)
+            self._pump()
         if self._sink is not None:
             self._sink.write(
                 TraceRecord(
@@ -966,6 +1101,18 @@ class _MultiWorkerIter:
             ):
                 self._stats.heartbeats += 1
                 self._note_activity(payload.worker_id)
+                continue
+            if batch_id == CLAIM_BATCH_ID and isinstance(payload, WorkerClaim):
+                # A worker announcing it dequeued a task (non-static
+                # modes). Stale generations are ignored — their batches
+                # were already swept and requeued.
+                self._note_activity(payload.worker_id)
+                if (
+                    payload.generation
+                    == self._pool.generations[payload.worker_id]
+                ):
+                    self._claims[payload.batch_id] = payload.worker_id
+                    self._stats.claims_confirmed += 1
                 continue
             return batch_id, payload
 
@@ -1072,6 +1219,12 @@ class _MultiWorkerIter:
                 # going); the replacement worker replays the batch.
                 self._stats.stale_batches += 1
                 continue
+            if self._sched is not None:
+                # Receipt frees one of the producer's claim slots: this
+                # is the steal site — dispatch the oldest undispatched
+                # batch to whichever worker now has capacity.
+                self._sched.on_receipt(info[0])
+                self._pump()
             if isinstance(payload, IterableStreamEnd):
                 # This worker's iterable shard is exhausted; stop feeding
                 # it and skip the unfillable batch id when its turn comes.
@@ -1128,7 +1281,8 @@ class _MultiWorkerIter:
                 self._shutdown_workers()
                 raise StopIteration
             worker_id, data = self._next_data()
-            dispatched = self._inflight_indices.pop(self._rcvd_idx, ())
+            dispatched = self._book.complete(self._rcvd_idx)
+            self._claims.pop(self._rcvd_idx, None)
             if isinstance(data, IterableStreamEnd):
                 # Unfillable batch id: skip it without yielding.
                 self._rcvd_idx += 1
@@ -1141,9 +1295,9 @@ class _MultiWorkerIter:
                 stats.delivered_samples += batch_size - len(data.skipped_indices)
                 payload = data.data
                 if payload is None:
-                    # Every sample skipped: replenish the worker and move
-                    # on without a consumed record (nothing was consumed).
-                    self._try_put_index(worker_id)
+                    # Every sample skipped: replenish and move on
+                    # without a consumed record (nothing was consumed).
+                    self._replenish(worker_id)
                     self._rcvd_idx += 1
                     continue
                 data = payload
@@ -1156,10 +1310,10 @@ class _MultiWorkerIter:
         self._ack_slab(self._rcvd_idx)
         if self._loader.pin_memory:
             data = _pin_structure(data)
-        # Replenish the producing worker (paper § II-B: after the initial
-        # prefetch, the main process sends one index batch to the worker
-        # that produced the consumed batch).
-        self._try_put_index(worker_id)
+        # Replenish: static sends one index batch to the worker that
+        # produced the consumed batch (paper § II-B); stealing re-pumps
+        # (and adaptive first lets the controller retune its depth).
+        self._replenish(worker_id)
         if self._sink is not None:
             self._sink.write(
                 TraceRecord(
@@ -1172,8 +1326,50 @@ class _MultiWorkerIter:
                     duration_ns=max(0, time.time_ns() - consumed_start),
                 )
             )
+        self._emit_sched()
         self._rcvd_idx += 1
         return data
+
+    def _replenish(self, worker_id: int) -> None:
+        """Post-yield dispatch, per scheduler mode (DESIGN.md §12)."""
+        if self._sched is None:
+            self._try_put_index(worker_id)
+            return
+        controller = self._loader._prefetch_controller
+        if controller is not None:
+            # Retune *before* pumping so a depth change applies to the
+            # dispatches this yield triggers.
+            controller.on_yield()
+        self._pump()
+
+    def _emit_sched(self) -> None:
+        """Per-yield scheduler record ([T2] companion, DESIGN.md §12):
+        outstanding queue depth, steals since the last yield, and the
+        currently chosen per-worker depth. Emitted for every mode so
+        analysis can flag static runs that would benefit from stealing."""
+        if self._sink is None:
+            return
+        loader = self._loader
+        if self._sched is not None:
+            depth = self._sched.chosen_depth
+            steals = self._sched.take_steal_delta()
+        else:
+            depth = loader.prefetch_factor
+            steals = 0
+        queue_depth = max(0, self._send_idx - self._rcvd_idx - 1)
+        self._sink.write(
+            TraceRecord(
+                kind=KIND_SCHED,
+                name=format_sched_name(
+                    loader.scheduler, queue_depth, steals, depth
+                ),
+                batch_id=self._rcvd_idx,
+                worker_id=MAIN_PROCESS_WORKER_ID,
+                pid=self._pid,
+                start_ns=time.time_ns(),
+                duration_ns=0,
+            )
+        )
 
     # -- shutdown ------------------------------------------------------------
     def _shutdown_workers(self) -> None:

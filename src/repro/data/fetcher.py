@@ -242,8 +242,16 @@ def create_fetcher(
 
     ``batched``/``reuse_buffers``/``buffer_depth`` configure the
     map-style fetcher's batched fast path (iterable fetchers stream
-    sample by sample and ignore them).
+    sample by sample and ignore them). ``buffer_depth`` is the loader's
+    scheduler-governed ``batch_buffer_depth`` (DESIGN.md §12): the arena
+    must cycle at least as many generations as batches this worker can
+    have in flight, which stealing/adaptive dispatch widens beyond the
+    static ``prefetch_factor + 2``.
     """
+    if buffer_depth < 1:
+        raise DataLoaderError(
+            f"buffer_depth must be >= 1, got {buffer_depth}"
+        )
     if isinstance(dataset, IterableDataset):
         return _IterableDatasetFetcher(dataset, collate_fn)
     if hasattr(dataset, "__getitem__"):

@@ -124,6 +124,13 @@ class FaultStats:
     worker_restarts: int = 0
     stale_batches: int = 0
     heartbeats: int = 0
+    #: Claim confirmations consumed from live worker generations
+    #: (non-static schedulers only; DESIGN.md §12).
+    claims_confirmed: int = 0
+    #: Claims a dead/hung worker held when the supervisor swept it —
+    #: each one was requeued through the order book and replayed on a
+    #: surviving worker (counted once per swept claim).
+    stolen_claims_reclaimed: int = 0
     skipped_indices: List[int] = field(default_factory=list)
 
 

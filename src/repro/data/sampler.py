@@ -1,8 +1,10 @@
-"""Index samplers: sequential, shuffled, and batching."""
+"""Index samplers: sequential, shuffled, and batching — plus the
+dispatch order book the scheduling layer (DESIGN.md §12) draws from."""
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Sized
+from collections import deque
+from typing import Deque, Dict, Iterator, List, Optional, Sequence, Sized, Tuple
 
 import numpy as np
 
@@ -83,3 +85,92 @@ class BatchSampler:
         if self.drop_last:
             return n // self.batch_size
         return (n + self.batch_size - 1) // self.batch_size
+
+
+class DispatchOrderBook:
+    """The main process's view of undispatched and in-flight batches.
+
+    Fronts one epoch's batch-sampler iterator with the bookkeeping every
+    scheduler mode needs (DESIGN.md §12):
+
+    * :meth:`draw` hands out the *oldest* ready batch — a supervisor
+      requeue (a dead worker's swept claims) before a fresh sampler
+      draw — stamped with a monotonically increasing batch id on first
+      draw; requeued batches keep their original id and indices, which
+      is what makes restart replay deterministic.
+    * :meth:`indices_for` recalls the index list of any in-flight batch
+      (replay, partial-batch accounting).
+    * :meth:`complete` retires a yielded batch.
+
+    The book is pure main-process state: workers only ever see
+    ``(batch_id, indices)`` tasks on their private claim queues, so a
+    worker kill can never strand a lock inside the shared structure.
+    """
+
+    def __init__(self, batch_iter) -> None:
+        self._batches = iter(batch_iter)
+        self._next_id = 0
+        self._exhausted = False
+        self._inflight: Dict[int, List[int]] = {}
+        self._requeued: Deque[int] = deque()
+
+    @property
+    def next_batch_id(self) -> int:
+        """The id the next fresh draw will be stamped with."""
+        return self._next_id
+
+    @property
+    def exhausted(self) -> bool:
+        """True once the sampler ran dry (requeues may still exist)."""
+        return self._exhausted
+
+    def inflight_count(self) -> int:
+        return len(self._inflight)
+
+    def has_ready(self) -> bool:
+        """Whether :meth:`draw` could currently return a batch."""
+        return bool(self._requeued) or not self._exhausted
+
+    def has_requeued(self) -> bool:
+        """Whether swept claims are waiting for re-dispatch. Requeued
+        batches already sit inside the ``[rcvd, send)`` in-flight window,
+        so schedulers must dispatch them even at the aggregate cap."""
+        return bool(self._requeued)
+
+    def draw(self) -> Optional[Tuple[int, List[int]]]:
+        """Oldest ready batch as ``(batch_id, indices)``, or None.
+
+        Requeued batches win over fresh draws — they are older by
+        construction (their ids were assigned earlier).
+        """
+        if self._requeued:
+            batch_id = self._requeued.popleft()
+            return batch_id, self._inflight[batch_id]
+        if self._exhausted:
+            return None
+        try:
+            indices = next(self._batches)
+        except StopIteration:
+            self._exhausted = True
+            return None
+        batch_id = self._next_id
+        self._next_id += 1
+        self._inflight[batch_id] = indices
+        return batch_id, indices
+
+    def requeue(self, batch_ids: Sequence[int]) -> None:
+        """Return swept claims to the ready front, oldest first."""
+        for batch_id in sorted(batch_ids):
+            if batch_id not in self._inflight:
+                raise DataLoaderError(
+                    f"cannot requeue unknown batch {batch_id}"
+                )
+            self._requeued.append(batch_id)
+
+    def indices_for(self, batch_id: int) -> List[int]:
+        return self._inflight[batch_id]
+
+    def complete(self, batch_id: int) -> List[int]:
+        """Retire a yielded batch, returning its indices (or ``[]`` for
+        ids the book never issued — iterable-backend sentinel flows)."""
+        return self._inflight.pop(batch_id, [])

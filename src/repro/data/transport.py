@@ -20,8 +20,13 @@ record so their hand-off cost is comparable in ``compare.py``:
   worker's write into the slab; the main-process side is a view).
 
 Slab lifecycle: each worker generation owns ``depth`` deterministically
-named slots (``depth = prefetch_factor + 2``, mirroring the BatchBuffer
-contract). A worker takes a free slot per published batch and gets it
+named slots, where ``depth`` is the loader's scheduler-governed
+``batch_buffer_depth`` (DESIGN.md §12): ``prefetch_factor + 2`` under
+static dispatch, widened to ``num_workers * (prefetch_factor + 2) + 2``
+under stealing/adaptive, where one worker can transiently own every
+in-flight batch. Slot segments are created lazily and recycled through a
+free list, so the wider universe costs shm only for concurrency that
+actually happens. A worker takes a free slot per published batch and gets it
 back through its *ack ring* — an mp queue the main process feeds as
 batches are yielded, deferred by one yield so the batch the consumer
 currently holds is never overwritten. The main process is the single

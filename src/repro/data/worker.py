@@ -65,6 +65,10 @@ from repro.data.worker_info import WorkerInfo, worker_info_scope
 #: ``batch_id`` carried by heartbeat payloads on the data queue.
 HEARTBEAT_BATCH_ID = -1
 
+#: ``batch_id`` carried by claim-confirmation payloads on the data queue
+#: (DESIGN.md §12; emitted only under non-static schedulers).
+CLAIM_BATCH_ID = -2
+
 
 class _ShutdownSentinel:
     """Dedicated shutdown token for the index queues.
@@ -129,6 +133,25 @@ class WorkerHeartbeat:
     sent_ns: int
 
 
+@dataclass(frozen=True)
+class WorkerClaim:
+    """Claim confirmation for a dispatched batch (DESIGN.md §12).
+
+    Shipped on the data queue the moment a worker dequeues a task,
+    before the fetch begins, when the loader runs a non-static
+    scheduler. Generation-stamped like :class:`WorkerFailure` so the
+    supervisor can tell a live claim from a replaced incarnation's —
+    the restart sweep counts reclaimed claims into
+    :class:`~repro.data.resilience.FaultStats` and requeues the batches
+    for deterministic replay.
+    """
+
+    worker_id: int
+    generation: int
+    batch_id: int
+    sent_ns: int
+
+
 @dataclass
 class PartialBatch:
     """A batch whose fetch exercised the skip/retry policies.
@@ -162,6 +185,7 @@ def worker_loop(
     cancel_flag: Any = None,
     restart_generation: int = 0,
     transport_spec: Optional[TransportSpec] = None,
+    emit_claims: bool = False,
 ) -> None:
     """Run one DataLoader worker until a shutdown sentinel arrives.
 
@@ -190,6 +214,11 @@ def worker_loop(
     — and every published batch gets a ``batch_transport`` trace record
     naming the mode, bytes moved, and copy count. ``None`` (direct
     callers, tests) keeps the legacy bare ``data_queue.put``.
+
+    Scheduling (DESIGN.md §12): with ``emit_claims`` the worker ships a
+    generation-stamped :class:`WorkerClaim` on the data queue as soon as
+    it dequeues a task — the supervisor's view of which claim slots are
+    actually being executed, consumed like heartbeats on the main side.
     """
     if is_process_worker:
         set_process_worker_id(worker_id)
@@ -255,6 +284,21 @@ def worker_loop(
             if isinstance(task, _ShutdownSentinel):
                 break
             batch_id, indices = task
+            if emit_claims:
+                # Confirm the claim before the fetch: the main process
+                # learns which claim slot went busy (and that this
+                # incarnation is alive) even if the fetch then stalls.
+                data_queue.put(
+                    (
+                        CLAIM_BATCH_ID,
+                        WorkerClaim(
+                            worker_id,
+                            restart_generation,
+                            batch_id,
+                            time.time_ns(),
+                        ),
+                    )
+                )
             start = time.time_ns()
             skipped: Tuple[int, ...] = ()
             retried = 0

@@ -35,10 +35,13 @@ class BatchBuffer:
             relative to list-collate-stack, but alias-free).
         depth: number of independent buffer generations cycled by
             :meth:`advance`. ``depth=1`` reuses the same storage every
-            batch (single-consumer discipline); multi-worker loaders use
-            ``prefetch_factor + 2`` so a batch is never overwritten while
-            it can still be in flight on the data queue or held by the
-            consumer.
+            batch (single-consumer discipline); multi-worker loaders pass
+            the scheduler-governed ``batch_buffer_depth`` —
+            ``prefetch_factor + 2`` under static dispatch, widened for
+            stealing/adaptive where one worker can transiently own every
+            in-flight batch (DESIGN.md §12) — so a batch is never
+            overwritten while it can still be in flight on the data
+            queue or held by the consumer.
     """
 
     def __init__(self, reuse: bool = True, depth: int = 1) -> None:
@@ -147,8 +150,11 @@ class SharedSlabRing:
     """Worker-side ring of named shared-memory slabs, one per in-flight batch.
 
     The worker writes each collated batch into slab ``slot`` (cycled by
-    the ack/reclaim ring, depth = ``prefetch_factor + 2`` mirroring
-    :class:`BatchBuffer`) and ships only a descriptor; the main process
+    the ack/reclaim ring, depth = the loader's scheduler-governed
+    ``batch_buffer_depth`` mirroring :class:`BatchBuffer` — see
+    DESIGN.md §12; slot segments materialize lazily on first use, so a
+    wide ring costs shm only for realized concurrency) and ships only a
+    descriptor; the main process
     attaches by name and wraps zero-copy views. Slabs grow monotonically
     by unlink-and-recreate under the *same* name, so a descriptor's
     ``(name, size)`` pair is always enough for the consumer to detect a

@@ -2,6 +2,7 @@
 
 import pickle
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -386,6 +387,67 @@ class TestChaosEpochs:
             r for r in analysis.fault_records if r.kind == "worker_restart"
         ]
         assert restart and restart[0].name == "crash"
+
+
+@pytest.mark.parametrize("backend", ["thread", "process"])
+class TestReorderBufferSkipSample:
+    """OOO reorder buffer under ``skip_sample`` (ISSUE 10 satellite):
+    a stalled head batch parks every later arrival in the out-of-order
+    buffer, a corrupt sample inside one of those parked batches is
+    skipped — delivery order, partial-batch accounting, and the 1 µs
+    OOO wait markers must all survive the combination, on both
+    backends."""
+
+    class SlowHeadDataset(Dataset):
+        def __len__(self):
+            return N_SAMPLES
+
+        def __getitem__(self, index):
+            if index == 0:
+                time.sleep(0.3)
+            return np.array([float(index)], dtype=np.float32)
+
+    def test_skipped_sample_inside_reordered_batch(self, backend, tmp_path):
+        from repro.core.lotustrace import (
+            analyze_trace,
+            out_of_order_events,
+            parse_trace_file,
+        )
+
+        log = str(tmp_path / "ooo_skip.trace")
+        plan = FaultPlan(
+            seed=0, sites=(FaultSite(kind="corrupt", sample_index=13),)
+        )
+        loader = DataLoader(
+            FaultInjectingDataset(self.SlowHeadDataset(), plan),
+            batch_size=BATCH,
+            num_workers=2,
+            worker_backend=backend,
+            failure_policy="skip_sample",
+            log_file=log,
+            seed=0,
+            worker_timeout_s=30,
+        )
+        got = [batch.numpy().copy() for batch in loader]
+        stats = loader.fault_stats
+        assert stats.skipped_indices == [13]
+        assert stats.delivered_samples + stats.skipped_samples == N_SAMPLES
+        # The reorder buffer must preserve dataset order even though the
+        # skipped sample's batch arrived (and was parked) out of order:
+        # delivered values are the full sequence minus 13, *in order*.
+        delivered = np.concatenate([g.ravel() for g in got])
+        expected = np.array(
+            [i for i in range(N_SAMPLES) if i != 13], dtype=np.float32
+        )
+        np.testing.assert_array_equal(delivered, expected)
+        sizes = sorted(len(g) for g in got)
+        assert sizes == [3] + [4] * (N_SAMPLES // BATCH - 1)
+        analysis = analyze_trace(parse_trace_file(log))
+        assert analysis.skipped_sample_indices() == [13]
+        # Batches overtaking the stalled head must have left OOO markers.
+        ooo = out_of_order_events(analysis)
+        assert len(ooo) >= 1
+        assert all(event.batch_id != 0 for event in ooo)
 
 
 class TestHangRecovery:
