@@ -174,19 +174,30 @@ def open_trace_log(target: Union[PathLike, TraceSink, None]) -> Optional[TraceSi
     """Normalize a user-supplied log target to a writer.
 
     Accepts a path (opens a :class:`LotusLogWriter`), an existing sink
-    (returned unchanged), or None (tracing disabled). Sinks are matched
-    by protocol — ``write``/``flush``/``close`` — not by type, so
-    wrappers like the adaptive scheduler's record tap flow through
-    unchanged.
+    (returned unchanged), or None (tracing disabled). Wrapper sinks like
+    the adaptive scheduler's record tap are matched by the TraceSink
+    protocol — ``write``/``flush``/``close`` *plus* ``path``. The
+    ``path`` requirement is what keeps an accidentally passed open file
+    handle (file-likes expose ``name``, not ``path``) from being
+    accepted silently and corrupted later by non-string
+    :class:`TraceRecord` writes; such objects raise here instead.
     """
     if target is None:
         return None
-    if (
-        hasattr(target, "write")
-        and hasattr(target, "flush")
-        and hasattr(target, "close")
-    ):
+    if isinstance(target, (LotusLogWriter, InMemoryTraceLog)):
         return target
+    if hasattr(target, "write"):
+        if (
+            hasattr(target, "flush")
+            and hasattr(target, "close")
+            and hasattr(target, "path")
+        ):
+            return target
+        raise TraceError(
+            "trace log target looks like a raw file object "
+            f"({type(target).__name__}); pass a path or a TraceSink "
+            "(write/flush/close plus a path attribute)"
+        )
     return LotusLogWriter(target)
 
 

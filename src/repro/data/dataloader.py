@@ -105,6 +105,7 @@ from repro.data.worker import (
     SHUTDOWN_SENTINEL,
     IterableStreamEnd,
     PartialBatch,
+    StampedBatch,
     WorkerClaim,
     WorkerFailure,
     WorkerHeartbeat,
@@ -1052,10 +1053,13 @@ class _MultiWorkerIter:
             # worker has free slots, so at least the oldest goes out
             # immediately). RNG keys on batch id, so whoever ends up
             # executing a swept batch reproduces it bit-exactly.
-            self._stats.stolen_claims_reclaimed += sum(
-                1 for b in replay if self._claims.pop(b, None) is not None
-            )
+            # Every outstanding batch counts as a reclaimed claim: the
+            # WorkerClaim confirmation may never reach us (os._exit can
+            # kill the mp queue's feeder thread before it flushes), so
+            # the swept dispatch list is the authoritative tally.
+            self._stats.stolen_claims_reclaimed += len(replay)
             for batch_id in replay:
+                self._claims.pop(batch_id, None)
                 del self._task_info[batch_id]
             self._sched.on_worker_reset(worker_id)
             self._book.requeue(replay)
@@ -1204,6 +1208,19 @@ class _MultiWorkerIter:
                 self._note_activity(payload.worker_id)
                 self._shutdown_workers()
                 raise WorkerCrashError(payload.worker_id, payload.describe())
+            if isinstance(payload, StampedBatch):
+                # Non-shm payload under a stealing scheduler: a replaced
+                # incarnation's late duplicate must be dropped *before*
+                # it can credit the batch's new assignee with activity
+                # or a receipt (the shm path gets the same check from
+                # the slab descriptor in _resolve_payload below).
+                if (
+                    payload.generation
+                    < self._pool.generations[payload.worker_id]
+                ):
+                    self._stats.stale_batches += 1
+                    continue
+                payload = payload.data
             info = self._task_info.get(batch_id)
             if info is None or len(info) == 2:
                 # Unknown or already-delivered batch id: a late duplicate
@@ -1212,13 +1229,13 @@ class _MultiWorkerIter:
                 # replayed copy is the one we account.
                 self._stats.stale_batches += 1
                 continue
-            self._note_activity(info[0])
             payload = self._resolve_payload(batch_id, payload)
             if payload is None:
                 # A dead generation's descriptor whose slab is gone (or
                 # going); the replacement worker replays the batch.
                 self._stats.stale_batches += 1
                 continue
+            self._note_activity(info[0])
             if self._sched is not None:
                 # Receipt frees one of the producer's claim slots: this
                 # is the steal site — dispatch the oldest undispatched

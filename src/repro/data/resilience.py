@@ -127,9 +127,11 @@ class FaultStats:
     #: Claim confirmations consumed from live worker generations
     #: (non-static schedulers only; DESIGN.md §12).
     claims_confirmed: int = 0
-    #: Claims a dead/hung worker held when the supervisor swept it —
-    #: each one was requeued through the order book and replayed on a
-    #: surviving worker (counted once per swept claim).
+    #: In-flight batches a dead/hung worker held when the supervisor
+    #: swept it — each one was requeued through the order book and
+    #: replayed on a surviving worker. Counted from the swept dispatch
+    #: list, not from drained :class:`~repro.data.worker.WorkerClaim`
+    #: confirmations, which a crashing process can lose in flight.
     stolen_claims_reclaimed: int = 0
     skipped_indices: List[int] = field(default_factory=list)
 

@@ -35,6 +35,7 @@ executing worker (asserted by the parity tests, not assumed).
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from typing import Deque, List, Optional, Tuple
 
@@ -230,50 +231,63 @@ class PrefetchController:
         #: (hits, misses) deltas per recent cache_stats record.
         self._cache: Deque[Tuple[int, int]] = deque(maxlen=ring_size)
         self._memory_hint_bytes = memory_hint_bytes
+        # Thread-backend workers share the RecordTap sink, so observe()
+        # runs on worker threads while on_yield() reads the rings on the
+        # main thread — without the lock CPython raises "deque mutated
+        # during iteration" mid-epoch.
+        self._lock = threading.Lock()
 
     # -- online record feed (called by RecordTap on the emit path) -------------
     def observe(self, record) -> None:
         if record.kind == KIND_BATCH_WAIT:
-            self._waits.append(
-                (record.start_ns, record.duration_ns, record.out_of_order)
-            )
+            with self._lock:
+                self._waits.append(
+                    (record.start_ns, record.duration_ns, record.out_of_order)
+                )
         elif record.kind == KIND_BATCH_TRANSPORT:
-            self._payload_bytes.append(parse_transport_name(record.name)[1])
+            payload_bytes = parse_transport_name(record.name)[1]
+            with self._lock:
+                self._payload_bytes.append(payload_bytes)
         elif record.kind == KIND_CACHE_STATS:
             parsed = parse_cache_stats_name(record.name)
-            self._cache.append((parsed[1], parsed[2]))
+            with self._lock:
+                self._cache.append((parsed[1], parsed[2]))
 
     # -- recent-window signals -------------------------------------------------
     def recent_wait_share(self) -> float:
         """Blocking [T2] time as a share of the ring's wall-clock span."""
-        if len(self._waits) < 2:
-            return 0.0
-        span = (
-            self._waits[-1][0] + self._waits[-1][1] - self._waits[0][0]
-        )
-        if span <= 0:
-            return 0.0
-        blocking = sum(d for _, d, ooo in self._waits if not ooo)
+        with self._lock:
+            if len(self._waits) < 2:
+                return 0.0
+            span = (
+                self._waits[-1][0] + self._waits[-1][1] - self._waits[0][0]
+            )
+            if span <= 0:
+                return 0.0
+            blocking = sum(d for _, d, ooo in self._waits if not ooo)
         return min(1.0, blocking / span)
 
     def recent_ooo_fraction(self) -> float:
-        if not self._waits:
-            return 0.0
-        return sum(1 for *_x, ooo in self._waits if ooo) / len(self._waits)
+        with self._lock:
+            if not self._waits:
+                return 0.0
+            return sum(1 for *_x, ooo in self._waits if ooo) / len(self._waits)
 
     def recent_hit_rate(self) -> Optional[float]:
         """Cache hit rate over the ring, or None without cache records."""
-        if not self._cache:
-            return None
-        hits = sum(h for h, _ in self._cache)
-        misses = sum(m for _, m in self._cache)
+        with self._lock:
+            if not self._cache:
+                return None
+            hits = sum(h for h, _ in self._cache)
+            misses = sum(m for _, m in self._cache)
         total = hits + misses
         return hits / total if total else 1.0
 
     def recent_payload_bytes(self) -> float:
-        if not self._payload_bytes:
-            return 0.0
-        return sum(self._payload_bytes) / len(self._payload_bytes)
+        with self._lock:
+            if not self._payload_bytes:
+                return 0.0
+            return sum(self._payload_bytes) / len(self._payload_bytes)
 
     # -- the control loop ------------------------------------------------------
     def on_yield(self) -> int:

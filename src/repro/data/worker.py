@@ -56,6 +56,7 @@ from repro.data.faults import WorkerCrashInjection, set_worker_generation
 from repro.data.fetcher import create_fetcher
 from repro.data.resilience import FailurePolicy, fetch_with_policy
 from repro.data.transport import (
+    ShmBatchRef,
     TransportCancelled,
     TransportSpec,
     create_worker_transport,
@@ -150,6 +151,25 @@ class WorkerClaim:
     generation: int
     batch_id: int
     sent_ns: int
+
+
+@dataclass(frozen=True)
+class StampedBatch:
+    """Producer-stamped payload wrapper for non-shm carriers.
+
+    Shared-memory payloads already carry ``(worker_id, generation)`` in
+    their slab descriptor; pickle/inline payloads do not, so under a
+    non-static scheduler a hung-then-replaced worker's late duplicate
+    for a batch requeued to a *different* worker would otherwise be
+    indistinguishable from the new assignee's receipt — crediting
+    activity and a claim slot to a worker that produced nothing. The
+    stamp lets the main process drop stale-generation payloads before
+    they touch scheduler or supervision state.
+    """
+
+    worker_id: int
+    generation: int
+    data: Any
 
 
 @dataclass
@@ -381,6 +401,10 @@ def worker_loop(
             else:
                 payload = data
             if transport is None:
+                if emit_claims:
+                    payload = StampedBatch(
+                        worker_id, restart_generation, payload
+                    )
                 data_queue.put((batch_id, payload))
                 continue
             # Publish through the configured carrier. PartialBatch is a
@@ -397,6 +421,12 @@ def worker_loop(
             if isinstance(payload, PartialBatch):
                 payload.data = wire
                 wire = payload
+            if emit_claims and not isinstance(wire, ShmBatchRef):
+                # Non-shm carriers (and PartialBatch wrappers) lack the
+                # slab descriptor's generation stamp; add one so the
+                # main process can reject late duplicates from replaced
+                # incarnations (DESIGN.md §12).
+                wire = StampedBatch(worker_id, restart_generation, wire)
             data_queue.put((batch_id, wire))
             publish_duration = time.time_ns() - publish_start
             if sink is not None:

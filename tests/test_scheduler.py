@@ -487,8 +487,10 @@ class TestSchedulerChaos:
         got = [batch[0].numpy().copy() for batch in loader]
         stats = loader.fault_stats
         assert stats.worker_restarts >= 1
-        # The dead worker had confirmed claims; the sweep reclaimed them
-        # into the order book for replay on the survivors.
+        # The dead worker held in-flight batches; the sweep reclaimed
+        # them into the order book for replay on the survivors. The
+        # tally comes from the swept dispatch list, so it is exact even
+        # when the crash loses the WorkerClaim confirmation in flight.
         assert stats.claims_confirmed >= N_BATCHES
         assert stats.stolen_claims_reclaimed >= 1
         # Zero lost or duplicated batches, bit-equal to a clean run.
